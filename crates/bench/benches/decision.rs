@@ -1,0 +1,36 @@
+//! Micro-bench: the BGP decision process over candidate sets.
+
+use artemis_bgp::{AsPath, Asn, Origin};
+use artemis_bgpsim::decision::{select_best, CandidateRoute};
+use artemis_topology::RelKind;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn candidates(n: u32) -> Vec<CandidateRoute> {
+    (0..n)
+        .map(|i| CandidateRoute {
+            as_path: AsPath::from_sequence((0..(i % 6) + 1).map(|k| 100 + k)),
+            origin_as: Asn(100 + (i % 6)),
+            origin: Origin::Igp,
+            med: Some(i % 10),
+            local_pref: 100 + (i % 3) * 100,
+            neighbor: Some(Asn(1000 + i)),
+            learned_from: Some(match i % 3 {
+                0 => RelKind::Customer,
+                1 => RelKind::Peer,
+                _ => RelKind::Provider,
+            }),
+        })
+        .collect()
+}
+
+fn bench_decision(c: &mut Criterion) {
+    for n in [2u32, 8, 64] {
+        let cands = candidates(n);
+        c.bench_function(&format!("select_best_{n}_candidates"), |b| {
+            b.iter(|| black_box(select_best(black_box(&cands))))
+        });
+    }
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

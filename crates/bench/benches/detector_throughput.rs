@@ -1,0 +1,69 @@
+//! Micro-bench: detector events/second — ARTEMIS must keep up with a
+//! full RIS firehose, so this is the headline engineering number.
+
+use artemis_bgp::{AsPath, Asn};
+use artemis_core::{ArtemisConfig, Detector, OwnedPrefix};
+use artemis_feeds::{FeedEvent, FeedKind};
+use artemis_simnet::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn config() -> ArtemisConfig {
+    ArtemisConfig::new(
+        Asn(65001),
+        (0..64u32)
+            .map(|i| {
+                OwnedPrefix::new(
+                    artemis_bgp::Prefix::v4(std::net::Ipv4Addr::from(10 << 24 | i << 16), 23)
+                        .expect("valid"),
+                    Asn(65001),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn events(n: u64) -> Vec<FeedEvent> {
+    (0..n)
+        .map(|i| {
+            // Mostly unrelated traffic with occasional touches of owned
+            // space — the realistic firehose mix.
+            let prefix = if i % 100 == 0 {
+                artemis_bgp::Prefix::v4(std::net::Ipv4Addr::new(10, (i % 64) as u8, 0, 0), 23)
+            } else {
+                artemis_bgp::Prefix::v4(std::net::Ipv4Addr::from((i as u32) << 8), 24)
+            }
+            .expect("valid");
+            let path = AsPath::from_sequence([174u32, 3356, 65001 + (i % 7 == 0) as u32]);
+            FeedEvent {
+                emitted_at: SimTime::from_micros(i),
+                observed_at: SimTime::from_micros(i),
+                source: FeedKind::RisLive,
+                collector: "rrc00".into(),
+                vantage: Asn(174),
+                prefix,
+                origin_as: path.origin(),
+                as_path: Some(path),
+                raw: None,
+            }
+        })
+        .collect()
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let evs = events(10_000);
+    let mut group = c.benchmark_group("detector");
+    group.throughput(Throughput::Elements(evs.len() as u64));
+    group.bench_function("process_10k_events", |b| {
+        b.iter(|| {
+            let mut d = Detector::new(config());
+            for ev in &evs {
+                black_box(d.process(ev));
+            }
+            black_box(d.events_processed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-bench: MRT archive writing and parsing (baseline ingestion).
+
+use artemis_bgp::{AsPath, Asn, PathAttributes, Prefix, UpdateMessage};
+use artemis_mrt::{Bgp4mpMessage, MrtReader, MrtRecord, MrtWriter};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn build_archive(records: u32) -> Vec<u8> {
+    let mut w = MrtWriter::new();
+    for i in 0..records {
+        let attrs = PathAttributes::with_path(
+            AsPath::from_sequence([174u32, 3356, 65000 + (i % 16)]),
+            "192.0.2.1".parse().expect("valid"),
+        );
+        let update = UpdateMessage::announce(
+            attrs,
+            vec![Prefix::v4(std::net::Ipv4Addr::from(i << 10), 22).expect("valid")],
+        );
+        w.write(&MrtRecord::Bgp4mp {
+            timestamp: i,
+            microseconds: Some(i % 1_000_000),
+            message: Bgp4mpMessage {
+                peer_as: Asn(174),
+                local_as: Asn(64999),
+                peer_ip: "192.0.2.10".parse().expect("valid"),
+                local_ip: "192.0.2.1".parse().expect("valid"),
+                message: artemis_bgp::BgpMessage::Update(update),
+            },
+        })
+        .expect("writable");
+    }
+    w.into_bytes()
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    let archive = build_archive(5_000);
+    let mut group = c.benchmark_group("mrt");
+    group.throughput(Throughput::Bytes(archive.len() as u64));
+    group.bench_function("write_5k_records", |b| {
+        b.iter(|| black_box(build_archive(black_box(5_000)).len()))
+    });
+    group.bench_function("parse_5k_records", |b| {
+        b.iter(|| {
+            let n = MrtReader::new(black_box(&archive))
+                .read_all()
+                .expect("parseable")
+                .len();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrt);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Macro-bench: full BGP propagation on Internet-like topologies — the
+//! cost of one announcement wave and of an entire hijack experiment.
+
+use artemis_bgpsim::{Engine, SimConfig};
+use artemis_core::ExperimentBuilder;
+use artemis_simnet::SimRng;
+use artemis_topology::{generate, TopologyConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut rng = SimRng::new(42);
+    let topo = generate(&TopologyConfig::medium(), &mut rng);
+    let victim = topo.stubs[0];
+    let prefix: artemis_bgp::Prefix = "10.0.0.0/23".parse().expect("valid");
+
+    c.bench_function("propagate_1000_ases", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(topo.graph.clone(), SimConfig::default(), 42);
+            e.announce(victim, prefix);
+            black_box(e.run_to_quiescence(10_000_000).len())
+        })
+    });
+
+    c.bench_function("full_hijack_experiment_tiny", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ExperimentBuilder::tiny(seed).run().timings.resolved_at)
+        })
+    });
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

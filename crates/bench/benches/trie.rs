@@ -1,0 +1,51 @@
+//! Micro-bench: prefix-trie operations (the detector's hot path).
+
+use artemis_bgp::{Prefix, PrefixTrie};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::net::Ipv4Addr;
+
+fn build_trie(n: u32) -> PrefixTrie<u32> {
+    let mut trie = PrefixTrie::new();
+    for i in 0..n {
+        // Spread prefixes across the space with mixed lengths.
+        let addr = Ipv4Addr::from(i.wrapping_mul(2_654_435_761));
+        let len = 8 + (i % 17) as u8; // /8../24
+        trie.insert(Prefix::v4(addr, len).expect("valid"), i);
+    }
+    trie
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let trie = build_trie(100_000);
+    let probes: Vec<Prefix> = (0..1024u32)
+        .map(|i| Prefix::v4(Ipv4Addr::from(i.wrapping_mul(40_503_001)), 32).expect("valid"))
+        .collect();
+
+    c.bench_function("trie_insert_100k", |b| {
+        b.iter(|| black_box(build_trie(black_box(100_000)).len()))
+    });
+
+    c.bench_function("trie_longest_match", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(trie.longest_match(probes[i]))
+        })
+    });
+
+    c.bench_function("trie_covering", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(trie.covering(probes[i]).len())
+        })
+    });
+
+    c.bench_function("trie_covered_subtree", |b| {
+        let root = Prefix::v4(Ipv4Addr::new(0, 0, 0, 0), 4).expect("valid");
+        b.iter(|| black_box(trie.covered(root).len()))
+    });
+}
+
+criterion_group!(benches, bench_trie);
+criterion_main!(benches);

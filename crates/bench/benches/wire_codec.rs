@@ -1,0 +1,52 @@
+//! Micro-bench: RFC 4271 UPDATE encode/decode (feed ingestion cost).
+
+use artemis_bgp::{AsPath, BgpMessage, Codec, PathAttributes, Prefix, UpdateMessage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn sample_update(nlri_count: u32) -> BgpMessage {
+    let attrs = PathAttributes::with_path(
+        AsPath::from_sequence([174u32, 3356, 1299, 65001]),
+        "192.0.2.1".parse().expect("valid"),
+    );
+    let nlri: Vec<Prefix> = (0..nlri_count)
+        .map(|i| Prefix::v4(std::net::Ipv4Addr::from(10 << 24 | i << 8), 24).expect("valid"))
+        .collect();
+    BgpMessage::Update(UpdateMessage::announce(attrs, nlri))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let codec = Codec::four_octet();
+    let msg = sample_update(50);
+    let bytes = codec.encode(&msg).expect("encodable");
+
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_update_50_nlri", |b| {
+        b.iter(|| black_box(codec.encode(black_box(&msg)).expect("encodable")))
+    });
+    group.bench_function("decode_update_50_nlri", |b| {
+        b.iter(|| black_box(codec.decode(black_box(&bytes)).expect("decodable")))
+    });
+    group.finish();
+
+    let two = Codec::two_octet();
+    let wide = {
+        let attrs = PathAttributes::with_path(
+            AsPath::from_sequence([174u32, 4_200_000_001, 65001]),
+            "192.0.2.1".parse().expect("valid"),
+        );
+        BgpMessage::Update(UpdateMessage::announce(
+            attrs,
+            vec!["10.0.0.0/24".parse().expect("valid")],
+        ))
+    };
+    c.bench_function("encode_decode_as4_translation", |b| {
+        b.iter(|| {
+            let bytes = two.encode(black_box(&wide)).expect("encodable");
+            black_box(two.decode(&bytes).expect("decodable"))
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! **A1 — ablations of ARTEMIS design choices** (DESIGN.md §5).
+//!
+//! 1. MRAI/out-delay batching prevalence → detection & completion
+//!    sensitivity to router batching behaviour.
+//! 2. Vantage-point selection strategy (random vs top-degree vs mix).
+//! 3. De-aggregation granularity: one level (the paper) vs straight to
+//!    the /24 filtering limit.
+//!
+//! ```sh
+//! cargo run --release -p artemis-bench --bin exp_a1_ablations [trials] [seed]
+//! ```
+
+use artemis_bench::{arg_seed, arg_trials, collect_metric, run_trials};
+use artemis_core::report::{DurationStats, Table};
+use artemis_core::{DeaggregationPolicy, ExperimentBuilder};
+use artemis_feeds::VantageStrategy;
+
+fn mean_str(samples: &[artemis_simnet::SimDuration]) -> String {
+    DurationStats::from_samples(samples)
+        .map(|s| s.mean.to_string())
+        .unwrap_or_else(|| "n/a".into())
+}
+
+fn main() {
+    let trials = arg_trials(8);
+    let seed0 = arg_seed(7000);
+
+    println!("=== A1.1: router batching (share of out-delay sessions) ===\n");
+    let mut table = Table::new(["out-delay share", "detection (mean)", "completion (mean)"]);
+    for share in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let outcomes = run_trials(trials, seed0, |seed| {
+            let mut b = ExperimentBuilder::new(seed);
+            b.sim.mrai_on_first = share;
+            b
+        });
+        let det = collect_metric(&outcomes, |o| o.timings.detection_delay());
+        let comp = collect_metric(&outcomes, |o| o.timings.completion_delay());
+        table.row([format!("{:.0}%", share * 100.0), mean_str(&det), mean_str(&comp)]);
+    }
+    print!("{}", table.render());
+    println!("shape: more batching -> slower propagation on both sides (detection AND recovery).\n");
+
+    println!("=== A1.2: vantage selection strategy ===\n");
+    let mut table = Table::new(["strategy", "detection (mean)", "undetected"]);
+    for (name, strategy) in [
+        ("random", VantageStrategy::Random),
+        ("top-degree", VantageStrategy::TopDegree),
+        ("mixed (default)", VantageStrategy::Mixed),
+    ] {
+        let outcomes = run_trials(trials, seed0, |seed| {
+            let mut b = ExperimentBuilder::new(seed);
+            b.vantage_strategy = strategy;
+            b
+        });
+        let det = collect_metric(&outcomes, |o| o.timings.detection_delay());
+        let undetected = outcomes
+            .iter()
+            .filter(|o| o.timings.detected_at.is_none())
+            .count();
+        table.row([
+            name.to_string(),
+            mean_str(&det),
+            format!("{undetected}/{trials}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("shape: top-degree VPs are 'closer' to everything -> fewer misses, faster detection.\n");
+
+    println!("=== A1.3: de-aggregation granularity (/20 victim) ===\n");
+    let mut table = Table::new([
+        "policy",
+        "announcements",
+        "completion (mean)",
+        "recovered",
+    ]);
+    for (name, policy) in [
+        ("one level (paper)", DeaggregationPolicy::OneLevel),
+        ("to /24 limit", DeaggregationPolicy::ToFilterLimit),
+    ] {
+        let outcomes = run_trials(trials, seed0, |seed| {
+            let mut b = ExperimentBuilder::new(seed);
+            b.prefix = "10.0.0.0/20".parse().expect("valid");
+            b.deagg_policy = policy;
+            b
+        });
+        let comp = collect_metric(&outcomes, |o| o.timings.completion_delay());
+        let recovered: usize = outcomes.iter().map(|o| o.ground_truth.recovered_at_end).sum();
+        let total: usize = outcomes.iter().map(|o| o.ground_truth.total_ases).sum();
+        let announcements = match policy {
+            DeaggregationPolicy::OneLevel => 2,
+            DeaggregationPolicy::ToFilterLimit => 16,
+        };
+        table.row([
+            name.to_string(),
+            announcements.to_string(),
+            mean_str(&comp),
+            format!("{:.1}%", 100.0 * recovered as f64 / total.max(1) as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("shape: both fully recover; the aggressive policy costs 8x the routing-table");
+    println!("pollution for the same outcome against THIS attacker (its value is preempting");
+    println!("counter-escalation, which a static attacker model cannot show).");
+}

@@ -1,0 +1,86 @@
+//! Error types for BGP message construction and wire parsing.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding BGP wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// The 16-byte marker was not all-ones (RFC 4271 §4.1).
+    BadMarker,
+    /// Header length field out of the [19, 4096] range or inconsistent
+    /// with the available bytes.
+    BadLength {
+        /// The length claimed by the header.
+        claimed: usize,
+        /// The bytes actually available.
+        available: usize,
+    },
+    /// Unknown message type code.
+    UnknownMessageType(u8),
+    /// The message body ended before a required field.
+    Truncated(&'static str),
+    /// An UPDATE path attribute was malformed.
+    MalformedAttribute {
+        /// Attribute type code.
+        type_code: u8,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An NLRI prefix had an invalid length for its family.
+    InvalidNlri {
+        /// The bad bit length.
+        bit_len: u8,
+    },
+    /// An OPEN message carried an unsupported BGP version.
+    UnsupportedVersion(u8),
+    /// A well-known mandatory attribute was missing from an UPDATE that
+    /// announces NLRI.
+    MissingMandatoryAttribute(&'static str),
+    /// A value did not fit the wire encoding (e.g. 4-byte ASN on a
+    /// 2-byte session without AS_TRANS handling).
+    EncodingOverflow(&'static str),
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::BadMarker => write!(f, "BGP header marker is not all-ones"),
+            BgpError::BadLength { claimed, available } => write!(
+                f,
+                "bad BGP message length: header claims {claimed} bytes, {available} available"
+            ),
+            BgpError::UnknownMessageType(t) => write!(f, "unknown BGP message type {t}"),
+            BgpError::Truncated(what) => write!(f, "truncated BGP message while reading {what}"),
+            BgpError::MalformedAttribute { type_code, reason } => {
+                write!(f, "malformed path attribute {type_code}: {reason}")
+            }
+            BgpError::InvalidNlri { bit_len } => {
+                write!(f, "invalid NLRI prefix bit length {bit_len}")
+            }
+            BgpError::UnsupportedVersion(v) => write!(f, "unsupported BGP version {v}"),
+            BgpError::MissingMandatoryAttribute(name) => {
+                write!(f, "UPDATE with NLRI lacks mandatory attribute {name}")
+            }
+            BgpError::EncodingOverflow(what) => write!(f, "value does not fit encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BgpError::BadLength {
+            claimed: 5000,
+            available: 100,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("5000") && msg.contains("100"));
+        assert!(BgpError::BadMarker.to_string().contains("marker"));
+        assert!(BgpError::UnknownMessageType(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,148 @@
+//! Routes and route updates — the lingua franca between simulator,
+//! feeds and detector.
+
+use crate::{AsPath, Asn, PathAttributes, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::IpAddr;
+
+/// Where a route observation came from (vantage point provenance).
+///
+/// ARTEMIS's detection delay is `min` over sources; keeping provenance on
+/// every observation is what lets the experiments attribute wins to
+/// specific feeds (Periscope vs RIS vs BGPmon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteSource {
+    /// Locally originated by the AS itself.
+    Local,
+    /// Learned over an eBGP session from the given neighbor AS.
+    Ebgp(Asn),
+    /// Learned over iBGP.
+    Ibgp,
+}
+
+impl fmt::Display for RouteSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteSource::Local => write!(f, "local"),
+            RouteSource::Ebgp(asn) => write!(f, "eBGP({asn})"),
+            RouteSource::Ibgp => write!(f, "iBGP"),
+        }
+    }
+}
+
+/// A single route: a prefix plus the attributes it was announced with.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Path attributes.
+    pub attrs: PathAttributes,
+    /// How the holder of this route learned it.
+    pub source: RouteSource,
+}
+
+impl Route {
+    /// Construct a locally originated route.
+    pub fn originate(prefix: Prefix, origin_as: Asn, next_hop: IpAddr) -> Self {
+        Route {
+            prefix,
+            attrs: PathAttributes::originate(origin_as, next_hop),
+            source: RouteSource::Local,
+        }
+    }
+
+    /// Construct from an explicit path (convenient in tests and feeds).
+    pub fn with_path(prefix: Prefix, as_path: AsPath, next_hop: IpAddr) -> Self {
+        Route {
+            prefix,
+            attrs: PathAttributes::with_path(as_path, next_hop),
+            source: RouteSource::Ibgp,
+        }
+    }
+
+    /// The origin AS of the route's path, if well defined.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.attrs.origin_as()
+    }
+
+    /// The AS path.
+    pub fn as_path(&self) -> &AsPath {
+        &self.attrs.as_path
+    }
+}
+
+/// An announce/withdraw event for a prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteUpdate {
+    /// A new or replacement path for the prefix (implicit withdraw of
+    /// any previous path from the same peer).
+    Announce(Route),
+    /// The prefix is no longer reachable via the sending peer.
+    Withdraw {
+        /// Withdrawn prefix.
+        prefix: Prefix,
+    },
+}
+
+impl RouteUpdate {
+    /// The prefix the update concerns.
+    pub fn prefix(&self) -> Prefix {
+        match self {
+            RouteUpdate::Announce(r) => r.prefix,
+            RouteUpdate::Withdraw { prefix } => *prefix,
+        }
+    }
+
+    /// True for announcements.
+    pub fn is_announce(&self) -> bool {
+        matches!(self, RouteUpdate::Announce(_))
+    }
+
+    /// The announced route, if any.
+    pub fn route(&self) -> Option<&Route> {
+        match self {
+            RouteUpdate::Announce(r) => Some(r),
+            RouteUpdate::Withdraw { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn originate_builds_single_hop_path() {
+        let r = Route::originate(pfx("10.0.0.0/23"), Asn(65001), "10.0.0.1".parse().unwrap());
+        assert_eq!(r.origin_as(), Some(Asn(65001)));
+        assert_eq!(r.source, RouteSource::Local);
+        assert_eq!(r.as_path().decision_len(), 1);
+    }
+
+    #[test]
+    fn update_prefix_accessor() {
+        let r = Route::originate(pfx("10.0.0.0/23"), Asn(65001), "10.0.0.1".parse().unwrap());
+        let a = RouteUpdate::Announce(r.clone());
+        let w = RouteUpdate::Withdraw {
+            prefix: pfx("10.0.0.0/23"),
+        };
+        assert_eq!(a.prefix(), pfx("10.0.0.0/23"));
+        assert_eq!(w.prefix(), pfx("10.0.0.0/23"));
+        assert!(a.is_announce());
+        assert!(!w.is_announce());
+        assert_eq!(a.route(), Some(&r));
+        assert_eq!(w.route(), None);
+    }
+
+    #[test]
+    fn route_source_display() {
+        assert_eq!(RouteSource::Ebgp(Asn(174)).to_string(), "eBGP(AS174)");
+        assert_eq!(RouteSource::Local.to_string(), "local");
+    }
+}

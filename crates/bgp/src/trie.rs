@@ -1,0 +1,420 @@
+//! Binary radix trie keyed by [`Prefix`] with longest-prefix-match,
+//! covering- and covered-prefix queries.
+//!
+//! Both the simulated routers (Loc-RIB indexing) and the ARTEMIS
+//! detector (matching observed announcements against the operator's
+//! owned prefixes, including *more-specific* announcements — the
+//! sub-prefix hijack case) are built on this structure.
+
+use crate::prefix::{Afi, Prefix};
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<T> Node<T> {
+    fn is_empty_leaf(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A map from [`Prefix`] to `T` supporting the prefix-algebra queries
+/// BGP needs. IPv4 and IPv6 occupy disjoint sub-tries.
+///
+/// Complexity: all point operations are `O(len)` (≤ 32 / 128 bit steps);
+/// subtree queries are output-sensitive.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    v4: Node<T>,
+    v6: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            v4: Node::default(),
+            v6: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn root(&self, afi: Afi) -> &Node<T> {
+        match afi {
+            Afi::Ipv4 => &self.v4,
+            Afi::Ipv6 => &self.v6,
+        }
+    }
+
+    fn root_mut(&mut self, afi: Afi) -> &mut Node<T> {
+        match afi {
+            Afi::Ipv4 => &mut self.v4,
+            Afi::Ipv6 => &mut self.v6,
+        }
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = self.root_mut(prefix.afi());
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let mut node = self.root(prefix.afi());
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut T> {
+        let mut node = self.root_mut(prefix.afi());
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            node = node.children[bit].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// True if `prefix` is stored exactly.
+    pub fn contains(&self, prefix: Prefix) -> bool {
+        self.get(prefix).is_some()
+    }
+
+    /// Remove an exact prefix, returning its value. Prunes empty
+    /// branches so memory does not grow monotonically.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        fn rec<T>(node: &mut Node<T>, prefix: Prefix, depth: u8) -> Option<T> {
+            if depth == prefix.len() {
+                return node.value.take();
+            }
+            let bit = prefix.bit(depth) as usize;
+            let child = node.children[bit].as_deref_mut()?;
+            let out = rec(child, prefix, depth + 1)?;
+            if child.is_empty_leaf() {
+                node.children[bit] = None;
+            }
+            Some(out)
+        }
+        let root = self.root_mut(prefix.afi());
+        let out = rec(root, prefix, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Longest-prefix match for an exact prefix key: the most-specific
+    /// stored prefix that covers `prefix` (possibly `prefix` itself).
+    pub fn longest_match(&self, prefix: Prefix) -> Option<(Prefix, &T)> {
+        let mut node = self.root(prefix.afi());
+        let mut best: Option<(Prefix, &T)> = None;
+        if let Some(v) = node.value.as_ref() {
+            let p = Prefix::from_bits(prefix.afi(), prefix.bits(), 0).expect("valid /0");
+            best = Some((p, v));
+        }
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        let p = Prefix::from_bits(prefix.afi(), prefix.bits(), i + 1)
+                            .expect("depth <= prefix.len() <= max_len");
+                        best = Some((p, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Longest-prefix match for a single address.
+    pub fn longest_match_addr(&self, addr: std::net::IpAddr) -> Option<(Prefix, &T)> {
+        let host = match addr {
+            std::net::IpAddr::V4(_) => Prefix::new(addr, 32),
+            std::net::IpAddr::V6(_) => Prefix::new(addr, 128),
+        }
+        .ok()?;
+        self.longest_match(host)
+    }
+
+    /// Every stored prefix that covers `prefix` (all less-specifics on
+    /// the path, including exact), ordered shortest-first.
+    pub fn covering(&self, prefix: Prefix) -> Vec<(Prefix, &T)> {
+        let mut out: Vec<(Prefix, &T)> = Vec::new();
+        let mut node = self.root(prefix.afi());
+        if let Some(v) = node.value.as_ref() {
+            let p = Prefix::from_bits(prefix.afi(), prefix.bits(), 0).expect("valid /0");
+            out.push((p, v));
+        }
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        let p = Prefix::from_bits(prefix.afi(), prefix.bits(), i + 1)
+                            .expect("valid depth");
+                        out.push((p, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Every stored prefix covered by `prefix` (all equal-or-more-
+    /// specifics), in address order.
+    pub fn covered(&self, prefix: Prefix) -> Vec<(Prefix, &T)> {
+        let mut out = Vec::new();
+        // Descend to the node exactly at `prefix`…
+        let mut node = self.root(prefix.afi());
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => node = child,
+                None => return out,
+            }
+        }
+        // …then collect the whole subtree.
+        fn dfs<'a, T>(
+            node: &'a Node<T>,
+            afi: Afi,
+            bits: u128,
+            depth: u8,
+            out: &mut Vec<(Prefix, &'a T)>,
+        ) {
+            if let Some(v) = node.value.as_ref() {
+                let p = Prefix::from_bits(afi, bits, depth).expect("valid depth");
+                out.push((p, v));
+            }
+            if depth >= afi.max_len() {
+                return;
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                dfs(child, afi, bits, depth + 1, out);
+            }
+            if let Some(child) = node.children[1].as_deref() {
+                let set = bits | (1u128 << (127 - depth as u32));
+                dfs(child, afi, set, depth + 1, out);
+            }
+        }
+        dfs(node, prefix.afi(), prefix.bits(), prefix.len(), &mut out);
+        out
+    }
+
+    /// All `(prefix, value)` pairs, v4 first then v6, in address order.
+    pub fn iter(&self) -> Vec<(Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.covered(Prefix::default_v4()));
+        out.extend(self.covered(Prefix::default_v6()));
+        out
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.v4 = Node::default();
+        self.v6 = Node::default();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    fn p(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/23"), "a"), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/23")), Some(&"a"));
+        assert_eq!(t.insert(p("10.0.0.0/23"), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(p("10.0.0.0/23")), Some("b"));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(p("10.0.0.0/23")), None);
+    }
+
+    #[test]
+    fn exact_match_does_not_cross_lengths() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/23"), 23);
+        assert_eq!(t.get(p("10.0.0.0/24")), None);
+        assert_eq!(t.get(p("10.0.0.0/22")), None);
+        assert!(t.contains(p("10.0.0.0/23")));
+    }
+
+    #[test]
+    fn default_route_storable() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::default_v4(), "default");
+        assert_eq!(t.get(Prefix::default_v4()), Some(&"default"));
+        assert_eq!(
+            t.longest_match(p("203.0.113.0/24")).map(|(q, v)| (q, *v)),
+            Some((Prefix::default_v4(), "default"))
+        );
+    }
+
+    #[test]
+    fn longest_match_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.0.0.0/16"), 16);
+        t.insert(p("10.0.0.0/24"), 24);
+        let (q, v) = t.longest_match(p("10.0.0.0/26")).unwrap();
+        assert_eq!((q, *v), (p("10.0.0.0/24"), 24));
+        let (q, v) = t.longest_match(p("10.0.1.0/24")).unwrap();
+        assert_eq!((q, *v), (p("10.0.0.0/16"), 16));
+        let (q, v) = t.longest_match(p("10.9.0.0/16")).unwrap();
+        assert_eq!((q, *v), (p("10.0.0.0/8"), 8));
+        assert!(t.longest_match(p("11.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn longest_match_addr() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/24"), "doc");
+        let (q, v) = t
+            .longest_match_addr("192.0.2.55".parse().unwrap())
+            .unwrap();
+        assert_eq!((q, *v), (p("192.0.2.0/24"), "doc"));
+        assert!(t.longest_match_addr("198.51.100.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn covering_lists_less_specifics() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.0.0.0/16"), ());
+        t.insert(p("10.0.0.0/24"), ());
+        t.insert(p("10.1.0.0/16"), ());
+        let cov: Vec<Prefix> = t.covering(p("10.0.0.0/24")).into_iter().map(|(q, _)| q).collect();
+        assert_eq!(cov, vec![p("10.0.0.0/8"), p("10.0.0.0/16"), p("10.0.0.0/24")]);
+    }
+
+    #[test]
+    fn covered_lists_more_specifics_in_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/24"), ());
+        t.insert(p("10.0.1.0/24"), ());
+        t.insert(p("10.0.0.0/23"), ());
+        t.insert(p("10.0.2.0/24"), ());
+        t.insert(p("10.1.0.0/16"), ());
+        let cov: Vec<Prefix> = t.covered(p("10.0.0.0/23")).into_iter().map(|(q, _)| q).collect();
+        assert_eq!(cov, vec![p("10.0.0.0/23"), p("10.0.0.0/24"), p("10.0.1.0/24")]);
+    }
+
+    #[test]
+    fn covered_on_absent_branch_is_empty() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/24"), ());
+        assert!(t.covered(p("11.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn families_are_disjoint() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "v4");
+        t.insert(p("a00::/8"), "v6");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&"v4"));
+        assert_eq!(t.get(p("a00::/8")), Some(&"v6"));
+        assert_eq!(t.covering(p("10.0.0.0/24")).len(), 1);
+    }
+
+    #[test]
+    fn iter_returns_everything_in_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/24"), 1);
+        t.insert(p("10.0.0.0/8"), 2);
+        t.insert(p("2001:db8::/32"), 3);
+        let all: Vec<Prefix> = t.iter().into_iter().map(|(q, _)| q).collect();
+        assert_eq!(all, vec![p("10.0.0.0/8"), p("192.0.2.0/24"), p("2001:db8::/32")]);
+    }
+
+    #[test]
+    fn remove_prunes_branches() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/24"), ());
+        t.remove(p("10.0.0.0/24"));
+        // After pruning, longest_match walks nothing.
+        assert!(t.longest_match(p("10.0.0.0/32")).is_none());
+        assert!(t.v4.is_empty_leaf());
+    }
+
+    #[test]
+    fn remove_keeps_other_branch() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/24"), 1);
+        t.insert(p("10.0.1.0/24"), 2);
+        t.remove(p("10.0.0.0/24"));
+        assert_eq!(t.get(p("10.0.1.0/24")), Some(&2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        *t.get_mut(p("10.0.0.0/8")).unwrap() = 42;
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&42));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("2001:db8::/32"), ());
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.iter().is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Property-based tests for the BGP foundation types: prefix algebra,
+//! trie-vs-naive equivalence, and wire-codec round-trips.
+
+use artemis_bgp::{
+    aspath::Segment, AsPath, Asn, BgpMessage, Codec, Community, Origin, PathAttributes, Prefix,
+    PrefixTrie, UpdateMessage,
+};
+use artemis_bgp::prefix::Afi;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+        Prefix::v4(std::net::Ipv4Addr::from(addr), len).expect("len <= 32")
+    })
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
+        Prefix::v6(std::net::Ipv6Addr::from(addr), len).expect("len <= 128")
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![arb_v4_prefix(), arb_v6_prefix()]
+}
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    prop_oneof![
+        (1u32..65536).prop_map(Asn),
+        (65536u32..4_000_000_000).prop_map(Asn),
+    ]
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(arb_asn(), 1..8).prop_map(AsPath::from_sequence)
+}
+
+fn arb_as_path_with_sets() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(arb_asn(), 1..5).prop_map(Segment::Sequence),
+            prop::collection::vec(arb_asn(), 1..4).prop_map(Segment::Set),
+        ],
+        1..4,
+    )
+    .prop_map(AsPath::from_segments)
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        arb_as_path(),
+        prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)],
+        any::<u32>(),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        prop::collection::vec(any::<u32>().prop_map(Community), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(path, origin, nh, med, lp, communities, atomic)| PathAttributes {
+            origin,
+            as_path: path,
+            next_hop: std::net::IpAddr::V4(std::net::Ipv4Addr::from(nh)),
+            med,
+            local_pref: lp,
+            atomic_aggregate: atomic,
+            aggregator: None,
+            communities,
+        })
+}
+
+// ---------------------------------------------------------------------
+// Prefix algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let text = p.to_string();
+        let back: Prefix = text.parse().expect("canonical text reparses");
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn prefix_contains_is_reflexive(p in arb_prefix()) {
+        prop_assert!(p.contains(p));
+    }
+
+    #[test]
+    fn split_partitions_exactly(p in arb_v4_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.contains(lo));
+            prop_assert!(p.contains(hi));
+            prop_assert!(!lo.overlaps(hi));
+            prop_assert_eq!(lo.len(), p.len() + 1);
+            prop_assert_eq!(hi.len(), p.len() + 1);
+            prop_assert_eq!(
+                lo.address_count() + hi.address_count(),
+                p.address_count()
+            );
+        } else {
+            prop_assert_eq!(p.len(), 32);
+        }
+    }
+
+    #[test]
+    fn deaggregate_covers_parent_and_nothing_else(
+        p in (any::<u32>(), 8u8..=22).prop_map(|(a, l)| Prefix::v4(a.into(), l).unwrap()),
+        extra in 1u8..=3,
+    ) {
+        let target = p.len() + extra;
+        let subs = p.deaggregate(target);
+        prop_assert_eq!(subs.len(), 1usize << extra);
+        let mut total: u128 = 0;
+        for (i, s) in subs.iter().enumerate() {
+            prop_assert_eq!(s.len(), target);
+            prop_assert!(p.contains(*s), "{} must contain {}", p, s);
+            total += s.address_count();
+            // Ordered and pairwise disjoint.
+            if i > 0 {
+                prop_assert!(subs[i - 1] < *s);
+                prop_assert!(!subs[i - 1].overlaps(*s));
+            }
+        }
+        prop_assert_eq!(total, p.address_count());
+    }
+
+    #[test]
+    fn supernet_inverts_split(p in arb_v4_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert_eq!(lo.supernet().unwrap(), p);
+            prop_assert_eq!(hi.supernet().unwrap(), p);
+            prop_assert_eq!(lo.sibling().unwrap(), hi);
+            prop_assert_eq!(hi.sibling().unwrap(), lo);
+        }
+    }
+
+    #[test]
+    fn containment_transitivity(a in arb_v4_prefix(), b in arb_v4_prefix(), c in arb_v4_prefix()) {
+        if a.contains(b) && b.contains(c) {
+            prop_assert!(a.contains(c));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trie vs naive scan
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trie_longest_match_equals_naive(
+        entries in prop::collection::hash_set((any::<u32>(), 0u8..=28), 1..40),
+        probe in any::<u32>(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let prefixes: Vec<Prefix> = entries
+            .iter()
+            .map(|(a, l)| Prefix::v4((*a).into(), *l).unwrap())
+            .collect();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        let probe = Prefix::v4(probe.into(), 32).unwrap();
+        let trie_hit = trie.longest_match(probe).map(|(p, _)| p);
+        let naive_hit = prefixes
+            .iter()
+            .filter(|p| p.contains(probe))
+            .max_by_key(|p| p.len())
+            .copied();
+        // Dup prefixes in `prefixes` collapse in the trie; compare prefixes only.
+        prop_assert_eq!(trie_hit, naive_hit);
+    }
+
+    #[test]
+    fn trie_covered_equals_naive(
+        entries in prop::collection::hash_set((any::<u32>(), 0u8..=24), 1..40),
+        root_addr in any::<u32>(),
+        root_len in 0u8..=16,
+    ) {
+        let mut trie = PrefixTrie::new();
+        let prefixes: Vec<Prefix> = entries
+            .iter()
+            .map(|(a, l)| Prefix::v4((*a).into(), *l).unwrap())
+            .collect();
+        for p in &prefixes {
+            trie.insert(*p, ());
+        }
+        let root = Prefix::v4(root_addr.into(), root_len).unwrap();
+        let mut from_trie: Vec<Prefix> = trie.covered(root).into_iter().map(|(p, _)| p).collect();
+        let mut naive: Vec<Prefix> = prefixes
+            .iter()
+            .filter(|p| root.contains(**p))
+            .copied()
+            .collect();
+        naive.sort();
+        naive.dedup();
+        from_trie.sort();
+        prop_assert_eq!(from_trie, naive);
+    }
+
+    #[test]
+    fn trie_insert_remove_is_identity(
+        entries in prop::collection::vec((any::<u32>(), 0u8..=32), 1..30),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let prefixes: Vec<Prefix> = entries
+            .iter()
+            .map(|(a, l)| Prefix::v4((*a).into(), *l).unwrap())
+            .collect();
+        for p in &prefixes {
+            trie.insert(*p, *p);
+        }
+        let mut uniq = prefixes.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(trie.len(), uniq.len());
+        for p in &uniq {
+            prop_assert_eq!(trie.remove(*p), Some(*p));
+        }
+        prop_assert!(trie.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// AS path
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn prepend_increases_len_and_sets_neighbor(path in arb_as_path(), asn in arb_asn(), n in 1usize..5) {
+        let out = path.prepend_n(asn, n);
+        prop_assert_eq!(out.decision_len(), path.decision_len() + n);
+        prop_assert_eq!(out.neighbor(), Some(asn));
+        prop_assert_eq!(out.origin(), path.origin());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn update_roundtrips_four_octet(
+        attrs in arb_attrs(),
+        nlri in prop::collection::vec(arb_v4_prefix(), 1..6),
+        withdrawn in prop::collection::vec(arb_v4_prefix(), 0..4),
+    ) {
+        let codec = Codec::four_octet();
+        let update = UpdateMessage { withdrawn, attrs: Some(attrs), nlri };
+        let bytes = codec.encode(&BgpMessage::Update(update.clone())).unwrap();
+        let (decoded, used) = codec.decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, BgpMessage::Update(update));
+    }
+
+    #[test]
+    fn update_roundtrips_two_octet_with_as4(
+        path in arb_as_path(),
+        nlri in prop::collection::vec(arb_v4_prefix(), 1..4),
+    ) {
+        let codec = Codec::two_octet();
+        let attrs = PathAttributes::with_path(path, "192.0.2.1".parse().unwrap());
+        let update = UpdateMessage::announce(attrs, nlri);
+        let bytes = codec.encode(&BgpMessage::Update(update.clone())).unwrap();
+        let (decoded, _) = codec.decode(&bytes).unwrap();
+        // The reconciled AS_PATH must equal the original.
+        match decoded {
+            BgpMessage::Update(u) => {
+                prop_assert_eq!(u.attrs.unwrap().as_path, update.attrs.unwrap().as_path);
+                prop_assert_eq!(u.nlri, update.nlri);
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn mixed_segment_paths_roundtrip(path in arb_as_path_with_sets(), nlri in prop::collection::vec(arb_v4_prefix(), 1..3)) {
+        let codec = Codec::four_octet();
+        let attrs = PathAttributes::with_path(path, "192.0.2.1".parse().unwrap());
+        let update = UpdateMessage::announce(attrs, nlri);
+        let bytes = codec.encode(&BgpMessage::Update(update.clone())).unwrap();
+        let (decoded, _) = codec.decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, BgpMessage::Update(update));
+    }
+
+    #[test]
+    fn v6_updates_roundtrip(
+        path in arb_as_path(),
+        nlri in prop::collection::vec(arb_v6_prefix(), 1..5),
+        withdrawn in prop::collection::vec(arb_v6_prefix(), 0..3),
+    ) {
+        let codec = Codec::four_octet();
+        let attrs = PathAttributes::with_path(path, "2001:db8::1".parse().unwrap());
+        let update = UpdateMessage { withdrawn, attrs: Some(attrs), nlri };
+        let bytes = codec.encode(&BgpMessage::Update(update.clone())).unwrap();
+        let (decoded, _) = codec.decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, BgpMessage::Update(update));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let codec = Codec::four_octet();
+        let _ = codec.decode(&data); // must return, never panic
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupted_valid_message(
+        attrs in arb_attrs(),
+        nlri in prop::collection::vec(arb_v4_prefix(), 1..4),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let codec = Codec::four_octet();
+        let update = UpdateMessage::announce(attrs, nlri);
+        let mut bytes = codec.encode(&BgpMessage::Update(update)).unwrap().to_vec();
+        let idx = flip.0 % bytes.len();
+        bytes[idx] ^= flip.1;
+        let _ = codec.decode(&bytes); // Result either way; no panic
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic smoke checks that complement the proptest suites
+// ---------------------------------------------------------------------
+
+#[test]
+fn afi_scoping_of_tries_under_heavy_mixing() {
+    let mut trie = PrefixTrie::new();
+    for i in 0..512u32 {
+        let v4 = Prefix::v4(std::net::Ipv4Addr::from(i << 12), 24).unwrap();
+        let v6 = Prefix::v6(std::net::Ipv6Addr::from((i as u128) << 100), 28).unwrap();
+        trie.insert(v4, i);
+        trie.insert(v6, i + 10_000);
+    }
+    let v4_all = trie.covered(Prefix::default_v4());
+    let v6_all = trie.covered(Prefix::default_v6());
+    assert!(v4_all.iter().all(|(p, _)| p.afi() == Afi::Ipv4));
+    assert!(v6_all.iter().all(|(p, _)| p.afi() == Afi::Ipv6));
+    assert_eq!(v4_all.len() + v6_all.len(), trie.len());
+}

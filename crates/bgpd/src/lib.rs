@@ -1,0 +1,23 @@
+//! # artemis-bgpd — the BGP session layer
+//!
+//! ARTEMIS's mitigation path ends at real BGP sessions: the SDN
+//! controller (paper §2) must speak RFC 4271 to the operator's routers
+//! to inject the de-aggregated announcements. This crate implements
+//! that session layer: the RFC 4271 §8 finite state machine (Idle →
+//! Connect → OpenSent → OpenConfirm → Established), OPEN capability
+//! negotiation (hold time, four-octet AS), keepalive/hold timers on
+//! virtual time, and byte-stream framing over any ordered transport.
+//!
+//! The [`Session`] is sans-I/O in the style the networking guides
+//! recommend: you hand it received bytes ([`Session::on_bytes`]) and
+//! clock ticks ([`Session::poll_timers`]); it hands you bytes to send
+//! ([`Session::take_output`]) and application events. That makes it
+//! equally testable against the in-memory pipe used here and usable
+//! over a real TCP stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod session;
+
+pub use session::{Session, SessionConfig, SessionEvent, State};

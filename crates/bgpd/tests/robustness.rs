@@ -1,0 +1,137 @@
+//! Robustness properties of the session layer: arbitrary byte
+//! chunking never changes semantics, and garbage never panics.
+
+use artemis_bgpd::{Session, SessionConfig, SessionEvent, State};
+use artemis_bgp::{AsPath, Asn, PathAttributes, Prefix, UpdateMessage};
+use artemis_simnet::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn pair() -> (Session, Session) {
+    (
+        Session::connect(SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 1))),
+        Session::connect(SessionConfig::new(Asn(65002), Ipv4Addr::new(10, 0, 0, 2))),
+    )
+}
+
+/// Chunk `bytes` according to `cuts` (fractions of the remaining
+/// length) and deliver piecewise.
+fn deliver_chunked(
+    session: &mut Session,
+    now: SimTime,
+    bytes: &[u8],
+    cuts: &[usize],
+) -> Vec<SessionEvent> {
+    let mut events = Vec::new();
+    let mut rest = bytes;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = if i < cuts.len() {
+            (cuts[i] % rest.len()).max(1)
+        } else {
+            rest.len()
+        };
+        let (chunk, tail) = rest.split_at(take);
+        events.extend(session.on_bytes(now, chunk));
+        rest = tail;
+        i += 1;
+    }
+    events
+}
+
+proptest! {
+    /// The handshake succeeds however the transport fragments the
+    /// byte stream.
+    #[test]
+    fn handshake_survives_any_chunking(
+        cuts_a in prop::collection::vec(1usize..64, 0..16),
+        cuts_b in prop::collection::vec(1usize..64, 0..16),
+    ) {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        a.on_transport_connected(now);
+        b.on_transport_connected(now);
+        // Exchange until quiet, chunking every transfer.
+        for _ in 0..8 {
+            let out_a = a.take_output();
+            let out_b = b.take_output();
+            if out_a.is_empty() && out_b.is_empty() {
+                break;
+            }
+            deliver_chunked(&mut b, now, &out_a, &cuts_a);
+            deliver_chunked(&mut a, now, &out_b, &cuts_b);
+        }
+        prop_assert_eq!(a.state(), State::Established);
+        prop_assert_eq!(b.state(), State::Established);
+    }
+
+    /// Updates arrive intact regardless of fragmentation.
+    #[test]
+    fn updates_survive_any_chunking(
+        cuts in prop::collection::vec(1usize..32, 0..24),
+        nlri_count in 1usize..8,
+    ) {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        a.on_transport_connected(now);
+        b.on_transport_connected(now);
+        for _ in 0..8 {
+            let out_a = a.take_output();
+            let out_b = b.take_output();
+            if out_a.is_empty() && out_b.is_empty() {
+                break;
+            }
+            b.on_bytes(now, &out_a);
+            a.on_bytes(now, &out_b);
+        }
+        prop_assert_eq!(a.state(), State::Established);
+        let nlri: Vec<Prefix> = (0..nlri_count)
+            .map(|i| {
+                Prefix::v4(Ipv4Addr::from((10u32 << 24) | ((i as u32) << 8)), 24)
+                    .expect("valid")
+            })
+            .collect();
+        let update = UpdateMessage::announce(
+            PathAttributes::with_path(
+                AsPath::from_sequence([65001u32]),
+                "10.0.0.1".parse().expect("valid"),
+            ),
+            nlri,
+        );
+        a.announce(update.clone()).expect("established");
+        let wire = a.take_output();
+        let events = deliver_chunked(&mut b, now, &wire, &cuts);
+        let received: Vec<&UpdateMessage> = events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::Update(u) => Some(u),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(received, vec![&update]);
+    }
+
+    /// Random garbage never panics the session; it either waits for
+    /// more bytes or tears down cleanly.
+    #[test]
+    fn garbage_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..256)) {
+        let (mut a, mut b) = pair();
+        let now = SimTime::ZERO;
+        a.on_transport_connected(now);
+        b.on_transport_connected(now);
+        for _ in 0..4 {
+            let out_a = a.take_output();
+            let out_b = b.take_output();
+            b.on_bytes(now, &out_a);
+            a.on_bytes(now, &out_b);
+        }
+        let _ = b.on_bytes(now, &garbage);
+        // Whatever happened, the session is in a defined state and the
+        // peer can still be notified.
+        let _ = b.take_output();
+        prop_assert!(matches!(
+            b.state(),
+            State::Idle | State::Established | State::OpenConfirm | State::OpenSent
+        ));
+    }
+}

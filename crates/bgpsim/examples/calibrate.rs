@@ -1,0 +1,27 @@
+use artemis_bgpsim::{Engine, SimConfig};
+use artemis_simnet::SimRng;
+use artemis_topology::{generate, TopologyConfig};
+use std::str::FromStr;
+
+fn main() {
+    let mut rng = SimRng::new(42);
+    let t = generate(&TopologyConfig::medium(), &mut rng);
+    let victim = t.stubs[0];
+    let start = std::time::Instant::now();
+    let mut e = Engine::new(t.graph.clone(), SimConfig::default(), 42);
+    let p = artemis_bgp::Prefix::from_str("10.0.0.0/23").unwrap();
+    e.announce(victim, p);
+    let changes = e.run_to_quiescence(50_000_000);
+    let holders = e.ases().collect::<Vec<_>>().into_iter().filter(|a| e.best_route(*a, p).is_some()).count();
+    println!("ases={} holders={} vtime={} changes={} events={} msgs={} wall={:?}",
+        t.graph.as_count(), holders, e.now(), changes.len(),
+        e.stats().events_processed, e.stats().messages_sent, start.elapsed());
+    let mut first: std::collections::BTreeMap<artemis_bgp::Asn, artemis_simnet::SimTime> = Default::default();
+    for c in &changes { first.entry(c.asn).or_insert(c.time); }
+    let mut times: Vec<u64> = first.values().map(|t| t.as_micros()).collect();
+    times.sort();
+    for q in [10usize, 50, 90, 99, 100] {
+        let idx = ((times.len()-1) * q) / 100;
+        println!("p{q} first-route = {:.1}s", times[idx] as f64/1e6);
+    }
+}

@@ -1,0 +1,193 @@
+//! The BGP decision process (RFC 4271 §9.1 with Gao–Rexford
+//! LOCAL_PREF), as a total, deterministic order over candidates.
+
+use artemis_bgp::{AsPath, Asn, Origin};
+use artemis_topology::RelKind;
+use std::cmp::Ordering;
+
+/// A route candidate in an Adj-RIB-In (or a local origination).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateRoute {
+    /// Path as received (does not include the local AS).
+    pub as_path: AsPath,
+    /// Origin AS of the route.
+    pub origin_as: Asn,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// MED (None treated as 0 — "always compare" router default).
+    pub med: Option<u32>,
+    /// LOCAL_PREF assigned at ingress.
+    pub local_pref: u32,
+    /// Neighbor the route came from (`None` = locally originated).
+    pub neighbor: Option<Asn>,
+    /// Relationship of that neighbor (`None` = local).
+    pub learned_from: Option<RelKind>,
+}
+
+impl CandidateRoute {
+    /// A locally originated candidate (wins over everything learned:
+    /// LOCAL_PREF is [`artemis_topology::policy::LOCAL_PREF_ORIGINATE`]).
+    pub fn local(origin_as: Asn) -> Self {
+        CandidateRoute {
+            as_path: AsPath::empty(),
+            origin_as,
+            origin: Origin::Igp,
+            med: None,
+            local_pref: artemis_topology::policy::LOCAL_PREF_ORIGINATE,
+            neighbor: None,
+            learned_from: None,
+        }
+    }
+}
+
+/// Compare two candidates; `Ordering::Greater` means `a` is preferred.
+///
+/// Steps (each a strict filter before the next):
+/// 1. higher LOCAL_PREF,
+/// 2. shorter AS path (decision length: sets count 1),
+/// 3. lower ORIGIN code (IGP < EGP < Incomplete),
+/// 4. lower MED (absent = 0),
+/// 5. eBGP-learned over local — *not* applicable: local wins via
+///    LOCAL_PREF; instead prefer learned-over-nothing deterministically,
+/// 6. lowest neighbor ASN (router-ID tie-break proxy).
+///
+/// The order is total: two distinct candidates never compare `Equal`
+/// unless all six keys agree.
+pub fn compare_candidates(a: &CandidateRoute, b: &CandidateRoute) -> Ordering {
+    a.local_pref
+        .cmp(&b.local_pref)
+        .then_with(|| b.as_path.decision_len().cmp(&a.as_path.decision_len()))
+        .then_with(|| b.origin.code().cmp(&a.origin.code()))
+        .then_with(|| b.med.unwrap_or(0).cmp(&a.med.unwrap_or(0)))
+        .then_with(|| match (a.neighbor, b.neighbor) {
+            (None, None) => Ordering::Equal,
+            // Local route preferred as final tiebreak.
+            (None, Some(_)) => Ordering::Greater,
+            (Some(_), None) => Ordering::Less,
+            (Some(na), Some(nb)) => nb.cmp(&na), // lower ASN wins
+        })
+}
+
+/// Select the best candidate from an iterator (None when empty).
+pub fn select_best<'a, I>(candidates: I) -> Option<&'a CandidateRoute>
+where
+    I: IntoIterator<Item = &'a CandidateRoute>,
+{
+    candidates
+        .into_iter()
+        .max_by(|a, b| compare_candidates(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_topology::policy::local_pref_for;
+
+    fn cand(lp: u32, path: &[u32], neighbor: u32) -> CandidateRoute {
+        CandidateRoute {
+            as_path: AsPath::from_sequence(path.iter().copied()),
+            origin_as: Asn(*path.last().unwrap()),
+            origin: Origin::Igp,
+            med: None,
+            local_pref: lp,
+            neighbor: Some(Asn(neighbor)),
+            learned_from: Some(RelKind::Provider),
+        }
+    }
+
+    #[test]
+    fn local_pref_dominates_path_length() {
+        let customer = cand(local_pref_for(RelKind::Customer), &[1, 2, 3, 4, 5], 1);
+        let provider = cand(local_pref_for(RelKind::Provider), &[9, 10], 9);
+        assert_eq!(compare_candidates(&customer, &provider), Ordering::Greater);
+    }
+
+    #[test]
+    fn shorter_path_wins_at_equal_pref() {
+        let short = cand(100, &[1, 5], 1);
+        let long = cand(100, &[2, 3, 5], 2);
+        assert_eq!(compare_candidates(&short, &long), Ordering::Greater);
+    }
+
+    #[test]
+    fn origin_code_breaks_path_tie() {
+        let mut igp = cand(100, &[1, 5], 1);
+        let mut inc = cand(100, &[2, 5], 2);
+        igp.origin = Origin::Igp;
+        inc.origin = Origin::Incomplete;
+        assert_eq!(compare_candidates(&igp, &inc), Ordering::Greater);
+    }
+
+    #[test]
+    fn med_breaks_origin_tie() {
+        let mut low = cand(100, &[1, 5], 1);
+        let mut high = cand(100, &[2, 5], 2);
+        low.med = Some(10);
+        high.med = Some(50);
+        assert_eq!(compare_candidates(&low, &high), Ordering::Greater);
+        // Absent MED = 0 beats MED 10.
+        let absent = cand(100, &[3, 5], 3);
+        assert_eq!(compare_candidates(&absent, &low), Ordering::Greater);
+    }
+
+    #[test]
+    fn neighbor_asn_is_final_tiebreak() {
+        let a = cand(100, &[1, 5], 1);
+        let b = cand(100, &[2, 5], 2);
+        assert_eq!(compare_candidates(&a, &b), Ordering::Greater);
+        assert_eq!(compare_candidates(&b, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn local_beats_learned_everything_equal() {
+        // Construct a learned route with artificially high LP to force
+        // the final tie-break.
+        let local = CandidateRoute {
+            local_pref: 100,
+            ..CandidateRoute::local(Asn(5))
+        };
+        let mut learned = cand(100, &[1], 1);
+        learned.as_path = AsPath::empty();
+        assert_eq!(compare_candidates(&local, &learned), Ordering::Greater);
+    }
+
+    #[test]
+    fn order_is_antisymmetric_and_total() {
+        let cands = vec![
+            cand(300, &[1, 5], 1),
+            cand(200, &[2, 5], 2),
+            cand(100, &[3, 5], 3),
+            cand(100, &[4, 6, 5], 4),
+            CandidateRoute::local(Asn(5)),
+        ];
+        for a in &cands {
+            assert_eq!(compare_candidates(a, a), Ordering::Equal);
+            for b in &cands {
+                let ab = compare_candidates(a, b);
+                let ba = compare_candidates(b, a);
+                assert_eq!(ab, ba.reverse(), "antisymmetry violated");
+            }
+        }
+    }
+
+    #[test]
+    fn select_best_picks_max() {
+        let cands = vec![
+            cand(100, &[3, 5], 3),
+            cand(300, &[1, 2, 3, 4, 5], 1),
+            cand(200, &[2, 5], 2),
+        ];
+        let best = select_best(cands.iter()).unwrap();
+        assert_eq!(best.local_pref, 300);
+        assert!(select_best(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn local_candidate_wins_against_all_relationship_routes() {
+        let local = CandidateRoute::local(Asn(7));
+        for rel in [RelKind::Customer, RelKind::Peer, RelKind::Provider] {
+            let learned = cand(local_pref_for(rel), &[1], 1);
+            assert_eq!(compare_candidates(&local, &learned), Ordering::Greater);
+        }
+    }
+}

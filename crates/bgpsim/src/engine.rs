@@ -1,0 +1,967 @@
+//! The event-driven propagation engine: speakers, sessions, MRAI.
+
+use crate::decision::{compare_candidates, select_best, CandidateRoute};
+use crate::types::{BestRoute, Event, Msg, RouteChange, SimConfig};
+use artemis_bgp::{AsPath, Asn, Origin, Prefix};
+use artemis_simnet::{EventQueue, SimRng, SimTime};
+use artemis_topology::policy::export_allowed;
+use artemis_topology::{AsGraph, RelKind};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Per-neighbor outbound session state.
+#[derive(Debug, Clone)]
+struct SessionOut {
+    /// Neighbor's role relative to the owning speaker.
+    rel: RelKind,
+    /// No advertisement may leave before this instant.
+    mrai_until: SimTime,
+    /// Is an `MraiExpire` event outstanding for this session?
+    timer_armed: bool,
+    /// Whether this session rate-limits even first advertisements
+    /// (out-delay style batching).
+    mrai_on_first: bool,
+    /// Changes accumulated while rate-limited. `None` = withdraw.
+    pending: BTreeMap<Prefix, Option<(AsPath, Asn)>>,
+    /// What the neighbor currently believes we advertised.
+    advertised: BTreeMap<Prefix, (AsPath, Asn)>,
+}
+
+/// One BGP speaker (an AS).
+#[derive(Debug, Clone)]
+struct Speaker {
+    /// Role of each neighbor relative to this speaker.
+    peers: BTreeMap<Asn, RelKind>,
+    /// Learned candidates: prefix → neighbor → route.
+    adj_rib_in: BTreeMap<Prefix, BTreeMap<Asn, CandidateRoute>>,
+    /// Locally originated routes.
+    local: BTreeMap<Prefix, CandidateRoute>,
+    /// Selected best per prefix.
+    loc_rib: BTreeMap<Prefix, CandidateRoute>,
+    /// Outbound sessions.
+    out: BTreeMap<Asn, SessionOut>,
+}
+
+impl Speaker {
+    fn candidates(&self, prefix: Prefix) -> Vec<&CandidateRoute> {
+        let mut out: Vec<&CandidateRoute> = Vec::new();
+        if let Some(l) = self.local.get(&prefix) {
+            out.push(l);
+        }
+        if let Some(m) = self.adj_rib_in.get(&prefix) {
+            out.extend(m.values());
+        }
+        out
+    }
+}
+
+/// Counters exposed by [`Engine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// BGP messages put on the wire.
+    pub messages_sent: u64,
+    /// Messages destroyed by fault injection.
+    pub messages_dropped: u64,
+    /// Events processed so far.
+    pub events_processed: u64,
+}
+
+/// The BGP propagation engine over a topology.
+pub struct Engine {
+    queue: EventQueue<Event>,
+    speakers: BTreeMap<Asn, Speaker>,
+    graph: AsGraph,
+    config: SimConfig,
+    rng_delay: SimRng,
+    rng_fault: SimRng,
+    rng_mrai: SimRng,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Build an engine for `graph`. Deterministic in `(graph, config,
+    /// seed)`.
+    pub fn new(graph: AsGraph, config: SimConfig, seed: u64) -> Engine {
+        let master = SimRng::new(seed);
+        let mut rng_session = master.fork("bgpsim/session-setup");
+        let mut speakers = BTreeMap::new();
+        for asn in graph.ases() {
+            let peers: BTreeMap<Asn, RelKind> = graph.neighbors(asn).collect();
+            let out = peers
+                .iter()
+                .map(|(n, rel)| {
+                    let mrai_on_first = rng_session.chance(config.mrai_on_first);
+                    (
+                        *n,
+                        SessionOut {
+                            rel: *rel,
+                            mrai_until: SimTime::ZERO,
+                            timer_armed: false,
+                            mrai_on_first,
+                            pending: BTreeMap::new(),
+                            advertised: BTreeMap::new(),
+                        },
+                    )
+                })
+                .collect();
+            speakers.insert(
+                asn,
+                Speaker {
+                    peers,
+                    adj_rib_in: BTreeMap::new(),
+                    local: BTreeMap::new(),
+                    loc_rib: BTreeMap::new(),
+                    out,
+                },
+            );
+        }
+        Engine {
+            queue: EventQueue::new(),
+            speakers,
+            graph,
+            config,
+            rng_delay: master.fork("bgpsim/delay"),
+            rng_fault: master.fork("bgpsim/fault"),
+            rng_mrai: master.fork("bgpsim/mrai"),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Timestamp of the next pending event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The topology this engine runs on.
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// All ASNs.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.speakers.keys().copied()
+    }
+
+    /// Originate `prefix` from `asn` now.
+    pub fn announce(&mut self, asn: Asn, prefix: Prefix) {
+        self.announce_at(asn, prefix, self.now());
+    }
+
+    /// Originate `prefix` from `asn` at a future instant.
+    pub fn announce_at(&mut self, asn: Asn, prefix: Prefix, time: SimTime) {
+        assert!(self.speakers.contains_key(&asn), "unknown AS {asn}");
+        self.queue.schedule(
+            time,
+            Event::Originate {
+                asn,
+                prefix,
+                announce: true,
+                forged_path: None,
+            },
+        );
+    }
+
+    /// Originate `prefix` from `asn` with a *fabricated* AS_PATH — the
+    /// attacker primitive behind Type-1 (fake first-hop) and
+    /// forged-origin hijacks. The forged path is installed as the
+    /// attacker's local route; its exports prepend the attacker's own
+    /// ASN as usual, so the Internet sees `attacker, <forged…>`.
+    pub fn announce_forged_at(
+        &mut self,
+        asn: Asn,
+        prefix: Prefix,
+        forged_path: AsPath,
+        time: SimTime,
+    ) {
+        assert!(self.speakers.contains_key(&asn), "unknown AS {asn}");
+        self.queue.schedule(
+            time,
+            Event::Originate {
+                asn,
+                prefix,
+                announce: true,
+                forged_path: Some(forged_path),
+            },
+        );
+    }
+
+    /// Withdraw a local origination now.
+    pub fn withdraw(&mut self, asn: Asn, prefix: Prefix) {
+        self.withdraw_at(asn, prefix, self.now());
+    }
+
+    /// Withdraw a local origination at a future instant.
+    pub fn withdraw_at(&mut self, asn: Asn, prefix: Prefix, time: SimTime) {
+        assert!(self.speakers.contains_key(&asn), "unknown AS {asn}");
+        self.queue.schedule(
+            time,
+            Event::Originate {
+                asn,
+                prefix,
+                announce: false,
+                forged_path: None,
+            },
+        );
+    }
+
+    /// Process exactly one event. Returns `None` when the queue is
+    /// empty, otherwise the Loc-RIB changes that event caused (possibly
+    /// empty).
+    pub fn step(&mut self) -> Option<Vec<RouteChange>> {
+        let (time, event) = self.queue.pop()?;
+        self.stats.events_processed += 1;
+        let changes = match event {
+            Event::Originate {
+                asn,
+                prefix,
+                announce,
+                forged_path,
+            } => self.handle_originate(time, asn, prefix, announce, forged_path),
+            Event::Deliver { from, to, msg } => self.handle_deliver(time, from, to, msg),
+            Event::MraiExpire { from, to } => {
+                self.flush_session(from, to);
+                Vec::new()
+            }
+        };
+        Some(changes)
+    }
+
+    /// Run every event with `time <= horizon`; returns all changes.
+    pub fn run_until(&mut self, horizon: SimTime) -> Vec<RouteChange> {
+        let mut out = Vec::new();
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            if let Some(mut c) = self.step() {
+                out.append(&mut c);
+            }
+        }
+        out
+    }
+
+    /// Run until no events remain (or `max_events` processed, as a
+    /// runaway guard). Returns all changes.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> Vec<RouteChange> {
+        let mut out = Vec::new();
+        let mut processed = 0u64;
+        while processed < max_events {
+            match self.step() {
+                Some(mut c) => {
+                    out.append(&mut c);
+                    processed += 1;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The best route `asn` currently holds for exactly `prefix`.
+    pub fn best_route(&self, asn: Asn, prefix: Prefix) -> Option<BestRoute> {
+        let sp = self.speakers.get(&asn)?;
+        sp.loc_rib.get(&prefix).map(to_best_route)
+    }
+
+    /// Longest-prefix-match origin selection: which origin AS does
+    /// `asn` route traffic for `target` to? This is what "a vantage
+    /// point switched to the (il)legitimate AS" means in the paper —
+    /// after mitigation the /24s override the hijacked /23.
+    pub fn origin_of(&self, asn: Asn, target: Prefix) -> Option<Asn> {
+        let sp = self.speakers.get(&asn)?;
+        sp.loc_rib
+            .iter()
+            .filter(|(p, _)| p.contains(target))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, c)| c.origin_as)
+    }
+
+    /// Snapshot of an AS's Loc-RIB.
+    pub fn loc_rib(&self, asn: Asn) -> Vec<(Prefix, BestRoute)> {
+        self.speakers
+            .get(&asn)
+            .map(|sp| {
+                sp.loc_rib
+                    .iter()
+                    .map(|(p, c)| (*p, to_best_route(c)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// How many ASes currently select `origin` for `target` (LPM-aware).
+    pub fn count_ases_on_origin(&self, target: Prefix, origin: Asn) -> usize {
+        self.speakers
+            .keys()
+            .filter(|a| self.origin_of(**a, target) == Some(origin))
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_originate(
+        &mut self,
+        time: SimTime,
+        asn: Asn,
+        prefix: Prefix,
+        announce: bool,
+        forged_path: Option<AsPath>,
+    ) -> Vec<RouteChange> {
+        {
+            let sp = self.speakers.get_mut(&asn).expect("validated at schedule");
+            if announce {
+                let cand = match forged_path {
+                    None => CandidateRoute::local(asn),
+                    Some(path) => {
+                        let origin_as = path.origin().unwrap_or(asn);
+                        CandidateRoute {
+                            as_path: path,
+                            origin_as,
+                            ..CandidateRoute::local(asn)
+                        }
+                    }
+                };
+                sp.local.insert(prefix, cand);
+            } else {
+                sp.local.remove(&prefix);
+            }
+        }
+        self.rerun_decision(time, asn, prefix)
+    }
+
+    fn handle_deliver(
+        &mut self,
+        time: SimTime,
+        from: Asn,
+        to: Asn,
+        msg: Msg,
+    ) -> Vec<RouteChange> {
+        let prefix = msg.prefix();
+        {
+            let Some(sp) = self.speakers.get_mut(&to) else {
+                return Vec::new();
+            };
+            match msg {
+                Msg::Announce {
+                    prefix,
+                    path,
+                    origin_as,
+                } => {
+                    // RFC 4271 §9.1.2 loop prevention: reject paths
+                    // containing our own ASN. Treat as withdraw of any
+                    // previous route from this neighbor.
+                    if path.contains(to) {
+                        sp.adj_rib_in.entry(prefix).or_default().remove(&from);
+                    } else {
+                        let rel = match sp.peers.get(&from) {
+                            Some(rel) => *rel,
+                            None => return Vec::new(), // not a neighbor: drop
+                        };
+                        let cand = CandidateRoute {
+                            as_path: path,
+                            origin_as,
+                            origin: Origin::Igp,
+                            med: None,
+                            local_pref: artemis_topology::policy::local_pref_for(rel),
+                            neighbor: Some(from),
+                            learned_from: Some(rel),
+                        };
+                        sp.adj_rib_in.entry(prefix).or_default().insert(from, cand);
+                    }
+                }
+                Msg::Withdraw { prefix } => {
+                    if let Some(m) = sp.adj_rib_in.get_mut(&prefix) {
+                        m.remove(&from);
+                    }
+                }
+            }
+        }
+        self.rerun_decision(time, to, prefix)
+    }
+
+    /// Re-run the decision process for one prefix at one AS; on change,
+    /// update the Loc-RIB, emit a [`RouteChange`] and schedule exports.
+    fn rerun_decision(&mut self, time: SimTime, asn: Asn, prefix: Prefix) -> Vec<RouteChange> {
+        let (change, best) = {
+            let sp = self.speakers.get_mut(&asn).expect("speaker exists");
+            let best = select_best(sp.candidates(prefix).into_iter().collect::<Vec<_>>())
+                .cloned();
+            let old = sp.loc_rib.get(&prefix).cloned();
+            let same = match (&old, &best) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    a == b || compare_candidates(a, b) == Ordering::Equal && a.as_path == b.as_path
+                }
+                _ => false,
+            };
+            if same {
+                return Vec::new();
+            }
+            match &best {
+                Some(b) => {
+                    sp.loc_rib.insert(prefix, b.clone());
+                }
+                None => {
+                    sp.loc_rib.remove(&prefix);
+                }
+            }
+            (
+                RouteChange {
+                    time,
+                    asn,
+                    prefix,
+                    old: old.as_ref().map(to_best_route_cand),
+                    new: best.as_ref().map(to_best_route_cand),
+                },
+                best,
+            )
+        };
+        self.schedule_exports(asn, prefix, best.as_ref());
+        vec![change]
+    }
+
+    /// Plan what each session should now advertise for `prefix` and run
+    /// it through the MRAI machinery.
+    fn schedule_exports(&mut self, asn: Asn, prefix: Prefix, best: Option<&CandidateRoute>) {
+        let neighbor_list: Vec<Asn> = {
+            let sp = self.speakers.get(&asn).expect("speaker exists");
+            sp.out.keys().copied().collect()
+        };
+        for n in neighbor_list {
+            let offer: Option<(AsPath, Asn)> = {
+                let sp = self.speakers.get(&asn).expect("speaker exists");
+                let session = sp.out.get(&n).expect("session exists");
+                match best {
+                    Some(b) => {
+                        let learned_back = b.neighbor == Some(n);
+                        let allowed = export_allowed(b.learned_from, session.rel);
+                        let loops = b.as_path.contains(n);
+                        if learned_back || !allowed || loops {
+                            None
+                        } else {
+                            Some((b.as_path.prepend(asn), b.origin_as))
+                        }
+                    }
+                    None => None,
+                }
+            };
+            self.enqueue_session_change(asn, n, prefix, offer);
+        }
+    }
+
+    /// Record a change on session `from → to`, sending immediately when
+    /// MRAI permits, otherwise batching until the timer fires.
+    fn enqueue_session_change(
+        &mut self,
+        from: Asn,
+        to: Asn,
+        prefix: Prefix,
+        offer: Option<(AsPath, Asn)>,
+    ) {
+        let now = self.queue.now();
+        enum Action {
+            SendNow(Vec<(Prefix, Option<(AsPath, Asn)>)>),
+            ArmTimer(SimTime),
+            Nothing,
+        }
+        let action = {
+            let sp = self.speakers.get_mut(&from).expect("speaker exists");
+            let s = sp.out.get_mut(&to).expect("session exists");
+            // Offering what the peer already has is a no-op (dedup).
+            let current = s.advertised.get(&prefix);
+            let redundant = match (&offer, current) {
+                (Some(o), Some(c)) => o == c,
+                (None, None) => !s.pending.contains_key(&prefix),
+                _ => false,
+            };
+            if redundant && !s.pending.contains_key(&prefix) {
+                Action::Nothing
+            } else {
+                let first_advert = offer.is_some()
+                    && !s.advertised.contains_key(&prefix)
+                    && !s.pending.contains_key(&prefix);
+                s.pending.insert(prefix, offer);
+                if s.timer_armed {
+                    // A flush is already scheduled; ride along.
+                    Action::Nothing
+                } else if s.mrai_on_first {
+                    // Out-delay style session: every batch (even the
+                    // first advertisement) waits a jittered interval.
+                    let (j0, j1) = self.config.mrai_jitter;
+                    let jitter = j0 + (j1 - j0) * self.rng_mrai.unit();
+                    let wait_until = if now >= s.mrai_until {
+                        now + self.config.mrai * jitter
+                    } else {
+                        s.mrai_until
+                    };
+                    if wait_until <= now {
+                        let batch: Vec<_> =
+                            std::mem::take(&mut s.pending).into_iter().collect();
+                        Action::SendNow(batch)
+                    } else {
+                        s.timer_armed = true;
+                        Action::ArmTimer(wait_until)
+                    }
+                } else if now >= s.mrai_until || first_advert {
+                    // Classic MRAI: first advertisement of a new prefix
+                    // is never rate-limited; changes inside the window
+                    // batch until it closes.
+                    let batch: Vec<_> = std::mem::take(&mut s.pending).into_iter().collect();
+                    Action::SendNow(batch)
+                } else {
+                    s.timer_armed = true;
+                    Action::ArmTimer(s.mrai_until)
+                }
+            }
+        };
+        match action {
+            Action::Nothing => {}
+            Action::ArmTimer(at) => {
+                self.queue.schedule(at, Event::MraiExpire { from, to });
+            }
+            Action::SendNow(batch) => {
+                self.transmit_batch(from, to, batch);
+            }
+        }
+    }
+
+    /// Flush a session's pending changes (MRAI timer fired).
+    fn flush_session(&mut self, from: Asn, to: Asn) {
+        let batch: Vec<(Prefix, Option<(AsPath, Asn)>)> = {
+            let sp = self.speakers.get_mut(&from).expect("speaker exists");
+            let s = sp.out.get_mut(&to).expect("session exists");
+            s.timer_armed = false;
+            std::mem::take(&mut s.pending).into_iter().collect()
+        };
+        self.transmit_batch(from, to, batch);
+    }
+
+    /// Put a batch of per-prefix changes on the wire, updating the
+    /// session's advertised set and arming MRAI.
+    fn transmit_batch(
+        &mut self,
+        from: Asn,
+        to: Asn,
+        batch: Vec<(Prefix, Option<(AsPath, Asn)>)>,
+    ) {
+        let now = self.queue.now();
+        let mut to_send: Vec<Msg> = Vec::new();
+        {
+            let sp = self.speakers.get_mut(&from).expect("speaker exists");
+            let s = sp.out.get_mut(&to).expect("session exists");
+            for (prefix, offer) in batch {
+                match offer {
+                    Some((path, origin_as)) => {
+                        if s.advertised.get(&prefix) == Some(&(path.clone(), origin_as)) {
+                            continue;
+                        }
+                        s.advertised.insert(prefix, (path.clone(), origin_as));
+                        to_send.push(Msg::Announce {
+                            prefix,
+                            path,
+                            origin_as,
+                        });
+                    }
+                    None => {
+                        if s.advertised.remove(&prefix).is_some() {
+                            to_send.push(Msg::Withdraw { prefix });
+                        }
+                    }
+                }
+            }
+            if !to_send.is_empty() {
+                let (j0, j1) = self.config.mrai_jitter;
+                let jitter = j0 + (j1 - j0) * self.rng_mrai.unit();
+                s.mrai_until = now + self.config.mrai * jitter;
+            }
+        }
+        for msg in to_send {
+            self.stats.messages_sent += 1;
+            let fate = self.config.faults.apply(&mut self.rng_fault);
+            if fate.dropped() {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            for extra in fate.deliveries {
+                let delay = self.config.processing_delay.sample(&mut self.rng_delay)
+                    + self.config.link_delay.sample(&mut self.rng_delay)
+                    + extra;
+                self.queue.schedule(
+                    now + delay,
+                    Event::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn to_best_route(c: &CandidateRoute) -> BestRoute {
+    to_best_route_cand(c)
+}
+
+fn to_best_route_cand(c: &CandidateRoute) -> BestRoute {
+    BestRoute {
+        as_path: c.as_path.clone(),
+        origin_as: c.origin_as,
+        neighbor: c.neighbor,
+        learned_from: c.learned_from,
+        local_pref: c.local_pref,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_simnet::SimDuration;
+    use artemis_topology::{generate, TopologyConfig};
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    /// The reference topology from `artemis_topology::path::tests`.
+    fn reference() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_peering(Asn(1), Asn(2)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(3)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(4)).unwrap();
+        g.add_provider_customer(Asn(2), Asn(5)).unwrap();
+        g.add_provider_customer(Asn(3), Asn(6)).unwrap();
+        g.add_provider_customer(Asn(4), Asn(7)).unwrap();
+        g.add_provider_customer(Asn(5), Asn(8)).unwrap();
+        g.add_peering(Asn(7), Asn(8)).unwrap();
+        g
+    }
+
+    fn quiesce(engine: &mut Engine) -> Vec<RouteChange> {
+        engine.run_to_quiescence(1_000_000)
+    }
+
+    #[test]
+    fn single_announcement_reaches_everyone() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        for asn in [1u32, 2, 3, 4, 5, 6, 7, 8] {
+            let best = e.best_route(Asn(asn), pfx("10.0.0.0/23"));
+            assert!(best.is_some(), "AS{asn} missing route");
+            assert_eq!(best.unwrap().origin_as, Asn(6), "AS{asn} wrong origin");
+        }
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        for asn in e.ases().collect::<Vec<_>>() {
+            if let Some(best) = e.best_route(asn, pfx("10.0.0.0/23")) {
+                // full path from this AS's perspective: itself + stored path
+                let mut full = vec![asn];
+                full.extend(best.as_path.iter());
+                assert!(
+                    artemis_topology::path::is_valley_free(e.graph(), &full),
+                    "AS{asn} path {:?} has a valley",
+                    full
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer_and_provider() {
+        // AS1 hears 10.0.0.0/23 from its customer 3 (via 6) and would
+        // also hear it via peer 2 if 2 had it — construct a MOAS-free
+        // check: AS1's best must be learned from customer 3.
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        let best = e.best_route(Asn(1), pfx("10.0.0.0/23")).unwrap();
+        assert_eq!(best.neighbor, Some(Asn(3)));
+        assert_eq!(best.learned_from, Some(RelKind::Customer));
+    }
+
+    #[test]
+    fn withdraw_removes_route_everywhere() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        e.withdraw(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        for asn in e.ases().collect::<Vec<_>>() {
+            assert!(
+                e.best_route(asn, pfx("10.0.0.0/23")).is_none(),
+                "AS{asn} still has the route"
+            );
+        }
+    }
+
+    #[test]
+    fn moas_conflict_splits_internet() {
+        // Both 6 and 8 originate the same prefix: every AS picks one of
+        // the two origins, nobody is routeless.
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        e.announce(Asn(8), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        let on6 = e.count_ases_on_origin(pfx("10.0.0.0/23"), Asn(6));
+        let on8 = e.count_ases_on_origin(pfx("10.0.0.0/23"), Asn(8));
+        assert_eq!(on6 + on8, 8);
+        assert!(on6 >= 1, "legitimate origin lost everywhere");
+        assert!(on8 >= 2, "hijacker won nowhere besides itself");
+    }
+
+    #[test]
+    fn more_specific_wins_lpm() {
+        // 8 hijacks the /23; 6 announces the two /24s. Everyone must
+        // route 10.0.0.0/24 traffic to 6 afterwards.
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        e.announce(Asn(8), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        e.announce(Asn(6), pfx("10.0.0.0/24"));
+        e.announce(Asn(6), pfx("10.0.1.0/24"));
+        quiesce(&mut e);
+        for asn in e.ases().collect::<Vec<_>>() {
+            assert_eq!(
+                e.origin_of(asn, pfx("10.0.0.0/24")),
+                Some(Asn(6)),
+                "AS{asn} not recovered on low half"
+            );
+            assert_eq!(
+                e.origin_of(asn, pfx("10.0.1.0/24")),
+                Some(Asn(6)),
+                "AS{asn} not recovered on high half"
+            );
+        }
+    }
+
+    #[test]
+    fn local_origination_beats_learned_hijack() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        e.announce(Asn(8), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        // The victim itself must keep its own route.
+        assert_eq!(
+            e.best_route(Asn(6), pfx("10.0.0.0/23")).unwrap().origin_as,
+            Asn(6)
+        );
+        assert_eq!(
+            e.best_route(Asn(8), pfx("10.0.0.0/23")).unwrap().origin_as,
+            Asn(8)
+        );
+    }
+
+    #[test]
+    fn no_export_to_provider_of_peer_routes() {
+        // AS7 learns 8's routes over the 7–8 peering. 7 must not give
+        // its provider 4 that route (valley-free).
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(8), pfx("198.51.100.0/24"));
+        quiesce(&mut e);
+        let best4 = e.best_route(Asn(4), pfx("198.51.100.0/24")).unwrap();
+        // 4's route must go via tier-1 (1), not via its customer 7.
+        assert_eq!(best4.neighbor, Some(Asn(1)));
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed: u64| {
+            let mut e = Engine::new(reference(), SimConfig::default(), seed);
+            e.announce(Asn(6), pfx("10.0.0.0/23"));
+            let changes = quiesce(&mut e);
+            (
+                changes
+                    .iter()
+                    .map(|c| (c.time, c.asn, c.prefix, c.new_origin()))
+                    .collect::<Vec<_>>(),
+                e.stats(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        let (trace_a, _) = run(7);
+        let (trace_b, _) = run(8);
+        assert_ne!(trace_a, trace_b, "different seeds should shift timings");
+    }
+
+    #[test]
+    fn mrai_rate_limits_but_converges() {
+        let cfg = SimConfig {
+            mrai: SimDuration::from_secs(30),
+            mrai_on_first: 1.0, // worst case: everything batched
+            ..SimConfig::default()
+        };
+        let mut e = Engine::new(reference(), cfg, 3);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        quiesce(&mut e);
+        // Converged despite rate limiting…
+        for asn in e.ases().collect::<Vec<_>>() {
+            assert!(e.best_route(asn, pfx("10.0.0.0/23")).is_some());
+        }
+        // …and it took multiple MRAI rounds of virtual time.
+        assert!(
+            e.now() >= SimTime::from_secs(20),
+            "convergence unrealistically fast: {}",
+            e.now()
+        );
+    }
+
+    #[test]
+    fn faults_slow_but_do_not_wedge_quiescence() {
+        let cfg = SimConfig {
+            faults: artemis_simnet::FaultInjector::dropper(0.5),
+            ..SimConfig::instantaneous()
+        };
+        let mut e = Engine::new(reference(), cfg, 5);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        let changes = quiesce(&mut e);
+        assert!(!changes.is_empty());
+        assert!(e.stats().messages_dropped > 0);
+        // The origin AS itself always has its route.
+        assert!(e.best_route(Asn(6), pfx("10.0.0.0/23")).is_some());
+    }
+
+    #[test]
+    fn medium_topology_full_propagation() {
+        let mut rng = SimRng::new(11);
+        let t = generate(&TopologyConfig::tiny(), &mut rng);
+        let victim = t.stubs[0];
+        let mut e = Engine::new(t.graph.clone(), SimConfig::default(), 11);
+        e.announce(victim, pfx("203.0.113.0/24"));
+        quiesce(&mut e);
+        let holders = e
+            .ases()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter(|a| e.best_route(*a, pfx("203.0.113.0/24")).is_some())
+            .count();
+        assert_eq!(holders, t.graph.as_count(), "full visibility expected");
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e = Engine::new(reference(), SimConfig::default(), 2);
+        e.announce_at(Asn(6), pfx("10.0.0.0/23"), SimTime::from_secs(10));
+        let early = e.run_until(SimTime::from_secs(5));
+        assert!(early.is_empty());
+        assert_eq!(e.pending_events(), 1);
+        let later = e.run_until(SimTime::from_secs(3_600));
+        assert!(!later.is_empty());
+    }
+
+    #[test]
+    fn route_changes_report_old_and_new() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        e.announce(Asn(6), pfx("10.0.0.0/23"));
+        let changes = quiesce(&mut e);
+        let first_at_6 = changes
+            .iter()
+            .find(|c| c.asn == Asn(6))
+            .expect("origin change recorded");
+        assert!(first_at_6.old.is_none());
+        assert_eq!(first_at_6.new_origin(), Some(Asn(6)));
+        // Someone's change must carry a non-empty AS path.
+        assert!(changes
+            .iter()
+            .any(|c| c.new.as_ref().is_some_and(|b| !b.as_path.is_empty())));
+    }
+
+    #[test]
+    fn announce_to_unknown_as_panics() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.announce(Asn(999), pfx("10.0.0.0/23"));
+        }));
+        assert!(result.is_err());
+    }
+}
+
+#[cfg(test)]
+mod forged_tests {
+    use super::*;
+    use crate::types::SimConfig;
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    fn reference() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_peering(Asn(1), Asn(2)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(3)).unwrap();
+        g.add_provider_customer(Asn(1), Asn(4)).unwrap();
+        g.add_provider_customer(Asn(2), Asn(5)).unwrap();
+        g.add_provider_customer(Asn(3), Asn(6)).unwrap();
+        g.add_provider_customer(Asn(4), Asn(7)).unwrap();
+        g.add_provider_customer(Asn(5), Asn(8)).unwrap();
+        g.add_peering(Asn(7), Asn(8)).unwrap();
+        g
+    }
+
+    #[test]
+    fn forged_origin_spreads_with_victims_asn() {
+        // AS8 forges a path claiming adjacency to victim AS6.
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        let p = pfx("10.0.0.0/24");
+        e.announce_forged_at(Asn(8), p, AsPath::from_sequence([6u32]), SimTime::ZERO);
+        e.run_to_quiescence(100_000);
+        // Some other AS sees the route with origin 6 but via neighbor path through 8.
+        let best5 = e.best_route(Asn(5), p).expect("5 hears its customer 8");
+        assert_eq!(best5.origin_as, Asn(6), "forged origin visible");
+        assert!(best5.as_path.contains(Asn(8)), "attacker on path");
+        assert_eq!(best5.as_path.origin_neighbor(), Some(Asn(8)), "fake adjacency 8->6");
+    }
+
+    #[test]
+    fn forged_path_with_real_victim_on_it_is_loop_rejected_by_victim() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        let p = pfx("10.0.0.0/24");
+        e.announce(Asn(6), p);
+        e.run_to_quiescence(100_000);
+        e.announce_forged_at(Asn(8), p, AsPath::from_sequence([6u32]), SimTime::ZERO);
+        e.run_to_quiescence(100_000);
+        // The victim never accepts the forged route (its own ASN is on
+        // the path -> loop prevention) and keeps its local route.
+        let best6 = e.best_route(Asn(6), p).unwrap();
+        assert_eq!(best6.neighbor, None, "victim keeps the local route");
+    }
+
+    #[test]
+    fn withdraw_clears_forged_origination_too() {
+        let mut e = Engine::new(reference(), SimConfig::instantaneous(), 1);
+        let p = pfx("10.0.0.0/24");
+        e.announce_forged_at(Asn(8), p, AsPath::from_sequence([6u32]), SimTime::ZERO);
+        e.run_to_quiescence(100_000);
+        e.withdraw(Asn(8), p);
+        e.run_to_quiescence(100_000);
+        for asn in e.ases().collect::<Vec<_>>() {
+            assert!(e.best_route(asn, p).is_none());
+        }
+    }
+}

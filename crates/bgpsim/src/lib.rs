@@ -1,0 +1,34 @@
+//! # artemis-bgpsim — event-driven BGP propagation simulator
+//!
+//! The Internet substrate of the ARTEMIS reproduction: every AS of an
+//! [`artemis_topology::AsGraph`] runs a BGP speaker with Adj-RIB-In,
+//! Loc-RIB and per-session Adj-RIB-Out, the full RFC 4271 decision
+//! process (LOCAL_PREF from Gao–Rexford relationships, path length,
+//! origin code, MED, deterministic tie-breaks), valley-free export
+//! filtering, per-session MRAI rate-limiting with jitter, and
+//! link/processing latency models.
+//!
+//! The engine runs on virtual time ([`artemis_simnet`]) and is fully
+//! deterministic per seed. Everything the paper measures — how fast a
+//! hijack reaches vantage points, how fast de-aggregated /24s win the
+//! Internet back — emerges from this propagation behaviour.
+//!
+//! Entry points:
+//! * [`Engine::new`] — build speakers for a topology.
+//! * [`Engine::announce`] / [`Engine::withdraw`] — originate prefixes.
+//! * [`Engine::step`] / [`Engine::run_until`] /
+//!   [`Engine::run_to_quiescence`] — drive the event loop; every call
+//!   reports [`RouteChange`]s (Loc-RIB deltas) for feeds to observe.
+//! * [`Engine::origin_of`] / [`Engine::best_route`] — inspect routing
+//!   state (longest-prefix-match aware).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decision;
+pub mod engine;
+pub mod types;
+
+pub use decision::{compare_candidates, CandidateRoute};
+pub use engine::Engine;
+pub use types::{BestRoute, RouteChange, SimConfig};

@@ -1,0 +1,170 @@
+//! Property-based invariants of the propagation engine: whatever the
+//! topology and seed, the converged Internet must obey BGP's rules.
+
+use artemis_bgp::Prefix;
+use artemis_bgpsim::{Engine, SimConfig};
+use artemis_simnet::SimRng;
+use artemis_topology::path::is_valley_free;
+use artemis_topology::{generate, TopologyConfig};
+use proptest::prelude::*;
+use std::str::FromStr;
+
+fn pfx(s: &str) -> Prefix {
+    Prefix::from_str(s).unwrap()
+}
+
+fn small_topology(seed: u64) -> artemis_topology::GeneratedTopology {
+    let mut rng = SimRng::new(seed);
+    generate(&TopologyConfig::tiny(), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every converged best path is valley-free and loop-free, and the
+    /// announcement reaches every AS (transit hierarchy is complete).
+    #[test]
+    fn converged_paths_are_policy_compliant(seed in 0u64..1_000) {
+        let topo = small_topology(seed);
+        let victim = topo.stubs[(seed as usize) % topo.stubs.len()];
+        let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
+        let prefix = pfx("10.0.0.0/23");
+        engine.announce(victim, prefix);
+        engine.run_to_quiescence(5_000_000);
+
+        let mut holders = 0usize;
+        for asn in engine.ases().collect::<Vec<_>>() {
+            if let Some(best) = engine.best_route(asn, prefix) {
+                holders += 1;
+                let mut full = vec![asn];
+                full.extend(best.as_path.iter());
+                prop_assert!(
+                    is_valley_free(engine.graph(), &full),
+                    "valley in path {:?} at {}", full, asn
+                );
+                // Loop freedom: no AS appears twice.
+                let mut uniq = full.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), full.len(), "loop in {:?}", full);
+                // Origin correctness.
+                prop_assert_eq!(best.origin_as, victim);
+            }
+        }
+        prop_assert_eq!(holders, topo.graph.as_count(), "full visibility expected");
+    }
+
+    /// MOAS conflicts partition the Internet: every AS routes to
+    /// exactly one of the two origins, and both keep their own route.
+    #[test]
+    fn moas_partitions_the_internet(seed in 0u64..1_000) {
+        let topo = small_topology(seed);
+        let a = topo.stubs[0];
+        let b = *topo.stubs.last().unwrap();
+        prop_assume!(a != b);
+        let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
+        let prefix = pfx("203.0.113.0/24");
+        engine.announce(a, prefix);
+        engine.announce(b, prefix);
+        engine.run_to_quiescence(5_000_000);
+
+        let mut on_a = 0usize;
+        let mut on_b = 0usize;
+        for asn in engine.ases().collect::<Vec<_>>() {
+            match engine.best_route(asn, prefix).map(|r| r.origin_as) {
+                Some(o) if o == a => on_a += 1,
+                Some(o) if o == b => on_b += 1,
+                other => prop_assert!(false, "AS{asn} has origin {other:?}"),
+            }
+        }
+        prop_assert_eq!(on_a + on_b, topo.graph.as_count());
+        prop_assert!(on_a >= 1 && on_b >= 1);
+        prop_assert_eq!(engine.best_route(a, prefix).unwrap().origin_as, a);
+        prop_assert_eq!(engine.best_route(b, prefix).unwrap().origin_as, b);
+    }
+
+    /// Announce then withdraw leaves no residue anywhere.
+    #[test]
+    fn withdraw_cleans_up_globally(seed in 0u64..1_000) {
+        let topo = small_topology(seed);
+        let origin = topo.stubs[(seed as usize) % topo.stubs.len()];
+        let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
+        let prefix = pfx("198.51.100.0/24");
+        engine.announce(origin, prefix);
+        engine.run_to_quiescence(5_000_000);
+        engine.withdraw(origin, prefix);
+        engine.run_to_quiescence(5_000_000);
+        for asn in engine.ases().collect::<Vec<_>>() {
+            prop_assert!(engine.best_route(asn, prefix).is_none(), "residue at {asn}");
+        }
+    }
+
+    /// De-aggregated /24s override the /23 at *every* AS, regardless of
+    /// topology or timing — the guarantee ARTEMIS mitigation rests on.
+    #[test]
+    fn more_specifics_always_win(seed in 0u64..1_000) {
+        let topo = small_topology(seed);
+        let victim = topo.stubs[0];
+        let attacker = *topo.stubs.last().unwrap();
+        prop_assume!(victim != attacker);
+        let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
+        let p23 = pfx("10.0.0.0/23");
+        engine.announce(victim, p23);
+        engine.run_to_quiescence(5_000_000);
+        engine.announce(attacker, p23);
+        engine.run_to_quiescence(5_000_000);
+        let (lo, hi) = p23.split().unwrap();
+        engine.announce(victim, lo);
+        engine.announce(victim, hi);
+        engine.run_to_quiescence(5_000_000);
+        for asn in engine.ases().collect::<Vec<_>>() {
+            prop_assert_eq!(engine.origin_of(asn, lo), Some(victim), "low half at {}", asn);
+            prop_assert_eq!(engine.origin_of(asn, hi), Some(victim), "high half at {}", asn);
+        }
+    }
+
+    /// Identical seeds give byte-identical change traces (determinism
+    /// under the full config, not just the instantaneous one).
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..500) {
+        let run = || {
+            let topo = small_topology(seed);
+            let origin = topo.stubs[0];
+            let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
+            engine.announce(origin, pfx("10.0.0.0/23"));
+            engine
+                .run_to_quiescence(5_000_000)
+                .into_iter()
+                .map(|c| (c.time, c.asn, c.new.map(|b| b.origin_as)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Message loss only delays convergence of *those who heard*; it never
+/// produces invalid state (non-property smoke over several seeds).
+#[test]
+fn lossy_links_never_create_invalid_paths() {
+    for seed in [3u64, 17, 99] {
+        let topo = small_topology(seed);
+        let origin = topo.stubs[0];
+        let config = SimConfig {
+            faults: artemis_simnet::FaultInjector::dropper(0.3),
+            ..SimConfig::default()
+        };
+        let mut engine = Engine::new(topo.graph.clone(), config, seed);
+        engine.announce(origin, pfx("10.0.0.0/23"));
+        engine.run_to_quiescence(5_000_000);
+        for asn in engine.ases().collect::<Vec<_>>() {
+            if let Some(best) = engine.best_route(asn, pfx("10.0.0.0/23")) {
+                let mut full = vec![asn];
+                full.extend(best.as_path.iter());
+                assert!(
+                    is_valley_free(engine.graph(), &full),
+                    "seed {seed}: valley in {full:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! [`ArtemisApp`]: the three services wired together (paper Fig. 1).
+
+use crate::alert::AlertId;
+use crate::config::ArtemisConfig;
+use crate::detector::{Detection, Detector};
+use crate::mitigation::{MitigationPlan, Mitigator};
+use crate::monitor::MonitorService;
+use artemis_bgp::Prefix;
+use artemis_controller::Controller;
+use artemis_feeds::FeedEvent;
+use artemis_simnet::SimTime;
+use std::collections::BTreeSet;
+
+/// Things the app decided to do in response to an event; the driver
+/// (experiment harness or a real deployment shim) applies them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppAction {
+    /// A new alert was raised.
+    AlertRaised(AlertId),
+    /// Mitigation intents were submitted to the controller for `alert`.
+    MitigationTriggered {
+        /// The alert being mitigated.
+        alert: AlertId,
+        /// The executed plan.
+        plan: MitigationPlan,
+        /// When the trigger happened.
+        at: SimTime,
+    },
+    /// The monitoring service reports every vantage point back on a
+    /// legitimate origin — the incident is over.
+    Resolved {
+        /// The resolved alert.
+        alert: AlertId,
+        /// Resolution instant.
+        at: SimTime,
+    },
+}
+
+/// The assembled ARTEMIS application: detection + mitigation +
+/// monitoring around one operator configuration and one controller.
+pub struct ArtemisApp {
+    detector: Detector,
+    mitigator: Mitigator,
+    /// One monitor per owned prefix under attack (created lazily).
+    monitors: Vec<(AlertId, MonitorService)>,
+    /// Vantage population handed to new monitors.
+    vantage_points: BTreeSet<artemis_bgp::Asn>,
+    config: ArtemisConfig,
+    auto_mitigate: bool,
+    mitigated: BTreeSet<AlertId>,
+}
+
+impl ArtemisApp {
+    /// Assemble the app.
+    pub fn new(config: ArtemisConfig, vantage_points: BTreeSet<artemis_bgp::Asn>) -> Self {
+        ArtemisApp {
+            detector: Detector::new(config.clone()),
+            mitigator: Mitigator::new(config.clone()),
+            monitors: Vec::new(),
+            vantage_points,
+            auto_mitigate: config.auto_mitigate,
+            config,
+            mitigated: BTreeSet::new(),
+        }
+    }
+
+    /// Read access to the detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Read access to the mitigation history.
+    pub fn mitigator(&self) -> &Mitigator {
+        &self.mitigator
+    }
+
+    /// The monitor attached to an alert, if any.
+    pub fn monitor_for(&self, alert: AlertId) -> Option<&MonitorService> {
+        self.monitors
+            .iter()
+            .find(|(id, _)| *id == alert)
+            .map(|(_, m)| m)
+    }
+
+    /// Tell the detector that a prefix announcement of ours is
+    /// expected (used by the experiment during Phase 1).
+    pub fn expect_announcement(&mut self, prefix: Prefix) {
+        self.detector.expect_announcement(prefix);
+    }
+
+    /// Feed one monitoring event through the whole pipeline.
+    ///
+    /// `controller` (and optional helpers) receive mitigation intents
+    /// when a new alert fires and `auto_mitigate` is on.
+    pub fn handle_event(
+        &mut self,
+        event: &FeedEvent,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+    ) -> Vec<AppAction> {
+        let mut actions = Vec::new();
+
+        // 1. Detection.
+        let detection = self.detector.process(event);
+
+        if let Detection::NewAlert(id) = detection {
+            actions.push(AppAction::AlertRaised(id));
+
+            // 2. Spin up a monitor scoped to the attacked prefix.
+            let alert = self.detector.alerts().get(id).expect("just created");
+            let owned = self
+                .config
+                .owned
+                .iter()
+                .find(|o| o.prefix == alert.owned_prefix)
+                .expect("alert references configured prefix");
+            let monitor = MonitorService::new(
+                alert.owned_prefix,
+                owned.legitimate_origins.clone(),
+                self.vantage_points.clone(),
+            );
+            self.monitors.push((id, monitor));
+
+            // 3. Automatic mitigation.
+            if self.auto_mitigate && !self.mitigated.contains(&id) {
+                let plan = self.mitigator.plan(alert);
+                let at = event.emitted_at;
+                for p in &plan.announce {
+                    self.detector.expect_announcement(*p);
+                }
+                self.mitigator
+                    .execute(&plan, at, controller, helper_controllers);
+                self.detector.alerts_mut().mark_mitigating(id, at);
+                self.mitigated.insert(id);
+                actions.push(AppAction::MitigationTriggered { alert: id, plan, at });
+            }
+        }
+
+        // 4. Monitoring: every event updates every active monitor; on
+        // full recovery, resolve the alert.
+        let mut resolved: Vec<AlertId> = Vec::new();
+        for (id, monitor) in &mut self.monitors {
+            monitor.ingest(event);
+            let alert_state = self
+                .detector
+                .alerts()
+                .get(*id)
+                .map(|a| a.state)
+                .expect("monitored alert exists");
+            if alert_state != crate::alert::AlertState::Resolved
+                && self.mitigated.contains(id)
+                && monitor.all_legitimate()
+            {
+                resolved.push(*id);
+            }
+        }
+        for id in resolved {
+            self.detector.alerts_mut().mark_resolved(id, event.emitted_at);
+            actions.push(AppAction::Resolved {
+                alert: id,
+                at: event.emitted_at,
+            });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OwnedPrefix;
+    use artemis_bgp::{AsPath, Asn};
+    use artemis_feeds::FeedKind;
+    use artemis_simnet::{LatencyModel, SimRng};
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    fn app() -> ArtemisApp {
+        let config = ArtemisConfig::new(
+            Asn(65001),
+            vec![OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))],
+        );
+        ArtemisApp::new(
+            config,
+            [Asn(174), Asn(3356)].into_iter().collect(),
+        )
+    }
+
+    fn controller() -> Controller {
+        Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1))
+    }
+
+    fn event(vp: u32, prefix: &str, path: &[u32], t: u64) -> FeedEvent {
+        let as_path = AsPath::from_sequence(path.iter().copied());
+        let origin = as_path.origin();
+        FeedEvent {
+            emitted_at: SimTime::from_secs(t),
+            observed_at: SimTime::from_secs(t.saturating_sub(5)),
+            source: FeedKind::RisLive,
+            collector: "rrc00".into(),
+            vantage: Asn(vp),
+            prefix: pfx(prefix),
+            as_path: Some(as_path),
+            origin_as: origin,
+            raw: None,
+        }
+    }
+
+    #[test]
+    fn full_cycle_detect_mitigate_resolve() {
+        let mut app = app();
+        let mut ctrl = controller();
+
+        // Phase 1: legit announcement observed — benign.
+        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 65001], 10), &mut ctrl, &mut []);
+        assert!(acts.is_empty());
+
+        // Phase 2: hijack detected at t=45 → alert + auto mitigation.
+        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        assert_eq!(acts.len(), 2);
+        let AppAction::AlertRaised(alert_id) = acts[0] else {
+            panic!("expected alert first, got {acts:?}");
+        };
+        match &acts[1] {
+            AppAction::MitigationTriggered { plan, at, .. } => {
+                assert_eq!(plan.announce, vec![pfx("10.0.0.0/24"), pfx("10.0.1.0/24")]);
+                assert_eq!(*at, SimTime::from_secs(45));
+            }
+            other => panic!("expected mitigation, got {other:?}"),
+        }
+        assert_eq!(ctrl.intents().count(), 2, "intents submitted to controller");
+
+        // Phase 3: the /24s propagate; VPs flip back. 3356 was also
+        // hijacked, then recovers.
+        app.handle_event(&event(3356, "10.0.0.0/23", &[3356, 666], 50), &mut ctrl, &mut []);
+        app.handle_event(
+            &event(174, "10.0.0.0/24", &[174, 65001], 120),
+            &mut ctrl,
+            &mut [],
+        );
+        app.handle_event(
+            &event(174, "10.0.1.0/24", &[174, 65001], 121),
+            &mut ctrl,
+            &mut [],
+        );
+        // 3356 still hijacked → not resolved yet.
+        assert!(app.monitor_for(alert_id).unwrap().any_hijacked());
+        let acts = app.handle_event(
+            &event(3356, "10.0.0.0/24", &[3356, 65001], 300),
+            &mut ctrl,
+            &mut [],
+        );
+        let resolved = acts
+            .iter()
+            .find_map(|a| match a {
+                AppAction::Resolved { alert, at } => Some((*alert, *at)),
+                _ => None,
+            })
+            .expect("incident resolves once every VP is clean");
+        assert_eq!(resolved.0, alert_id);
+        assert_eq!(resolved.1, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn mitigation_announcements_do_not_self_alert() {
+        let mut app = app();
+        let mut ctrl = controller();
+        app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        // Our own /24s observed in the wild must not raise alerts.
+        let acts = app.handle_event(
+            &event(174, "10.0.0.0/24", &[174, 65001], 90),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, AppAction::AlertRaised(_))));
+        assert_eq!(app.detector().alerts().all().len(), 1);
+    }
+
+    #[test]
+    fn auto_mitigate_off_only_alerts() {
+        let mut config = ArtemisConfig::new(
+            Asn(65001),
+            vec![OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))],
+        );
+        config.auto_mitigate = false;
+        let mut app = ArtemisApp::new(config, [Asn(174)].into_iter().collect());
+        let mut ctrl = controller();
+        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(acts[0], AppAction::AlertRaised(_)));
+        assert_eq!(ctrl.intents().count(), 0);
+    }
+
+    #[test]
+    fn second_hijacker_gets_its_own_alert_and_mitigation_once() {
+        let mut app = app();
+        let mut ctrl = controller();
+        app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        let n_after_first = ctrl.intents().count();
+        // Same hijack seen elsewhere: no new intents.
+        app.handle_event(&event(3356, "10.0.0.0/23", &[3356, 666], 50), &mut ctrl, &mut []);
+        assert_eq!(ctrl.intents().count(), n_after_first);
+        // Different offending origin: new alert, new mitigation.
+        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 667], 60), &mut ctrl, &mut []);
+        assert!(acts.iter().any(|a| matches!(a, AppAction::AlertRaised(_))));
+        assert!(ctrl.intents().count() > n_after_first);
+    }
+}

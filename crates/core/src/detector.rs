@@ -1,0 +1,439 @@
+//! The streaming detection service.
+//!
+//! "The detection service runs continuously and combines control plane
+//! information from Periscope, the streaming service of RIPE RIS, and
+//! BGPmon […] By combining multiple sources, the delay of the
+//! detection phase is the min of the delays of these sources." (§2)
+//!
+//! The detector is a pure stream processor: it consumes
+//! [`FeedEvent`]s in emission order and raises/updates [`Alert`]s. It
+//! never talks to the network itself — that separation is what makes
+//! it equally usable against simulated feeds (here) or the real
+//! services (a deployment).
+
+use crate::alert::{AlertId, AlertStore};
+use crate::classify::HijackType;
+use crate::config::ArtemisConfig;
+use artemis_bgp::{Asn, Prefix, PrefixTrie};
+use artemis_feeds::FeedEvent;
+use artemis_simnet::SimTime;
+use std::collections::BTreeSet;
+
+/// Outcome of feeding one event to the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Detection {
+    /// Event was benign (or irrelevant to our prefixes).
+    Benign,
+    /// A *new* incident was detected.
+    NewAlert(AlertId),
+    /// An existing incident gained a witness.
+    UpdatedAlert(AlertId),
+}
+
+/// The ARTEMIS detection service.
+pub struct Detector {
+    config: ArtemisConfig,
+    owned: PrefixTrie<usize>, // index into config.owned
+    store: AlertStore,
+    /// Prefixes we ourselves currently announce (so that our own
+    /// de-aggregated /24s — or planned anycast — are not self-flagged).
+    expected_announcements: BTreeSet<Prefix>,
+    /// Optional RPKI table for alert annotation (extension).
+    roa: Option<crate::roa::RoaTable>,
+    events_processed: u64,
+}
+
+impl Detector {
+    /// Build from the operator's configuration. Every owned,
+    /// non-dormant prefix is initially expected to be announced.
+    pub fn new(config: ArtemisConfig) -> Self {
+        let mut owned = PrefixTrie::new();
+        let mut expected = BTreeSet::new();
+        for (i, o) in config.owned.iter().enumerate() {
+            owned.insert(o.prefix, i);
+            if !o.dormant {
+                expected.insert(o.prefix);
+            }
+        }
+        Detector {
+            config,
+            owned,
+            store: AlertStore::new(),
+            expected_announcements: expected,
+            roa: None,
+            events_processed: 0,
+        }
+    }
+
+    /// Load an RPKI ROA table; subsequent alerts carry a validity
+    /// verdict for the offending announcement.
+    pub fn set_roa_table(&mut self, roa: crate::roa::RoaTable) {
+        self.roa = Some(roa);
+    }
+
+    /// Register a prefix we are about to announce ourselves (e.g. the
+    /// mitigation /24s) so the detector does not flag it.
+    pub fn expect_announcement(&mut self, prefix: Prefix) {
+        self.expected_announcements.insert(prefix);
+    }
+
+    /// Remove an expectation (after mitigation withdrawal).
+    pub fn unexpect_announcement(&mut self, prefix: Prefix) {
+        self.expected_announcements.remove(&prefix);
+    }
+
+    /// Total events processed (throughput accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The alert store (read access).
+    pub fn alerts(&self) -> &AlertStore {
+        &self.store
+    }
+
+    /// Mutable alert store (lifecycle transitions by the app).
+    pub fn alerts_mut(&mut self) -> &mut AlertStore {
+        &mut self.store
+    }
+
+    /// Process one monitoring event.
+    pub fn process(&mut self, event: &FeedEvent) -> Detection {
+        self.events_processed += 1;
+
+        // Withdrawals never *raise* alerts (resolution is judged by the
+        // monitoring service, which tracks per-VP state).
+        let Some(as_path) = &event.as_path else {
+            return Detection::Benign;
+        };
+
+        // Which owned prefix does this announcement touch?
+        // `covering` finds owned prefixes that contain the observed one
+        // (exact and sub-prefix cases).
+        let covering = self.owned.covering(event.prefix);
+        let owned_idx = match covering.last() {
+            Some((_, idx)) => **idx,
+            None => return Detection::Benign, // not our address space
+        };
+        let owned = &self.config.owned[owned_idx];
+
+        // The origin as seen by the vantage point. The path includes
+        // the vantage AS at the front; the origin is at the end.
+        let observed_origin = event.origin_as.or_else(|| as_path.origin());
+
+        let exact = event.prefix == owned.prefix;
+        let legit_origin = observed_origin
+            .map(|o| owned.legitimate_origins.contains(&o))
+            .unwrap_or(false);
+
+        let hijack_type = if owned.dormant {
+            Some(HijackType::Squatting)
+        } else if exact {
+            if !legit_origin {
+                Some(HijackType::ExactOrigin)
+            } else if !owned.known_neighbors.is_empty() {
+                // Type-1 check: the hop adjacent to the origin must be
+                // a known neighbor. Skip when the vantage point *is*
+                // the origin (path "VP" with VP == origin: no adjacency
+                // to judge).
+                match as_path.origin_neighbor() {
+                    Some(adj)
+                        if !owned.known_neighbors.contains(&adj)
+                            && Some(adj) != observed_origin
+                            && !owned.legitimate_origins.contains(&adj) =>
+                    {
+                        Some(HijackType::Type1FakeNeighbor)
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        } else {
+            // More-specific announcement of our space.
+            if self.expected_announcements.contains(&event.prefix) {
+                // Our own (mitigation) announcement echoed back — but
+                // only if the origin is also legitimate; an attacker
+                // announcing *the same* /24 is still a hijack.
+                if legit_origin {
+                    None
+                } else {
+                    Some(HijackType::SubPrefix)
+                }
+            } else if legit_origin {
+                Some(HijackType::SubPrefixForgedOrigin)
+            } else {
+                Some(HijackType::SubPrefix)
+            }
+        };
+
+        let Some(hijack_type) = hijack_type else {
+            return Detection::Benign;
+        };
+
+        let owned_prefix = owned.prefix;
+        let (id, new) = self.store.observe(
+            hijack_type,
+            owned_prefix,
+            event.prefix,
+            observed_origin,
+            event.vantage,
+            event.emitted_at,
+            event.observed_at,
+            event.source,
+        );
+        if new {
+            if let (Some(roa), Some(origin)) = (&self.roa, observed_origin) {
+                let validity = roa.validate(event.prefix, origin);
+                self.store.annotate_rpki(id, validity);
+            }
+            Detection::NewAlert(id)
+        } else {
+            Detection::UpdatedAlert(id)
+        }
+    }
+
+    /// First detection instant of any active alert on `owned` (the
+    /// paper's detection timestamp for an experiment).
+    pub fn first_detection(&self, owned: Prefix) -> Option<SimTime> {
+        self.store
+            .all()
+            .iter()
+            .filter(|a| a.owned_prefix == owned)
+            .map(|a| a.detected_at)
+            .min()
+    }
+
+    /// Operator AS from the config.
+    pub fn operator_as(&self) -> Asn {
+        self.config.operator_as
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OwnedPrefix;
+    use artemis_bgp::AsPath;
+    use artemis_feeds::FeedKind;
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    fn config() -> ArtemisConfig {
+        ArtemisConfig::new(
+            Asn(65001),
+            vec![
+                OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))
+                    .with_neighbors([Asn(174), Asn(3356)]),
+                OwnedPrefix::new(pfx("203.0.113.0/24"), Asn(65001)).dormant(),
+            ],
+        )
+    }
+
+    fn event(prefix: &str, path: &[u32], t: u64) -> FeedEvent {
+        let as_path = AsPath::from_sequence(path.iter().copied());
+        let origin = as_path.origin();
+        FeedEvent {
+            emitted_at: SimTime::from_secs(t),
+            observed_at: SimTime::from_secs(t.saturating_sub(8)),
+            source: FeedKind::RisLive,
+            collector: "rrc00".into(),
+            vantage: Asn(path[0]),
+            prefix: pfx(prefix),
+            as_path: Some(as_path),
+            origin_as: origin,
+            raw: None,
+        }
+    }
+
+    #[test]
+    fn legitimate_announcement_is_benign() {
+        let mut d = Detector::new(config());
+        // VP 2914 sees the owned /23 via 174 from the legit origin.
+        let ev = event("10.0.0.0/23", &[2914, 174, 65001], 50);
+        assert_eq!(d.process(&ev), Detection::Benign);
+        assert_eq!(d.alerts().all().len(), 0);
+    }
+
+    #[test]
+    fn exact_origin_hijack_detected() {
+        let mut d = Detector::new(config());
+        let ev = event("10.0.0.0/23", &[2914, 174, 666], 45);
+        match d.process(&ev) {
+            Detection::NewAlert(id) => {
+                let a = d.alerts().get(id).unwrap();
+                assert_eq!(a.hijack_type, HijackType::ExactOrigin);
+                assert_eq!(a.offending_origin, Some(Asn(666)));
+                assert_eq!(a.detected_at, SimTime::from_secs(45));
+            }
+            other => panic!("expected new alert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subprefix_hijack_detected() {
+        let mut d = Detector::new(config());
+        let ev = event("10.0.0.0/24", &[2914, 174, 666], 45);
+        match d.process(&ev) {
+            Detection::NewAlert(id) => {
+                let a = d.alerts().get(id).unwrap();
+                assert_eq!(a.hijack_type, HijackType::SubPrefix);
+                assert_eq!(a.owned_prefix, pfx("10.0.0.0/23"));
+                assert_eq!(a.observed_prefix, pfx("10.0.0.0/24"));
+            }
+            other => panic!("expected new alert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subprefix_with_forged_origin_detected() {
+        let mut d = Detector::new(config());
+        // Attacker announces 10.0.0.0/24 with victim origin appended.
+        let ev = event("10.0.0.0/24", &[2914, 666, 65001], 45);
+        match d.process(&ev) {
+            Detection::NewAlert(id) => {
+                assert_eq!(
+                    d.alerts().get(id).unwrap().hijack_type,
+                    HijackType::SubPrefixForgedOrigin
+                );
+            }
+            other => panic!("expected new alert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn own_mitigation_announcements_are_not_flagged() {
+        let mut d = Detector::new(config());
+        d.expect_announcement(pfx("10.0.0.0/24"));
+        d.expect_announcement(pfx("10.0.1.0/24"));
+        let ev = event("10.0.0.0/24", &[2914, 174, 65001], 80);
+        assert_eq!(d.process(&ev), Detection::Benign);
+        // …but an attacker announcing our expected /24 IS flagged.
+        let ev = event("10.0.0.0/24", &[2914, 174, 666], 81);
+        assert!(matches!(d.process(&ev), Detection::NewAlert(_)));
+    }
+
+    #[test]
+    fn type1_fake_neighbor_detected() {
+        let mut d = Detector::new(config());
+        // Legit origin 65001 but adjacent hop 9999 is not a known
+        // neighbor (real upstreams: 174, 3356).
+        let ev = event("10.0.0.0/23", &[2914, 9999, 65001], 45);
+        match d.process(&ev) {
+            Detection::NewAlert(id) => {
+                assert_eq!(
+                    d.alerts().get(id).unwrap().hijack_type,
+                    HijackType::Type1FakeNeighbor
+                );
+            }
+            other => panic!("expected new alert, got {other:?}"),
+        }
+        // Through a known neighbor: benign.
+        let ev = event("10.0.0.0/23", &[2914, 3356, 65001], 46);
+        assert_eq!(d.process(&ev), Detection::Benign);
+    }
+
+    #[test]
+    fn squatting_on_dormant_prefix() {
+        let mut d = Detector::new(config());
+        // ANY announcement of the dormant prefix is squatting — even
+        // with the "legit" origin (we are not announcing it).
+        let ev = event("203.0.113.0/24", &[2914, 174, 31337], 45);
+        match d.process(&ev) {
+            Detection::NewAlert(id) => {
+                assert_eq!(d.alerts().get(id).unwrap().hijack_type, HijackType::Squatting);
+            }
+            other => panic!("expected new alert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrelated_prefixes_ignored() {
+        let mut d = Detector::new(config());
+        let ev = event("8.8.8.0/24", &[2914, 15169], 45);
+        assert_eq!(d.process(&ev), Detection::Benign);
+    }
+
+    #[test]
+    fn withdrawals_are_benign() {
+        let mut d = Detector::new(config());
+        let mut ev = event("10.0.0.0/23", &[2914, 174, 666], 45);
+        ev.as_path = None;
+        ev.origin_as = None;
+        assert_eq!(d.process(&ev), Detection::Benign);
+    }
+
+    #[test]
+    fn multiple_vantage_points_one_alert() {
+        let mut d = Detector::new(config());
+        let first = d.process(&event("10.0.0.0/23", &[2914, 174, 666], 45));
+        let Detection::NewAlert(id) = first else {
+            panic!("expected new");
+        };
+        assert_eq!(
+            d.process(&event("10.0.0.0/23", &[1299, 174, 666], 50)),
+            Detection::UpdatedAlert(id)
+        );
+        assert_eq!(d.alerts().get(id).unwrap().vantage_points.len(), 2);
+        assert_eq!(d.first_detection(pfx("10.0.0.0/23")), Some(SimTime::from_secs(45)));
+    }
+
+    #[test]
+    fn detection_is_min_over_sources() {
+        let mut d = Detector::new(config());
+        // BGPmon reports at t=60, Periscope at t=44, RIS at t=52. The
+        // alert's detection time must be the earliest *processed*;
+        // feed events arrive in emission order, so process in order.
+        let mut e1 = event("10.0.0.0/23", &[2914, 174, 666], 44);
+        e1.source = FeedKind::Periscope;
+        let mut e2 = event("10.0.0.0/23", &[1299, 174, 666], 52);
+        e2.source = FeedKind::RisLive;
+        let mut e3 = event("10.0.0.0/23", &[3320, 174, 666], 60);
+        e3.source = FeedKind::BgpMon;
+        d.process(&e1);
+        d.process(&e2);
+        d.process(&e3);
+        let alert = &d.alerts().all()[0];
+        assert_eq!(alert.detected_at, SimTime::from_secs(44));
+        assert_eq!(alert.detected_by, FeedKind::Periscope);
+        assert_eq!(alert.vantage_points.len(), 3);
+    }
+
+    #[test]
+    fn roa_table_annotates_alerts() {
+        use crate::roa::{RoaTable, RoaValidity};
+        let mut d = Detector::new(config());
+        let mut roa = RoaTable::new();
+        roa.add(pfx("10.0.0.0/23"), Asn(65001), 24);
+        d.set_roa_table(roa);
+        // The hijack is RPKI-Invalid (covered by a ROA, wrong origin).
+        let ev = event("10.0.0.0/23", &[2914, 174, 666], 45);
+        let Detection::NewAlert(id) = d.process(&ev) else {
+            panic!("expected alert");
+        };
+        assert_eq!(d.alerts().get(id).unwrap().rpki, Some(RoaValidity::Invalid));
+    }
+
+    #[test]
+    fn without_roa_table_alerts_are_unannotated() {
+        let mut d = Detector::new(config());
+        let ev = event("10.0.0.0/23", &[2914, 174, 666], 45);
+        let Detection::NewAlert(id) = d.process(&ev) else {
+            panic!("expected alert");
+        };
+        assert_eq!(d.alerts().get(id).unwrap().rpki, None);
+    }
+
+    #[test]
+    fn anycast_second_origin_is_legitimate() {
+        let mut cfg = config();
+        cfg.owned[0] = OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))
+            .with_extra_origin(Asn(65002));
+        let mut d = Detector::new(cfg);
+        let ev = event("10.0.0.0/23", &[2914, 174, 65002], 45);
+        assert_eq!(d.process(&ev), Detection::Benign);
+    }
+}

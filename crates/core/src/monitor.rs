@@ -1,0 +1,287 @@
+//! The monitoring service: per-vantage-point origin tracking.
+//!
+//! "In parallel to the mitigation, a monitoring service is running to
+//! provide real-time information about the mitigation process." (§2)
+//! The demo (§4) visualizes vantage points around the globe switching
+//! between the legitimate and illegitimate origin — this module keeps
+//! that state and declares the incident resolved when every vantage
+//! point routes to a legitimate origin again.
+
+use artemis_bgp::{Asn, Prefix};
+use artemis_feeds::FeedEvent;
+use artemis_simnet::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a vantage point currently selects for the monitored space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpState {
+    /// No route observed yet.
+    Unknown,
+    /// Routes to a legitimate origin.
+    Legitimate,
+    /// Routes to the offending origin.
+    Hijacked,
+}
+
+/// A snapshot row of the monitoring timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// When.
+    pub time: SimTime,
+    /// Vantage points currently on a legitimate origin.
+    pub legitimate: usize,
+    /// Vantage points currently on the offending origin.
+    pub hijacked: usize,
+    /// Vantage points with no information yet.
+    pub unknown: usize,
+}
+
+/// Tracks, per vantage point, the origin selected for a monitored
+/// prefix (longest-prefix-match over everything that VP reported).
+pub struct MonitorService {
+    /// The monitored (owned) prefix.
+    target: Prefix,
+    legitimate_origins: BTreeSet<Asn>,
+    /// Expected vantage points (fixed population for percentages).
+    vantage_points: BTreeSet<Asn>,
+    /// vp -> (prefix -> origin) observations within the target space.
+    observations: BTreeMap<Asn, BTreeMap<Prefix, Option<Asn>>>,
+    /// Recorded timeline (one point per state change).
+    timeline: Vec<TimelinePoint>,
+}
+
+impl MonitorService {
+    /// Monitor `target` with the given legitimacy rules across a fixed
+    /// vantage-point population.
+    pub fn new(
+        target: Prefix,
+        legitimate_origins: BTreeSet<Asn>,
+        vantage_points: BTreeSet<Asn>,
+    ) -> Self {
+        MonitorService {
+            target,
+            legitimate_origins,
+            vantage_points,
+            observations: BTreeMap::new(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// The monitored prefix.
+    pub fn target(&self) -> Prefix {
+        self.target
+    }
+
+    /// Ingest a monitoring event; records a timeline point when the
+    /// aggregate state changed.
+    pub fn ingest(&mut self, event: &FeedEvent) {
+        // Only events about the monitored space matter.
+        if !(self.target.contains(event.prefix) || event.prefix.contains(self.target)) {
+            return;
+        }
+        if !self.vantage_points.contains(&event.vantage) {
+            return;
+        }
+        let slot = self
+            .observations
+            .entry(event.vantage)
+            .or_default();
+        match (&event.as_path, event.origin_as) {
+            (Some(_), origin) => {
+                slot.insert(event.prefix, origin);
+            }
+            (None, _) => {
+                slot.remove(&event.prefix);
+            }
+        }
+        let point = self.snapshot(event.emitted_at);
+        if self
+            .timeline
+            .last()
+            .map(|last| {
+                (last.legitimate, last.hijacked, last.unknown)
+                    != (point.legitimate, point.hijacked, point.unknown)
+            })
+            .unwrap_or(true)
+        {
+            self.timeline.push(point);
+        }
+    }
+
+    /// The state of one vantage point (LPM over its observations).
+    pub fn vp_state(&self, vp: Asn) -> VpState {
+        let Some(obs) = self.observations.get(&vp) else {
+            return VpState::Unknown;
+        };
+        // Longest prefix match across everything the VP reported that
+        // covers (part of) the target. For the paper's measurement the
+        // address under test is the target prefix itself (its first
+        // address).
+        let best = obs
+            .iter()
+            .filter(|(p, _)| p.contains(self.target) || self.target.contains(**p))
+            .max_by_key(|(p, _)| p.len());
+        match best {
+            None => VpState::Unknown,
+            Some((_, Some(origin))) if self.legitimate_origins.contains(origin) => {
+                VpState::Legitimate
+            }
+            Some((_, Some(_))) => VpState::Hijacked,
+            Some((_, None)) => VpState::Hijacked, // AS_SET origin: suspicious
+        }
+    }
+
+    /// Aggregate counts now.
+    pub fn snapshot(&self, time: SimTime) -> TimelinePoint {
+        let mut legitimate = 0;
+        let mut hijacked = 0;
+        let mut unknown = 0;
+        for vp in &self.vantage_points {
+            match self.vp_state(*vp) {
+                VpState::Legitimate => legitimate += 1,
+                VpState::Hijacked => hijacked += 1,
+                VpState::Unknown => unknown += 1,
+            }
+        }
+        TimelinePoint {
+            time,
+            legitimate,
+            hijacked,
+            unknown,
+        }
+    }
+
+    /// True when every vantage point that has data selects a
+    /// legitimate origin (the paper's "mitigation completed": *all*
+    /// vantage points switched back) and at least one VP has data.
+    pub fn all_legitimate(&self) -> bool {
+        let snap = self.snapshot(SimTime::ZERO);
+        snap.hijacked == 0 && snap.legitimate > 0
+    }
+
+    /// True when at least one vantage point selects the hijacker.
+    pub fn any_hijacked(&self) -> bool {
+        self.vantage_points
+            .iter()
+            .any(|vp| self.vp_state(*vp) == VpState::Hijacked)
+    }
+
+    /// The recorded timeline.
+    pub fn timeline(&self) -> &[TimelinePoint] {
+        &self.timeline
+    }
+
+    /// Number of monitored vantage points.
+    pub fn vantage_count(&self) -> usize {
+        self.vantage_points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_bgp::AsPath;
+    use artemis_feeds::FeedKind;
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    fn event(vp: u32, prefix: &str, origin: Option<u32>, t: u64) -> FeedEvent {
+        FeedEvent {
+            emitted_at: SimTime::from_secs(t),
+            observed_at: SimTime::from_secs(t),
+            source: FeedKind::RisLive,
+            collector: "rrc00".into(),
+            vantage: Asn(vp),
+            prefix: pfx(prefix),
+            as_path: origin.map(|o| AsPath::from_sequence([vp, o])),
+            origin_as: origin.map(Asn),
+            raw: None,
+        }
+    }
+
+    fn service() -> MonitorService {
+        MonitorService::new(
+            pfx("10.0.0.0/23"),
+            [Asn(65001)].into_iter().collect(),
+            [Asn(174), Asn(3356), Asn(2914)].into_iter().collect(),
+        )
+    }
+
+    #[test]
+    fn initial_state_unknown() {
+        let m = service();
+        assert_eq!(m.vp_state(Asn(174)), VpState::Unknown);
+        assert!(!m.all_legitimate());
+        assert!(!m.any_hijacked());
+    }
+
+    #[test]
+    fn legitimate_observation_counts() {
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(65001), 10));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Legitimate);
+        let snap = m.snapshot(SimTime::from_secs(10));
+        assert_eq!((snap.legitimate, snap.hijacked, snap.unknown), (1, 0, 2));
+    }
+
+    #[test]
+    fn hijack_flips_vp() {
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(65001), 10));
+        m.ingest(&event(174, "10.0.0.0/23", Some(666), 20));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Hijacked);
+        assert!(m.any_hijacked());
+    }
+
+    #[test]
+    fn more_specific_wins_within_vp() {
+        let mut m = service();
+        // Hijacked on the /23 but the mitigation /24s take precedence.
+        m.ingest(&event(174, "10.0.0.0/23", Some(666), 20));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Hijacked);
+        m.ingest(&event(174, "10.0.0.0/24", Some(65001), 30));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Legitimate);
+    }
+
+    #[test]
+    fn all_legitimate_requires_every_vp_clean() {
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(65001), 10));
+        m.ingest(&event(3356, "10.0.0.0/23", Some(666), 12));
+        m.ingest(&event(2914, "10.0.0.0/23", Some(65001), 13));
+        assert!(!m.all_legitimate());
+        m.ingest(&event(3356, "10.0.0.0/24", Some(65001), 40));
+        assert!(m.all_legitimate(), "unknown VPs do not block resolution; hijacked ones do");
+    }
+
+    #[test]
+    fn withdrawal_clears_observation() {
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(666), 10));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Hijacked);
+        m.ingest(&event(174, "10.0.0.0/23", None, 20));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Unknown);
+    }
+
+    #[test]
+    fn unrelated_events_ignored() {
+        let mut m = service();
+        m.ingest(&event(174, "8.8.8.0/24", Some(15169), 10));
+        m.ingest(&event(9999, "10.0.0.0/23", Some(666), 11)); // not a VP
+        assert_eq!(m.vp_state(Asn(174)), VpState::Unknown);
+        assert!(!m.any_hijacked());
+    }
+
+    #[test]
+    fn timeline_records_changes_only() {
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(65001), 10));
+        m.ingest(&event(174, "10.0.0.0/23", Some(65001), 11)); // no change
+        m.ingest(&event(3356, "10.0.0.0/23", Some(666), 12));
+        assert_eq!(m.timeline().len(), 2);
+        assert_eq!(m.timeline()[1].hijacked, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Statistics and table-rendering helpers for the experiment binaries.
+
+use artemis_simnet::SimDuration;
+
+/// Summary statistics over a set of measured durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationStats {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Minimum.
+    pub min: SimDuration,
+    /// Median (p50).
+    pub median: SimDuration,
+    /// 90th percentile.
+    pub p90: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+impl DurationStats {
+    /// Compute from samples; `None` when empty.
+    pub fn from_samples(samples: &[SimDuration]) -> Option<DurationStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<SimDuration> = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let total: SimDuration = sorted.iter().copied().sum();
+        Some(DurationStats {
+            n,
+            mean: total / n as u64,
+            min: sorted[0],
+            median: percentile_sorted(&sorted, 50),
+            p90: percentile_sorted(&sorted, 90),
+            max: sorted[n - 1],
+        })
+    }
+
+    /// One-line rendering for experiment output.
+    pub fn render(&self) -> String {
+        format!(
+            "n={:<3} mean={:<10} min={:<10} p50={:<10} p90={:<10} max={}",
+            self.n,
+            self.mean.to_string(),
+            self.min.to_string(),
+            self.median.to_string(),
+            self.p90.to_string(),
+            self.max
+        )
+    }
+}
+
+/// The `q`-th percentile of pre-sorted samples (nearest-rank).
+pub fn percentile_sorted(sorted: &[SimDuration], q: u32) -> SimDuration {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!(q <= 100);
+    let idx = ((sorted.len() - 1) as u64 * q as u64) / 100;
+    sorted[idx as usize]
+}
+
+/// Simple fixed-width table builder for experiment binaries (keeps the
+/// paper-vs-measured output uniform across E1–E6).
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(v: &[u64]) -> Vec<SimDuration> {
+        v.iter().map(|s| SimDuration::from_secs(*s)).collect()
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = DurationStats::from_samples(&secs(&[10, 20, 30, 40, 50])).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, SimDuration::from_secs(30));
+        assert_eq!(s.min, SimDuration::from_secs(10));
+        assert_eq!(s.median, SimDuration::from_secs(30));
+        assert_eq!(s.max, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn stats_empty_is_none() {
+        assert!(DurationStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles() {
+        let sorted = secs(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(percentile_sorted(&sorted, 0), SimDuration::from_secs(1));
+        assert_eq!(percentile_sorted(&sorted, 100), SimDuration::from_secs(10));
+        assert_eq!(percentile_sorted(&sorted, 50), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn render_contains_all_fields() {
+        let s = DurationStats::from_samples(&secs(&[45])).unwrap();
+        let out = s.render();
+        assert!(out.contains("n=1"));
+        assert!(out.contains("45.000s"));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["metric", "paper", "measured"]);
+        t.row(["detection", "~45s", "43.2s"]);
+        t.row(["total", "~6min", "5m12.000s"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("metric"));
+        assert!(lines[2].contains("detection"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! RPKI Route Origin Authorization validation (RFC 6483/6811) — a
+//! documented extension.
+//!
+//! The paper notes hijack *prevention* "is not always possible"; RPKI
+//! is the deployed prevention mechanism, and the ARTEMIS follow-up
+//! work positions detection as complementary to it. This module gives
+//! the detector an optional ROA table so alerts can be annotated with
+//! RPKI validity (an `Invalid` announcement is a hijack with very high
+//! confidence; `NotFound` keeps the config-based logic authoritative).
+
+use artemis_bgp::{Asn, Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+
+/// One Route Origin Authorization: `asn` may originate `prefix` and
+/// any more-specific up to `max_length`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Roa {
+    /// Authorized prefix.
+    pub prefix: Prefix,
+    /// Authorized origin AS.
+    pub asn: Asn,
+    /// Longest authorized more-specific (RFC 6482 maxLength).
+    pub max_length: u8,
+}
+
+/// RFC 6811 validation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoaValidity {
+    /// A covering ROA authorizes this exact (prefix, origin) pair.
+    Valid,
+    /// Covering ROAs exist but none authorizes the pair.
+    Invalid,
+    /// No covering ROA.
+    NotFound,
+}
+
+/// A validated ROA table.
+#[derive(Debug, Clone, Default)]
+pub struct RoaTable {
+    // Multiple ROAs can share a prefix (different origins/maxLength).
+    by_prefix: PrefixTrie<Vec<Roa>>,
+    count: usize,
+}
+
+impl RoaTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        RoaTable::default()
+    }
+
+    /// Number of ROAs.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no ROA is registered.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Add a ROA. `max_length` below the prefix length is clamped up
+    /// to it (RFC 6482 treats absent maxLength as the prefix length).
+    pub fn add(&mut self, prefix: Prefix, asn: Asn, max_length: u8) {
+        let max_length = max_length.clamp(prefix.len(), prefix.afi().max_len());
+        let roa = Roa {
+            prefix,
+            asn,
+            max_length,
+        };
+        match self.by_prefix.get_mut(prefix) {
+            Some(list) => list.push(roa),
+            None => {
+                self.by_prefix.insert(prefix, vec![roa]);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// RFC 6811 origin validation of an announcement.
+    pub fn validate(&self, prefix: Prefix, origin: Asn) -> RoaValidity {
+        let covering = self.by_prefix.covering(prefix);
+        if covering.is_empty() {
+            return RoaValidity::NotFound;
+        }
+        for (_, roas) in &covering {
+            for roa in roas.iter() {
+                if roa.asn == origin && prefix.len() <= roa.max_length {
+                    return RoaValidity::Valid;
+                }
+            }
+        }
+        RoaValidity::Invalid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    fn table() -> RoaTable {
+        let mut t = RoaTable::new();
+        t.add(pfx("10.0.0.0/23"), Asn(65001), 24);
+        t.add(pfx("192.0.2.0/24"), Asn(65001), 24);
+        t
+    }
+
+    #[test]
+    fn exact_valid() {
+        let t = table();
+        assert_eq!(t.validate(pfx("10.0.0.0/23"), Asn(65001)), RoaValidity::Valid);
+    }
+
+    #[test]
+    fn more_specific_within_maxlength_is_valid() {
+        let t = table();
+        assert_eq!(t.validate(pfx("10.0.1.0/24"), Asn(65001)), RoaValidity::Valid);
+    }
+
+    #[test]
+    fn more_specific_beyond_maxlength_is_invalid() {
+        let t = table();
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/25"), Asn(65001)),
+            RoaValidity::Invalid,
+            "even the right origin may not announce past maxLength"
+        );
+    }
+
+    #[test]
+    fn wrong_origin_is_invalid() {
+        let t = table();
+        assert_eq!(t.validate(pfx("10.0.0.0/23"), Asn(666)), RoaValidity::Invalid);
+        assert_eq!(t.validate(pfx("10.0.0.0/24"), Asn(666)), RoaValidity::Invalid);
+    }
+
+    #[test]
+    fn uncovered_space_is_not_found() {
+        let t = table();
+        assert_eq!(t.validate(pfx("8.8.8.0/24"), Asn(15169)), RoaValidity::NotFound);
+        // Less-specific than any ROA: not covered either.
+        assert_eq!(t.validate(pfx("10.0.0.0/16"), Asn(65001)), RoaValidity::NotFound);
+    }
+
+    #[test]
+    fn multiple_roas_any_match_validates() {
+        let mut t = table();
+        t.add(pfx("10.0.0.0/23"), Asn(65002), 23); // anycast partner
+        assert_eq!(t.validate(pfx("10.0.0.0/23"), Asn(65002)), RoaValidity::Valid);
+        // …but the partner's authorization stops at /23.
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/24"), Asn(65002)),
+            RoaValidity::Invalid
+        );
+        // The primary's /24 authorization still applies.
+        assert_eq!(t.validate(pfx("10.0.0.0/24"), Asn(65001)), RoaValidity::Valid);
+    }
+
+    #[test]
+    fn maxlength_clamps_to_prefix_len() {
+        let mut t = RoaTable::new();
+        t.add(pfx("10.0.0.0/24"), Asn(1), 8); // nonsense maxLength
+        assert_eq!(t.validate(pfx("10.0.0.0/24"), Asn(1)), RoaValidity::Valid);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the detector: no false positives on legitimate
+//! traffic, no false negatives on hijacks, dedup sanity.
+
+use artemis_bgp::{AsPath, Asn, Prefix};
+use artemis_core::detector::Detection;
+use artemis_core::{ArtemisConfig, Detector, OwnedPrefix};
+use artemis_feeds::{FeedEvent, FeedKind};
+use artemis_simnet::SimTime;
+use proptest::prelude::*;
+
+const VICTIM: u32 = 65_001;
+const UPSTREAM_A: u32 = 174;
+const UPSTREAM_B: u32 = 3_356;
+
+fn config() -> ArtemisConfig {
+    ArtemisConfig::new(
+        Asn(VICTIM),
+        vec![OwnedPrefix::new(
+            "10.0.0.0/23".parse().expect("valid"),
+            Asn(VICTIM),
+        )
+        .with_neighbors([Asn(UPSTREAM_A), Asn(UPSTREAM_B)])],
+    )
+}
+
+fn event(prefix: Prefix, path: Vec<u32>, t: u64) -> FeedEvent {
+    let as_path = AsPath::from_sequence(path.iter().copied());
+    FeedEvent {
+        emitted_at: SimTime::from_secs(t),
+        observed_at: SimTime::from_secs(t),
+        source: FeedKind::RisLive,
+        collector: "rrc00".into(),
+        vantage: Asn(path[0]),
+        prefix,
+        origin_as: as_path.origin(),
+        as_path: Some(as_path),
+        raw: None,
+    }
+}
+
+/// Middle-of-path ASNs (not the victim, not reserved).
+fn arb_transit() -> impl Strategy<Value = u32> {
+    (1u32..60_000).prop_filter("not victim/upstream", |a| {
+        *a != VICTIM && *a != UPSTREAM_A && *a != UPSTREAM_B
+    })
+}
+
+proptest! {
+    /// Announcements of the owned prefix with the legitimate origin
+    /// through a known upstream never alert, whatever the transit tail.
+    #[test]
+    fn no_false_positives_on_legit_paths(
+        transit in prop::collection::vec(arb_transit(), 0..4),
+        upstream in prop_oneof![Just(UPSTREAM_A), Just(UPSTREAM_B)],
+        t in 1u64..10_000,
+    ) {
+        let mut d = Detector::new(config());
+        let mut path = vec![9_999u32]; // vantage
+        path.extend(transit.iter().copied().filter(|a| *a != 9_999));
+        path.push(upstream);
+        path.push(VICTIM);
+        let ev = event("10.0.0.0/23".parse().expect("valid"), path, t);
+        prop_assert_eq!(d.process(&ev), Detection::Benign);
+        prop_assert_eq!(d.alerts().all().len(), 0);
+    }
+
+    /// Any exact-prefix announcement whose origin is not the victim
+    /// always raises exactly one alert, whatever the path shape.
+    #[test]
+    fn no_false_negatives_on_origin_hijacks(
+        attacker in arb_transit(),
+        transit in prop::collection::vec(arb_transit(), 0..4),
+        t in 1u64..10_000,
+    ) {
+        let mut d = Detector::new(config());
+        let mut path = vec![9_999u32];
+        path.extend(transit.iter().copied());
+        path.push(attacker);
+        let ev = event("10.0.0.0/23".parse().expect("valid"), path, t);
+        match d.process(&ev) {
+            Detection::NewAlert(_) => {}
+            other => prop_assert!(false, "expected alert, got {:?}", other),
+        }
+        prop_assert_eq!(d.alerts().all().len(), 1);
+    }
+
+    /// Sub-prefix announcements of owned space by third parties always
+    /// alert, at any more-specific length.
+    #[test]
+    fn subprefix_hijacks_always_alert(
+        attacker in arb_transit(),
+        len in 24u8..=28,
+        half in 0u8..=1,
+        t in 1u64..10_000,
+    ) {
+        let mut d = Detector::new(config());
+        // A more-specific inside 10.0.0.0/23.
+        let base: u32 = (10 << 24) | ((half as u32) << 8); // 10.0.0.0 or 10.0.1.0
+        let sub = Prefix::v4(std::net::Ipv4Addr::from(base), len).expect("valid");
+        let ev = event(sub, vec![9_999, attacker], t);
+        match d.process(&ev) {
+            Detection::NewAlert(id) => {
+                let alert = d.alerts().get(id).expect("stored");
+                prop_assert_eq!(alert.observed_prefix, sub);
+                prop_assert_eq!(
+                    alert.owned_prefix,
+                    "10.0.0.0/23".parse::<Prefix>().expect("valid")
+                );
+            }
+            other => prop_assert!(false, "expected alert, got {:?}", other),
+        }
+    }
+
+    /// Processing the same hijack observation repeatedly never creates
+    /// more than one alert (dedup is idempotent), and witnesses
+    /// accumulate monotonically.
+    #[test]
+    fn dedup_is_idempotent(
+        attacker in arb_transit(),
+        vantages in prop::collection::vec(1u32..60_000, 1..10),
+        t in 1u64..10_000,
+    ) {
+        let mut d = Detector::new(config());
+        for (i, vp) in vantages.iter().enumerate() {
+            let ev = event(
+                "10.0.0.0/23".parse().expect("valid"),
+                vec![*vp, attacker],
+                t + i as u64,
+            );
+            d.process(&ev);
+        }
+        prop_assert_eq!(d.alerts().all().len(), 1);
+        let alert = &d.alerts().all()[0];
+        let uniq: std::collections::BTreeSet<u32> =
+            vantages.iter().copied().collect();
+        prop_assert_eq!(alert.vantage_points.len(), uniq.len());
+        // Detection time is the first event's.
+        prop_assert_eq!(alert.detected_at, SimTime::from_secs(t));
+    }
+
+    /// Events about unrelated address space never alert, whatever the
+    /// origin.
+    #[test]
+    fn unrelated_space_is_ignored(
+        addr in any::<u32>(),
+        len in 8u8..=24,
+        origin in arb_transit(),
+        t in 1u64..10_000,
+    ) {
+        let prefix = Prefix::v4(std::net::Ipv4Addr::from(addr), len).expect("valid");
+        // Skip anything overlapping the owned /23.
+        let owned: Prefix = "10.0.0.0/23".parse().expect("valid");
+        prop_assume!(!prefix.overlaps(owned));
+        let mut d = Detector::new(config());
+        let ev = event(prefix, vec![9_999, origin], t);
+        prop_assert_eq!(d.process(&ev), Detection::Benign);
+    }
+}

@@ -1,0 +1,102 @@
+//! The common event type all feeds emit.
+
+use artemis_bgp::{AsPath, Asn, Prefix};
+use artemis_simnet::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which monitoring system produced an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FeedKind {
+    /// RIPE RIS streaming service ("RIS Live").
+    RisLive,
+    /// BGPmon live stream.
+    BgpMon,
+    /// Periscope looking-glass query.
+    Periscope,
+    /// Archived update batches (RouteViews/RIS style, baseline only).
+    ArchiveUpdates,
+    /// Periodic full-RIB dumps (baseline only).
+    ArchiveRib,
+}
+
+impl fmt::Display for FeedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedKind::RisLive => write!(f, "ris-live"),
+            FeedKind::BgpMon => write!(f, "bgpmon"),
+            FeedKind::Periscope => write!(f, "periscope"),
+            FeedKind::ArchiveUpdates => write!(f, "archive-updates"),
+            FeedKind::ArchiveRib => write!(f, "archive-rib"),
+        }
+    }
+}
+
+/// One observation delivered by a monitoring feed.
+///
+/// `as_path` is the path *as seen from the vantage point's collector
+/// session* — i.e. it starts with the vantage AS itself (a collector
+/// receives the peer's Adj-RIB-Out, which prepends the peer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedEvent {
+    /// When the monitoring service delivered the event to subscribers
+    /// (this is when ARTEMIS can possibly react).
+    pub emitted_at: SimTime,
+    /// When the vantage point's routing actually changed.
+    pub observed_at: SimTime,
+    /// Producing system.
+    pub source: FeedKind,
+    /// Collector / LG identifier (e.g. `rrc00`, `lg-03`).
+    pub collector: String,
+    /// The vantage-point AS.
+    pub vantage: Asn,
+    /// Affected prefix.
+    pub prefix: Prefix,
+    /// Path including the vantage AS; `None` for withdrawals.
+    pub as_path: Option<AsPath>,
+    /// Origin AS of the observed path, if defined.
+    pub origin_as: Option<Asn>,
+    /// Raw wire payload where the real service has one (RIS-live JSON).
+    pub raw: Option<String>,
+}
+
+impl FeedEvent {
+    /// Feed pipeline latency for this event (emission − observation).
+    pub fn feed_delay(&self) -> artemis_simnet::SimDuration {
+        self.emitted_at.saturating_since(self.observed_at)
+    }
+
+    /// True for withdrawal observations.
+    pub fn is_withdrawal(&self) -> bool {
+        self.as_path.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn feed_delay_computation() {
+        let e = FeedEvent {
+            emitted_at: SimTime::from_secs(50),
+            observed_at: SimTime::from_secs(45),
+            source: FeedKind::RisLive,
+            collector: "rrc00".into(),
+            vantage: Asn(174),
+            prefix: Prefix::from_str("10.0.0.0/23").unwrap(),
+            as_path: None,
+            origin_as: None,
+            raw: None,
+        };
+        assert_eq!(e.feed_delay(), artemis_simnet::SimDuration::from_secs(5));
+        assert!(e.is_withdrawal());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(FeedKind::RisLive.to_string(), "ris-live");
+        assert_eq!(FeedKind::ArchiveRib.to_string(), "archive-rib");
+    }
+}

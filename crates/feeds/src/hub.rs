@@ -1,0 +1,156 @@
+//! The [`FeedHub`]: fan-out of routing changes to all configured feeds
+//! and aggregation of their events.
+
+use crate::event::{FeedEvent, FeedKind};
+use crate::source::{FeedSource, RibView};
+use artemis_bgpsim::RouteChange;
+use artemis_simnet::{SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// Aggregates any number of [`FeedSource`]s behind one interface.
+///
+/// The experiment driver owns a hub and:
+/// 1. forwards every [`RouteChange`] (push feeds),
+/// 2. interleaves [`FeedHub::next_poll`] / [`FeedHub::poll`] with the
+///    BGP engine's event loop (pull feeds),
+/// 3. orders the returned [`FeedEvent`]s by `emitted_at` before handing
+///    them to the detector.
+pub struct FeedHub {
+    feeds: Vec<Box<dyn FeedSource>>,
+    rng: SimRng,
+}
+
+impl FeedHub {
+    /// An empty hub with its own RNG stream.
+    pub fn new(rng: SimRng) -> Self {
+        FeedHub {
+            feeds: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Add a feed.
+    pub fn add(&mut self, feed: Box<dyn FeedSource>) {
+        self.feeds.push(feed);
+    }
+
+    /// Number of feeds.
+    pub fn len(&self) -> usize {
+        self.feeds.len()
+    }
+
+    /// True when no feeds are configured.
+    pub fn is_empty(&self) -> bool {
+        self.feeds.is_empty()
+    }
+
+    /// Fan a routing change out to all push feeds.
+    pub fn on_route_change(&mut self, change: &RouteChange) -> Vec<FeedEvent> {
+        let mut out = Vec::new();
+        for feed in &mut self.feeds {
+            out.extend(feed.on_route_change(change, &mut self.rng));
+        }
+        out
+    }
+
+    /// Earliest pending poll across all pull feeds.
+    pub fn next_poll(&self, now: SimTime) -> Option<SimTime> {
+        self.feeds.iter().filter_map(|f| f.next_poll(now)).min()
+    }
+
+    /// Run every feed whose poll is due at `at`.
+    pub fn poll(&mut self, at: SimTime, view: &dyn RibView) -> Vec<FeedEvent> {
+        let mut out = Vec::new();
+        for feed in &mut self.feeds {
+            if feed.next_poll(at).is_some_and(|t| t <= at) {
+                out.extend(feed.poll(at, view, &mut self.rng));
+            }
+        }
+        out
+    }
+
+    /// Per-feed event counters (monitoring overhead of E3).
+    pub fn emission_stats(&self) -> BTreeMap<(FeedKind, String), u64> {
+        self.feeds
+            .iter()
+            .map(|f| ((f.kind(), f.name().to_string()), f.events_emitted()))
+            .collect()
+    }
+
+    /// Access a feed by index (for feed-specific accessors like MRT
+    /// bytes; order = insertion order).
+    pub fn feed(&self, index: usize) -> Option<&dyn FeedSource> {
+        self.feeds.get(index).map(|b| b.as_ref())
+    }
+
+    /// Total pull queries issued across feeds (LG overhead).
+    pub fn polls_executed(&self) -> u64 {
+        self.feeds.iter().map(|f| f.polls_executed()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamFeed;
+    use crate::vantage::group_into_collectors;
+    use artemis_bgp::{AsPath, Asn};
+    use artemis_bgpsim::BestRoute;
+    use std::str::FromStr;
+
+    fn change(asn: u32, t: u64) -> RouteChange {
+        RouteChange {
+            time: SimTime::from_secs(t),
+            asn: Asn(asn),
+            prefix: artemis_bgp::Prefix::from_str("10.0.0.0/23").unwrap(),
+            old: None,
+            new: Some(BestRoute {
+                as_path: AsPath::from_sequence([3356u32, 65001]),
+                origin_as: Asn(65001),
+                neighbor: Some(Asn(3356)),
+                learned_from: Some(artemis_topology::RelKind::Provider),
+                local_pref: 100,
+            }),
+        }
+    }
+
+    #[test]
+    fn hub_fans_out_to_all_feeds() {
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
+            "rrc", &vps, 1,
+        ))));
+        hub.add(Box::new(StreamFeed::bgpmon(group_into_collectors(
+            "bmp", &vps, 1,
+        ))));
+        assert_eq!(hub.len(), 2);
+        let evs = hub.on_route_change(&change(174, 10));
+        assert_eq!(evs.len(), 2);
+        let kinds: std::collections::BTreeSet<FeedKind> =
+            evs.iter().map(|e| e.source).collect();
+        assert!(kinds.contains(&FeedKind::RisLive));
+        assert!(kinds.contains(&FeedKind::BgpMon));
+    }
+
+    #[test]
+    fn empty_hub_is_silent() {
+        let mut hub = FeedHub::new(SimRng::new(1));
+        assert!(hub.is_empty());
+        assert!(hub.on_route_change(&change(1, 1)).is_empty());
+        assert_eq!(hub.next_poll(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn emission_stats_track_feeds() {
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
+            "rrc", &vps, 1,
+        ))));
+        hub.on_route_change(&change(174, 10));
+        hub.on_route_change(&change(174, 20));
+        let stats = hub.emission_stats();
+        assert_eq!(stats[&(FeedKind::RisLive, "ris-live".to_string())], 2);
+    }
+}

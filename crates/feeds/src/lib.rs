@@ -1,0 +1,42 @@
+//! # artemis-feeds — BGP monitoring infrastructure
+//!
+//! ARTEMIS detects hijacks by combining *multiple live control-plane
+//! feeds* (paper §2): the streaming service of RIPE RIS, BGPmon, and
+//! Periscope-style Looking Glass queries. This crate simulates all of
+//! them — plus the slow archive pipelines (2-hour RIBs / 15-minute
+//! update batches) that the paper's baselines rely on — against the
+//! routing state of an [`artemis_bgpsim::Engine`].
+//!
+//! Taxonomy:
+//!
+//! | feed | mode | latency character |
+//! |------|------|-------------------|
+//! | [`StreamFeed`] (RIS-live flavour) | push | seconds (lognormal export pipeline) |
+//! | [`StreamFeed`] (BGPmon flavour)   | push | seconds–tens of seconds |
+//! | [`PeriscopeFeed`] | pull (rate-limited polls) | poll phase + response latency |
+//! | [`ArchiveUpdatesFeed`] | batch | visible at the next batch boundary |
+//! | [`ArchiveRibFeed`] | snapshot | visible at the next dump |
+//!
+//! Every source implements [`FeedSource`]; a [`FeedHub`] fans a
+//! [`RouteChange`] out to all of them and collects timestamped
+//! [`FeedEvent`]s. Detection delay is therefore *the min over sources*
+//! — exactly the property the paper exploits (claim C7 in DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod event;
+pub mod hub;
+pub mod periscope;
+pub mod source;
+pub mod stream;
+pub mod vantage;
+
+pub use archive::{ArchiveRibFeed, ArchiveUpdatesFeed};
+pub use event::{FeedEvent, FeedKind};
+pub use hub::FeedHub;
+pub use periscope::{LookingGlass, PeriscopeFeed};
+pub use source::{EngineView, FeedSource, RibView};
+pub use stream::StreamFeed;
+pub use vantage::VantageStrategy;

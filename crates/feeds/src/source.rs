@@ -1,0 +1,81 @@
+//! The [`FeedSource`] trait and routing-state views.
+
+use crate::event::{FeedEvent, FeedKind};
+use artemis_bgp::{Asn, Prefix};
+use artemis_bgpsim::{BestRoute, Engine, RouteChange};
+use artemis_simnet::{SimRng, SimTime};
+
+/// Read-only view of current routing state, used by pull-based feeds
+/// (looking glasses, RIB snapshots).
+pub trait RibView {
+    /// Best route of `asn` for exactly `prefix`.
+    fn best_route(&self, asn: Asn, prefix: Prefix) -> Option<BestRoute>;
+    /// Complete Loc-RIB of `asn`.
+    fn loc_rib(&self, asn: Asn) -> Vec<(Prefix, BestRoute)>;
+}
+
+/// The live engine as a [`RibView`].
+pub struct EngineView<'a>(pub &'a Engine);
+
+impl RibView for EngineView<'_> {
+    fn best_route(&self, asn: Asn, prefix: Prefix) -> Option<BestRoute> {
+        self.0.best_route(asn, prefix)
+    }
+    fn loc_rib(&self, asn: Asn) -> Vec<(Prefix, BestRoute)> {
+        self.0.loc_rib(asn)
+    }
+}
+
+/// A monitoring data source.
+///
+/// Feeds are driven two ways:
+/// * **push**: the experiment driver forwards every [`RouteChange`] via
+///   [`FeedSource::on_route_change`]; the feed decides whether one of
+///   its vantage points saw it and when subscribers learn about it.
+/// * **pull**: the driver asks [`FeedSource::next_poll`] when the feed
+///   next wants to inspect routing state and calls
+///   [`FeedSource::poll`] at that instant with a [`RibView`].
+///
+/// Either path returns [`FeedEvent`]s whose `emitted_at` may lie in the
+/// future (pipeline delay); the driver is responsible for ordering.
+pub trait FeedSource {
+    /// The feed family.
+    fn kind(&self) -> FeedKind;
+    /// Human-readable instance name.
+    fn name(&self) -> &str;
+    /// Push-path: react to a Loc-RIB change somewhere in the Internet.
+    fn on_route_change(&mut self, change: &RouteChange, rng: &mut SimRng) -> Vec<FeedEvent>;
+    /// Pull-path: when does this feed next want to run (`None` = never)?
+    fn next_poll(&self, now: SimTime) -> Option<SimTime>;
+    /// Pull-path: execute the poll scheduled at `at`.
+    fn poll(&mut self, at: SimTime, view: &dyn RibView, rng: &mut SimRng) -> Vec<FeedEvent>;
+    /// Events emitted so far (monitoring-overhead accounting).
+    fn events_emitted(&self) -> u64;
+    /// Pull queries actually issued (0 for push feeds) — the
+    /// monitoring-overhead axis of the LG trade-off.
+    fn polls_executed(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_bgpsim::SimConfig;
+    use artemis_topology::AsGraph;
+    use std::str::FromStr;
+
+    #[test]
+    fn engine_view_delegates() {
+        let mut g = AsGraph::new();
+        g.add_provider_customer(Asn(1), Asn(2)).unwrap();
+        let mut e = Engine::new(g, SimConfig::instantaneous(), 1);
+        let p = Prefix::from_str("10.0.0.0/24").unwrap();
+        e.announce(Asn(2), p);
+        e.run_to_quiescence(10_000);
+        let view = EngineView(&e);
+        assert!(view.best_route(Asn(1), p).is_some());
+        assert_eq!(view.loc_rib(Asn(1)).len(), 1);
+        assert!(view.best_route(Asn(99), p).is_none());
+    }
+}

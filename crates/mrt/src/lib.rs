@@ -1,0 +1,26 @@
+//! # artemis-mrt — MRT routing archive format (RFC 6396)
+//!
+//! RouteViews and RIPE RIS publish their data as MRT files: full RIB
+//! snapshots (`TABLE_DUMP_V2`) every couple of hours and update files
+//! (`BGP4MP`) every 15 minutes. ARTEMIS's motivation (paper §1) is
+//! precisely that these archives are too slow for hijack response — so
+//! the baseline detectors in this reproduction consume *real MRT
+//! bytes*, produced and parsed by this crate.
+//!
+//! Supported records:
+//! * `BGP4MP` / `BGP4MP_ET` — `MESSAGE` and `MESSAGE_AS4` subtypes,
+//!   wrapping full BGP messages ([`artemis_bgp::wire`]).
+//! * `TABLE_DUMP_V2` — `PEER_INDEX_TABLE`, `RIB_IPV4_UNICAST` and
+//!   `RIB_IPV6_UNICAST`.
+//!
+//! [`MrtWriter`] produces byte-exact archives; [`MrtReader`] streams
+//! records back out of a byte slice; round-trips are proptest-verified.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod rib;
+
+pub use record::{Bgp4mpMessage, MrtError, MrtReader, MrtRecord, MrtWriter};
+pub use rib::{PeerEntry, PeerIndexTable, RibEntry, RibRecord};

@@ -1,0 +1,517 @@
+//! MRT common header, BGP4MP records, reader/writer.
+
+use crate::rib::{PeerIndexTable, RibRecord};
+use artemis_bgp::{BgpError, BgpMessage, Codec};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+use std::net::IpAddr;
+
+/// MRT type codes (RFC 6396 §4).
+pub const TYPE_TABLE_DUMP_V2: u16 = 13;
+/// BGP4MP type code.
+pub const TYPE_BGP4MP: u16 = 16;
+/// BGP4MP with extended (microsecond) timestamps.
+pub const TYPE_BGP4MP_ET: u16 = 17;
+
+/// BGP4MP subtypes.
+pub const SUBTYPE_BGP4MP_MESSAGE: u16 = 1;
+/// Four-octet-AS message subtype.
+pub const SUBTYPE_BGP4MP_MESSAGE_AS4: u16 = 4;
+
+/// TABLE_DUMP_V2 subtypes.
+pub const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
+/// IPv4 unicast RIB subtype.
+pub const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+/// IPv6 unicast RIB subtype.
+pub const SUBTYPE_RIB_IPV6_UNICAST: u16 = 4;
+
+/// Errors produced by the MRT codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtError {
+    /// Input ended inside a record.
+    Truncated(&'static str),
+    /// A record advertises an unsupported type/subtype pair.
+    Unsupported {
+        /// MRT type.
+        mrt_type: u16,
+        /// MRT subtype.
+        subtype: u16,
+    },
+    /// The wrapped BGP message failed to parse.
+    Bgp(BgpError),
+    /// Structural problem in a record body.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Truncated(what) => write!(f, "truncated MRT record: {what}"),
+            MrtError::Unsupported { mrt_type, subtype } => {
+                write!(f, "unsupported MRT record type {mrt_type}/{subtype}")
+            }
+            MrtError::Bgp(e) => write!(f, "embedded BGP message: {e}"),
+            MrtError::Malformed(what) => write!(f, "malformed MRT record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+impl From<BgpError> for MrtError {
+    fn from(e: BgpError) -> Self {
+        MrtError::Bgp(e)
+    }
+}
+
+/// A BGP4MP_MESSAGE(_AS4) record: one BGP message seen on a collector
+/// session, with peer metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// Peer (sender) ASN.
+    pub peer_as: artemis_bgp::Asn,
+    /// Collector-side ASN.
+    pub local_as: artemis_bgp::Asn,
+    /// Peer address.
+    pub peer_ip: IpAddr,
+    /// Collector address.
+    pub local_ip: IpAddr,
+    /// The BGP message itself.
+    pub message: BgpMessage,
+}
+
+/// Any supported MRT record with its timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrtRecord {
+    /// A BGP4MP message record. `microseconds` is `Some` for the ET
+    /// (extended-timestamp) flavour.
+    Bgp4mp {
+        /// Seconds since the UNIX epoch (simulation epoch here).
+        timestamp: u32,
+        /// Extended microseconds (BGP4MP_ET).
+        microseconds: Option<u32>,
+        /// Payload.
+        message: Bgp4mpMessage,
+    },
+    /// TABLE_DUMP_V2 peer index table.
+    PeerIndex {
+        /// Snapshot timestamp.
+        timestamp: u32,
+        /// The table.
+        table: PeerIndexTable,
+    },
+    /// TABLE_DUMP_V2 RIB record (one prefix, N entries).
+    Rib {
+        /// Snapshot timestamp.
+        timestamp: u32,
+        /// The per-prefix RIB data.
+        rib: RibRecord,
+    },
+}
+
+impl MrtRecord {
+    /// The record's timestamp in whole seconds.
+    pub fn timestamp(&self) -> u32 {
+        match self {
+            MrtRecord::Bgp4mp { timestamp, .. }
+            | MrtRecord::PeerIndex { timestamp, .. }
+            | MrtRecord::Rib { timestamp, .. } => *timestamp,
+        }
+    }
+}
+
+/// Serializes MRT records to bytes.
+#[derive(Debug, Default)]
+pub struct MrtWriter {
+    buf: BytesMut,
+}
+
+impl MrtWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        MrtWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, returning the archive bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Append one record.
+    pub fn write(&mut self, record: &MrtRecord) -> Result<(), MrtError> {
+        let (mrt_type, subtype, micros, body) = match record {
+            MrtRecord::Bgp4mp {
+                microseconds,
+                message,
+                ..
+            } => {
+                let body = encode_bgp4mp_body(message)?;
+                let t = if microseconds.is_some() {
+                    TYPE_BGP4MP_ET
+                } else {
+                    TYPE_BGP4MP
+                };
+                (t, SUBTYPE_BGP4MP_MESSAGE_AS4, *microseconds, body)
+            }
+            MrtRecord::PeerIndex { table, .. } => (
+                TYPE_TABLE_DUMP_V2,
+                SUBTYPE_PEER_INDEX_TABLE,
+                None,
+                table.encode(),
+            ),
+            MrtRecord::Rib { rib, .. } => {
+                let subtype = if rib.prefix.afi() == artemis_bgp::prefix::Afi::Ipv4 {
+                    SUBTYPE_RIB_IPV4_UNICAST
+                } else {
+                    SUBTYPE_RIB_IPV6_UNICAST
+                };
+                (TYPE_TABLE_DUMP_V2, subtype, None, rib.encode()?)
+            }
+        };
+        let extra = if micros.is_some() { 4 } else { 0 };
+        self.buf.put_u32(record.timestamp());
+        self.buf.put_u16(mrt_type);
+        self.buf.put_u16(subtype);
+        self.buf.put_u32((body.len() + extra) as u32);
+        if let Some(us) = micros {
+            self.buf.put_u32(us);
+        }
+        self.buf.put_slice(&body);
+        Ok(())
+    }
+}
+
+fn encode_bgp4mp_body(msg: &Bgp4mpMessage) -> Result<Vec<u8>, MrtError> {
+    let mut out = BytesMut::new();
+    out.put_u32(msg.peer_as.value());
+    out.put_u32(msg.local_as.value());
+    out.put_u16(0); // interface index
+    match (msg.peer_ip, msg.local_ip) {
+        (IpAddr::V4(p), IpAddr::V4(l)) => {
+            out.put_u16(1); // AFI v4
+            out.put_slice(&p.octets());
+            out.put_slice(&l.octets());
+        }
+        (IpAddr::V6(p), IpAddr::V6(l)) => {
+            out.put_u16(2);
+            out.put_slice(&p.octets());
+            out.put_slice(&l.octets());
+        }
+        _ => return Err(MrtError::Malformed("mixed-family peer/local addresses")),
+    }
+    let codec = Codec::four_octet();
+    let bgp = codec.encode(&msg.message)?;
+    out.put_slice(&bgp);
+    Ok(out.to_vec())
+}
+
+fn decode_bgp4mp_body(mut body: &[u8], subtype: u16) -> Result<Bgp4mpMessage, MrtError> {
+    let as_size = match subtype {
+        SUBTYPE_BGP4MP_MESSAGE => 2usize,
+        SUBTYPE_BGP4MP_MESSAGE_AS4 => 4,
+        _ => {
+            return Err(MrtError::Unsupported {
+                mrt_type: TYPE_BGP4MP,
+                subtype,
+            })
+        }
+    };
+    if body.len() < as_size * 2 + 4 {
+        return Err(MrtError::Truncated("BGP4MP header"));
+    }
+    let (peer_as, local_as) = if as_size == 4 {
+        (body.get_u32(), body.get_u32())
+    } else {
+        (body.get_u16() as u32, body.get_u16() as u32)
+    };
+    let _ifindex = body.get_u16();
+    let afi = body.get_u16();
+    let addr_len = match afi {
+        1 => 4usize,
+        2 => 16,
+        _ => return Err(MrtError::Malformed("unknown AFI in BGP4MP")),
+    };
+    if body.len() < addr_len * 2 {
+        return Err(MrtError::Truncated("BGP4MP addresses"));
+    }
+    let peer_ip = read_ip(&body[..addr_len]);
+    let local_ip = read_ip(&body[addr_len..addr_len * 2]);
+    body = &body[addr_len * 2..];
+    let codec = if as_size == 4 {
+        Codec::four_octet()
+    } else {
+        Codec::two_octet()
+    };
+    let (message, _) = codec.decode(body)?;
+    Ok(Bgp4mpMessage {
+        peer_as: artemis_bgp::Asn(peer_as),
+        local_as: artemis_bgp::Asn(local_as),
+        peer_ip,
+        local_ip,
+        message,
+    })
+}
+
+fn read_ip(bytes: &[u8]) -> IpAddr {
+    match bytes.len() {
+        4 => IpAddr::V4(std::net::Ipv4Addr::new(bytes[0], bytes[1], bytes[2], bytes[3])),
+        _ => {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(bytes);
+            IpAddr::V6(std::net::Ipv6Addr::from(b))
+        }
+    }
+}
+
+/// Streaming reader over an MRT byte slice.
+pub struct MrtReader<'a> {
+    data: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> MrtReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        MrtReader { data, offset: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    /// Parse the next record, or `Ok(None)` at clean EOF.
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        if self.remaining() == 0 {
+            return Ok(None);
+        }
+        if self.remaining() < 12 {
+            return Err(MrtError::Truncated("MRT common header"));
+        }
+        let mut hdr = &self.data[self.offset..self.offset + 12];
+        let timestamp = hdr.get_u32();
+        let mrt_type = hdr.get_u16();
+        let subtype = hdr.get_u16();
+        let length = hdr.get_u32() as usize;
+        if self.remaining() < 12 + length {
+            return Err(MrtError::Truncated("MRT record body"));
+        }
+        let mut body = &self.data[self.offset + 12..self.offset + 12 + length];
+        self.offset += 12 + length;
+
+        let record = match (mrt_type, subtype) {
+            (TYPE_BGP4MP, st) => MrtRecord::Bgp4mp {
+                timestamp,
+                microseconds: None,
+                message: decode_bgp4mp_body(body, st)?,
+            },
+            (TYPE_BGP4MP_ET, st) => {
+                if body.len() < 4 {
+                    return Err(MrtError::Truncated("BGP4MP_ET microseconds"));
+                }
+                let micros = body.get_u32();
+                MrtRecord::Bgp4mp {
+                    timestamp,
+                    microseconds: Some(micros),
+                    message: decode_bgp4mp_body(body, st)?,
+                }
+            }
+            (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE) => MrtRecord::PeerIndex {
+                timestamp,
+                table: PeerIndexTable::decode(body)?,
+            },
+            (TYPE_TABLE_DUMP_V2, st @ (SUBTYPE_RIB_IPV4_UNICAST | SUBTYPE_RIB_IPV6_UNICAST)) => {
+                let afi = if st == SUBTYPE_RIB_IPV4_UNICAST {
+                    artemis_bgp::prefix::Afi::Ipv4
+                } else {
+                    artemis_bgp::prefix::Afi::Ipv6
+                };
+                MrtRecord::Rib {
+                    timestamp,
+                    rib: RibRecord::decode(body, afi)?,
+                }
+            }
+            (t, s) => {
+                return Err(MrtError::Unsupported {
+                    mrt_type: t,
+                    subtype: s,
+                })
+            }
+        };
+        Ok(Some(record))
+    }
+
+    /// Collect all remaining records.
+    pub fn read_all(&mut self) -> Result<Vec<MrtRecord>, MrtError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> Iterator for MrtReader<'a> {
+    type Item = Result<MrtRecord, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_bgp::{AsPath, Asn, PathAttributes, Prefix, UpdateMessage};
+    use std::str::FromStr;
+
+    fn sample_update() -> BgpMessage {
+        let attrs = PathAttributes::with_path(
+            AsPath::from_sequence([174u32, 65001]),
+            "192.0.2.1".parse().unwrap(),
+        );
+        BgpMessage::Update(UpdateMessage::announce(
+            attrs,
+            vec![Prefix::from_str("10.0.0.0/23").unwrap()],
+        ))
+    }
+
+    fn sample_bgp4mp(ts: u32, micros: Option<u32>) -> MrtRecord {
+        MrtRecord::Bgp4mp {
+            timestamp: ts,
+            microseconds: micros,
+            message: Bgp4mpMessage {
+                peer_as: Asn(174),
+                local_as: Asn(64999),
+                peer_ip: "192.0.2.10".parse().unwrap(),
+                local_ip: "192.0.2.1".parse().unwrap(),
+                message: sample_update(),
+            },
+        }
+    }
+
+    #[test]
+    fn bgp4mp_roundtrip() {
+        let rec = sample_bgp4mp(1_234, None);
+        let mut w = MrtWriter::new();
+        w.write(&rec).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = MrtReader::new(&bytes);
+        assert_eq!(r.next_record().unwrap().unwrap(), rec);
+        assert_eq!(r.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn bgp4mp_et_roundtrip_keeps_microseconds() {
+        let rec = sample_bgp4mp(99, Some(456_789));
+        let mut w = MrtWriter::new();
+        w.write(&rec).unwrap();
+        let bytes = w.into_bytes();
+        let got = MrtReader::new(&bytes).read_all().unwrap();
+        assert_eq!(got, vec![rec]);
+    }
+
+    #[test]
+    fn multiple_records_stream() {
+        let mut w = MrtWriter::new();
+        for i in 0..10u32 {
+            w.write(&sample_bgp4mp(i, None)).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let all = MrtReader::new(&bytes).read_all().unwrap();
+        assert_eq!(all.len(), 10);
+        let stamps: Vec<u32> = all.iter().map(MrtRecord::timestamp).collect();
+        assert_eq!(stamps, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let mut w = MrtWriter::new();
+        w.write(&sample_bgp4mp(5, None)).unwrap();
+        let bytes = w.into_bytes();
+        let count = MrtReader::new(&bytes).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn v6_session_addresses() {
+        let rec = MrtRecord::Bgp4mp {
+            timestamp: 7,
+            microseconds: None,
+            message: Bgp4mpMessage {
+                peer_as: Asn(6939),
+                local_as: Asn(64999),
+                peer_ip: "2001:db8::a".parse().unwrap(),
+                local_ip: "2001:db8::1".parse().unwrap(),
+                message: sample_update(),
+            },
+        };
+        let mut w = MrtWriter::new();
+        w.write(&rec).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(MrtReader::new(&bytes).read_all().unwrap(), vec![rec]);
+    }
+
+    #[test]
+    fn mixed_family_session_rejected() {
+        let rec = MrtRecord::Bgp4mp {
+            timestamp: 7,
+            microseconds: None,
+            message: Bgp4mpMessage {
+                peer_as: Asn(1),
+                local_as: Asn(2),
+                peer_ip: "2001:db8::a".parse().unwrap(),
+                local_ip: "192.0.2.1".parse().unwrap(),
+                message: sample_update(),
+            },
+        };
+        assert!(MrtWriter::new().write(&rec).is_err());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = MrtWriter::new();
+        w.write(&sample_bgp4mp(1, None)).unwrap();
+        let bytes = w.into_bytes();
+        // header cut
+        let mut r = MrtReader::new(&bytes[..8]);
+        assert!(matches!(
+            r.next_record(),
+            Err(MrtError::Truncated("MRT common header"))
+        ));
+        // body cut
+        let mut r = MrtReader::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(
+            r.next_record(),
+            Err(MrtError::Truncated("MRT record body"))
+        ));
+    }
+
+    #[test]
+    fn unsupported_type_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        buf.put_u16(99); // unknown type
+        buf.put_u16(1);
+        buf.put_u32(0);
+        let mut r = MrtReader::new(&buf);
+        assert!(matches!(
+            r.next_record(),
+            Err(MrtError::Unsupported {
+                mrt_type: 99,
+                subtype: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_clean_eof() {
+        let mut r = MrtReader::new(&[]);
+        assert_eq!(r.next_record().unwrap(), None);
+    }
+}

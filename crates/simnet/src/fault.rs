@@ -1,0 +1,165 @@
+//! Fault injection for links and feeds: drops, duplicates, delay spikes.
+
+use crate::{LatencyModel, SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// What happened to a message passing through a faulty element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Extra delay to apply to each surviving copy. Empty = dropped.
+    /// One element = delivered once; two = duplicated.
+    pub deliveries: Vec<SimDuration>,
+}
+
+impl FaultDecision {
+    /// Was the message dropped entirely?
+    pub fn dropped(&self) -> bool {
+        self.deliveries.is_empty()
+    }
+
+    /// Clean single delivery with no extra delay.
+    pub fn clean() -> Self {
+        FaultDecision {
+            deliveries: vec![SimDuration::ZERO],
+        }
+    }
+}
+
+/// A configurable fault injector, in the spirit of smoltcp's
+/// `--drop-chance` / `--corrupt-chance` example switches. Applied by
+/// links (BGP messages) and feeds (monitor events).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    /// Probability a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Probability an extra delay spike is added.
+    pub spike_probability: f64,
+    /// The spike magnitude distribution.
+    pub spike: LatencyModel,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultInjector {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            spike_probability: 0.0,
+            spike: LatencyModel::zero(),
+        }
+    }
+
+    /// Drop-only injector.
+    pub fn dropper(p: f64) -> Self {
+        FaultInjector {
+            drop_probability: p,
+            ..Self::none()
+        }
+    }
+
+    /// Spike-only injector.
+    pub fn spiker(p: f64, spike: LatencyModel) -> Self {
+        FaultInjector {
+            spike_probability: p,
+            spike,
+            ..Self::none()
+        }
+    }
+
+    /// True if this injector can never do anything.
+    pub fn is_noop(&self) -> bool {
+        self.drop_probability <= 0.0
+            && self.duplicate_probability <= 0.0
+            && self.spike_probability <= 0.0
+    }
+
+    /// Decide the fate of one message.
+    pub fn apply(&self, rng: &mut SimRng) -> FaultDecision {
+        if self.is_noop() {
+            return FaultDecision::clean();
+        }
+        if rng.chance(self.drop_probability) {
+            return FaultDecision {
+                deliveries: Vec::new(),
+            };
+        }
+        let copies = if rng.chance(self.duplicate_probability) {
+            2
+        } else {
+            1
+        };
+        let deliveries = (0..copies)
+            .map(|_| {
+                if rng.chance(self.spike_probability) {
+                    self.spike.sample(rng)
+                } else {
+                    SimDuration::ZERO
+                }
+            })
+            .collect();
+        FaultDecision { deliveries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_always_clean() {
+        let inj = FaultInjector::none();
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(inj.apply(&mut rng), FaultDecision::clean());
+        }
+        assert!(inj.is_noop());
+    }
+
+    #[test]
+    fn dropper_drops_at_rate() {
+        let inj = FaultInjector::dropper(0.25);
+        let mut rng = SimRng::new(2);
+        let drops = (0..10_000).filter(|_| inj.apply(&mut rng).dropped()).count();
+        assert!((2_200..2_800).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let inj = FaultInjector {
+            duplicate_probability: 1.0,
+            ..FaultInjector::none()
+        };
+        let mut rng = SimRng::new(3);
+        let d = inj.apply(&mut rng);
+        assert_eq!(d.deliveries.len(), 2);
+        assert!(!d.dropped());
+    }
+
+    #[test]
+    fn spikes_add_delay() {
+        let inj = FaultInjector::spiker(1.0, LatencyModel::const_secs(9));
+        let mut rng = SimRng::new(4);
+        let d = inj.apply(&mut rng);
+        assert_eq!(d.deliveries, vec![SimDuration::from_secs(9)]);
+    }
+
+    #[test]
+    fn drop_takes_precedence_over_duplicate() {
+        let inj = FaultInjector {
+            drop_probability: 1.0,
+            duplicate_probability: 1.0,
+            spike_probability: 1.0,
+            spike: LatencyModel::const_secs(1),
+        };
+        let mut rng = SimRng::new(5);
+        assert!(inj.apply(&mut rng).dropped());
+    }
+}

@@ -1,0 +1,235 @@
+//! Latency models used to calibrate feeds, links and controllers.
+
+use crate::{SimDuration, SimRng};
+use rand_distr::{Distribution, Exp, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A distribution over delays.
+///
+/// The ARTEMIS calibration (DESIGN.md §4) uses:
+/// * `Constant`/`Uniform` for link propagation and controller install
+///   delays,
+/// * `Exponential` for router processing,
+/// * `LogNormal` for collector export pipelines (heavy-tailed, matches
+///   measured RIS/BGPmon latencies),
+/// * `Empirical` to replay measured samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Always exactly `SimDuration`.
+    Constant(SimDuration),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: SimDuration,
+        /// Upper bound (inclusive).
+        hi: SimDuration,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean delay.
+        mean: SimDuration,
+    },
+    /// Log-normal parameterized by median and shape `sigma`.
+    LogNormal {
+        /// Median delay (`exp(mu)`).
+        median: SimDuration,
+        /// Shape parameter (sigma of the underlying normal).
+        sigma: f64,
+    },
+    /// Sample uniformly from a fixed set of observed delays.
+    Empirical(Vec<SimDuration>),
+}
+
+impl LatencyModel {
+    /// Zero delay.
+    pub fn zero() -> Self {
+        LatencyModel::Constant(SimDuration::ZERO)
+    }
+
+    /// Convenience constructor: constant milliseconds.
+    pub fn const_millis(ms: u64) -> Self {
+        LatencyModel::Constant(SimDuration::from_millis(ms))
+    }
+
+    /// Convenience constructor: constant seconds.
+    pub fn const_secs(s: u64) -> Self {
+        LatencyModel::Constant(SimDuration::from_secs(s))
+    }
+
+    /// Convenience constructor: uniform between milliseconds bounds.
+    pub fn uniform_millis(lo: u64, hi: u64) -> Self {
+        LatencyModel::Uniform {
+            lo: SimDuration::from_millis(lo),
+            hi: SimDuration::from_millis(hi),
+        }
+    }
+
+    /// Convenience constructor: uniform between second bounds.
+    pub fn uniform_secs(lo: u64, hi: u64) -> Self {
+        LatencyModel::Uniform {
+            lo: SimDuration::from_secs(lo),
+            hi: SimDuration::from_secs(hi),
+        }
+    }
+
+    /// Draw one delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { lo, hi } => {
+                let (lo_us, hi_us) = (lo.as_micros(), hi.as_micros());
+                if hi_us <= lo_us {
+                    *lo
+                } else {
+                    SimDuration::from_micros(rng.range_u64(lo_us, hi_us + 1))
+                }
+            }
+            LatencyModel::Exponential { mean } => {
+                let lambda = 1.0 / mean.as_secs_f64().max(1e-9);
+                let exp = Exp::new(lambda).expect("lambda > 0");
+                SimDuration::from_secs_f64(exp.sample(rng.raw()))
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                let mu = median.as_secs_f64().max(1e-9).ln();
+                let ln = LogNormal::new(mu, *sigma).expect("finite parameters");
+                SimDuration::from_secs_f64(ln.sample(rng.raw()))
+            }
+            LatencyModel::Empirical(samples) => {
+                samples.is_empty().then(SimDuration::default).unwrap_or_else(|| {
+                    *rng.choose(samples).expect("non-empty checked")
+                })
+            }
+        }
+    }
+
+    /// The model's mean, where analytically available (`Empirical`
+    /// returns the sample mean; `LogNormal` uses exp(mu + sigma²/2)).
+    pub fn mean(&self) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { lo, hi } => (*lo + *hi) / 2,
+            LatencyModel::Exponential { mean } => *mean,
+            LatencyModel::LogNormal { median, sigma } => {
+                let mu = median.as_secs_f64().max(1e-9).ln();
+                SimDuration::from_secs_f64((mu + sigma * sigma / 2.0).exp())
+            }
+            LatencyModel::Empirical(samples) => {
+                if samples.is_empty() {
+                    SimDuration::ZERO
+                } else {
+                    samples.iter().copied().sum::<SimDuration>() / samples.len() as u64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(1234)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::const_millis(30);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimDuration::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::uniform_millis(10, 20);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let d = m.sample(&mut r);
+            assert!(d >= SimDuration::from_millis(10) && d <= SimDuration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let m = LatencyModel::Uniform {
+            lo: SimDuration::from_secs(5),
+            hi: SimDuration::from_secs(5),
+        };
+        assert_eq!(m.sample(&mut rng()), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn exponential_mean_is_calibrated() {
+        let m = LatencyModel::Exponential {
+            mean: SimDuration::from_secs(10),
+        };
+        let mut r = rng();
+        let n = 20_000;
+        let total: SimDuration = (0..n).map(|_| m.sample(&mut r)).sum();
+        let mean_s = total.as_secs_f64() / n as f64;
+        assert!((9.0..11.0).contains(&mean_s), "mean {mean_s}");
+    }
+
+    #[test]
+    fn lognormal_median_is_calibrated() {
+        let m = LatencyModel::LogNormal {
+            median: SimDuration::from_secs(4),
+            sigma: 0.8,
+        };
+        let mut r = rng();
+        let mut samples: Vec<u64> = (0..10_001).map(|_| m.sample(&mut r).as_micros()).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64 / 1e6;
+        assert!((3.5..4.5).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn empirical_samples_from_set() {
+        let set = vec![
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(3),
+        ];
+        let m = LatencyModel::Empirical(set.clone());
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(set.contains(&m.sample(&mut r)));
+        }
+        assert_eq!(
+            LatencyModel::Empirical(vec![]).sample(&mut r),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(
+            LatencyModel::uniform_secs(10, 20).mean(),
+            SimDuration::from_secs(15)
+        );
+        assert_eq!(
+            LatencyModel::const_secs(7).mean(),
+            SimDuration::from_secs(7)
+        );
+        assert_eq!(
+            LatencyModel::Empirical(vec![
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(4)
+            ])
+            .mean(),
+            SimDuration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::uniform_millis(0, 1_000_000);
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        for _ in 0..50 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # artemis-simnet — deterministic discrete-event simulation engine
+//!
+//! Everything in the ARTEMIS reproduction runs on *virtual time*: the
+//! BGP propagation simulator, the monitoring feeds and the ARTEMIS
+//! services all schedule work on one [`EventQueue`]. A single `u64`
+//! seed fully determines a run, which is what makes the paper's
+//! experiments repeatable and the test suite stable.
+//!
+//! Design notes (following the event-driven style of the networking
+//! guides):
+//!
+//! * The queue is a binary heap ordered by `(time, sequence)` — events
+//!   scheduled for the same instant pop in FIFO order, so there is no
+//!   hidden nondeterminism.
+//! * No wall-clock, no threads, no blocking: a simulation step is a pure
+//!   function of (state, event).
+//! * Randomness is explicit: components own [`SimRng`] streams forked
+//!   from the master seed, so adding a component never perturbs the
+//!   random draws of another.
+//! * Latency is modeled by [`LatencyModel`] (constant / uniform /
+//!   exponential / lognormal / empirical) and faults by
+//!   [`FaultInjector`] (drop / duplicate / delay-spike), mirroring the
+//!   fault-injection switches smoltcp exposes on its examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod latency;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use fault::{FaultDecision, FaultInjector};
+pub use latency::LatencyModel;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

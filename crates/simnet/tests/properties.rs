@@ -1,0 +1,103 @@
+//! Property tests for the simulation substrate: the event queue's
+//! ordering guarantees and the statistical calibration of latency
+//! models and fault injection.
+
+use artemis_simnet::{EventQueue, FaultInjector, LatencyModel, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order with FIFO ties —
+    /// whatever the insertion order.
+    #[test]
+    fn queue_pops_sorted_with_fifo_ties(
+        times in prop::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(*t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(x) = q.pop() {
+            popped.push(x);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated for equal times");
+            }
+        }
+    }
+
+    /// The queue's clock equals the last popped event's time and is
+    /// monotone.
+    #[test]
+    fn queue_clock_is_monotone(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for t in &times {
+            q.schedule(SimTime::from_micros(*t), ());
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(q.now() >= prev);
+            prop_assert_eq!(q.now(), t);
+            prev = t;
+        }
+    }
+
+    /// Uniform latency models stay within their bounds for any bounds.
+    #[test]
+    fn uniform_latency_in_bounds(lo in 0u64..10_000, width in 0u64..10_000, seed in any::<u64>()) {
+        let model = LatencyModel::Uniform {
+            lo: SimDuration::from_micros(lo),
+            hi: SimDuration::from_micros(lo + width),
+        };
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let d = model.sample(&mut rng);
+            prop_assert!(d.as_micros() >= lo && d.as_micros() <= lo + width);
+        }
+    }
+
+    /// Fault injection: drop rate converges to the configured
+    /// probability (within generous statistical bounds).
+    #[test]
+    fn drop_rate_calibrated(p in 0.05f64..0.95, seed in any::<u64>()) {
+        let inj = FaultInjector::dropper(p);
+        let mut rng = SimRng::new(seed);
+        let n = 4_000;
+        let drops = (0..n).filter(|_| inj.apply(&mut rng).dropped()).count();
+        let rate = drops as f64 / n as f64;
+        prop_assert!((rate - p).abs() < 0.05, "rate {rate} vs p {p}");
+    }
+
+    /// Forked RNG streams with the same label agree; different labels
+    /// disagree.
+    #[test]
+    fn fork_determinism(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let master = SimRng::new(seed);
+        let mut a = master.fork(&label);
+        let mut b = master.fork(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.range_u64(0, u64::MAX - 1), b.range_u64(0, u64::MAX - 1));
+        }
+        let mut c = master.fork(&format!("{label}-x"));
+        let mut d = master.fork(&label);
+        let equal = (0..16)
+            .filter(|_| c.range_u64(0, u64::MAX - 1) == d.range_u64(0, u64::MAX - 1))
+            .count();
+        prop_assert!(equal < 4, "distinct labels should diverge");
+    }
+
+    /// Durations: arithmetic identities hold for arbitrary values.
+    #[test]
+    fn duration_arithmetic_identities(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+        prop_assert_eq!(da.min(db) + da.max(db), da + db);
+        let t = SimTime::ZERO + da;
+        prop_assert_eq!(t.since(SimTime::ZERO), da);
+    }
+}

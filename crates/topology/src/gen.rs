@@ -1,0 +1,334 @@
+//! Deterministic Internet-like topology generator.
+//!
+//! Structure (a standard hierarchical model, adequate for reproducing
+//! the *dynamics* the paper measures — see DESIGN.md §2):
+//!
+//! * a clique of tier-1 ASes (settlement-free peers covering the top),
+//! * mid-tier transit ASes, each multihomed to providers chosen with
+//!   preferential attachment (degree-proportional, yielding the heavy
+//!   tail real AS graphs have),
+//! * stub ASes (the overwhelming majority, like the real Internet),
+//!   multihomed to 1–2 transit providers,
+//! * random peering links between mid-tier ASes.
+
+use crate::graph::AsGraph;
+use artemis_bgp::Asn;
+use artemis_simnet::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Total number of ASes (>= 4).
+    pub total_ases: usize,
+    /// Number of tier-1 ASes forming the top clique.
+    pub tier1_count: usize,
+    /// Fraction of non-tier-1 ASes acting as mid-tier transit.
+    pub transit_fraction: f64,
+    /// Min/max providers for each transit AS.
+    pub transit_providers: (usize, usize),
+    /// Min/max providers for each stub AS.
+    pub stub_providers: (usize, usize),
+    /// Number of extra peering links between mid-tier ASes, as a
+    /// fraction of the mid-tier count.
+    pub midtier_peering_fraction: f64,
+    /// First ASN assigned (ASes get consecutive numbers).
+    pub first_asn: u32,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            total_ases: 1_000,
+            tier1_count: 8,
+            transit_fraction: 0.15,
+            transit_providers: (1, 3),
+            stub_providers: (1, 2),
+            midtier_peering_fraction: 0.3,
+            first_asn: 1,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A small topology for unit tests (fast to converge).
+    pub fn tiny() -> Self {
+        TopologyConfig {
+            total_ases: 30,
+            tier1_count: 3,
+            transit_fraction: 0.3,
+            ..Default::default()
+        }
+    }
+
+    /// A medium topology (used by most experiments; ~1000 ASes matches
+    /// the scale where BGP dynamics already show the paper's shapes).
+    pub fn medium() -> Self {
+        TopologyConfig::default()
+    }
+}
+
+/// Generated topology plus the tier metadata experiments use for
+/// vantage-point placement.
+#[derive(Debug, Clone)]
+pub struct GeneratedTopology {
+    /// The relationship graph.
+    pub graph: AsGraph,
+    /// Tier-1 ASNs (clique members).
+    pub tier1: Vec<Asn>,
+    /// Mid-tier transit ASNs.
+    pub transit: Vec<Asn>,
+    /// Stub ASNs.
+    pub stubs: Vec<Asn>,
+}
+
+impl GeneratedTopology {
+    /// Total AS count.
+    pub fn as_count(&self) -> usize {
+        self.graph.as_count()
+    }
+}
+
+/// Generate a topology. Deterministic in `(config, seed of rng)`.
+///
+/// # Panics
+/// If `config.total_ases < tier1_count + 1` or bounds are inverted.
+pub fn generate(config: &TopologyConfig, rng: &mut SimRng) -> GeneratedTopology {
+    assert!(
+        config.total_ases > config.tier1_count,
+        "need more ASes than tier-1s"
+    );
+    assert!(config.tier1_count >= 1, "need at least one tier-1");
+    assert!(config.transit_providers.0 >= 1 && config.stub_providers.0 >= 1);
+    assert!(config.transit_providers.0 <= config.transit_providers.1);
+    assert!(config.stub_providers.0 <= config.stub_providers.1);
+
+    let mut graph = AsGraph::new();
+    let mut next_asn = config.first_asn;
+    let mut alloc = |n: usize| -> Vec<Asn> {
+        let out: Vec<Asn> = (0..n).map(|i| Asn(next_asn + i as u32)).collect();
+        next_asn += n as u32;
+        out
+    };
+
+    let tier1 = alloc(config.tier1_count);
+    let non_tier1 = config.total_ases - config.tier1_count;
+    let transit_count = ((non_tier1 as f64) * config.transit_fraction).round() as usize;
+    let transit_count = transit_count.clamp(1, non_tier1.saturating_sub(1).max(1));
+    let transit = alloc(transit_count);
+    let stubs = alloc(non_tier1 - transit_count);
+
+    // Tier-1 clique.
+    for (i, a) in tier1.iter().enumerate() {
+        graph.add_as(*a);
+        for b in &tier1[i + 1..] {
+            graph.add_peering(*a, *b).expect("clique edges unique");
+        }
+    }
+
+    // Transit ASes attach to providers among tier-1 + earlier transit,
+    // degree-proportional (preferential attachment).
+    let mut provider_pool: Vec<Asn> = tier1.clone();
+    for t in &transit {
+        graph.add_as(*t);
+        let want = rng
+            .range_u64(
+                config.transit_providers.0 as u64,
+                config.transit_providers.1 as u64 + 1,
+            ) as usize;
+        let want = want.min(provider_pool.len());
+        let chosen = pick_weighted_distinct(&graph, &provider_pool, want, rng);
+        for p in chosen {
+            graph
+                .add_provider_customer(p, *t)
+                .expect("provider edges unique by construction");
+        }
+        provider_pool.push(*t);
+    }
+
+    // Stubs attach to transit (and occasionally tier-1) providers.
+    for s in &stubs {
+        graph.add_as(*s);
+        let want = rng
+            .range_u64(
+                config.stub_providers.0 as u64,
+                config.stub_providers.1 as u64 + 1,
+            ) as usize;
+        let want = want.min(provider_pool.len());
+        let chosen = pick_weighted_distinct(&graph, &provider_pool, want, rng);
+        for p in chosen {
+            graph
+                .add_provider_customer(p, *s)
+                .expect("stub edges unique by construction");
+        }
+    }
+
+    // Mid-tier peering links.
+    let peering_links = ((transit.len() as f64) * config.midtier_peering_fraction) as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < peering_links && attempts < peering_links * 20 + 20 {
+        attempts += 1;
+        if transit.len() < 2 {
+            break;
+        }
+        let a = *rng.choose(&transit).expect("non-empty");
+        let b = *rng.choose(&transit).expect("non-empty");
+        if a == b || graph.relationship(a, b).is_some() {
+            continue;
+        }
+        graph.add_peering(a, b).expect("checked for duplicates");
+        added += 1;
+    }
+
+    GeneratedTopology {
+        graph,
+        tier1,
+        transit,
+        stubs,
+    }
+}
+
+/// Pick up to `k` distinct providers, degree-proportional (+1 smoothing
+/// so zero-degree candidates remain eligible).
+fn pick_weighted_distinct(graph: &AsGraph, pool: &[Asn], k: usize, rng: &mut SimRng) -> Vec<Asn> {
+    let mut chosen: Vec<Asn> = Vec::with_capacity(k);
+    let mut weights: Vec<(Asn, u64)> = pool
+        .iter()
+        .map(|a| (*a, graph.degree(*a) as u64 + 1))
+        .collect();
+    for _ in 0..k {
+        let total: u64 = weights.iter().map(|(_, w)| w).sum();
+        if total == 0 || weights.is_empty() {
+            break;
+        }
+        let mut pick = rng.range_u64(0, total);
+        let mut idx = 0;
+        for (i, (_, w)) in weights.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        chosen.push(weights.remove(idx).0);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(seed: u64, cfg: &TopologyConfig) -> GeneratedTopology {
+        let mut rng = SimRng::new(seed);
+        generate(cfg, &mut rng)
+    }
+
+    #[test]
+    fn respects_counts() {
+        let cfg = TopologyConfig::tiny();
+        let t = gen(1, &cfg);
+        assert_eq!(t.as_count(), cfg.total_ases);
+        assert_eq!(t.tier1.len(), cfg.tier1_count);
+        assert_eq!(
+            t.tier1.len() + t.transit.len() + t.stubs.len(),
+            cfg.total_ases
+        );
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let cfg = TopologyConfig::tiny();
+        let a = gen(42, &cfg);
+        let b = gen(42, &cfg);
+        let ea: Vec<_> = a
+            .graph
+            .ases()
+            .flat_map(|x| a.graph.neighbors(x).map(move |(n, r)| (x, n, r)).collect::<Vec<_>>())
+            .collect();
+        let eb: Vec<_> = b
+            .graph
+            .ases()
+            .flat_map(|x| b.graph.neighbors(x).map(move |(n, r)| (x, n, r)).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = TopologyConfig::tiny();
+        let a = gen(1, &cfg);
+        let b = gen(2, &cfg);
+        assert_ne!(
+            a.graph.degree_histogram(),
+            b.graph.degree_histogram(),
+            "two seeds produced identical degree histograms — suspicious"
+        );
+    }
+
+    #[test]
+    fn connected_and_tiered() {
+        for seed in [1, 7, 99] {
+            let t = gen(seed, &TopologyConfig::tiny());
+            assert!(t.graph.is_connected(), "seed {seed}");
+            // Tier-1s have no providers.
+            for a in &t.tier1 {
+                assert!(t.graph.providers(*a).is_empty(), "tier1 {a} has provider");
+            }
+            // Every non-tier-1 has at least one provider.
+            for a in t.transit.iter().chain(&t.stubs) {
+                assert!(!t.graph.providers(*a).is_empty(), "{a} has no provider");
+            }
+            // Stubs have no customers.
+            for a in &t.stubs {
+                assert!(t.graph.customers(*a).is_empty(), "stub {a} has customer");
+            }
+        }
+    }
+
+    #[test]
+    fn tier1_clique_complete() {
+        let t = gen(5, &TopologyConfig::tiny());
+        for a in &t.tier1 {
+            for b in &t.tier1 {
+                if a != b {
+                    assert_eq!(
+                        t.graph.relationship(*a, *b),
+                        Some(crate::graph::RelKind::Peer)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn medium_scale_generates_quickly_and_connected() {
+        let t = gen(3, &TopologyConfig::medium());
+        assert_eq!(t.as_count(), 1_000);
+        assert!(t.graph.is_connected());
+        // Degree tail: the best-connected AS should have far more than
+        // the median degree (preferential attachment at work).
+        let max_degree = t.graph.ases().map(|a| t.graph.degree(a)).max().unwrap();
+        assert!(max_degree > 20, "max degree {max_degree}");
+    }
+
+    #[test]
+    fn full_reachability_from_stubs() {
+        let t = gen(11, &TopologyConfig::tiny());
+        let stub = t.stubs[0];
+        let reach = crate::path::policy_reachable(&t.graph, stub);
+        assert_eq!(reach.len(), t.as_count(), "stub routes must reach everyone");
+    }
+
+    #[test]
+    #[should_panic(expected = "need more ASes")]
+    fn rejects_bad_config() {
+        let cfg = TopologyConfig {
+            total_ases: 3,
+            tier1_count: 5,
+            ..Default::default()
+        };
+        gen(1, &cfg);
+    }
+}

@@ -1,0 +1,28 @@
+//! # artemis-topology — AS-level Internet topology substrate
+//!
+//! The ARTEMIS paper evaluates against the real Internet; this crate
+//! provides the simulated stand-in: an AS-level graph annotated with
+//! business relationships (customer–provider and peer–peer), the
+//! Gao–Rexford routing-policy rules derived from them, a hierarchical
+//! Internet-like topology generator, and the CAIDA `as-rel` text format
+//! so real relationship inferences can be loaded when available.
+//!
+//! * [`AsGraph`] — the relationship-annotated graph.
+//! * [`RelKind`] / [`policy`] — per-neighbor roles and the valley-free
+//!   export rules plus LOCAL_PREF assignment.
+//! * [`TopologyConfig`] / [`generate`] — deterministic generator with a
+//!   tier-1 clique, transit tiers, multihomed stubs and peering links.
+//! * [`serial`] — CAIDA `as-rel` (`a|b|-1`, `a|b|0`) load/save.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod graph;
+pub mod path;
+pub mod policy;
+pub mod serial;
+
+pub use gen::{generate, GeneratedTopology, TopologyConfig};
+pub use graph::{AsGraph, RelKind};
+pub use policy::{export_allowed, local_pref_for};

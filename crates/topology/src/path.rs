@@ -1,0 +1,197 @@
+//! Valley-free path utilities: validation and policy-aware reachability.
+
+use crate::graph::{AsGraph, RelKind};
+use artemis_bgp::Asn;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Is this AS-level path (ordered source → destination) valley-free in
+/// `graph`? A valid path climbs customer→provider edges, optionally
+/// crosses at most one peer edge, then descends provider→customer edges.
+/// Any edge missing from the graph invalidates the path.
+pub fn is_valley_free(graph: &AsGraph, path: &[Asn]) -> bool {
+    if path.len() < 2 {
+        return true;
+    }
+    #[derive(PartialEq, Clone, Copy, PartialOrd)]
+    enum Phase {
+        Up,
+        Peak,
+        Down,
+    }
+    let mut phase = Phase::Up;
+    for w in path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        // The step a→b: classify by b's role relative to a.
+        let Some(role) = graph.relationship(a, b) else {
+            return false;
+        };
+        match role {
+            RelKind::Provider => {
+                // climbing; only allowed while still in the Up phase
+                if phase != Phase::Up {
+                    return false;
+                }
+            }
+            RelKind::Peer => {
+                if phase != Phase::Up {
+                    return false;
+                }
+                phase = Phase::Peak;
+            }
+            RelKind::Customer => {
+                phase = Phase::Down;
+            }
+        }
+    }
+    true
+}
+
+/// Policy-aware reachability: the set of ASes that would receive a
+/// route originated at `origin` if every AS applied Gao–Rexford export
+/// rules (ignoring path preference — this is the *availability* closure,
+/// an upper bound the simulator's converged state must stay within).
+pub fn policy_reachable(graph: &AsGraph, origin: Asn) -> BTreeSet<Asn> {
+    // State: (asn, how the route arrived there). Arrival kinds, from the
+    // receiver's perspective: from a Customer (may re-export anywhere),
+    // from a Peer / Provider (re-export only to customers).
+    let mut reached: BTreeSet<Asn> = BTreeSet::new();
+    let mut best_state: std::collections::BTreeMap<Asn, u8> = Default::default();
+    // encode: 0 = origin/customer-learned (strongest), 1 = peer/provider-learned
+    let mut queue: VecDeque<(Asn, u8)> = VecDeque::new();
+    queue.push_back((origin, 0));
+    best_state.insert(origin, 0);
+    while let Some((asn, state)) = queue.pop_front() {
+        reached.insert(asn);
+        for (neigh, role) in graph.neighbors(asn) {
+            // May `asn` export to `neigh`?
+            let learned_from = match state {
+                0 => None, // treat as own/customer route: export anywhere
+                _ => Some(RelKind::Provider),
+            };
+            if !crate::policy::export_allowed(learned_from, role) {
+                continue;
+            }
+            // How does `neigh` see the route? It learned it from `asn`,
+            // whose role relative to `neigh` is the inverse of `role`.
+            let arrival = match role.inverse() {
+                RelKind::Customer => 0u8,
+                RelKind::Peer | RelKind::Provider => 1u8,
+            };
+            let better = match best_state.get(&neigh) {
+                None => true,
+                Some(prev) => arrival < *prev,
+            };
+            if better {
+                best_state.insert(neigh, arrival);
+                queue.push_back((neigh, arrival));
+            }
+        }
+    }
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asn(v: u32) -> Asn {
+        Asn(v)
+    }
+
+    /// Small reference topology:
+    ///
+    /// ```text
+    ///        1 ----- 2        (tier-1 peering)
+    ///       / \       \
+    ///      3   4       5      (1,2 provide transit)
+    ///     /     \     /
+    ///    6       7===8        (7 and 8 peer; 6,7,8 stubs)
+    /// ```
+    fn reference() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_peering(asn(1), asn(2)).unwrap();
+        g.add_provider_customer(asn(1), asn(3)).unwrap();
+        g.add_provider_customer(asn(1), asn(4)).unwrap();
+        g.add_provider_customer(asn(2), asn(5)).unwrap();
+        g.add_provider_customer(asn(3), asn(6)).unwrap();
+        g.add_provider_customer(asn(4), asn(7)).unwrap();
+        g.add_provider_customer(asn(5), asn(8)).unwrap();
+        g.add_peering(asn(7), asn(8)).unwrap();
+        g
+    }
+
+    #[test]
+    fn uphill_then_downhill_is_valley_free() {
+        let g = reference();
+        assert!(is_valley_free(&g, &[asn(6), asn(3), asn(1), asn(4), asn(7)]));
+    }
+
+    #[test]
+    fn single_peer_crossing_allowed() {
+        let g = reference();
+        assert!(is_valley_free(
+            &g,
+            &[asn(6), asn(3), asn(1), asn(2), asn(5), asn(8)]
+        ));
+        assert!(is_valley_free(&g, &[asn(7), asn(8)]));
+    }
+
+    #[test]
+    fn valley_rejected() {
+        let g = reference();
+        // down to 4's customer 7 then back up via 8's provider 5: valley.
+        assert!(!is_valley_free(
+            &g,
+            &[asn(4), asn(7), asn(8), asn(5), asn(2)]
+        ));
+    }
+
+    #[test]
+    fn two_peer_crossings_rejected() {
+        let g = reference();
+        // peer (7-8) then climb to 5 — already covered; direct double-peer:
+        // 1-2 peer then 2... no second peer at top; craft: 7 peers 8, 8 up 5,
+        // so use path [4,7,8] : 7 seen from 4 = customer (down), then 8 via
+        // peer after down → invalid.
+        assert!(!is_valley_free(&g, &[asn(4), asn(7), asn(8)]));
+    }
+
+    #[test]
+    fn missing_edge_rejected() {
+        let g = reference();
+        assert!(!is_valley_free(&g, &[asn(6), asn(7)]));
+    }
+
+    #[test]
+    fn trivial_paths_are_valley_free() {
+        let g = reference();
+        assert!(is_valley_free(&g, &[]));
+        assert!(is_valley_free(&g, &[asn(1)]));
+    }
+
+    #[test]
+    fn policy_reachability_is_complete_here() {
+        // In a fully transit-connected topology every AS hears every
+        // route (the Internet property ARTEMIS relies on: the hijacked
+        // prefix is visible somewhere).
+        let g = reference();
+        for origin in g.ases() {
+            let reach = policy_reachable(&g, origin);
+            assert_eq!(reach.len(), g.as_count(), "origin {origin}");
+        }
+    }
+
+    #[test]
+    fn policy_reachability_respects_valleys() {
+        // Disconnect the hierarchy: two providers with one shared
+        // customer; the customer must not provide transit between them.
+        let mut g = AsGraph::new();
+        g.add_provider_customer(asn(10), asn(100)).unwrap();
+        g.add_provider_customer(asn(20), asn(100)).unwrap();
+        let reach = policy_reachable(&g, asn(10));
+        // 10 -> 100 (customer) ok; 100 must not re-export provider route
+        // to its other provider 20.
+        assert!(reach.contains(&asn(100)));
+        assert!(!reach.contains(&asn(20)));
+    }
+}

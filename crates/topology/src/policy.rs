@@ -1,0 +1,98 @@
+//! Gao–Rexford routing policies derived from business relationships.
+//!
+//! Two rules drive everything the simulator (and the real Internet)
+//! does with a route:
+//!
+//! 1. **Preference**: prefer routes learned from customers over peers
+//!    over providers (they earn, cost-neutral, cost money). Encoded as
+//!    LOCAL_PREF by [`local_pref_for`].
+//! 2. **Export (valley-free)**: routes learned from a customer may be
+//!    exported to everyone; routes learned from a peer or provider may
+//!    only be exported to customers. Encoded by [`export_allowed`].
+
+use crate::graph::RelKind;
+
+/// LOCAL_PREF assigned to a route by the session it was learned over.
+/// Locally originated routes use [`LOCAL_PREF_ORIGINATE`].
+pub fn local_pref_for(learned_from: RelKind) -> u32 {
+    match learned_from {
+        RelKind::Customer => 300,
+        RelKind::Peer => 200,
+        RelKind::Provider => 100,
+    }
+}
+
+/// LOCAL_PREF for locally originated routes: above everything learned,
+/// so an AS always prefers its own origination.
+pub const LOCAL_PREF_ORIGINATE: u32 = 400;
+
+/// The Gao–Rexford export rule.
+///
+/// `learned_from` is how the route entered this AS (`None` = locally
+/// originated); `to` is the neighbor we are about to export to.
+pub fn export_allowed(learned_from: Option<RelKind>, to: RelKind) -> bool {
+    match learned_from {
+        // Own routes and customer routes are advertised to everyone.
+        None | Some(RelKind::Customer) => true,
+        // Peer/provider routes only go down to customers.
+        Some(RelKind::Peer) | Some(RelKind::Provider) => to == RelKind::Customer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_order_is_customer_peer_provider() {
+        assert!(local_pref_for(RelKind::Customer) > local_pref_for(RelKind::Peer));
+        assert!(local_pref_for(RelKind::Peer) > local_pref_for(RelKind::Provider));
+        assert!(LOCAL_PREF_ORIGINATE > local_pref_for(RelKind::Customer));
+    }
+
+    #[test]
+    fn own_routes_export_everywhere() {
+        for to in [RelKind::Customer, RelKind::Peer, RelKind::Provider] {
+            assert!(export_allowed(None, to));
+        }
+    }
+
+    #[test]
+    fn customer_routes_export_everywhere() {
+        for to in [RelKind::Customer, RelKind::Peer, RelKind::Provider] {
+            assert!(export_allowed(Some(RelKind::Customer), to));
+        }
+    }
+
+    #[test]
+    fn peer_and_provider_routes_only_go_to_customers() {
+        for from in [RelKind::Peer, RelKind::Provider] {
+            assert!(export_allowed(Some(from), RelKind::Customer));
+            assert!(!export_allowed(Some(from), RelKind::Peer));
+            assert!(!export_allowed(Some(from), RelKind::Provider));
+        }
+    }
+
+    /// The composition of the export rule across a path forbids valleys:
+    /// there is no allowed sequence peer→peer, provider→peer, etc.
+    #[test]
+    fn no_valley_compositions() {
+        // If AS B learned from X (B's view) and exports to C, then C
+        // learns the route from a neighbor whose role (C's view) is
+        // B = provider iff C is B's customer, etc. Walking two hops:
+        // B learns from provider, exports only to customer C; C sees B
+        // as provider — C can again export only to its customers. Once
+        // "down", forever down. We assert the closure property.
+        let down_only = [RelKind::Peer, RelKind::Provider];
+        for from in down_only {
+            // export restricted to customers…
+            assert!(export_allowed(Some(from), RelKind::Customer));
+            // …and the receiving AS sees us as its provider, so its own
+            // re-export is again restricted (route learned from provider).
+            let as_seen_by_receiver = RelKind::Provider;
+            for to in [RelKind::Peer, RelKind::Provider] {
+                assert!(!export_allowed(Some(as_seen_by_receiver), to));
+            }
+        }
+    }
+}

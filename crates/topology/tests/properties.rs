@@ -1,0 +1,110 @@
+//! Property tests for topology generation, policies and serialization.
+
+use artemis_simnet::SimRng;
+use artemis_topology::path::{is_valley_free, policy_reachable};
+use artemis_topology::serial::{parse_as_rel, to_as_rel};
+use artemis_topology::{generate, RelKind, TopologyConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = TopologyConfig> {
+    (20usize..80, 2usize..6, 0.1f64..0.5).prop_map(|(total, tier1, transit_frac)| {
+        TopologyConfig {
+            total_ases: total,
+            tier1_count: tier1.min(total - 2),
+            transit_fraction: transit_frac,
+            ..TopologyConfig::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated topologies are always connected, hierarchical and
+    /// give every stub full policy reachability.
+    #[test]
+    fn generated_topologies_are_well_formed(cfg in config_strategy(), seed in 0u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        let t = generate(&cfg, &mut rng);
+        prop_assert_eq!(t.as_count(), cfg.total_ases);
+        prop_assert!(t.graph.is_connected());
+        // Tier-1s have no providers; everyone else has at least one.
+        for a in &t.tier1 {
+            prop_assert!(t.graph.providers(*a).is_empty());
+        }
+        for a in t.transit.iter().chain(&t.stubs) {
+            prop_assert!(!t.graph.providers(*a).is_empty());
+        }
+        // A route from any stub reaches the whole Internet.
+        let stub = t.stubs[seed as usize % t.stubs.len().max(1)];
+        prop_assert_eq!(policy_reachable(&t.graph, stub).len(), cfg.total_ases);
+    }
+
+    /// CAIDA as-rel serialization round-trips edge-exactly.
+    #[test]
+    fn as_rel_roundtrip(cfg in config_strategy(), seed in 0u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        let t = generate(&cfg, &mut rng);
+        let text = to_as_rel(&t.graph);
+        let parsed = parse_as_rel(&text).expect("own output parses");
+        prop_assert_eq!(parsed.as_count(), t.graph.as_count());
+        prop_assert_eq!(parsed.edge_count(), t.graph.edge_count());
+        for a in t.graph.ases() {
+            for (b, r) in t.graph.neighbors(a) {
+                prop_assert_eq!(parsed.relationship(a, b), Some(r));
+            }
+        }
+    }
+
+    /// Customer→provider chains are acyclic (no AS is its own indirect
+    /// provider) — a generator well-formedness property that keeps the
+    /// routing policies sane.
+    #[test]
+    fn provider_hierarchy_is_acyclic(cfg in config_strategy(), seed in 0u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        let t = generate(&cfg, &mut rng);
+        // DFS from each AS along provider edges must never revisit.
+        for start in t.graph.ases() {
+            let mut stack = vec![start];
+            let mut seen = std::collections::BTreeSet::new();
+            while let Some(a) = stack.pop() {
+                for p in t.graph.providers(a) {
+                    prop_assert!(p != start, "cycle through {start}");
+                    if seen.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// An uphill(-peer)-downhill walk built from the graph itself is
+    /// always valley-free.
+    #[test]
+    fn constructed_updown_paths_are_valley_free(cfg in config_strategy(), seed in 0u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        let t = generate(&cfg, &mut rng);
+        let stub = t.stubs[seed as usize % t.stubs.len().max(1)];
+        // Climb to a provider-free AS.
+        let mut path = vec![stub];
+        let mut cur = stub;
+        while let Some(p) = t.graph.providers(cur).first().copied() {
+            path.push(p);
+            cur = p;
+            if path.len() > 30 { break; }
+        }
+        prop_assert!(is_valley_free(&t.graph, &path));
+        // Optionally cross one peer at the top.
+        if let Some(peer) = t.graph.peers(cur).first().copied() {
+            path.push(peer);
+            prop_assert!(is_valley_free(&t.graph, &path));
+        }
+    }
+}
+
+#[test]
+fn relkind_inverse_is_involution() {
+    for r in [RelKind::Customer, RelKind::Peer, RelKind::Provider] {
+        assert_eq!(r.inverse().inverse(), r);
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the wire-format path: engine route changes →
+//! feeds → RIS-live JSON / MRT archives → parsed back → detector.
+
+use artemis_repro::bgp::{Asn, BgpMessage, Prefix};
+use artemis_repro::bgpsim::{Engine, SimConfig};
+use artemis_repro::core::{ArtemisConfig, Detector, OwnedPrefix};
+use artemis_repro::feeds::vantage::group_into_collectors;
+use artemis_repro::feeds::{ArchiveUpdatesFeed, FeedSource, StreamFeed};
+use artemis_repro::mrt::{MrtReader, MrtRecord};
+use artemis_repro::simnet::SimRng;
+use artemis_repro::topology::{generate, TopologyConfig};
+
+fn scenario() -> (Vec<artemis_repro::bgpsim::RouteChange>, Asn, Asn, Vec<Asn>) {
+    let mut rng = SimRng::new(7);
+    let topo = generate(&TopologyConfig::tiny(), &mut rng);
+    let victim = topo.stubs[0];
+    let prefix: Prefix = "10.0.0.0/23".parse().expect("valid");
+    // Collectors peer widely: tier-1 and transit ASes are the vantage
+    // points (like real RIS collectors at IXPs).
+    let vps: Vec<Asn> = topo.tier1.iter().chain(&topo.transit).copied().collect();
+    // Pick an attacker whose hijack is *visible* at some vantage point
+    // — a stub sharing the victim's provider can lose the provider's
+    // tie-break and pollute nobody (a real phenomenon, covered by
+    // `coverage_misses_are_possible` in full_pipeline.rs; here we need
+    // a visible hijack to exercise the wire path).
+    let attacker = topo
+        .stubs
+        .iter()
+        .rev()
+        .copied()
+        .find(|cand| {
+            if *cand == victim {
+                return false;
+            }
+            let mut probe = Engine::new(topo.graph.clone(), SimConfig::default(), 7);
+            probe.announce(victim, prefix);
+            probe.run_to_quiescence(1_000_000);
+            probe.announce(*cand, prefix);
+            probe.run_to_quiescence(1_000_000);
+            vps.iter().any(|vp| {
+                probe
+                    .best_route(*vp, prefix)
+                    .is_some_and(|b| b.origin_as == *cand)
+            })
+        })
+        .expect("some stub's hijack reaches a vantage point");
+    let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), 7);
+    engine.announce(victim, prefix);
+    let mut changes = engine.run_to_quiescence(1_000_000);
+    engine.announce(attacker, prefix);
+    changes.extend(engine.run_to_quiescence(1_000_000));
+    (changes, victim, attacker, vps)
+}
+
+#[test]
+fn ris_json_stream_feeds_the_detector() {
+    let (changes, victim, attacker, vps) = scenario();
+    let mut ris = StreamFeed::ris_live(group_into_collectors("rrc", &vps, 2));
+    let mut rng = SimRng::new(1);
+
+    let config = ArtemisConfig::new(
+        victim,
+        vec![OwnedPrefix::new("10.0.0.0/23".parse().expect("valid"), victim)],
+    );
+    let mut detector = Detector::new(config);
+
+    let mut events: Vec<artemis_repro::feeds::FeedEvent> = Vec::new();
+    for change in &changes {
+        events.extend(ris.on_route_change(change, &mut rng));
+    }
+    events.sort_by_key(|e| e.emitted_at);
+
+    // Every event carries parseable RIS-live JSON whose fields agree
+    // with the typed event.
+    for ev in &events {
+        let raw = ev.raw.as_ref().expect("ris events carry raw JSON");
+        let v: serde_json::Value = serde_json::from_str(raw).expect("valid JSON");
+        assert_eq!(v["type"], "ris_message");
+        assert_eq!(
+            v["data"]["peer_asn"].as_str().expect("peer_asn string"),
+            ev.vantage.value().to_string()
+        );
+        detector.process(ev);
+    }
+    let alerts = detector.alerts().all();
+    assert!(
+        alerts.iter().any(|a| a.offending_origin == Some(attacker)),
+        "hijack by {attacker} must surface through the JSON stream"
+    );
+}
+
+#[test]
+fn mrt_archive_replays_into_the_detector() {
+    let (changes, victim, attacker, vps) = scenario();
+    let mut archive = ArchiveUpdatesFeed::route_views(vps);
+    let mut rng = SimRng::new(2);
+    for change in &changes {
+        archive.on_route_change(change, &mut rng);
+    }
+
+    // Parse the MRT bytes like a baseline detector would and replay the
+    // embedded BGP UPDATEs through ARTEMIS's detection logic.
+    let config = ArtemisConfig::new(
+        victim,
+        vec![OwnedPrefix::new("10.0.0.0/23".parse().expect("valid"), victim)],
+    );
+    let mut detector = Detector::new(config);
+    let mut replayed = 0usize;
+    for record in MrtReader::new(archive.mrt_bytes()) {
+        let record = record.expect("valid MRT");
+        let MrtRecord::Bgp4mp { message, timestamp, .. } = record else {
+            continue;
+        };
+        let BgpMessage::Update(update) = &message.message else {
+            continue;
+        };
+        let Some(attrs) = &update.attrs else { continue };
+        for prefix in &update.nlri {
+            let ev = artemis_repro::feeds::FeedEvent {
+                emitted_at: artemis_simnet::SimTime::from_secs(timestamp as u64),
+                observed_at: artemis_simnet::SimTime::from_secs(timestamp as u64),
+                source: artemis_repro::feeds::FeedKind::ArchiveUpdates,
+                collector: "mrt-replay".into(),
+                vantage: message.peer_as,
+                prefix: *prefix,
+                as_path: Some(attrs.as_path.clone()),
+                origin_as: attrs.as_path.origin(),
+                raw: None,
+            };
+            detector.process(&ev);
+            replayed += 1;
+        }
+    }
+    assert!(replayed > 0, "archive must contain updates");
+    assert!(
+        detector
+            .alerts()
+            .all()
+            .iter()
+            .any(|a| a.offending_origin == Some(attacker)),
+        "hijack must be detectable from the MRT archive replay"
+    );
+}
+
+#[test]
+fn engine_paths_decode_as_valid_bgp_on_every_session() {
+    // Sanity: any path the engine produces can be carried in a real
+    // UPDATE message (encode+decode round-trip).
+    let (changes, _, _, _) = scenario();
+    let codec = artemis_repro::bgp::Codec::four_octet();
+    let mut checked = 0usize;
+    for change in changes.iter().take(200) {
+        let Some(best) = &change.new else { continue };
+        let attrs = artemis_repro::bgp::PathAttributes::with_path(
+            best.as_path.prepend(change.asn),
+            "192.0.2.1".parse().expect("valid"),
+        );
+        let update = artemis_repro::bgp::UpdateMessage::announce(attrs, vec![change.prefix]);
+        let bytes = codec
+            .encode(&BgpMessage::Update(update.clone()))
+            .expect("encodable");
+        let (decoded, _) = codec.decode(&bytes).expect("decodable");
+        assert_eq!(decoded, BgpMessage::Update(update));
+        checked += 1;
+    }
+    // The tiny scenario produces ~40-60 announcements.
+    assert!(checked > 30, "only {checked} routes checked");
+}
