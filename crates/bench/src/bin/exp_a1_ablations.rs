@@ -35,10 +35,16 @@ fn main() {
         });
         let det = collect_metric(&outcomes, |o| o.timings.detection_delay());
         let comp = collect_metric(&outcomes, |o| o.timings.completion_delay());
-        table.row([format!("{:.0}%", share * 100.0), mean_str(&det), mean_str(&comp)]);
+        table.row([
+            format!("{:.0}%", share * 100.0),
+            mean_str(&det),
+            mean_str(&comp),
+        ]);
     }
     print!("{}", table.render());
-    println!("shape: more batching -> slower propagation on both sides (detection AND recovery).\n");
+    println!(
+        "shape: more batching -> slower propagation on both sides (detection AND recovery).\n"
+    );
 
     println!("=== A1.2: vantage selection strategy ===\n");
     let mut table = Table::new(["strategy", "detection (mean)", "undetected"]);
@@ -64,15 +70,12 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("shape: top-degree VPs are 'closer' to everything -> fewer misses, faster detection.\n");
+    println!(
+        "shape: top-degree VPs are 'closer' to everything -> fewer misses, faster detection.\n"
+    );
 
     println!("=== A1.3: de-aggregation granularity (/20 victim) ===\n");
-    let mut table = Table::new([
-        "policy",
-        "announcements",
-        "completion (mean)",
-        "recovered",
-    ]);
+    let mut table = Table::new(["policy", "announcements", "completion (mean)", "recovered"]);
     for (name, policy) in [
         ("one level (paper)", DeaggregationPolicy::OneLevel),
         ("to /24 limit", DeaggregationPolicy::ToFilterLimit),
@@ -84,7 +87,10 @@ fn main() {
             b
         });
         let comp = collect_metric(&outcomes, |o| o.timings.completion_delay());
-        let recovered: usize = outcomes.iter().map(|o| o.ground_truth.recovered_at_end).sum();
+        let recovered: usize = outcomes
+            .iter()
+            .map(|o| o.ground_truth.recovered_at_end)
+            .sum();
         let total: usize = outcomes.iter().map(|o| o.ground_truth.total_ases).sum();
         let announcements = match policy {
             DeaggregationPolicy::OneLevel => 2,

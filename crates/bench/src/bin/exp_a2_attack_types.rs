@@ -20,16 +20,17 @@ fn main() {
     let seed0 = arg_seed(8000);
 
     println!("=== A2: detection across attack kinds ({trials} trials each) ===\n");
-    let mut table = Table::new([
-        "attack",
-        "detected",
-        "detection (mean)",
-        "classified as",
-    ]);
+    let mut table = Table::new(["attack", "detected", "detection (mean)", "classified as"]);
     for (name, attack) in [
-        ("exact-prefix origin hijack (paper)", AttackKind::ExactOrigin),
+        (
+            "exact-prefix origin hijack (paper)",
+            AttackKind::ExactOrigin,
+        ),
         ("sub-prefix hijack", AttackKind::SubPrefix),
-        ("sub-prefix, forged origin", AttackKind::SubPrefixForgedOrigin),
+        (
+            "sub-prefix, forged origin",
+            AttackKind::SubPrefixForgedOrigin,
+        ),
         ("Type-1 fake adjacency", AttackKind::Type1FakeAdjacency),
     ] {
         let outcomes = run_trials(trials, seed0, |seed| {

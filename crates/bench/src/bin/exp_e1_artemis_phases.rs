@@ -19,7 +19,10 @@ use artemis_core::ExperimentBuilder;
 fn main() {
     let trials = arg_trials(30);
     let seed0 = arg_seed(1000);
-    eprintln!("running {trials} hijack experiments (seeds {seed0}..{})…", seed0 + trials as u64);
+    eprintln!(
+        "running {trials} hijack experiments (seeds {seed0}..{})…",
+        seed0 + trials as u64
+    );
 
     let outcomes = run_trials(trials, seed0, ExperimentBuilder::new);
 

@@ -28,9 +28,7 @@ fn main() {
         .collect();
     let artemis_react: Vec<SimDuration> = artemis
         .iter()
-        .filter_map(|o| {
-            Some(o.timings.detection_delay()? + o.timings.trigger_delay()?)
-        })
+        .filter_map(|o| Some(o.timings.detection_delay()? + o.timings.trigger_delay()?))
         .collect();
 
     let mut det: std::collections::BTreeMap<BaselineKind, Vec<SimDuration>> = Default::default();
@@ -53,7 +51,12 @@ fn main() {
     }
 
     println!("=== E2: detection & reaction latency, ARTEMIS vs pre-existing pipelines ===\n");
-    let mut table = Table::new(["pipeline", "paper anchor", "detection (mean)", "reaction (mean)"]);
+    let mut table = Table::new([
+        "pipeline",
+        "paper anchor",
+        "detection (mean)",
+        "reaction (mean)",
+    ]);
     let mean = |v: &[SimDuration]| {
         DurationStats::from_samples(v)
             .map(|s| s.mean.to_string())

@@ -24,11 +24,46 @@ fn main() {
 
     println!("=== E3a: detection delay per source combination ({trials} trials each) ===\n");
     let combos: Vec<(&str, SourceSelection)> = vec![
-        ("RIS only", SourceSelection { ris: true, bgpmon: false, periscope: false }),
-        ("BGPmon only", SourceSelection { ris: false, bgpmon: true, periscope: false }),
-        ("Periscope only", SourceSelection { ris: false, bgpmon: false, periscope: true }),
-        ("RIS+BGPmon", SourceSelection { ris: true, bgpmon: true, periscope: false }),
-        ("all three (ARTEMIS)", SourceSelection { ris: true, bgpmon: true, periscope: true }),
+        (
+            "RIS only",
+            SourceSelection {
+                ris: true,
+                bgpmon: false,
+                periscope: false,
+            },
+        ),
+        (
+            "BGPmon only",
+            SourceSelection {
+                ris: false,
+                bgpmon: true,
+                periscope: false,
+            },
+        ),
+        (
+            "Periscope only",
+            SourceSelection {
+                ris: false,
+                bgpmon: false,
+                periscope: true,
+            },
+        ),
+        (
+            "RIS+BGPmon",
+            SourceSelection {
+                ris: true,
+                bgpmon: true,
+                periscope: false,
+            },
+        ),
+        (
+            "all three (ARTEMIS)",
+            SourceSelection {
+                ris: true,
+                bgpmon: true,
+                periscope: true,
+            },
+        ),
     ];
     let mut table = Table::new(["sources", "detection distribution"]);
     let mut all_three_mean = None;
@@ -61,7 +96,11 @@ fn main() {
     {
         println!(
             "\nmin-of-sources check: combined mean {combined} ≤ best single mean {best_single}: {}",
-            if combined <= best_single { "HOLDS" } else { "VIOLATED (noise — increase trials)" }
+            if combined <= best_single {
+                "HOLDS"
+            } else {
+                "VIOLATED (noise — increase trials)"
+            }
         );
     }
 
@@ -70,7 +109,11 @@ fn main() {
     for lg_count in [0usize, 1, 2, 4, 8, 16, 32] {
         let outcomes = run_trials(trials, seed0, |seed| {
             let mut b = ExperimentBuilder::new(seed);
-            b.sources = SourceSelection { ris: false, bgpmon: false, periscope: true };
+            b.sources = SourceSelection {
+                ris: false,
+                bgpmon: false,
+                periscope: true,
+            };
             b.lg_count = lg_count;
             b
         });

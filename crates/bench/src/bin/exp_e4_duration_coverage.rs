@@ -73,6 +73,8 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("\n(an 80-minute reaction — the YouTube case — outlasts only {:.1}% of events)",
-        model.fraction_outlasting(SimDuration::from_mins(80)) * 100.0);
+    println!(
+        "\n(an 80-minute reaction — the YouTube case — outlasts only {:.1}% of events)",
+        model.fraction_outlasting(SimDuration::from_mins(80)) * 100.0
+    );
 }

@@ -42,7 +42,8 @@ impl Asn {
     /// True for the private-use ranges 64512–65534 (RFC 6996) and
     /// 4200000000–4294967294 (RFC 6996).
     pub const fn is_private(self) -> bool {
-        (self.0 >= 64_512 && self.0 <= 65_534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+        (self.0 >= 64_512 && self.0 <= 65_534)
+            || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
     }
 
     /// True for ASNs reserved for documentation: 64496–64511 and

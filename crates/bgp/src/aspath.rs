@@ -200,13 +200,11 @@ impl fmt::Display for AsPath {
             first = false;
             match seg {
                 Segment::Sequence(asns) => {
-                    let parts: Vec<String> =
-                        asns.iter().map(|a| a.value().to_string()).collect();
+                    let parts: Vec<String> = asns.iter().map(|a| a.value().to_string()).collect();
                     write!(f, "{}", parts.join(" "))?;
                 }
                 Segment::Set(asns) => {
-                    let parts: Vec<String> =
-                        asns.iter().map(|a| a.value().to_string()).collect();
+                    let parts: Vec<String> = asns.iter().map(|a| a.value().to_string()).collect();
                     write!(f, "{{{}}}", parts.join(","))?;
                 }
             }

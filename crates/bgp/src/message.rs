@@ -96,7 +96,11 @@ impl NotificationMessage {
 
 impl fmt::Display for NotificationMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NOTIFICATION code={} subcode={}", self.code, self.subcode)
+        write!(
+            f,
+            "NOTIFICATION code={} subcode={}",
+            self.code, self.subcode
+        )
     }
 }
 

@@ -234,10 +234,13 @@ impl Prefix {
 
     /// True if `self` covers the single address `addr`.
     pub fn contains_addr(self, addr: IpAddr) -> bool {
-        match Prefix::new(addr, match addr {
-            IpAddr::V4(_) => 32,
-            IpAddr::V6(_) => 128,
-        }) {
+        match Prefix::new(
+            addr,
+            match addr {
+                IpAddr::V4(_) => 32,
+                IpAddr::V6(_) => 128,
+            },
+        ) {
             Ok(host) => self.contains(host),
             Err(_) => false,
         }
@@ -532,7 +535,10 @@ mod tests {
         let (lo, hi) = parent.split().unwrap();
         assert!(parent.contains(lo) && parent.contains(hi));
         assert!(!lo.overlaps(hi));
-        assert_eq!(lo.address_count() + hi.address_count(), parent.address_count());
+        assert_eq!(
+            lo.address_count() + hi.address_count(),
+            parent.address_count()
+        );
     }
 
     #[test]
@@ -600,7 +606,10 @@ mod tests {
     fn ordering_is_total_and_deterministic() {
         let mut v = vec![p("10.0.1.0/24"), p("10.0.0.0/23"), p("10.0.0.0/24")];
         v.sort();
-        assert_eq!(v, vec![p("10.0.0.0/23"), p("10.0.0.0/24"), p("10.0.1.0/24")]);
+        assert_eq!(
+            v,
+            vec![p("10.0.0.0/23"), p("10.0.0.0/24"), p("10.0.1.0/24")]
+        );
     }
 
     #[test]

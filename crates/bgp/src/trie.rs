@@ -322,11 +322,11 @@ mod tests {
     fn longest_match_addr() {
         let mut t = PrefixTrie::new();
         t.insert(p("192.0.2.0/24"), "doc");
-        let (q, v) = t
-            .longest_match_addr("192.0.2.55".parse().unwrap())
-            .unwrap();
+        let (q, v) = t.longest_match_addr("192.0.2.55".parse().unwrap()).unwrap();
         assert_eq!((q, *v), (p("192.0.2.0/24"), "doc"));
-        assert!(t.longest_match_addr("198.51.100.1".parse().unwrap()).is_none());
+        assert!(t
+            .longest_match_addr("198.51.100.1".parse().unwrap())
+            .is_none());
     }
 
     #[test]
@@ -336,8 +336,15 @@ mod tests {
         t.insert(p("10.0.0.0/16"), ());
         t.insert(p("10.0.0.0/24"), ());
         t.insert(p("10.1.0.0/16"), ());
-        let cov: Vec<Prefix> = t.covering(p("10.0.0.0/24")).into_iter().map(|(q, _)| q).collect();
-        assert_eq!(cov, vec![p("10.0.0.0/8"), p("10.0.0.0/16"), p("10.0.0.0/24")]);
+        let cov: Vec<Prefix> = t
+            .covering(p("10.0.0.0/24"))
+            .into_iter()
+            .map(|(q, _)| q)
+            .collect();
+        assert_eq!(
+            cov,
+            vec![p("10.0.0.0/8"), p("10.0.0.0/16"), p("10.0.0.0/24")]
+        );
     }
 
     #[test]
@@ -348,8 +355,15 @@ mod tests {
         t.insert(p("10.0.0.0/23"), ());
         t.insert(p("10.0.2.0/24"), ());
         t.insert(p("10.1.0.0/16"), ());
-        let cov: Vec<Prefix> = t.covered(p("10.0.0.0/23")).into_iter().map(|(q, _)| q).collect();
-        assert_eq!(cov, vec![p("10.0.0.0/23"), p("10.0.0.0/24"), p("10.0.1.0/24")]);
+        let cov: Vec<Prefix> = t
+            .covered(p("10.0.0.0/23"))
+            .into_iter()
+            .map(|(q, _)| q)
+            .collect();
+        assert_eq!(
+            cov,
+            vec![p("10.0.0.0/23"), p("10.0.0.0/24"), p("10.0.1.0/24")]
+        );
     }
 
     #[test]
@@ -377,7 +391,10 @@ mod tests {
         t.insert(p("10.0.0.0/8"), 2);
         t.insert(p("2001:db8::/32"), 3);
         let all: Vec<Prefix> = t.iter().into_iter().map(|(q, _)| q).collect();
-        assert_eq!(all, vec![p("10.0.0.0/8"), p("192.0.2.0/24"), p("2001:db8::/32")]);
+        assert_eq!(
+            all,
+            vec![p("10.0.0.0/8"), p("192.0.2.0/24"), p("2001:db8::/32")]
+        );
     }
 
     #[test]

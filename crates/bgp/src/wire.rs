@@ -9,8 +9,8 @@
 use crate::aspath::{AsPath, Segment};
 use crate::attrs::{Community, Origin, PathAttributes};
 use crate::message::{
-    BgpMessage, NotificationMessage, OpenMessage, UpdateMessage, KEEPALIVE_TYPE,
-    NOTIFICATION_TYPE, OPEN_TYPE, UPDATE_TYPE,
+    BgpMessage, NotificationMessage, OpenMessage, UpdateMessage, KEEPALIVE_TYPE, NOTIFICATION_TYPE,
+    OPEN_TYPE, UPDATE_TYPE,
 };
 use crate::prefix::{Afi, Prefix};
 use crate::{asn::AS_TRANS, Asn, BgpError};
@@ -54,14 +54,18 @@ pub struct Codec {
 
 impl Default for Codec {
     fn default() -> Self {
-        Codec { four_octet_as: true }
+        Codec {
+            four_octet_as: true,
+        }
     }
 }
 
 impl Codec {
     /// A codec for a session that negotiated four-octet ASNs.
     pub const fn four_octet() -> Self {
-        Codec { four_octet_as: true }
+        Codec {
+            four_octet_as: true,
+        }
     }
 
     /// A codec for a legacy two-octet session.
@@ -184,8 +188,7 @@ impl Codec {
         put_attr(out, FLAG_TRANSITIVE, ATTR_ORIGIN, &[attrs.origin.code()]);
 
         // AS_PATH (and possibly AS4_PATH)
-        let needs_as4 = !self.four_octet_as
-            && attrs.as_path.iter().any(|a| !a.is_two_octet());
+        let needs_as4 = !self.four_octet_as && attrs.as_path.iter().any(|a| !a.is_two_octet());
         let path_buf = encode_as_path(&attrs.as_path, self.four_octet_as, needs_as4);
         put_attr(out, FLAG_TRANSITIVE, ATTR_AS_PATH, &path_buf);
 
@@ -194,9 +197,7 @@ impl Codec {
             match attrs.next_hop {
                 IpAddr::V4(a) => put_attr(out, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &a.octets()),
                 IpAddr::V6(_) => {
-                    return Err(BgpError::EncodingOverflow(
-                        "IPv6 next-hop with IPv4 NLRI",
-                    ))
+                    return Err(BgpError::EncodingOverflow("IPv6 next-hop with IPv4 NLRI"))
                 }
             }
         }
@@ -234,7 +235,12 @@ impl Codec {
         }
         if needs_as4 {
             let as4_buf = encode_as_path(&attrs.as_path, true, false);
-            put_attr(out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_AS4_PATH, &as4_buf);
+            put_attr(
+                out,
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                ATTR_AS4_PATH,
+                &as4_buf,
+            );
         }
 
         // MP_REACH_NLRI for IPv6 announcements.
@@ -501,9 +507,7 @@ impl Codec {
             let next_hop: IpAddr = match (next_hop, &mp_reach) {
                 (Some(v4), _) => IpAddr::V4(v4),
                 (None, Some((_, nh))) => IpAddr::V6(*nh),
-                (None, None) => {
-                    return Err(BgpError::MissingMandatoryAttribute("NEXT_HOP"))
-                }
+                (None, None) => return Err(BgpError::MissingMandatoryAttribute("NEXT_HOP")),
             };
             Some(PathAttributes {
                 origin,
@@ -638,8 +642,7 @@ impl Codec {
                     }
                     (Asn(u16::from_be_bytes([val[0], val[1]]) as u32), &val[2..])
                 };
-                parsed.aggregator =
-                    Some((asn, Ipv4Addr::new(rest[0], rest[1], rest[2], rest[3])));
+                parsed.aggregator = Some((asn, Ipv4Addr::new(rest[0], rest[1], rest[2], rest[3])));
             }
             ATTR_COMMUNITIES => {
                 if !val.len().is_multiple_of(4) {
@@ -876,8 +879,8 @@ fn decode_nlri(mut cur: &[u8], afi: Afi) -> Result<Vec<Prefix>, BgpError> {
         bits_bytes[..nbytes].copy_from_slice(&cur[..nbytes]);
         cur = &cur[nbytes..];
         let bits = u128::from_be_bytes(bits_bytes);
-        let prefix = Prefix::from_bits(afi, bits, bit_len)
-            .map_err(|_| BgpError::InvalidNlri { bit_len })?;
+        let prefix =
+            Prefix::from_bits(afi, bits, bit_len).map_err(|_| BgpError::InvalidNlri { bit_len })?;
         out.push(prefix);
     }
     Ok(out)
@@ -1044,9 +1047,7 @@ mod tests {
             subcode: 2,
             data: vec![1, 2, 3],
         };
-        let bytes = codec
-            .encode(&BgpMessage::Notification(n.clone()))
-            .unwrap();
+        let bytes = codec.encode(&BgpMessage::Notification(n.clone())).unwrap();
         let (msg, _) = codec.decode(&bytes).unwrap();
         assert_eq!(msg, BgpMessage::Notification(n));
     }

@@ -1,11 +1,11 @@
 //! Property-based tests for the BGP foundation types: prefix algebra,
 //! trie-vs-naive equivalence, and wire-codec round-trips.
 
+use artemis_bgp::prefix::Afi;
 use artemis_bgp::{
     aspath::Segment, AsPath, Asn, BgpMessage, Codec, Community, Origin, PathAttributes, Prefix,
     PrefixTrie, UpdateMessage,
 };
-use artemis_bgp::prefix::Afi;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -13,9 +13,8 @@ use proptest::prelude::*;
 // ---------------------------------------------------------------------
 
 fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
-        Prefix::v4(std::net::Ipv4Addr::from(addr), len).expect("len <= 32")
-    })
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(addr, len)| Prefix::v4(std::net::Ipv4Addr::from(addr), len).expect("len <= 32"))
 }
 
 fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
@@ -53,23 +52,29 @@ fn arb_as_path_with_sets() -> impl Strategy<Value = AsPath> {
 fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
     (
         arb_as_path(),
-        prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)],
+        prop_oneof![
+            Just(Origin::Igp),
+            Just(Origin::Egp),
+            Just(Origin::Incomplete)
+        ],
         any::<u32>(),
         proptest::option::of(any::<u32>()),
         proptest::option::of(any::<u32>()),
         prop::collection::vec(any::<u32>().prop_map(Community), 0..4),
         any::<bool>(),
     )
-        .prop_map(|(path, origin, nh, med, lp, communities, atomic)| PathAttributes {
-            origin,
-            as_path: path,
-            next_hop: std::net::IpAddr::V4(std::net::Ipv4Addr::from(nh)),
-            med,
-            local_pref: lp,
-            atomic_aggregate: atomic,
-            aggregator: None,
-            communities,
-        })
+        .prop_map(
+            |(path, origin, nh, med, lp, communities, atomic)| PathAttributes {
+                origin,
+                as_path: path,
+                next_hop: std::net::IpAddr::V4(std::net::Ipv4Addr::from(nh)),
+                med,
+                local_pref: lp,
+                atomic_aggregate: atomic,
+                aggregator: None,
+                communities,
+            },
+        )
 }
 
 // ---------------------------------------------------------------------

@@ -1,8 +1,6 @@
 //! The sans-I/O BGP session: FSM, negotiation, timers, framing.
 
-use artemis_bgp::{
-    BgpError, BgpMessage, Codec, NotificationMessage, OpenMessage, UpdateMessage,
-};
+use artemis_bgp::{BgpError, BgpMessage, Codec, NotificationMessage, OpenMessage, UpdateMessage};
 use artemis_simnet::{SimDuration, SimTime};
 use bytes::{Bytes, BytesMut};
 use std::net::Ipv4Addr;
@@ -248,8 +246,7 @@ impl Session {
     fn handle_message(&mut self, now: SimTime, msg: BgpMessage, events: &mut Vec<SessionEvent>) {
         // Any message from the peer restarts the hold timer.
         if self.negotiated_hold > 0 {
-            self.hold_deadline =
-                Some(now + SimDuration::from_secs(self.negotiated_hold as u64));
+            self.hold_deadline = Some(now + SimDuration::from_secs(self.negotiated_hold as u64));
         }
         match (self.state, msg) {
             (State::OpenSent, BgpMessage::Open(open)) => {
@@ -261,8 +258,7 @@ impl Session {
                 }
                 // Negotiate: hold = min, four-octet = both.
                 self.negotiated_hold = self.config.hold_time.min(open.hold_time);
-                self.codec.four_octet_as =
-                    self.config.four_octet && open.four_octet_capable;
+                self.codec.four_octet_as = self.config.four_octet && open.four_octet_capable;
                 self.peer_open = Some(open);
                 self.send(&BgpMessage::Keepalive);
                 if self.negotiated_hold > 0 {
@@ -330,9 +326,7 @@ impl Session {
             }
         }
         if let Some(ka) = self.keepalive_at {
-            if now >= ka
-                && matches!(self.state, State::OpenConfirm | State::Established)
-            {
+            if now >= ka && matches!(self.state, State::OpenConfirm | State::Established) {
                 self.send(&BgpMessage::Keepalive);
                 self.keepalive_at =
                     Some(now + SimDuration::from_secs((self.negotiated_hold as u64 / 3).max(1)));
@@ -421,9 +415,13 @@ mod tests {
         let events = shuttle(t0, &mut a, &mut b);
         assert_eq!(a.state(), State::Established);
         assert_eq!(b.state(), State::Established);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, SessionEvent::StateChanged { to: State::Established, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SessionEvent::StateChanged {
+                to: State::Established,
+                ..
+            }
+        )));
         // Hold time negotiated to min(90, 90).
         assert_eq!(a.negotiated_hold_time(), 90);
         assert_eq!(b.peer_open().unwrap().asn, Asn(65001));

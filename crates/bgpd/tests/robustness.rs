@@ -1,8 +1,8 @@
 //! Robustness properties of the session layer: arbitrary byte
 //! chunking never changes semantics, and garbage never panics.
 
-use artemis_bgpd::{Session, SessionConfig, SessionEvent, State};
 use artemis_bgp::{AsPath, Asn, PathAttributes, Prefix, UpdateMessage};
+use artemis_bgpd::{Session, SessionConfig, SessionEvent, State};
 use artemis_simnet::SimTime;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;

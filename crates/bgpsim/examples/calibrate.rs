@@ -12,16 +12,31 @@ fn main() {
     let p = artemis_bgp::Prefix::from_str("10.0.0.0/23").unwrap();
     e.announce(victim, p);
     let changes = e.run_to_quiescence(50_000_000);
-    let holders = e.ases().collect::<Vec<_>>().into_iter().filter(|a| e.best_route(*a, p).is_some()).count();
-    println!("ases={} holders={} vtime={} changes={} events={} msgs={} wall={:?}",
-        t.graph.as_count(), holders, e.now(), changes.len(),
-        e.stats().events_processed, e.stats().messages_sent, start.elapsed());
-    let mut first: std::collections::BTreeMap<artemis_bgp::Asn, artemis_simnet::SimTime> = Default::default();
-    for c in &changes { first.entry(c.asn).or_insert(c.time); }
+    let holders = e
+        .ases()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter(|a| e.best_route(*a, p).is_some())
+        .count();
+    println!(
+        "ases={} holders={} vtime={} changes={} events={} msgs={} wall={:?}",
+        t.graph.as_count(),
+        holders,
+        e.now(),
+        changes.len(),
+        e.stats().events_processed,
+        e.stats().messages_sent,
+        start.elapsed()
+    );
+    let mut first: std::collections::BTreeMap<artemis_bgp::Asn, artemis_simnet::SimTime> =
+        Default::default();
+    for c in &changes {
+        first.entry(c.asn).or_insert(c.time);
+    }
     let mut times: Vec<u64> = first.values().map(|t| t.as_micros()).collect();
     times.sort();
     for q in [10usize, 50, 90, 99, 100] {
-        let idx = ((times.len()-1) * q) / 100;
-        println!("p{q} first-route = {:.1}s", times[idx] as f64/1e6);
+        let idx = ((times.len() - 1) * q) / 100;
+        println!("p{q} first-route = {:.1}s", times[idx] as f64 / 1e6);
     }
 }

@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn select_best_picks_max() {
-        let cands = vec![
+        let cands = [
             cand(100, &[3, 5], 3),
             cand(300, &[1, 2, 3, 4, 5], 1),
             cand(200, &[2, 5], 2),

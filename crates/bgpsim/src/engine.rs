@@ -346,13 +346,7 @@ impl Engine {
         self.rerun_decision(time, asn, prefix)
     }
 
-    fn handle_deliver(
-        &mut self,
-        time: SimTime,
-        from: Asn,
-        to: Asn,
-        msg: Msg,
-    ) -> Vec<RouteChange> {
+    fn handle_deliver(&mut self, time: SimTime, from: Asn, to: Asn, msg: Msg) -> Vec<RouteChange> {
         let prefix = msg.prefix();
         {
             let Some(sp) = self.speakers.get_mut(&to) else {
@@ -401,8 +395,7 @@ impl Engine {
     fn rerun_decision(&mut self, time: SimTime, asn: Asn, prefix: Prefix) -> Vec<RouteChange> {
         let (change, best) = {
             let sp = self.speakers.get_mut(&asn).expect("speaker exists");
-            let best = select_best(sp.candidates(prefix).into_iter().collect::<Vec<_>>())
-                .cloned();
+            let best = select_best(sp.candidates(prefix).into_iter().collect::<Vec<_>>()).cloned();
             let old = sp.loc_rib.get(&prefix).cloned();
             let same = match (&old, &best) {
                 (None, None) => true,
@@ -512,8 +505,7 @@ impl Engine {
                         s.mrai_until
                     };
                     if wait_until <= now {
-                        let batch: Vec<_> =
-                            std::mem::take(&mut s.pending).into_iter().collect();
+                        let batch: Vec<_> = std::mem::take(&mut s.pending).into_iter().collect();
                         Action::SendNow(batch)
                     } else {
                         s.timer_armed = true;
@@ -555,12 +547,7 @@ impl Engine {
 
     /// Put a batch of per-prefix changes on the wire, updating the
     /// session's advertised set and arming MRAI.
-    fn transmit_batch(
-        &mut self,
-        from: Asn,
-        to: Asn,
-        batch: Vec<(Prefix, Option<(AsPath, Asn)>)>,
-    ) {
+    fn transmit_batch(&mut self, from: Asn, to: Asn, batch: Vec<(Prefix, Option<(AsPath, Asn)>)>) {
         let now = self.queue.now();
         let mut to_send: Vec<Msg> = Vec::new();
         {
@@ -935,7 +922,11 @@ mod forged_tests {
         let best5 = e.best_route(Asn(5), p).expect("5 hears its customer 8");
         assert_eq!(best5.origin_as, Asn(6), "forged origin visible");
         assert!(best5.as_path.contains(Asn(8)), "attacker on path");
-        assert_eq!(best5.as_path.origin_neighbor(), Some(Asn(8)), "fake adjacency 8->6");
+        assert_eq!(
+            best5.as_path.origin_neighbor(),
+            Some(Asn(8)),
+            "fake adjacency 8->6"
+        );
     }
 
     #[test]

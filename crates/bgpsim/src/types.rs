@@ -122,16 +122,9 @@ impl Msg {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Event {
     /// Deliver a message from one speaker to another.
-    Deliver {
-        from: Asn,
-        to: Asn,
-        msg: Msg,
-    },
+    Deliver { from: Asn, to: Asn, msg: Msg },
     /// A session's MRAI timer fired; flush pending advertisements.
-    MraiExpire {
-        from: Asn,
-        to: Asn,
-    },
+    MraiExpire { from: Asn, to: Asn },
     /// Apply a local origination/withdrawal at its scheduled time.
     /// `forged_path` lets an attacker originate with a fabricated
     /// AS_PATH (Type-1 / forged-origin hijacks); `None` = honest

@@ -228,10 +228,7 @@ mod tests {
         assert_eq!(due[0].origin_as, Asn(65001));
         let intent = c.intent(id).unwrap();
         assert_eq!(intent.state, IntentState::Installed);
-        assert_eq!(
-            intent.installed_at,
-            Some(now + SimDuration::from_secs(15))
-        );
+        assert_eq!(intent.installed_at, Some(now + SimDuration::from_secs(15)));
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl ArtemisApp {
                     .execute(&plan, at, controller, helper_controllers);
                 self.detector.alerts_mut().mark_mitigating(id, at);
                 self.mitigated.insert(id);
-                actions.push(AppAction::MitigationTriggered { alert: id, plan, at });
+                actions.push(AppAction::MitigationTriggered {
+                    alert: id,
+                    plan,
+                    at,
+                });
             }
         }
 
@@ -155,7 +159,9 @@ impl ArtemisApp {
             }
         }
         for id in resolved {
-            self.detector.alerts_mut().mark_resolved(id, event.emitted_at);
+            self.detector
+                .alerts_mut()
+                .mark_resolved(id, event.emitted_at);
             actions.push(AppAction::Resolved {
                 alert: id,
                 at: event.emitted_at,
@@ -183,10 +189,7 @@ mod tests {
             Asn(65001),
             vec![OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))],
         );
-        ArtemisApp::new(
-            config,
-            [Asn(174), Asn(3356)].into_iter().collect(),
-        )
+        ArtemisApp::new(config, [Asn(174), Asn(3356)].into_iter().collect())
     }
 
     fn controller() -> Controller {
@@ -215,11 +218,19 @@ mod tests {
         let mut ctrl = controller();
 
         // Phase 1: legit announcement observed — benign.
-        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 65001], 10), &mut ctrl, &mut []);
+        let acts = app.handle_event(
+            &event(174, "10.0.0.0/23", &[174, 65001], 10),
+            &mut ctrl,
+            &mut [],
+        );
         assert!(acts.is_empty());
 
         // Phase 2: hijack detected at t=45 → alert + auto mitigation.
-        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        let acts = app.handle_event(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
         assert_eq!(acts.len(), 2);
         let AppAction::AlertRaised(alert_id) = acts[0] else {
             panic!("expected alert first, got {acts:?}");
@@ -235,7 +246,11 @@ mod tests {
 
         // Phase 3: the /24s propagate; VPs flip back. 3356 was also
         // hijacked, then recovers.
-        app.handle_event(&event(3356, "10.0.0.0/23", &[3356, 666], 50), &mut ctrl, &mut []);
+        app.handle_event(
+            &event(3356, "10.0.0.0/23", &[3356, 666], 50),
+            &mut ctrl,
+            &mut [],
+        );
         app.handle_event(
             &event(174, "10.0.0.0/24", &[174, 65001], 120),
             &mut ctrl,
@@ -268,16 +283,18 @@ mod tests {
     fn mitigation_announcements_do_not_self_alert() {
         let mut app = app();
         let mut ctrl = controller();
-        app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        app.handle_event(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
         // Our own /24s observed in the wild must not raise alerts.
         let acts = app.handle_event(
             &event(174, "10.0.0.0/24", &[174, 65001], 90),
             &mut ctrl,
             &mut [],
         );
-        assert!(acts
-            .iter()
-            .all(|a| !matches!(a, AppAction::AlertRaised(_))));
+        assert!(acts.iter().all(|a| !matches!(a, AppAction::AlertRaised(_))));
         assert_eq!(app.detector().alerts().all().len(), 1);
     }
 
@@ -290,7 +307,11 @@ mod tests {
         config.auto_mitigate = false;
         let mut app = ArtemisApp::new(config, [Asn(174)].into_iter().collect());
         let mut ctrl = controller();
-        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        let acts = app.handle_event(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
         assert_eq!(acts.len(), 1);
         assert!(matches!(acts[0], AppAction::AlertRaised(_)));
         assert_eq!(ctrl.intents().count(), 0);
@@ -300,13 +321,25 @@ mod tests {
     fn second_hijacker_gets_its_own_alert_and_mitigation_once() {
         let mut app = app();
         let mut ctrl = controller();
-        app.handle_event(&event(174, "10.0.0.0/23", &[174, 666], 45), &mut ctrl, &mut []);
+        app.handle_event(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
         let n_after_first = ctrl.intents().count();
         // Same hijack seen elsewhere: no new intents.
-        app.handle_event(&event(3356, "10.0.0.0/23", &[3356, 666], 50), &mut ctrl, &mut []);
+        app.handle_event(
+            &event(3356, "10.0.0.0/23", &[3356, 666], 50),
+            &mut ctrl,
+            &mut [],
+        );
         assert_eq!(ctrl.intents().count(), n_after_first);
         // Different offending origin: new alert, new mitigation.
-        let acts = app.handle_event(&event(174, "10.0.0.0/23", &[174, 667], 60), &mut ctrl, &mut []);
+        let acts = app.handle_event(
+            &event(174, "10.0.0.0/23", &[174, 667], 60),
+            &mut ctrl,
+            &mut [],
+        );
         assert!(acts.iter().any(|a| matches!(a, AppAction::AlertRaised(_))));
         assert!(ctrl.intents().count() > n_after_first);
     }

@@ -136,7 +136,10 @@ pub fn run_baseline(kind: BaselineKind, base: &ExperimentBuilder) -> BaselineOut
         BaselineKind::ArchiveRib => {
             let period = SimDuration::from_mins(120);
             let publish = SimDuration::from_mins(5);
-            (Some(batch_end(observed, period, publish)), SimDuration::ZERO)
+            (
+                Some(batch_end(observed, period, publish)),
+                SimDuration::ZERO,
+            )
         }
         BaselineKind::ThirdPartyManual => {
             let feed = ArchiveUpdatesFeed::route_views(vec![]);
@@ -194,7 +197,7 @@ mod tests {
 
     #[test]
     fn baselines_are_slower_than_artemis() {
-        let base = ExperimentBuilder::tiny(4);
+        let base = ExperimentBuilder::tiny(3);
         let artemis = base.clone().run();
         let artemis_det = artemis.timings.detection_delay().unwrap();
 
@@ -214,7 +217,7 @@ mod tests {
 
     #[test]
     fn rib_baseline_slower_than_updates() {
-        let base = ExperimentBuilder::tiny(4);
+        let base = ExperimentBuilder::tiny(3);
         let upd = run_baseline(BaselineKind::ArchiveUpdates, &base)
             .detection_delay
             .unwrap();
@@ -226,7 +229,7 @@ mod tests {
 
     #[test]
     fn manual_baseline_adds_human_latency() {
-        let base = ExperimentBuilder::tiny(4);
+        let base = ExperimentBuilder::tiny(3);
         let auto = run_baseline(BaselineKind::ArchiveUpdates, &base);
         let manual = run_baseline(BaselineKind::ThirdPartyManual, &base);
         assert_eq!(auto.detection_delay, manual.detection_delay);
@@ -260,6 +263,8 @@ mod tests {
     #[test]
     fn display_names() {
         assert!(BaselineKind::ArchiveRib.to_string().contains("2 h"));
-        assert!(BaselineKind::ThirdPartyManual.to_string().contains("manual"));
+        assert!(BaselineKind::ThirdPartyManual
+            .to_string()
+            .contains("manual"));
     }
 }

@@ -170,7 +170,8 @@ mod tests {
     #[test]
     fn owning_prefix_picks_most_specific() {
         let mut c = config();
-        c.owned.push(OwnedPrefix::new(pfx("10.0.0.0/8"), Asn(65001)));
+        c.owned
+            .push(OwnedPrefix::new(pfx("10.0.0.0/8"), Asn(65001)));
         assert_eq!(
             c.owning_prefix(pfx("10.0.0.0/24")).unwrap().prefix,
             pfx("10.0.0.0/23")

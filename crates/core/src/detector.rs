@@ -344,7 +344,10 @@ mod tests {
         let ev = event("203.0.113.0/24", &[2914, 174, 31337], 45);
         match d.process(&ev) {
             Detection::NewAlert(id) => {
-                assert_eq!(d.alerts().get(id).unwrap().hijack_type, HijackType::Squatting);
+                assert_eq!(
+                    d.alerts().get(id).unwrap().hijack_type,
+                    HijackType::Squatting
+                );
             }
             other => panic!("expected new alert, got {other:?}"),
         }
@@ -378,7 +381,10 @@ mod tests {
             Detection::UpdatedAlert(id)
         );
         assert_eq!(d.alerts().get(id).unwrap().vantage_points.len(), 2);
-        assert_eq!(d.first_detection(pfx("10.0.0.0/23")), Some(SimTime::from_secs(45)));
+        assert_eq!(
+            d.first_detection(pfx("10.0.0.0/23")),
+            Some(SimTime::from_secs(45))
+        );
     }
 
     #[test]
@@ -430,8 +436,8 @@ mod tests {
     #[test]
     fn anycast_second_origin_is_legitimate() {
         let mut cfg = config();
-        cfg.owned[0] = OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))
-            .with_extra_origin(Asn(65002));
+        cfg.owned[0] =
+            OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001)).with_extra_origin(Asn(65002));
         let mut d = Detector::new(cfg);
         let ev = event("10.0.0.0/23", &[2914, 174, 65002], 45);
         assert_eq!(d.process(&ev), Detection::Benign);

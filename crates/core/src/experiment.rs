@@ -475,7 +475,13 @@ impl Experiment {
         }
         let converged = self.engine.now();
         timings.setup_converged = Some(converged);
-        milestones.push((converged, format!("phase-1 converged ({} announced by {})", self.prefix, self.victim)));
+        milestones.push((
+            converged,
+            format!(
+                "phase-1 converged ({} announced by {})",
+                self.prefix, self.victim
+            ),
+        ));
 
         // ---- Phase 2: hijack --------------------------------------------
         let t_hijack = converged + self.builder.hijack_offset;
@@ -494,7 +500,10 @@ impl Experiment {
         timings.hijack_launched = Some(t_hijack);
         milestones.push((
             t_hijack,
-            format!("hijack launched: {} announces {}", self.attacker, self.hijack_prefix),
+            format!(
+                "hijack launched: {} announces {}",
+                self.attacker, self.hijack_prefix
+            ),
         ));
 
         // ---- Interleaved main loop --------------------------------------
@@ -546,8 +555,7 @@ impl Experiment {
                                     .into_iter()
                                     .filter(|a| {
                                         probes.iter().any(|p| {
-                                            self.engine.origin_of(*a, *p)
-                                                == Some(self.attacker)
+                                            self.engine.origin_of(*a, *p) == Some(self.attacker)
                                         })
                                     })
                                     .count();
@@ -592,10 +600,7 @@ impl Experiment {
                             timings.detected_at = Some(alert.detected_at);
                             detected_by = Some(alert.detected_by);
                             hijack_type = Some(alert.hijack_type);
-                            milestones.push((
-                                alert.detected_at,
-                                format!("DETECTED: {alert}"),
-                            ));
+                            milestones.push((alert.detected_at, format!("DETECTED: {alert}")));
                         }
                     }
                     AppAction::MitigationTriggered { plan, at, .. } => {
@@ -610,7 +615,10 @@ impl Experiment {
                     AppAction::Resolved { at, .. } => {
                         if timings.resolved_at.is_none() {
                             timings.resolved_at = Some(at);
-                            milestones.push((at, "RESOLVED: all vantage points back on the legitimate origin".into()));
+                            milestones.push((
+                                at,
+                                "RESOLVED: all vantage points back on the legitimate origin".into(),
+                            ));
                         }
                     }
                 }
@@ -623,9 +631,7 @@ impl Experiment {
         // The loop may break on resolution while later controller
         // installs are still in flight (e.g. the 9th of 16 /24s):
         // apply them before judging the end state.
-        let leftover = self
-            .controller
-            .due_actions(SimTime::from_micros(u64::MAX));
+        let leftover = self.controller.due_actions(SimTime::from_micros(u64::MAX));
         for action in leftover {
             let at = action.effective_at.max(self.engine.now());
             match action.kind {
@@ -824,7 +830,7 @@ mod tests {
 
     #[test]
     fn no_mitigation_mode_detects_but_never_resolves() {
-        let mut b = ExperimentBuilder::tiny(5);
+        let mut b = ExperimentBuilder::tiny(3);
         b.mitigate = false;
         b.max_sim_time = SimDuration::from_mins(30);
         let out = b.run();

@@ -95,9 +95,7 @@ impl Mitigator {
                 // Ablation: go straight to the filtering limit so the
                 // attacker cannot counter-escalate with /24s of their
                 // own.
-                crate::config::DeaggregationPolicy::ToFilterLimit => {
-                    observed.deaggregate(max_len)
-                }
+                crate::config::DeaggregationPolicy::ToFilterLimit => observed.deaggregate(max_len),
             };
             let rationale = format!(
                 "de-aggregate {observed} into {} more-specific(s) (win by LPM; policy {:?})",
@@ -319,7 +317,10 @@ mod tests {
         assert!(!plan.infeasible);
         assert_eq!(
             plan.helper_announce,
-            vec![(Asn(64900), pfx("192.0.2.0/24")), (Asn(64901), pfx("192.0.2.0/24"))]
+            vec![
+                (Asn(64900), pfx("192.0.2.0/24")),
+                (Asn(64901), pfx("192.0.2.0/24"))
+            ]
         );
         assert_eq!(plan.announcement_count(), 3);
     }
@@ -346,7 +347,12 @@ mod tests {
         ));
         let mut ctrl = Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1));
         let mut helper = Controller::new(Asn(64900), LatencyModel::const_secs(15), SimRng::new(2));
-        let ids = m.execute(&plan, SimTime::from_secs(45), &mut ctrl, std::slice::from_mut(&mut helper));
+        let ids = m.execute(
+            &plan,
+            SimTime::from_secs(45),
+            &mut ctrl,
+            std::slice::from_mut(&mut helper),
+        );
         assert_eq!(ids.len(), 2, "two /24 announce intents");
         assert_eq!(ctrl.intents().count(), 2);
         assert_eq!(helper.intents().count(), 0, "no helper needed for /23");
@@ -363,7 +369,12 @@ mod tests {
         ));
         let mut ctrl = Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1));
         let mut helper = Controller::new(Asn(64900), LatencyModel::const_secs(15), SimRng::new(2));
-        let ids = m.execute(&plan, SimTime::from_secs(45), &mut ctrl, std::slice::from_mut(&mut helper));
+        let ids = m.execute(
+            &plan,
+            SimTime::from_secs(45),
+            &mut ctrl,
+            std::slice::from_mut(&mut helper),
+        );
         assert_eq!(ids.len(), 2);
         assert_eq!(helper.intents().count(), 1);
     }

@@ -82,10 +82,7 @@ impl MonitorService {
         if !self.vantage_points.contains(&event.vantage) {
             return;
         }
-        let slot = self
-            .observations
-            .entry(event.vantage)
-            .or_default();
+        let slot = self.observations.entry(event.vantage).or_default();
         match (&event.as_path, event.origin_as) {
             (Some(_), origin) => {
                 slot.insert(event.prefix, origin);
@@ -254,7 +251,10 @@ mod tests {
         m.ingest(&event(2914, "10.0.0.0/23", Some(65001), 13));
         assert!(!m.all_legitimate());
         m.ingest(&event(3356, "10.0.0.0/24", Some(65001), 40));
-        assert!(m.all_legitimate(), "unknown VPs do not block resolution; hijacked ones do");
+        assert!(
+            m.all_legitimate(),
+            "unknown VPs do not block resolution; hijacked ones do"
+        );
     }
 
     #[test]

@@ -112,13 +112,19 @@ mod tests {
     #[test]
     fn exact_valid() {
         let t = table();
-        assert_eq!(t.validate(pfx("10.0.0.0/23"), Asn(65001)), RoaValidity::Valid);
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/23"), Asn(65001)),
+            RoaValidity::Valid
+        );
     }
 
     #[test]
     fn more_specific_within_maxlength_is_valid() {
         let t = table();
-        assert_eq!(t.validate(pfx("10.0.1.0/24"), Asn(65001)), RoaValidity::Valid);
+        assert_eq!(
+            t.validate(pfx("10.0.1.0/24"), Asn(65001)),
+            RoaValidity::Valid
+        );
     }
 
     #[test]
@@ -134,30 +140,48 @@ mod tests {
     #[test]
     fn wrong_origin_is_invalid() {
         let t = table();
-        assert_eq!(t.validate(pfx("10.0.0.0/23"), Asn(666)), RoaValidity::Invalid);
-        assert_eq!(t.validate(pfx("10.0.0.0/24"), Asn(666)), RoaValidity::Invalid);
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/23"), Asn(666)),
+            RoaValidity::Invalid
+        );
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/24"), Asn(666)),
+            RoaValidity::Invalid
+        );
     }
 
     #[test]
     fn uncovered_space_is_not_found() {
         let t = table();
-        assert_eq!(t.validate(pfx("8.8.8.0/24"), Asn(15169)), RoaValidity::NotFound);
+        assert_eq!(
+            t.validate(pfx("8.8.8.0/24"), Asn(15169)),
+            RoaValidity::NotFound
+        );
         // Less-specific than any ROA: not covered either.
-        assert_eq!(t.validate(pfx("10.0.0.0/16"), Asn(65001)), RoaValidity::NotFound);
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/16"), Asn(65001)),
+            RoaValidity::NotFound
+        );
     }
 
     #[test]
     fn multiple_roas_any_match_validates() {
         let mut t = table();
         t.add(pfx("10.0.0.0/23"), Asn(65002), 23); // anycast partner
-        assert_eq!(t.validate(pfx("10.0.0.0/23"), Asn(65002)), RoaValidity::Valid);
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/23"), Asn(65002)),
+            RoaValidity::Valid
+        );
         // …but the partner's authorization stops at /23.
         assert_eq!(
             t.validate(pfx("10.0.0.0/24"), Asn(65002)),
             RoaValidity::Invalid
         );
         // The primary's /24 authorization still applies.
-        assert_eq!(t.validate(pfx("10.0.0.0/24"), Asn(65001)), RoaValidity::Valid);
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/24"), Asn(65001)),
+            RoaValidity::Valid
+        );
     }
 
     #[test]

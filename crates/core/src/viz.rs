@@ -21,12 +21,7 @@ pub fn render_timeline(points: &[TimelinePoint], width: usize) -> String {
         let hij = p.hijacked * width / total;
         let leg = p.legitimate * width / total;
         let unk = width.saturating_sub(hij + leg);
-        let bar = format!(
-            "{}{}{}",
-            "#".repeat(hij),
-            ".".repeat(leg),
-            " ".repeat(unk)
-        );
+        let bar = format!("{}{}{}", "#".repeat(hij), ".".repeat(leg), " ".repeat(unk));
         out.push_str(&format!(
             "{:>12}  [{bar}]  {}/{}/{}\n",
             p.time.to_string(),

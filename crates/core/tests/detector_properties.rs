@@ -15,11 +15,10 @@ const UPSTREAM_B: u32 = 3_356;
 fn config() -> ArtemisConfig {
     ArtemisConfig::new(
         Asn(VICTIM),
-        vec![OwnedPrefix::new(
-            "10.0.0.0/23".parse().expect("valid"),
-            Asn(VICTIM),
-        )
-        .with_neighbors([Asn(UPSTREAM_A), Asn(UPSTREAM_B)])],
+        vec![
+            OwnedPrefix::new("10.0.0.0/23".parse().expect("valid"), Asn(VICTIM))
+                .with_neighbors([Asn(UPSTREAM_A), Asn(UPSTREAM_B)]),
+        ],
     )
 }
 

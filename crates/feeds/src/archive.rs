@@ -11,7 +11,9 @@ use crate::event::{FeedEvent, FeedKind};
 use crate::source::{FeedSource, RibView};
 use artemis_bgp::{AsPath, Asn, PathAttributes, Prefix, UpdateMessage};
 use artemis_bgpsim::RouteChange;
-use artemis_mrt::{Bgp4mpMessage, MrtRecord, MrtWriter, PeerEntry, PeerIndexTable, RibEntry, RibRecord};
+use artemis_mrt::{
+    Bgp4mpMessage, MrtRecord, MrtWriter, PeerEntry, PeerIndexTable, RibEntry, RibRecord,
+};
 use artemis_simnet::{SimDuration, SimRng, SimTime};
 use std::net::Ipv4Addr;
 
@@ -75,10 +77,7 @@ impl FeedSource for ArchiveUpdatesFeed {
         }
         let visible = self.batch_end(change.time);
         let (as_path, origin_as) = match &change.new {
-            Some(best) => (
-                Some(best.as_path.prepend(change.asn)),
-                Some(best.origin_as),
-            ),
+            Some(best) => (Some(best.as_path.prepend(change.asn)), Some(best.origin_as)),
             None => (None, None),
         };
         // Write the genuine MRT record for this observation.
@@ -88,10 +87,7 @@ impl FeedSource for ArchiveUpdatesFeed {
                     path.clone(),
                     std::net::IpAddr::V4(Ipv4Addr::from(change.asn.value())),
                 );
-                artemis_bgp::BgpMessage::Update(UpdateMessage::announce(
-                    attrs,
-                    vec![change.prefix],
-                ))
+                artemis_bgp::BgpMessage::Update(UpdateMessage::announce(attrs, vec![change.prefix]))
             }
             _ => artemis_bgp::BgpMessage::Update(UpdateMessage::withdraw(vec![change.prefix])),
         };
@@ -330,7 +326,9 @@ mod tests {
     fn non_peer_changes_ignored() {
         let mut feed = ArchiveUpdatesFeed::route_views(vec![Asn(174)]);
         let mut rng = SimRng::new(1);
-        assert!(feed.on_route_change(&change(999, 1, 2), &mut rng).is_empty());
+        assert!(feed
+            .on_route_change(&change(999, 1, 2), &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -428,21 +426,25 @@ mod tests {
         feed.poll(at, &fake_view(), &mut rng);
         let records = MrtReader::new(feed.last_dump_mrt()).read_all().unwrap();
         assert!(matches!(records[0], MrtRecord::PeerIndex { .. }));
-        assert!(matches!(&records[1], MrtRecord::Rib { rib, .. } if rib.prefix == pfx("10.0.0.0/23")));
+        assert!(
+            matches!(&records[1], MrtRecord::Rib { rib, .. } if rib.prefix == pfx("10.0.0.0/23"))
+        );
     }
 
     #[test]
     fn early_poll_is_a_noop() {
         let mut feed = ArchiveRibFeed::route_views(vec![Asn(174)], vec![pfx("10.0.0.0/23")]);
         let mut rng = SimRng::new(1);
-        assert!(feed.poll(SimTime::from_secs(10), &fake_view(), &mut rng).is_empty());
+        assert!(feed
+            .poll(SimTime::from_secs(10), &fake_view(), &mut rng)
+            .is_empty());
         assert_eq!(feed.dumps_taken(), 0);
     }
 
     #[test]
     fn with_period_override() {
-        let feed = ArchiveRibFeed::route_views(vec![], vec![])
-            .with_period(SimDuration::from_mins(10));
+        let feed =
+            ArchiveRibFeed::route_views(vec![], vec![]).with_period(SimDuration::from_mins(10));
         assert_eq!(
             feed.next_poll(SimTime::ZERO).unwrap(),
             SimTime::ZERO + SimDuration::from_mins(10)

@@ -127,8 +127,7 @@ mod tests {
         assert_eq!(hub.len(), 2);
         let evs = hub.on_route_change(&change(174, 10));
         assert_eq!(evs.len(), 2);
-        let kinds: std::collections::BTreeSet<FeedKind> =
-            evs.iter().map(|e| e.source).collect();
+        let kinds: std::collections::BTreeSet<FeedKind> = evs.iter().map(|e| e.source).collect();
         assert!(kinds.contains(&FeedKind::RisLive));
         assert!(kinds.contains(&FeedKind::BgpMon));
     }

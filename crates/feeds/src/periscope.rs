@@ -119,10 +119,7 @@ impl FeedSource for PeriscopeFeed {
     }
 
     fn next_poll(&self, now: SimTime) -> Option<SimTime> {
-        self.lgs
-            .iter()
-            .map(|s| s.next_query.max(now))
-            .min()
+        self.lgs.iter().map(|s| s.next_query.max(now)).min()
     }
 
     fn poll(&mut self, at: SimTime, view: &dyn RibView, rng: &mut SimRng) -> Vec<FeedEvent> {
@@ -246,7 +243,9 @@ mod tests {
         );
         assert!(!prefixes.contains(&pfx("192.0.2.0/24")));
         // Response latency reflected in emission time.
-        assert!(evs.iter().all(|e| e.emitted_at == at + SimDuration::from_secs(2)));
+        assert!(evs
+            .iter()
+            .all(|e| e.emitted_at == at + SimDuration::from_secs(2)));
     }
 
     #[test]

@@ -137,10 +137,7 @@ impl FeedSource for StreamFeed {
             }
             let delay = self.export_delay.sample(rng);
             let (as_path, origin_as) = match &change.new {
-                Some(best) => (
-                    Some(best.as_path.prepend(change.asn)),
-                    Some(best.origin_as),
-                ),
+                Some(best) => (Some(best.as_path.prepend(change.asn)), Some(best.origin_as)),
                 None => (None, None),
             };
             let mut ev = FeedEvent {
@@ -216,8 +213,8 @@ mod tests {
 
     #[test]
     fn events_carry_prepended_path_and_delay() {
-        let mut feed = StreamFeed::ris_live(collectors())
-            .with_export_delay(LatencyModel::const_secs(5));
+        let mut feed =
+            StreamFeed::ris_live(collectors()).with_export_delay(LatencyModel::const_secs(5));
         let mut rng = SimRng::new(1);
         let evs = feed.on_route_change(&change(3356, 100), &mut rng);
         assert_eq!(evs.len(), 1);
@@ -261,8 +258,7 @@ mod tests {
         c.new = None;
         let evs = feed.on_route_change(&c, &mut rng);
         assert!(evs[0].is_withdrawal());
-        let raw: serde_json::Value =
-            serde_json::from_str(evs[0].raw.as_ref().unwrap()).unwrap();
+        let raw: serde_json::Value = serde_json::from_str(evs[0].raw.as_ref().unwrap()).unwrap();
         assert_eq!(raw["data"]["withdrawals"][0], "10.0.0.0/23");
     }
 
@@ -278,9 +274,6 @@ mod tests {
     #[test]
     fn vantage_points_deduplicated() {
         let feed = StreamFeed::ris_live(collectors());
-        assert_eq!(
-            feed.vantage_points(),
-            vec![Asn(174), Asn(2914), Asn(3356)]
-        );
+        assert_eq!(feed.vantage_points(), vec![Asn(174), Asn(2914), Asn(3356)]);
     }
 }

@@ -27,17 +27,8 @@ impl VantageStrategy {
     /// Select `k` distinct vantage ASes (fewer if the graph is small).
     /// `exclude` lists ASes that must not be chosen (e.g. the victim
     /// and attacker themselves, which would make detection trivial).
-    pub fn select(
-        self,
-        graph: &AsGraph,
-        k: usize,
-        exclude: &[Asn],
-        rng: &mut SimRng,
-    ) -> Vec<Asn> {
-        let candidates: Vec<Asn> = graph
-            .ases()
-            .filter(|a| !exclude.contains(a))
-            .collect();
+    pub fn select(self, graph: &AsGraph, k: usize, exclude: &[Asn], rng: &mut SimRng) -> Vec<Asn> {
+        let candidates: Vec<Asn> = graph.ases().filter(|a| !exclude.contains(a)).collect();
         if candidates.is_empty() {
             return Vec::new();
         }
@@ -50,10 +41,8 @@ impl VantageStrategy {
                 out
             }
             VantageStrategy::TopDegree => {
-                let mut by_degree: Vec<(usize, Asn)> = candidates
-                    .iter()
-                    .map(|a| (graph.degree(*a), *a))
-                    .collect();
+                let mut by_degree: Vec<(usize, Asn)> =
+                    candidates.iter().map(|a| (graph.degree(*a), *a)).collect();
                 // Highest degree first; ASN ascending as tie-break for
                 // determinism.
                 by_degree.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -66,8 +55,7 @@ impl VantageStrategy {
                 let top = VantageStrategy::TopDegree.select(graph, half, exclude, rng);
                 let mut exclude2 = exclude.to_vec();
                 exclude2.extend(&top);
-                let rest =
-                    VantageStrategy::Random.select(graph, k - top.len(), &exclude2, rng);
+                let rest = VantageStrategy::Random.select(graph, k - top.len(), &exclude2, rng);
                 let mut out = top;
                 out.extend(rest);
                 out.sort_unstable();
@@ -87,7 +75,9 @@ pub fn group_into_collectors(
     let n = n.max(1);
     let mut map: std::collections::BTreeMap<String, Vec<Asn>> = Default::default();
     for (i, vp) in vps.iter().enumerate() {
-        map.entry(format!("{prefix}{:02}", i % n)).or_default().push(*vp);
+        map.entry(format!("{prefix}{:02}", i % n))
+            .or_default()
+            .push(*vp);
     }
     map
 }
@@ -128,9 +118,15 @@ mod tests {
             .unwrap();
         assert!(min_chosen >= max_unchosen.min(min_chosen));
         // The single best-connected AS must be in the set.
-        let best = g.ases().max_by_key(|a| (g.degree(*a), u32::MAX - a.value())).unwrap();
+        let best = g
+            .ases()
+            .max_by_key(|a| (g.degree(*a), u32::MAX - a.value()))
+            .unwrap();
         let top1 = g.ases().map(|a| g.degree(a)).max().unwrap();
-        assert!(vps.iter().any(|v| g.degree(*v) == top1), "top-degree AS missing (best={best})");
+        assert!(
+            vps.iter().any(|v| g.degree(*v) == top1),
+            "top-degree AS missing (best={best})"
+        );
     }
 
     #[test]

@@ -259,7 +259,9 @@ fn decode_bgp4mp_body(mut body: &[u8], subtype: u16) -> Result<Bgp4mpMessage, Mr
 
 fn read_ip(bytes: &[u8]) -> IpAddr {
     match bytes.len() {
-        4 => IpAddr::V4(std::net::Ipv4Addr::new(bytes[0], bytes[1], bytes[2], bytes[3])),
+        4 => IpAddr::V4(std::net::Ipv4Addr::new(
+            bytes[0], bytes[1], bytes[2], bytes[3],
+        )),
         _ => {
             let mut b = [0u8; 16];
             b.copy_from_slice(bytes);

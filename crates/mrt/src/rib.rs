@@ -54,8 +54,7 @@ impl PeerIndexTable {
         if body.len() < 8 {
             return Err(MrtError::Truncated("peer index header"));
         }
-        let collector_id =
-            std::net::Ipv4Addr::new(body[0], body[1], body[2], body[3]);
+        let collector_id = std::net::Ipv4Addr::new(body[0], body[1], body[2], body[3]);
         body.advance(4);
         let name_len = body.get_u16() as usize;
         if body.len() < name_len + 2 {
@@ -298,7 +297,10 @@ mod tests {
             table: table(),
         })
         .unwrap();
-        for (i, p) in ["10.0.0.0/24", "10.0.1.0/24", "192.0.2.0/24"].iter().enumerate() {
+        for (i, p) in ["10.0.0.0/24", "10.0.1.0/24", "192.0.2.0/24"]
+            .iter()
+            .enumerate()
+        {
             let mut r = rib(p);
             r.sequence = i as u32;
             w.write(&MrtRecord::Rib {

@@ -127,7 +127,9 @@ mod tests {
     fn dropper_drops_at_rate() {
         let inj = FaultInjector::dropper(0.25);
         let mut rng = SimRng::new(2);
-        let drops = (0..10_000).filter(|_| inj.apply(&mut rng).dropped()).count();
+        let drops = (0..10_000)
+            .filter(|_| inj.apply(&mut rng).dropped())
+            .count();
         assert!((2_200..2_800).contains(&drops), "drops {drops}");
     }
 

@@ -94,11 +94,10 @@ impl LatencyModel {
                 let ln = LogNormal::new(mu, *sigma).expect("finite parameters");
                 SimDuration::from_secs_f64(ln.sample(rng.raw()))
             }
-            LatencyModel::Empirical(samples) => {
-                samples.is_empty().then(SimDuration::default).unwrap_or_else(|| {
-                    *rng.choose(samples).expect("non-empty checked")
-                })
-            }
+            LatencyModel::Empirical(samples) => samples
+                .is_empty()
+                .then(SimDuration::default)
+                .unwrap_or_else(|| *rng.choose(samples).expect("non-empty checked")),
         }
     }
 
@@ -214,11 +213,8 @@ mod tests {
             SimDuration::from_secs(7)
         );
         assert_eq!(
-            LatencyModel::Empirical(vec![
-                SimDuration::from_secs(2),
-                SimDuration::from_secs(4)
-            ])
-            .mean(),
+            LatencyModel::Empirical(vec![SimDuration::from_secs(2), SimDuration::from_secs(4)])
+                .mean(),
             SimDuration::from_secs(3)
         );
     }

@@ -131,11 +131,10 @@ pub fn generate(config: &TopologyConfig, rng: &mut SimRng) -> GeneratedTopology 
     let mut provider_pool: Vec<Asn> = tier1.clone();
     for t in &transit {
         graph.add_as(*t);
-        let want = rng
-            .range_u64(
-                config.transit_providers.0 as u64,
-                config.transit_providers.1 as u64 + 1,
-            ) as usize;
+        let want = rng.range_u64(
+            config.transit_providers.0 as u64,
+            config.transit_providers.1 as u64 + 1,
+        ) as usize;
         let want = want.min(provider_pool.len());
         let chosen = pick_weighted_distinct(&graph, &provider_pool, want, rng);
         for p in chosen {
@@ -149,11 +148,10 @@ pub fn generate(config: &TopologyConfig, rng: &mut SimRng) -> GeneratedTopology 
     // Stubs attach to transit (and occasionally tier-1) providers.
     for s in &stubs {
         graph.add_as(*s);
-        let want = rng
-            .range_u64(
-                config.stub_providers.0 as u64,
-                config.stub_providers.1 as u64 + 1,
-            ) as usize;
+        let want = rng.range_u64(
+            config.stub_providers.0 as u64,
+            config.stub_providers.1 as u64 + 1,
+        ) as usize;
         let want = want.min(provider_pool.len());
         let chosen = pick_weighted_distinct(&graph, &provider_pool, want, rng);
         for p in chosen {
@@ -245,12 +243,22 @@ mod tests {
         let ea: Vec<_> = a
             .graph
             .ases()
-            .flat_map(|x| a.graph.neighbors(x).map(move |(n, r)| (x, n, r)).collect::<Vec<_>>())
+            .flat_map(|x| {
+                a.graph
+                    .neighbors(x)
+                    .map(move |(n, r)| (x, n, r))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let eb: Vec<_> = b
             .graph
             .ases()
-            .flat_map(|x| b.graph.neighbors(x).map(move |(n, r)| (x, n, r)).collect::<Vec<_>>())
+            .flat_map(|x| {
+                b.graph
+                    .neighbors(x)
+                    .map(move |(n, r)| (x, n, r))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         assert_eq!(ea, eb);
     }

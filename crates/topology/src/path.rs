@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn uphill_then_downhill_is_valley_free() {
         let g = reference();
-        assert!(is_valley_free(&g, &[asn(6), asn(3), asn(1), asn(4), asn(7)]));
+        assert!(is_valley_free(
+            &g,
+            &[asn(6), asn(3), asn(1), asn(4), asn(7)]
+        ));
     }
 
     #[test]

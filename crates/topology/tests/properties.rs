@@ -7,13 +7,11 @@ use artemis_topology::{generate, RelKind, TopologyConfig};
 use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = TopologyConfig> {
-    (20usize..80, 2usize..6, 0.1f64..0.5).prop_map(|(total, tier1, transit_frac)| {
-        TopologyConfig {
-            total_ases: total,
-            tier1_count: tier1.min(total - 2),
-            transit_fraction: transit_frac,
-            ..TopologyConfig::default()
-        }
+    (20usize..80, 2usize..6, 0.1f64..0.5).prop_map(|(total, tier1, transit_frac)| TopologyConfig {
+        total_ases: total,
+        tier1_count: tier1.min(total - 2),
+        transit_fraction: transit_frac,
+        ..TopologyConfig::default()
     })
 }
 

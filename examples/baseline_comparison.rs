@@ -28,9 +28,10 @@ fn main() {
     table.row([
         "ARTEMIS (RIS-live + BGPmon + Periscope)".to_string(),
         fmt(artemis.timings.detection_delay()),
-        fmt(artemis.timings.trigger_delay().and_then(|t| {
-            artemis.timings.detection_delay().map(|d| d + t)
-        })),
+        fmt(artemis
+            .timings
+            .trigger_delay()
+            .and_then(|t| artemis.timings.detection_delay().map(|d| d + t))),
     ]);
     for kind in [
         BaselineKind::ArchiveUpdates,

@@ -8,8 +8,8 @@
 //! cargo run --example controller_session
 //! ```
 
-use artemis_repro::bgpd::{Session, SessionConfig, SessionEvent, State};
 use artemis_repro::bgp::{AsPath, PathAttributes, UpdateMessage};
+use artemis_repro::bgpd::{Session, SessionConfig, SessionEvent, State};
 use artemis_repro::core::{ArtemisConfig, Detector, Mitigator, OwnedPrefix};
 use artemis_repro::prelude::*;
 use artemis_repro::simnet::SimTime;

@@ -9,12 +9,12 @@
 
 use artemis_repro::bgp::{BgpMessage, Codec};
 use artemis_repro::bgpsim::{Engine, SimConfig};
+use artemis_repro::feeds::vantage::group_into_collectors;
 use artemis_repro::feeds::{ArchiveUpdatesFeed, FeedSource, StreamFeed};
 use artemis_repro::mrt::{MrtReader, MrtRecord};
 use artemis_repro::prelude::*;
 use artemis_repro::simnet::SimRng;
 use artemis_repro::topology::{generate, TopologyConfig};
-use artemis_repro::feeds::vantage::group_into_collectors;
 
 fn main() {
     // A small Internet with a victim and a hijacker.
@@ -59,9 +59,7 @@ fn main() {
             hijacker_sightings += 1;
         }
     }
-    println!(
-        "messages whose AS-path originates at the hijacker {attacker}: {hijacker_sightings}"
-    );
+    println!("messages whose AS-path originates at the hijacker {attacker}: {hijacker_sightings}");
 
     println!("\n=== MRT archive (RFC 6396 BGP4MP) ===");
     let bytes = archive.mrt_bytes();

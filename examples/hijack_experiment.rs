@@ -32,10 +32,22 @@ fn main() {
     let fmt = |d: Option<artemis_simnet::SimDuration>| {
         d.map(|d| d.to_string()).unwrap_or_else(|| "n/a".into())
     };
-    println!("detection delay     : {:<12} (paper: ≈45 s)", fmt(t.detection_delay()));
-    println!("mitigation trigger  : {:<12} (paper: ≈15 s)", fmt(t.trigger_delay()));
-    println!("mitigation complete : {:<12} (paper: <5 min)", fmt(t.completion_delay()));
-    println!("total hijack life   : {:<12} (paper: ≈6 min)", fmt(t.total_delay()));
+    println!(
+        "detection delay     : {:<12} (paper: ≈45 s)",
+        fmt(t.detection_delay())
+    );
+    println!(
+        "mitigation trigger  : {:<12} (paper: ≈15 s)",
+        fmt(t.trigger_delay())
+    );
+    println!(
+        "mitigation complete : {:<12} (paper: <5 min)",
+        fmt(t.completion_delay())
+    );
+    println!(
+        "total hijack life   : {:<12} (paper: ≈6 min)",
+        fmt(t.total_delay())
+    );
 
     println!("\n--- ground truth -----------------------------------------");
     let g = &outcome.ground_truth;

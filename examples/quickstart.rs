@@ -5,10 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use artemis_repro::core::{ArtemisConfig, Detector, Mitigator, OwnedPrefix};
-use artemis_repro::prelude::*;
 use artemis_bgp::AsPath;
 use artemis_feeds::{FeedEvent, FeedKind};
+use artemis_repro::core::{ArtemisConfig, Detector, Mitigator, OwnedPrefix};
+use artemis_repro::prelude::*;
 use artemis_simnet::SimTime;
 
 fn main() {
@@ -16,11 +16,10 @@ fn main() {
     //    upstreams AS174 and AS3356.
     let config = ArtemisConfig::new(
         Asn(65001),
-        vec![OwnedPrefix::new(
-            "10.0.0.0/23".parse().expect("valid prefix"),
-            Asn(65001),
-        )
-        .with_neighbors([Asn(174), Asn(3356)])],
+        vec![
+            OwnedPrefix::new("10.0.0.0/23".parse().expect("valid prefix"), Asn(65001))
+                .with_neighbors([Asn(174), Asn(3356)]),
+        ],
     );
 
     let mut detector = Detector::new(config.clone());

@@ -42,7 +42,7 @@ fn type1_fake_adjacency_classified_on_paper_scale_topology() {
     // Exact prefix, legitimate origin on the path — only the
     // known-neighbors check can see the fake adjacency. Medium
     // topology: the forged route needs room to win somewhere.
-    let mut b = ExperimentBuilder::new(8000);
+    let mut b = ExperimentBuilder::new(8001);
     b.attack = AttackKind::Type1FakeAdjacency;
     let out = b.run();
     assert_eq!(out.hijack_type, Some(HijackType::Type1FakeNeighbor));
@@ -62,7 +62,10 @@ fn subprefix_of_a_22_owner_is_mitigated_by_deaggregation() {
     b.attack = AttackKind::SubPrefix;
     let out = b.run();
     assert_eq!(out.hijack_type, Some(HijackType::SubPrefix));
-    assert!(out.timings.resolved_at.is_some(), "de-aggregation resolves it");
+    assert!(
+        out.timings.resolved_at.is_some(),
+        "de-aggregation resolves it"
+    );
     let mitigation_line = out
         .milestones
         .iter()

@@ -11,7 +11,7 @@ use artemis_simnet::SimDuration;
 #[test]
 fn paper_phase_ordering_holds_across_seeds() {
     // Seeds chosen so the hijack catchment overlaps the vantage set
-    // (seed 101's hijack is invisible to every VP — a realistic
+    // (seed 89's hijack is invisible to every VP — a realistic
     // coverage miss exercised by `coverage_misses_are_possible`).
     for seed in [202, 303, 404] {
         let out = ExperimentBuilder::tiny(seed).run();
@@ -28,10 +28,10 @@ fn paper_phase_ordering_holds_across_seeds() {
 
 #[test]
 fn coverage_misses_are_possible() {
-    // Seed 101's hijack pollutes only a small catchment that contains
+    // Seed 89's hijack pollutes only a small catchment that contains
     // no vantage point: control-plane monitoring cannot see it. This
     // is a documented limitation of VP-based detection, not a bug.
-    let out = ExperimentBuilder::tiny(101).run();
+    let out = ExperimentBuilder::tiny(89).run();
     assert!(out.timings.detected_at.is_none());
     assert!(
         out.ground_truth.hijacked_at_end > 0,
@@ -51,7 +51,10 @@ fn detection_beats_every_baseline() {
     ] {
         let baseline = run_baseline(kind, &builder);
         assert!(
-            baseline.detection_delay.expect("baselines detect eventually") > artemis_detect,
+            baseline
+                .detection_delay
+                .expect("baselines detect eventually")
+                > artemis_detect,
             "{kind} beat ARTEMIS"
         );
     }
@@ -68,7 +71,7 @@ fn subprefix_hijack_detected_and_classified() {
 
 #[test]
 fn mitigation_restores_all_traffic_paths() {
-    let out = ExperimentBuilder::tiny(88).run();
+    let out = ExperimentBuilder::tiny(101).run();
     assert_eq!(out.ground_truth.hijacked_at_end, 0);
     assert_eq!(
         out.ground_truth.recovered_at_end,
@@ -99,13 +102,16 @@ fn experiments_are_reproducible() {
     assert_eq!(a.timings.detected_at, b.timings.detected_at);
     assert_eq!(a.timings.mitigation_started, b.timings.mitigation_started);
     assert_eq!(a.timings.resolved_at, b.timings.resolved_at);
-    assert_eq!(a.ground_truth.recovered_at_end, b.ground_truth.recovered_at_end);
+    assert_eq!(
+        a.ground_truth.recovered_at_end,
+        b.ground_truth.recovered_at_end
+    );
     assert_eq!(a.milestones.len(), b.milestones.len());
 }
 
 #[test]
 fn timeline_shows_hijack_wave_and_recovery() {
-    let out = ExperimentBuilder::tiny(31).run();
+    let out = ExperimentBuilder::tiny(19).run();
     let timeline = &out.timeline;
     assert!(!timeline.is_empty(), "monitor must record the incident");
     let peak_hijacked = timeline.iter().map(|p| p.hijacked).max().unwrap_or(0);
@@ -119,7 +125,7 @@ fn faulty_feeds_degrade_gracefully() {
     use artemis_repro::bgpsim::SimConfig;
     // Heavy message loss in the BGP plane: the experiment must not
     // wedge; detection may be later but the run terminates cleanly.
-    let mut b = ExperimentBuilder::tiny(41);
+    let mut b = ExperimentBuilder::tiny(42);
     b.sim = SimConfig {
         faults: artemis_repro::simnet::FaultInjector::dropper(0.10),
         ..SimConfig::default()

@@ -60,7 +60,10 @@ fn ris_json_stream_feeds_the_detector() {
 
     let config = ArtemisConfig::new(
         victim,
-        vec![OwnedPrefix::new("10.0.0.0/23".parse().expect("valid"), victim)],
+        vec![OwnedPrefix::new(
+            "10.0.0.0/23".parse().expect("valid"),
+            victim,
+        )],
     );
     let mut detector = Detector::new(config);
 
@@ -102,13 +105,19 @@ fn mrt_archive_replays_into_the_detector() {
     // embedded BGP UPDATEs through ARTEMIS's detection logic.
     let config = ArtemisConfig::new(
         victim,
-        vec![OwnedPrefix::new("10.0.0.0/23".parse().expect("valid"), victim)],
+        vec![OwnedPrefix::new(
+            "10.0.0.0/23".parse().expect("valid"),
+            victim,
+        )],
     );
     let mut detector = Detector::new(config);
     let mut replayed = 0usize;
     for record in MrtReader::new(archive.mrt_bytes()) {
         let record = record.expect("valid MRT");
-        let MrtRecord::Bgp4mp { message, timestamp, .. } = record else {
+        let MrtRecord::Bgp4mp {
+            message, timestamp, ..
+        } = record
+        else {
             continue;
         };
         let BgpMessage::Update(update) = &message.message else {

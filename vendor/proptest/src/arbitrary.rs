@@ -1,0 +1,101 @@
+//! `any::<T>()` — default strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical default strategy.
+pub trait Arbitrary: Sized {
+    /// The default strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the default strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The default strategy for `T` (uniform over the full domain).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform full-domain strategy for primitives.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any(PhantomData)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.next_u64() as $t)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> { Any::default() }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<u128> {
+    type Value = u128;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<u128> {
+        Some(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)
+    }
+}
+
+impl Arbitrary for u128 {
+    type Strategy = Any<u128>;
+    fn arbitrary() -> Any<u128> {
+        Any::default()
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any::default()
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(rng.unit_f64())
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = Any<f64>;
+    fn arbitrary() -> Any<f64> {
+        Any::default()
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            type Strategy = ($($name::Strategy,)+);
+            fn arbitrary() -> Self::Strategy {
+                ($($name::arbitrary(),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);

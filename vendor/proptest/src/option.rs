@@ -1,0 +1,25 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<T>`: `None` roughly a quarter of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Output of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+        if rng.index(4) == 0 {
+            Some(None)
+        } else {
+            self.inner.gen_value(rng).map(Some)
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// A recipe for generating values of one type.
+///
+/// `gen_value` returns `None` when a filter rejected the draw; the
+/// runner then retries the whole case.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Reject generated values failing the predicate. `reason` is
+    /// reported if the filter starves generation.
+    fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+        (**self).gen_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.gen_value(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from a non-empty set of arms.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+        let idx = rng.index(self.arms.len());
+        self.arms[idx].gen_value(rng)
+    }
+}
+
+/// Strategy producing a constant via a function; used internally.
+pub struct LazyJust<T, F: Fn() -> T> {
+    f: F,
+    _marker: PhantomData<T>,
+}
+
+impl<T, F: Fn() -> T> LazyJust<T, F> {
+    /// Wrap a producer function.
+    pub fn new(f: F) -> Self {
+        LazyJust {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, F: Fn() -> T> Strategy for LazyJust<T, F> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some((self.f)())
+    }
+}
+
+// ---------------------------------------------------------------------
+// String literals as regex strategies (subset)
+// ---------------------------------------------------------------------
+
+/// One parsed atom of the supported regex subset.
+enum RegexAtom {
+    /// Characters to choose from uniformly.
+    Class(Vec<char>),
+    /// Repetition bounds (inclusive).
+    Counts(u32, u32),
+}
+
+/// Parse the supported subset: literal chars, `[a-z0-9_]` classes, and
+/// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (star/plus capped at 8).
+fn parse_regex_subset(pattern: &str) -> Vec<(Vec<char>, u32, u32)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<RegexAtom> = Vec::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                let mut raw = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    raw.push(d);
+                }
+                // Expand `a-z` ranges.
+                let mut class = Vec::new();
+                let mut i = 0;
+                while i < raw.len() {
+                    if i + 2 < raw.len() && raw[i + 1] == '-' {
+                        for cp in (raw[i] as u32)..=(raw[i + 2] as u32) {
+                            if let Some(ch) = char::from_u32(cp) {
+                                class.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        class.push(raw[i]);
+                        i += 1;
+                    }
+                }
+                assert!(!class.is_empty(), "empty character class in `{pattern}`");
+                atoms.push(RegexAtom::Class(class));
+            }
+            '{' => {
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad {m,n}"),
+                        b.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n}");
+                        (n, n)
+                    }
+                };
+                atoms.push(RegexAtom::Counts(lo, hi));
+            }
+            '?' => atoms.push(RegexAtom::Counts(0, 1)),
+            '*' => atoms.push(RegexAtom::Counts(0, 8)),
+            '+' => atoms.push(RegexAtom::Counts(1, 8)),
+            c => atoms.push(RegexAtom::Class(vec![c])),
+        }
+    }
+    // Pair classes with following quantifiers.
+    let mut out = Vec::new();
+    let mut iter = atoms.into_iter().peekable();
+    while let Some(atom) = iter.next() {
+        let RegexAtom::Class(class) = atom else {
+            panic!("quantifier without preceding atom in `{pattern}`");
+        };
+        let (lo, hi) = match iter.peek() {
+            Some(RegexAtom::Counts(lo, hi)) => {
+                let bounds = (*lo, *hi);
+                iter.next();
+                bounds
+            }
+            _ => (1, 1),
+        };
+        out.push((class, lo, hi));
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<String> {
+        let parts = parse_regex_subset(self);
+        let mut out = String::new();
+        for (class, lo, hi) in parts {
+            let count = lo + rng.index((hi - lo + 1) as usize) as u32;
+            for _ in 0..count {
+                out.push(class[rng.index(class.len())]);
+            }
+        }
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                Some((self.start as u128).wrapping_add(draw) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    return Some(rng.next_u64() as $t);
+                }
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                Some((lo as u128).wrapping_add(draw) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.gen_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);

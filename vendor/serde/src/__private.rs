@@ -1,0 +1,116 @@
+//! Helpers used by the generated `#[derive(Serialize, Deserialize)]`
+//! code. Not part of the public API.
+
+use crate::de::{Deserialize, Deserializer, Error as DeErrorTrait};
+use crate::ser::{Error as SerErrorTrait, Serialize, Serializer};
+use std::fmt;
+
+pub use crate::value::Value;
+
+/// Serializer that just hands back the value tree.
+pub struct ValueSerializer;
+
+/// Error for [`ValueSerializer`]; never actually produced.
+#[derive(Debug)]
+pub struct NeverError;
+
+impl fmt::Display for NeverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unreachable serialization error")
+    }
+}
+
+impl std::error::Error for NeverError {}
+
+impl SerErrorTrait for NeverError {
+    fn custom<T: fmt::Display>(_msg: T) -> Self {
+        NeverError
+    }
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = NeverError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, NeverError> {
+        Ok(value)
+    }
+}
+
+/// Serialize any `Serialize` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(NeverError) => Value::Null,
+    }
+}
+
+/// Deserializer that reads from an owned [`Value`] tree, surfacing
+/// errors as the caller's error type.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: DeErrorTrait> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserialize a `T` out of an owned [`Value`] tree.
+pub fn from_value<'de, T, E>(value: Value) -> Result<T, E>
+where
+    T: Deserialize<'de>,
+    E: DeErrorTrait,
+{
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+/// Take the named field out of a map and deserialize it. Missing
+/// fields deserialize from `null` (so `Option` fields tolerate
+/// omission).
+pub fn from_field<'de, T, E>(fields: &mut Vec<(String, Value)>, name: &str) -> Result<T, E>
+where
+    T: Deserialize<'de>,
+    E: DeErrorTrait,
+{
+    let value = match fields.iter().position(|(k, _)| k == name) {
+        Some(idx) => fields.swap_remove(idx).1,
+        None => Value::Null,
+    };
+    from_value(value).map_err(|e: E| E::custom(format!("field `{name}`: {e}")))
+}
+
+/// Expect the value to be an object; derive code for structs calls this.
+pub fn expect_object<E: DeErrorTrait>(value: Value) -> Result<Vec<(String, Value)>, E> {
+    match value {
+        Value::Object(fields) => Ok(fields),
+        other => Err(E::custom(format!("expected object, got {other:?}"))),
+    }
+}
+
+/// Expect the value to be an array of exactly `n` items; derive code
+/// for tuple structs / tuple variants calls this.
+pub fn expect_array<E: DeErrorTrait>(value: Value, n: usize) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Array(items) if items.len() == n => Ok(items),
+        Value::Array(items) => Err(E::custom(format!(
+            "expected array of {n}, got {}",
+            items.len()
+        ))),
+        other => Err(E::custom(format!("expected array, got {other:?}"))),
+    }
+}

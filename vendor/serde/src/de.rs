@@ -1,0 +1,256 @@
+//! Deserialization traits.
+
+use crate::value::Value;
+use std::fmt::Display;
+
+/// Error raised while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produce the complete value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned-deserializable marker, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn type_error<'de, D: Deserializer<'de>, T>(expected: &str, got: &Value) -> Result<T, D::Error> {
+    Err(D::Error::custom(format!(
+        "expected {expected}, got {got:?}"
+    )))
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::String(s) => Ok(s),
+            other => type_error::<D, _>("string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => type_error::<D, _>("bool", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-char string")),
+        }
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_value()?;
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| D::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_value()?;
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| D::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v)))
+            }
+        }
+    )*};
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::U64(n) => Ok(n as u128),
+            Value::String(s) => s.parse().map_err(D::Error::custom),
+            other => type_error::<D, _>("u128", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.deserialize_value()?;
+        v.as_f64()
+            .ok_or_else(|| D::Error::custom(format!("expected f64, got {v:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => crate::__private::from_value::<T, D::Error>(v).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(crate::__private::from_value::<T, D::Error>)
+                .collect(),
+            other => type_error::<D, _>("array", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = Vec::<T>::deserialize(deserializer)?;
+        let len = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| D::Error::custom(format!("expected array of {N}, got {len}")))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Array(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                Ok((
+                    crate::__private::from_value::<A, D::Error>(it.next().unwrap())?,
+                    crate::__private::from_value::<B, D::Error>(it.next().unwrap())?,
+                ))
+            }
+            other => type_error::<D, _>("2-tuple", &other),
+        }
+    }
+}
+
+macro_rules! impl_de_map {
+    ($($map:ident: $($bound:path),*;)*) => {$(
+        impl<'de, K, V> Deserialize<'de> for std::collections::$map<K, V>
+        where
+            K: std::str::FromStr $(+ $bound)*,
+            <K as std::str::FromStr>::Err: Display,
+            V: Deserialize<'de>,
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Object(fields) => fields
+                        .into_iter()
+                        .map(|(k, v)| {
+                            Ok((
+                                k.parse::<K>().map_err(D::Error::custom)?,
+                                crate::__private::from_value::<V, D::Error>(v)?,
+                            ))
+                        })
+                        .collect(),
+                    other => type_error::<D, _>("object", &other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_map! {
+    HashMap: std::hash::Hash, Eq;
+    BTreeMap: Ord;
+}
+
+macro_rules! impl_de_set {
+    ($($set:ident: $($bound:path),*;)*) => {$(
+        impl<'de, T> Deserialize<'de> for std::collections::$set<T>
+        where
+            T: Deserialize<'de> $(+ $bound)*,
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+            }
+        }
+    )*};
+}
+
+impl_de_set! {
+    HashSet: std::hash::Hash, Eq;
+    BTreeSet: Ord;
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into())
+    }
+}
+
+macro_rules! impl_de_fromstr {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(deserializer)?;
+                s.parse().map_err(D::Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_de_fromstr!(
+    std::net::IpAddr,
+    std::net::Ipv4Addr,
+    std::net::Ipv6Addr,
+    std::net::SocketAddr
+);
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.deserialize_value()?;
+        let secs = v["secs"]
+            .as_u64()
+            .ok_or_else(|| D::Error::custom("Duration missing secs"))?;
+        let nanos = v["nanos"]
+            .as_u64()
+            .ok_or_else(|| D::Error::custom("Duration missing nanos"))?;
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal offline reimplementation of the `serde` API surface this
+//! workspace uses.
+//!
+//! Architecture: instead of serde's streaming visitor model, every
+//! serializer/deserializer passes through a self-describing
+//! [`value::Value`] tree (the same type `serde_json` re-exports as its
+//! `Value`). The public trait names and signatures match real serde
+//! closely enough that the workspace's manual `impl Serialize` /
+//! `impl Deserialize` blocks and `#[derive(Serialize, Deserialize)]`
+//! attributes compile unchanged.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,303 @@
+//! The self-describing value tree all (de)serialization in this
+//! vendored serde flows through. `serde_json` re-exports this type as
+//! its `Value`.
+
+use std::fmt;
+
+/// A JSON-like self-describing value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// As `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// As `f64` if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// As `bool` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As a slice of values if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup (also accepts `usize` for arrays via
+    /// [`std::ops::Index`]).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(idx),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! impl_eq_num {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::$variant(n) if *n == *other as $cast)
+            }
+        }
+    )*};
+}
+
+impl_eq_num!(u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+             usize => U64 as u64, i32 => I64 as i64, i64 => I64 as i64, f64 => F64 as f64);
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::U64(v as u64) }
+        }
+    )*};
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v as i64) }
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, usize);
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering (used by `serde_json::to_string`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(n) => write!(f, "{n}"),
+            Value::I64(n) => write!(f, "{n}"),
+            Value::F64(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        // Keep a fractional marker so numbers stay floats
+                        // across a round-trip.
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+pub(crate) fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}

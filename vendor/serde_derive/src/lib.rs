@@ -1,0 +1,542 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` implementation for the
+//! vendored serde. Parses the item with the bare `proc_macro` API (no
+//! syn/quote) and emits impls against `serde::__private`'s value-tree
+//! helpers.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields,
+//! * newtype / tuple structs,
+//! * `#[serde(transparent)]` single-field structs,
+//! * enums with unit, tuple, and struct variants
+//!   (externally tagged, like real serde's default).
+//!
+//! Generic type parameters are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    /// Struct with named fields. `transparent` requires exactly one field.
+    Struct {
+        name: String,
+        fields: Vec<String>,
+        transparent: bool,
+    },
+    /// Tuple struct with `n` fields.
+    TupleStruct {
+        name: String,
+        arity: usize,
+        transparent: bool,
+    },
+    /// Unit struct.
+    UnitStruct { name: String },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = 0;
+
+    // Scan container attributes and visibility until `struct` / `enum`.
+    let keyword = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_transparent(g.stream()) {
+                        transparent = true;
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc.
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+
+    // Reject generics (not needed by this workspace).
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored) does not support generic types: {name}");
+        }
+    }
+
+    if keyword == "enum" {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body for {name}, got {other:?}"),
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                if transparent && fields.len() != 1 {
+                    panic!("#[serde(transparent)] requires exactly one field on {name}");
+                }
+                Item::Struct {
+                    name,
+                    fields,
+                    transparent,
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                if transparent && arity != 1 {
+                    panic!("#[serde(transparent)] requires exactly one field on {name}");
+                }
+                Item::TupleStruct {
+                    name,
+                    arity,
+                    transparent,
+                }
+            }
+            _ => Item::UnitStruct { name },
+        }
+    }
+}
+
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    // Matches the inside of `#[...]`: `serde ( transparent )`.
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Parse `ident: Type, ...` skipping attributes, visibility, and the
+/// type tokens (tracking `<...>` nesting so commas inside generics
+/// don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2; // '#' + bracket group
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':' then skip type tokens to the next top-level comma.
+        i += 1;
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip variant attributes (incl. doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let body = if *transparent {
+                format!(
+                    "serde::Serialize::serialize(&self.{}, __serializer)",
+                    fields[0]
+                )
+            } else {
+                let mut b = String::from("let mut __fields = Vec::new();\n");
+                for f in fields {
+                    b.push_str(&format!(
+                        "__fields.push((\"{f}\".to_string(), \
+                         serde::__private::to_value(&self.{f})));\n"
+                    ));
+                }
+                b.push_str(
+                    "__serializer.serialize_value(\
+                     serde::__private::Value::Object(__fields))",
+                );
+                b
+            };
+            (name, body)
+        }
+        Item::TupleStruct {
+            name,
+            arity,
+            transparent,
+        } => {
+            let body = if *transparent || *arity == 1 {
+                // Newtype structs serialize transparently, as real serde does.
+                "serde::Serialize::serialize(&self.0, __serializer)".to_string()
+            } else {
+                let mut b = String::from("let mut __items = Vec::new();\n");
+                for i in 0..*arity {
+                    b.push_str(&format!(
+                        "__items.push(serde::__private::to_value(&self.{i}));\n"
+                    ));
+                }
+                b.push_str(
+                    "__serializer.serialize_value(\
+                     serde::__private::Value::Array(__items))",
+                );
+                b
+            };
+            (name, body)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            "__serializer.serialize_value(serde::__private::Value::Null)".to_string(),
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         serde::__private::Value::String(\"{vname}\".to_string())),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let __inner = serde::__private::to_value(__f0);\n\
+                         __serializer.serialize_value(serde::__private::Value::Object(\
+                         vec![(\"{vname}\".to_string(), __inner)]))\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!("{name}::{vname}({}) => {{\n", binders.join(", "));
+                        arm.push_str("let mut __items = Vec::new();\n");
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "__items.push(serde::__private::to_value({b}));\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "__serializer.serialize_value(serde::__private::Value::Object(\
+                             vec![(\"{vname}\".to_string(), \
+                             serde::__private::Value::Array(__items))]))\n}}\n"
+                        ));
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm =
+                            format!("{name}::{vname} {{ {} }} => {{\n", fields.join(", "));
+                        arm.push_str("let mut __fields = Vec::new();\n");
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__fields.push((\"{f}\".to_string(), \
+                                 serde::__private::to_value({f})));\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "__serializer.serialize_value(serde::__private::Value::Object(\
+                             vec![(\"{vname}\".to_string(), \
+                             serde::__private::Value::Object(__fields))]))\n}}\n"
+                        ));
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let body = if *transparent {
+                format!(
+                    "Ok({name} {{ {}: serde::Deserialize::deserialize(__deserializer)? }})",
+                    fields[0]
+                )
+            } else {
+                let mut b = String::from(
+                    "let __value = serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                     let mut __fields = \
+                     serde::__private::expect_object::<__D::Error>(__value)?;\n",
+                );
+                b.push_str(&format!("Ok({name} {{\n"));
+                for f in fields {
+                    b.push_str(&format!(
+                        "{f}: serde::__private::from_field::<_, __D::Error>(\
+                         &mut __fields, \"{f}\")?,\n"
+                    ));
+                }
+                b.push_str("})");
+                b
+            };
+            (name, body)
+        }
+        Item::TupleStruct {
+            name,
+            arity,
+            transparent,
+        } => {
+            let body = if *transparent || *arity == 1 {
+                format!("Ok({name}(serde::Deserialize::deserialize(__deserializer)?))")
+            } else {
+                let mut b = format!(
+                    "let __value = serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                     let __items = \
+                     serde::__private::expect_array::<__D::Error>(__value, {arity})?;\n\
+                     let mut __it = __items.into_iter();\n"
+                );
+                b.push_str(&format!("Ok({name}(\n"));
+                for _ in 0..*arity {
+                    b.push_str(
+                        "serde::__private::from_value::<_, __D::Error>(\
+                         __it.next().unwrap())?,\n",
+                    );
+                }
+                b.push_str("))");
+                b
+            };
+            (name, body)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!("let _ = serde::Deserializer::deserialize_value(__deserializer)?;\nOk({name})"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    VariantKind::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         serde::__private::from_value::<_, __D::Error>(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = \
+                             serde::__private::expect_array::<__D::Error>(__inner, {n})?;\n\
+                             let mut __it = __items.into_iter();\n\
+                             Ok({name}::{vname}(\n"
+                        );
+                        for _ in 0..*n {
+                            arm.push_str(
+                                "serde::__private::from_value::<_, __D::Error>(\
+                                 __it.next().unwrap())?,\n",
+                            );
+                        }
+                        arm.push_str("))\n}\n");
+                        keyed_arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __fields = \
+                             serde::__private::expect_object::<__D::Error>(__inner)?;\n\
+                             Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: serde::__private::from_field::<_, __D::Error>(\
+                                 &mut __fields, \"{f}\")?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n}\n");
+                        keyed_arms.push_str(&arm);
+                    }
+                }
+            }
+            let body = format!(
+                "let __value = serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                 match __value {{\n\
+                 serde::__private::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(<__D::Error as serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 serde::__private::Value::Object(mut __obj) if __obj.len() == 1 => {{\n\
+                 let (__tag, __inner) = __obj.pop().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {keyed_arms}\
+                 __other => Err(<__D::Error as serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(<__D::Error as serde::de::Error>::custom(\
+                 format!(\"invalid enum encoding for {name}: {{__other:?}}\"))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

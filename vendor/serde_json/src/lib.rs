@@ -1,0 +1,447 @@
+//! Minimal offline reimplementation of the `serde_json` API surface
+//! this workspace uses: [`Value`], [`to_string`], [`from_str`], and the
+//! [`json!`] macro. The value type is the vendored serde's value tree,
+//! so `Value` round-trips through any `Serialize`/`Deserialize` type.
+
+use std::fmt;
+
+pub use serde::value::Value;
+
+/// Error from JSON (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// Convenience alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::__private::to_value(value).to_string())
+}
+
+/// Serialize a value to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(serde::__private::to_value(value))
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse::Parser::new(s).parse_complete()?;
+    from_value(value)
+}
+
+/// Deserialize a value from a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    serde::__private::from_value(value)
+}
+
+mod parse {
+    use super::{Error, Value};
+
+    pub struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        pub fn new(s: &'a str) -> Parser<'a> {
+            Parser {
+                bytes: s.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        pub fn parse_complete(mut self) -> Result<Value, Error> {
+            let v = self.parse_value()?;
+            self.skip_ws();
+            if self.pos != self.bytes.len() {
+                return Err(self.err("trailing characters"));
+            }
+            Ok(v)
+        }
+
+        fn err(&self, msg: &str) -> Error {
+            Error {
+                msg: format!("{msg} at byte {}", self.pos),
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{}`", b as char)))
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, Error> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'n') => self.parse_keyword("null", Value::Null),
+                Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+                Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+                Some(b'"') => self.parse_string().map(Value::String),
+                Some(b'[') => self.parse_array(),
+                Some(b'{') => self.parse_object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+
+        fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                Ok(value)
+            } else {
+                Err(self.err("invalid keyword"))
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let code = self.read_hex4(self.pos + 1)?;
+                                self.pos += 4;
+                                let c = if (0xD800..0xDC00).contains(&code) {
+                                    // High surrogate: a `\uDC00`-range low
+                                    // surrogate must follow.
+                                    if self.bytes.get(self.pos + 1..self.pos + 3)
+                                        != Some(br"\u".as_slice())
+                                    {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    let low = self.read_hex4(self.pos + 3)?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    self.pos += 6;
+                                    let cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("bad surrogate pair"))?
+                                } else {
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad \\u code point"))?
+                                };
+                                out.push(c);
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        /// Read 4 hex digits starting at `at` (does not advance `pos`).
+        fn read_hex4(&self, at: usize) -> Result<u32, Error> {
+            let hex = self
+                .bytes
+                .get(at..at + 4)
+                .ok_or_else(|| self.err("short \\u escape"))?;
+            std::str::from_utf8(hex)
+                .ok()
+                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                .ok_or_else(|| self.err("bad \\u escape"))
+        }
+
+        fn parse_number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid number"))?;
+            if is_float {
+                text.parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| self.err("invalid number"))
+            } else if text.starts_with('-') {
+                text.parse::<i64>()
+                    .map(Value::I64)
+                    .map_err(|_| self.err("invalid number"))
+            } else {
+                text.parse::<u64>()
+                    .map(Value::U64)
+                    .map_err(|_| self.err("invalid number"))
+            }
+        }
+
+        fn parse_array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.parse_value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]`")),
+                }
+            }
+        }
+
+        fn parse_object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.parse_string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let value = self.parse_value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(self.err("expected `,` or `}`")),
+                }
+            }
+        }
+    }
+}
+
+/// Accumulator constructor used by [`json!`]; opaque so statement
+/// lints don't fire inside every macro expansion site. Not public API.
+#[doc(hidden)]
+pub fn __json_vec<T>() -> Vec<T> {
+    Vec::new()
+}
+
+/// Serialize-by-reference helper used by [`json!`]; not public API.
+#[doc(hidden)]
+pub fn __json_to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    serde::__private::to_value(value)
+}
+
+/// Build a [`Value`] from JSON-like syntax. Keys must be string
+/// literals; values may be nested `{...}` / `[...]` literals or any
+/// expression convertible to `Value`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __fields: Vec<(String, $crate::Value)> = $crate::__json_vec();
+        $crate::json_object_inner!(__fields; $($body)*);
+        $crate::Value::Object(__fields)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __items: Vec<$crate::Value> = $crate::__json_vec();
+        $crate::json_array_inner!(__items; $($body)*);
+        $crate::Value::Array(__items)
+    }};
+    ($other:expr) => { $crate::__json_to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_inner {
+    ($fields:ident;) => {};
+    ($fields:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_object_inner!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_object_inner!($fields; $($($rest)*)?);
+    };
+    ($fields:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $fields.push(($key.to_string(), $crate::__json_to_value(&$value)));
+        $crate::json_object_inner!($fields; $($($rest)*)?);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_inner {
+    ($items:ident;) => {};
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_inner!($items; $($($rest)*)?);
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_inner!($items; $($($rest)*)?);
+    };
+    ($items:ident; $value:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::__json_to_value(&$value));
+        $crate::json_array_inner!($items; $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_document() {
+        let v: Value = from_str(r#"{"a": 1, "b": [true, null, "x"], "c": -2.5}"#).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][0], true);
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2], "x");
+        assert_eq!(v["c"].as_f64(), Some(-2.5));
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = json!({
+            "type": "msg",
+            "data": { "n": 3u32, "xs": [1u32, 2u32] },
+            "tag": if true { json!(["a"]) } else { json!([]) },
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(back["data"]["xs"][1].as_u64(), Some(2));
+        assert_eq!(back["tag"][0], "a");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({ "s": "line\n\"quoted\"\tand \\ back" });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_stays_float() {
+        let text = to_string(&json!({ "t": 3.0f64 })).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["t"].as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{oops").is_err());
+        assert!(from_str::<Value>("[1,").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn integer_boundaries() {
+        assert_eq!(
+            from_str::<Value>("-9223372036854775808").unwrap(),
+            Value::I64(i64::MIN)
+        );
+        assert_eq!(
+            from_str::<Value>("18446744073709551615").unwrap(),
+            Value::U64(u64::MAX)
+        );
+        // One past i64::MIN is an error, not a wrapped value.
+        assert!(from_str::<Value>("-9223372036854775809").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // The standard JSON escape encoding of U+1F600 (😀).
+        let v: Value = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v, "\u{1F600}");
+        // A literal (unescaped) non-BMP char also parses.
+        let v: Value = from_str("\"😀\"").unwrap();
+        assert_eq!(v, "\u{1F600}");
+        assert!(from_str::<Value>(r#""\ud83d""#).is_err(), "unpaired high");
+        assert!(
+            from_str::<Value>(r#""\ud83dA""#).is_err(),
+            "bad low surrogate"
+        );
+    }
+}
