@@ -2,7 +2,7 @@
 //!
 //! "more than 20% of hijacks last < 10 mins" and ARTEMIS's ≈6-minute
 //! total response "is smaller than the duration of > 80% of the
-//! hijacking cases observed in [3]".
+//! hijacking cases observed in \[3\]" (the paper's Argus citation).
 //!
 //! Uses the Argus-calibrated duration model (DESIGN.md substitution)
 //! and the *measured* response times from fresh experiment runs.

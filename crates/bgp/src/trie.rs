@@ -245,12 +245,15 @@ impl<T> PrefixTrie<T> {
         out
     }
 
-    /// All `(prefix, value)` pairs, v4 first then v6, in address order.
-    pub fn iter(&self) -> Vec<(Prefix, &T)> {
-        let mut out = Vec::with_capacity(self.len);
-        out.extend(self.covered(Prefix::default_v4()));
-        out.extend(self.covered(Prefix::default_v6()));
-        out
+    /// Lazy iterator over all `(prefix, value)` pairs, v4 first then
+    /// v6, in address order (the same order [`PrefixTrie::covered`]
+    /// uses). Walks the trie with an explicit stack — no intermediate
+    /// `Vec` is materialized.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            // Pushed v6 first so v4 pops (and therefore yields) first.
+            stack: vec![(&self.v6, Afi::Ipv6, 0, 0), (&self.v4, Afi::Ipv4, 0, 0)],
+        }
     }
 
     /// Remove everything.
@@ -258,6 +261,66 @@ impl<T> PrefixTrie<T> {
         self.v4 = Node::default();
         self.v6 = Node::default();
         self.len = 0;
+    }
+}
+
+/// Lazy depth-first traversal of a [`PrefixTrie`], yielding
+/// `(prefix, &value)` in address order (see [`PrefixTrie::iter`]).
+pub struct Iter<'a, T> {
+    /// Pending subtrees: `(node, family, path bits, depth)`. Children
+    /// are pushed right-then-left so the left (0) branch pops first,
+    /// preserving address order.
+    stack: Vec<(&'a Node<T>, Afi, u128, u8)>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, afi, bits, depth)) = self.stack.pop() {
+            if depth < afi.max_len() {
+                if let Some(child) = node.children[1].as_deref() {
+                    let set = bits | (1u128 << (127 - depth as u32));
+                    self.stack.push((child, afi, set, depth + 1));
+                }
+                if let Some(child) = node.children[0].as_deref() {
+                    self.stack.push((child, afi, bits, depth + 1));
+                }
+            }
+            if let Some(v) = node.value.as_ref() {
+                let p = Prefix::from_bits(afi, bits, depth).expect("depth <= family max");
+                return Some((p, v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PrefixTrie<T> {
+    type Item = (Prefix, &'a T);
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T> Extend<(Prefix, T)> for PrefixTrie<T> {
+    fn extend<I: IntoIterator<Item = (Prefix, T)>>(&mut self, iter: I) {
+        for (prefix, value) in iter {
+            self.insert(prefix, value);
+        }
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixTrie<T> {
+    /// Build a trie from `(prefix, value)` pairs. Later duplicates
+    /// replace earlier ones, exactly like repeated
+    /// [`PrefixTrie::insert`] calls.
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut trie = PrefixTrie::new();
+        trie.extend(iter);
+        trie
     }
 }
 
@@ -390,7 +453,7 @@ mod tests {
         t.insert(p("192.0.2.0/24"), 1);
         t.insert(p("10.0.0.0/8"), 2);
         t.insert(p("2001:db8::/32"), 3);
-        let all: Vec<Prefix> = t.iter().into_iter().map(|(q, _)| q).collect();
+        let all: Vec<Prefix> = t.iter().map(|(q, _)| q).collect();
         assert_eq!(
             all,
             vec![p("10.0.0.0/8"), p("192.0.2.0/24"), p("2001:db8::/32")]
@@ -432,6 +495,34 @@ mod tests {
         t.insert(p("2001:db8::/32"), ());
         t.clear();
         assert!(t.is_empty());
-        assert!(t.iter().is_empty());
+        assert_eq!(t.iter().next(), None);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut t: PrefixTrie<i32> = [(p("10.0.0.0/8"), 1), (p("10.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 1, "later duplicates replace earlier ones");
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        t.extend([(p("192.0.2.0/24"), 3)]);
+        assert_eq!(t.len(), 2);
+        // `&trie` is iterable directly.
+        let sum: i32 = (&t).into_iter().map(|(_, v)| *v).sum();
+        assert_eq!(sum, 5);
+    }
+
+    #[test]
+    fn iter_is_lazy_and_ordered_within_subtrees() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/23"), 0);
+        t.insert(p("10.0.1.0/24"), 1);
+        t.insert(p("10.0.0.0/24"), 2);
+        let mut it = t.iter();
+        // Less-specific parent first, then children in address order.
+        assert_eq!(it.next().map(|(q, _)| q), Some(p("10.0.0.0/23")));
+        assert_eq!(it.next().map(|(q, _)| q), Some(p("10.0.0.0/24")));
+        assert_eq!(it.next().map(|(q, _)| q), Some(p("10.0.1.0/24")));
+        assert_eq!(it.next(), None);
     }
 }

@@ -230,6 +230,68 @@ proptest! {
         }
         prop_assert!(trie.is_empty());
     }
+
+    /// `collect()` (FromIterator) then `iter()` is the identity on the
+    /// deduplicated entry set, and yields address order within each
+    /// family with v4 before v6.
+    #[test]
+    fn trie_insert_iter_roundtrip(
+        v4 in prop::collection::hash_set((any::<u32>(), 0u8..=32), 0..30),
+        v6 in prop::collection::hash_set((any::<u128>(), 0u8..=64), 0..20),
+    ) {
+        let entries: Vec<(Prefix, u64)> = v4
+            .iter()
+            .map(|(a, l)| Prefix::v4((*a).into(), *l).unwrap())
+            .chain(
+                v6.iter()
+                    .map(|(a, l)| Prefix::v6((*a).into(), *l).unwrap()),
+            )
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        let trie: PrefixTrie<u64> = entries.iter().copied().collect();
+
+        // FromIterator keeps the *last* value for duplicate prefixes
+        // (distinct (addr, len) pairs can mask to the same prefix), and
+        // `Prefix: Ord` is (family, bits, len) — exactly iteration
+        // order — so a BTreeMap models both.
+        let expected: Vec<(Prefix, u64)> = entries
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeMap<Prefix, u64>>()
+            .into_iter()
+            .collect();
+
+        prop_assert_eq!(trie.len(), expected.len());
+        let yielded: Vec<(Prefix, u64)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        prop_assert_eq!(yielded, expected);
+    }
+
+    /// A trie built via FromIterator agrees with a naive linear scan on
+    /// longest-prefix-match for arbitrary host probes.
+    #[test]
+    fn trie_from_iter_lpm_equals_naive_scan(
+        entries in prop::collection::hash_set((any::<u32>(), 0u8..=30), 1..40),
+        probes in prop::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let prefixes: Vec<(Prefix, usize)> = entries
+            .iter()
+            .map(|(a, l)| Prefix::v4((*a).into(), *l).unwrap())
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        let trie: PrefixTrie<usize> = prefixes.iter().copied().collect();
+        for probe in probes {
+            let host = Prefix::v4(probe.into(), 32).unwrap();
+            let trie_hit = trie.longest_match(host).map(|(p, _)| p);
+            let naive_hit = prefixes
+                .iter()
+                .map(|(p, _)| *p)
+                .filter(|p| p.contains(host))
+                .max_by_key(|p| p.len());
+            prop_assert_eq!(trie_hit, naive_hit, "probe {}", host);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

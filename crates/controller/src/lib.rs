@@ -14,9 +14,10 @@
 //! installed intents become originations on the simulated BGP speakers.
 //!
 //! The controller is deliberately engine-agnostic: it emits
-//! [`ControllerAction`]s that the experiment driver applies to
-//! [`artemis_bgpsim::Engine`], keeping the layering honest (a real
-//! deployment would apply them to router configs instead).
+//! [`ControllerAction`]s that the pipeline driver applies to the
+//! simulation engine (`artemis_bgpsim::Engine`, not a dependency of
+//! this crate), keeping the layering honest — a real deployment would
+//! apply them to router configs instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -92,7 +92,16 @@ impl AlertStore {
         AlertStore::default()
     }
 
+    /// Position of `id` in the store (alerts are kept sorted by id).
+    fn idx(&self, id: AlertId) -> Option<usize> {
+        self.alerts.binary_search_by_key(&id, |a| a.id).ok()
+    }
+
     /// Record an observation; returns `(alert id, is_new)`.
+    ///
+    /// Deduplication scans every alert in the store. Sharded callers
+    /// that already know the candidate set should prefer
+    /// [`AlertStore::observe_scoped`].
     #[allow(clippy::too_many_arguments)]
     pub fn observe(
         &mut self,
@@ -105,13 +114,88 @@ impl AlertStore {
         observed_at: SimTime,
         source: FeedKind,
     ) -> (AlertId, bool) {
-        if let Some(existing) = self.alerts.iter_mut().find(|a| {
+        let hit = self.alerts.iter().position(|a| {
             a.owned_prefix == owned_prefix
                 && a.observed_prefix == observed_prefix
                 && a.offending_origin == offending_origin
                 && a.hijack_type == hijack_type
                 && a.state != AlertState::Resolved
-        }) {
+        });
+        self.upsert(
+            hit,
+            hijack_type,
+            owned_prefix,
+            observed_prefix,
+            offending_origin,
+            vantage,
+            emitted_at,
+            observed_at,
+            source,
+        )
+    }
+
+    /// Like [`AlertStore::observe`], but deduplicates only against the
+    /// alerts listed in `scope` (a detector shard's own alerts) instead
+    /// of scanning the whole store; a newly raised alert is appended to
+    /// `scope`. This keeps multi-prefix detection O(per-shard alerts)
+    /// per event rather than O(total alerts).
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_scoped(
+        &mut self,
+        scope: &mut Vec<AlertId>,
+        hijack_type: HijackType,
+        owned_prefix: Prefix,
+        observed_prefix: Prefix,
+        offending_origin: Option<Asn>,
+        vantage: Asn,
+        emitted_at: SimTime,
+        observed_at: SimTime,
+        source: FeedKind,
+    ) -> (AlertId, bool) {
+        let hit = scope
+            .iter()
+            .map(|id| self.idx(*id).expect("scoped id exists"))
+            .find(|i| {
+                let a = &self.alerts[*i];
+                a.owned_prefix == owned_prefix
+                    && a.observed_prefix == observed_prefix
+                    && a.offending_origin == offending_origin
+                    && a.hijack_type == hijack_type
+                    && a.state != AlertState::Resolved
+            });
+        let (id, new) = self.upsert(
+            hit,
+            hijack_type,
+            owned_prefix,
+            observed_prefix,
+            offending_origin,
+            vantage,
+            emitted_at,
+            observed_at,
+            source,
+        );
+        if new {
+            scope.push(id);
+        }
+        (id, new)
+    }
+
+    /// Update the alert at `hit` with a new witness, or raise a fresh
+    /// alert when `hit` is `None`.
+    #[allow(clippy::too_many_arguments)]
+    fn upsert(
+        &mut self,
+        hit: Option<usize>,
+        hijack_type: HijackType,
+        owned_prefix: Prefix,
+        observed_prefix: Prefix,
+        offending_origin: Option<Asn>,
+        vantage: Asn,
+        emitted_at: SimTime,
+        observed_at: SimTime,
+        source: FeedKind,
+    ) -> (AlertId, bool) {
+        if let Some(existing) = hit.map(|i| &mut self.alerts[i]) {
             existing.vantage_points.insert(vantage);
             existing.last_update = emitted_at;
             if observed_at < existing.first_observed_at {
@@ -140,30 +224,30 @@ impl AlertStore {
 
     /// Attach an RPKI validity verdict to an alert.
     pub fn annotate_rpki(&mut self, id: AlertId, validity: crate::roa::RoaValidity) {
-        if let Some(a) = self.alerts.iter_mut().find(|a| a.id == id) {
-            a.rpki = Some(validity);
+        if let Some(i) = self.idx(id) {
+            self.alerts[i].rpki = Some(validity);
         }
     }
 
     /// Move an alert to `Mitigating`.
     pub fn mark_mitigating(&mut self, id: AlertId, at: SimTime) {
-        if let Some(a) = self.alerts.iter_mut().find(|a| a.id == id) {
-            a.state = AlertState::Mitigating;
-            a.last_update = at;
+        if let Some(i) = self.idx(id) {
+            self.alerts[i].state = AlertState::Mitigating;
+            self.alerts[i].last_update = at;
         }
     }
 
     /// Move an alert to `Resolved`.
     pub fn mark_resolved(&mut self, id: AlertId, at: SimTime) {
-        if let Some(a) = self.alerts.iter_mut().find(|a| a.id == id) {
-            a.state = AlertState::Resolved;
-            a.last_update = at;
+        if let Some(i) = self.idx(id) {
+            self.alerts[i].state = AlertState::Resolved;
+            self.alerts[i].last_update = at;
         }
     }
 
     /// Look up by id.
     pub fn get(&self, id: AlertId) -> Option<&Alert> {
-        self.alerts.iter().find(|a| a.id == id)
+        self.idx(id).map(|i| &self.alerts[i])
     }
 
     /// All alerts, in raise order.

@@ -2,9 +2,10 @@
 
 use crate::alert::AlertId;
 use crate::config::ArtemisConfig;
-use crate::detector::{Detection, Detector};
+use crate::detector::Detector;
 use crate::mitigation::{MitigationPlan, Mitigator};
 use crate::monitor::MonitorService;
+use crate::pipeline::Pipeline;
 use artemis_bgp::Prefix;
 use artemis_controller::Controller;
 use artemis_feeds::FeedEvent;
@@ -38,54 +39,53 @@ pub enum AppAction {
 
 /// The assembled ARTEMIS application: detection + mitigation +
 /// monitoring around one operator configuration and one controller.
+///
+/// Since the event loop moved into [`Pipeline`], this is a thin
+/// facade over a feed-less pipeline for deployments that deliver
+/// monitoring events by hand; drivers that own feeds should use
+/// [`Pipeline`] directly.
 pub struct ArtemisApp {
-    detector: Detector,
-    mitigator: Mitigator,
-    /// One monitor per owned prefix under attack (created lazily).
-    monitors: Vec<(AlertId, MonitorService)>,
-    /// Vantage population handed to new monitors.
-    vantage_points: BTreeSet<artemis_bgp::Asn>,
-    config: ArtemisConfig,
-    auto_mitigate: bool,
-    mitigated: BTreeSet<AlertId>,
+    pipeline: Pipeline,
 }
 
 impl ArtemisApp {
     /// Assemble the app.
     pub fn new(config: ArtemisConfig, vantage_points: BTreeSet<artemis_bgp::Asn>) -> Self {
         ArtemisApp {
-            detector: Detector::new(config.clone()),
-            mitigator: Mitigator::new(config.clone()),
-            monitors: Vec::new(),
-            vantage_points,
-            auto_mitigate: config.auto_mitigate,
-            config,
-            mitigated: BTreeSet::new(),
+            pipeline: Pipeline::bare(config, vantage_points),
         }
+    }
+
+    /// Read access to the underlying pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Consume the facade, yielding the pipeline (e.g. to attach
+    /// feeds and drive [`Pipeline::run`]).
+    pub fn into_pipeline(self) -> Pipeline {
+        self.pipeline
     }
 
     /// Read access to the detector.
     pub fn detector(&self) -> &Detector {
-        &self.detector
+        self.pipeline.detector()
     }
 
     /// Read access to the mitigation history.
     pub fn mitigator(&self) -> &Mitigator {
-        &self.mitigator
+        self.pipeline.mitigator()
     }
 
     /// The monitor attached to an alert, if any.
     pub fn monitor_for(&self, alert: AlertId) -> Option<&MonitorService> {
-        self.monitors
-            .iter()
-            .find(|(id, _)| *id == alert)
-            .map(|(_, m)| m)
+        self.pipeline.monitor_for(alert)
     }
 
     /// Tell the detector that a prefix announcement of ours is
     /// expected (used by the experiment during Phase 1).
     pub fn expect_announcement(&mut self, prefix: Prefix) {
-        self.detector.expect_announcement(prefix);
+        self.pipeline.expect_announcement(prefix);
     }
 
     /// Feed one monitoring event through the whole pipeline.
@@ -98,76 +98,7 @@ impl ArtemisApp {
         controller: &mut Controller,
         helper_controllers: &mut [Controller],
     ) -> Vec<AppAction> {
-        let mut actions = Vec::new();
-
-        // 1. Detection.
-        let detection = self.detector.process(event);
-
-        if let Detection::NewAlert(id) = detection {
-            actions.push(AppAction::AlertRaised(id));
-
-            // 2. Spin up a monitor scoped to the attacked prefix.
-            let alert = self.detector.alerts().get(id).expect("just created");
-            let owned = self
-                .config
-                .owned
-                .iter()
-                .find(|o| o.prefix == alert.owned_prefix)
-                .expect("alert references configured prefix");
-            let monitor = MonitorService::new(
-                alert.owned_prefix,
-                owned.legitimate_origins.clone(),
-                self.vantage_points.clone(),
-            );
-            self.monitors.push((id, monitor));
-
-            // 3. Automatic mitigation.
-            if self.auto_mitigate && !self.mitigated.contains(&id) {
-                let plan = self.mitigator.plan(alert);
-                let at = event.emitted_at;
-                for p in &plan.announce {
-                    self.detector.expect_announcement(*p);
-                }
-                self.mitigator
-                    .execute(&plan, at, controller, helper_controllers);
-                self.detector.alerts_mut().mark_mitigating(id, at);
-                self.mitigated.insert(id);
-                actions.push(AppAction::MitigationTriggered {
-                    alert: id,
-                    plan,
-                    at,
-                });
-            }
-        }
-
-        // 4. Monitoring: every event updates every active monitor; on
-        // full recovery, resolve the alert.
-        let mut resolved: Vec<AlertId> = Vec::new();
-        for (id, monitor) in &mut self.monitors {
-            monitor.ingest(event);
-            let alert_state = self
-                .detector
-                .alerts()
-                .get(*id)
-                .map(|a| a.state)
-                .expect("monitored alert exists");
-            if alert_state != crate::alert::AlertState::Resolved
-                && self.mitigated.contains(id)
-                && monitor.all_legitimate()
-            {
-                resolved.push(*id);
-            }
-        }
-        for id in resolved {
-            self.detector
-                .alerts_mut()
-                .mark_resolved(id, event.emitted_at);
-            actions.push(AppAction::Resolved {
-                alert: id,
-                at: event.emitted_at,
-            });
-        }
-        actions
+        self.pipeline.deliver(event, controller, helper_controllers)
     }
 }
 

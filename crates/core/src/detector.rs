@@ -6,14 +6,15 @@
 //! detection phase is the min of the delays of these sources." (§2)
 //!
 //! The detector is a pure stream processor: it consumes
-//! [`FeedEvent`]s in emission order and raises/updates [`Alert`]s. It
+//! [`FeedEvent`]s in emission order and raises/updates
+//! [`Alert`](crate::alert::Alert)s. It
 //! never talks to the network itself — that separation is what makes
 //! it equally usable against simulated feeds (here) or the real
 //! services (a deployment).
 
 use crate::alert::{AlertId, AlertStore};
 use crate::classify::HijackType;
-use crate::config::ArtemisConfig;
+use crate::config::{ArtemisConfig, OwnedPrefix};
 use artemis_bgp::{Asn, Prefix, PrefixTrie};
 use artemis_feeds::FeedEvent;
 use artemis_simnet::SimTime;
@@ -30,39 +31,82 @@ pub enum Detection {
     UpdatedAlert(AlertId),
 }
 
+/// Per-owned-prefix detection state.
+///
+/// Each configured prefix gets its own shard: legitimacy rules, the
+/// set of announcements we expect within its address space (the
+/// mitigation /24s), and the alerts raised for it. Events are routed
+/// to exactly one shard via longest-prefix match, so concurrent
+/// incidents on different prefixes never contend on shared state and
+/// per-event work stays independent of how many prefixes an operator
+/// configures.
+struct DetectorShard {
+    /// The shard's owned prefix and its legitimacy rules.
+    owned: OwnedPrefix,
+    /// Announcements within this shard's space we originate ourselves.
+    expected: BTreeSet<Prefix>,
+    /// Alerts raised for this shard (dedup scope).
+    alerts: Vec<AlertId>,
+    /// Events routed to this shard.
+    events: u64,
+}
+
 /// The ARTEMIS detection service.
 pub struct Detector {
-    config: ArtemisConfig,
-    owned: PrefixTrie<usize>, // index into config.owned
+    operator_as: Asn,
+    shards: Vec<DetectorShard>,
+    /// Routes an observed prefix to the responsible shard (index into
+    /// `shards`) by longest-prefix match.
+    routing: PrefixTrie<usize>,
     store: AlertStore,
-    /// Prefixes we ourselves currently announce (so that our own
-    /// de-aggregated /24s — or planned anycast — are not self-flagged).
-    expected_announcements: BTreeSet<Prefix>,
+    /// Expectations outside every owned prefix (never consulted by
+    /// classification; kept so expect/unexpect round-trips hold).
+    stray_expected: BTreeSet<Prefix>,
     /// Optional RPKI table for alert annotation (extension).
     roa: Option<crate::roa::RoaTable>,
     events_processed: u64,
 }
 
 impl Detector {
-    /// Build from the operator's configuration. Every owned,
-    /// non-dormant prefix is initially expected to be announced.
+    /// Build from the operator's configuration: one shard per owned
+    /// prefix. Every owned, non-dormant prefix is initially expected
+    /// to be announced.
     pub fn new(config: ArtemisConfig) -> Self {
-        let mut owned = PrefixTrie::new();
-        let mut expected = BTreeSet::new();
-        for (i, o) in config.owned.iter().enumerate() {
-            owned.insert(o.prefix, i);
+        let operator_as = config.operator_as;
+        let mut routing = PrefixTrie::new();
+        let mut shards = Vec::with_capacity(config.owned.len());
+        for o in config.owned {
+            let mut expected = BTreeSet::new();
             if !o.dormant {
                 expected.insert(o.prefix);
             }
+            routing.insert(o.prefix, shards.len());
+            shards.push(DetectorShard {
+                owned: o,
+                expected,
+                alerts: Vec::new(),
+                events: 0,
+            });
         }
         Detector {
-            config,
-            owned,
+            operator_as,
+            shards,
+            routing,
             store: AlertStore::new(),
-            expected_announcements: expected,
+            stray_expected: BTreeSet::new(),
             roa: None,
             events_processed: 0,
         }
+    }
+
+    /// Number of per-prefix shards (one per configured owned prefix).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Events routed to the shard owning exactly `owned`, if any.
+    pub fn shard_events(&self, owned: Prefix) -> Option<u64> {
+        self.routing.get(owned).map(|i| self.shards[*i].events)
     }
 
     /// Load an RPKI ROA table; subsequent alerts carry a validity
@@ -72,14 +116,30 @@ impl Detector {
     }
 
     /// Register a prefix we are about to announce ourselves (e.g. the
-    /// mitigation /24s) so the detector does not flag it.
+    /// mitigation /24s) so the detector does not flag it. The
+    /// expectation is routed to the shard owning the covering prefix —
+    /// the same shard the echoed announcements will be routed to.
     pub fn expect_announcement(&mut self, prefix: Prefix) {
-        self.expected_announcements.insert(prefix);
+        match self.routing.longest_match(prefix) {
+            Some((_, idx)) => {
+                self.shards[*idx].expected.insert(prefix);
+            }
+            None => {
+                self.stray_expected.insert(prefix);
+            }
+        }
     }
 
     /// Remove an expectation (after mitigation withdrawal).
     pub fn unexpect_announcement(&mut self, prefix: Prefix) {
-        self.expected_announcements.remove(&prefix);
+        match self.routing.longest_match(prefix) {
+            Some((_, idx)) => {
+                self.shards[*idx].expected.remove(&prefix);
+            }
+            None => {
+                self.stray_expected.remove(&prefix);
+            }
+        }
     }
 
     /// Total events processed (throughput accounting).
@@ -97,7 +157,9 @@ impl Detector {
         &mut self.store
     }
 
-    /// Process one monitoring event.
+    /// Process one monitoring event: route it to the shard whose owned
+    /// prefix covers it (longest-prefix match through the routing
+    /// trie), then classify against that shard's rules.
     pub fn process(&mut self, event: &FeedEvent) -> Detection {
         self.events_processed += 1;
 
@@ -107,15 +169,16 @@ impl Detector {
             return Detection::Benign;
         };
 
-        // Which owned prefix does this announcement touch?
-        // `covering` finds owned prefixes that contain the observed one
-        // (exact and sub-prefix cases).
-        let covering = self.owned.covering(event.prefix);
-        let owned_idx = match covering.last() {
-            Some((_, idx)) => **idx,
+        // Which shard is responsible? The most-specific owned prefix
+        // containing the observed one (exact and sub-prefix cases) —
+        // an allocation-free trie walk.
+        let shard_idx = match self.routing.longest_match(event.prefix) {
+            Some((_, idx)) => *idx,
             None => return Detection::Benign, // not our address space
         };
-        let owned = &self.config.owned[owned_idx];
+        let shard = &mut self.shards[shard_idx];
+        shard.events += 1;
+        let owned = &shard.owned;
 
         // The origin as seen by the vantage point. The path includes
         // the vantage AS at the front; the origin is at the end.
@@ -151,7 +214,7 @@ impl Detector {
             }
         } else {
             // More-specific announcement of our space.
-            if self.expected_announcements.contains(&event.prefix) {
+            if shard.expected.contains(&event.prefix) {
                 // Our own (mitigation) announcement echoed back — but
                 // only if the origin is also legitimate; an attacker
                 // announcing *the same* /24 is still a hijack.
@@ -172,7 +235,8 @@ impl Detector {
         };
 
         let owned_prefix = owned.prefix;
-        let (id, new) = self.store.observe(
+        let (id, new) = self.store.observe_scoped(
+            &mut shard.alerts,
             hijack_type,
             owned_prefix,
             event.prefix,
@@ -193,20 +257,22 @@ impl Detector {
         }
     }
 
-    /// First detection instant of any active alert on `owned` (the
-    /// paper's detection timestamp for an experiment).
+    /// First detection instant of any alert on `owned` (the paper's
+    /// detection timestamp for an experiment). Answered from the
+    /// owning shard's alert list.
     pub fn first_detection(&self, owned: Prefix) -> Option<SimTime> {
-        self.store
-            .all()
+        let idx = self.routing.get(owned)?;
+        self.shards[*idx]
+            .alerts
             .iter()
-            .filter(|a| a.owned_prefix == owned)
+            .filter_map(|id| self.store.get(*id))
             .map(|a| a.detected_at)
             .min()
     }
 
     /// Operator AS from the config.
     pub fn operator_as(&self) -> Asn {
-        self.config.operator_as
+        self.operator_as
     }
 }
 

@@ -15,24 +15,27 @@
 //!   announcements leave the AS and the instant *every* vantage point
 //!   selects the legitimate origin again.
 //!
-//! The driver interleaves four clock domains deterministically: the
-//! BGP engine, the controller's install queue, pull-feed polls, and
-//! feed-event deliveries.
+//! The run interleaves four clock domains deterministically — the BGP
+//! engine, the controller's install queue, pull-feed polls, and
+//! batched feed-event deliveries — by delegating to
+//! [`Pipeline::run`]; the harness itself only assembles the scenario
+//! and records milestones.
 
-use crate::app::{AppAction, ArtemisApp};
+use crate::app::AppAction;
 use crate::config::{ArtemisConfig, OwnedPrefix};
 use crate::monitor::TimelinePoint;
+use crate::pipeline::{Pipeline, PipelineEvent};
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::{Engine, SimConfig};
 use artemis_controller::{Controller, IntentKind};
 use artemis_feeds::{
-    vantage::group_into_collectors, EngineView, FeedEvent, FeedHub, FeedKind, LookingGlass,
-    PeriscopeFeed, StreamFeed, VantageStrategy,
+    vantage::group_into_collectors, FeedHub, FeedKind, LookingGlass, PeriscopeFeed, StreamFeed,
+    VantageStrategy,
 };
 use artemis_simnet::{LatencyModel, SimDuration, SimRng, SimTime};
 use artemis_topology::{generate, GeneratedTopology, TopologyConfig};
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 
 /// The attack the adversary performs (Phase 2). The demo paper's
 /// experiments perform `ExactOrigin`; the other kinds exercise the
@@ -290,34 +293,13 @@ pub struct ExperimentOutcome {
 pub struct Experiment {
     builder: ExperimentBuilder,
     engine: Engine,
-    hub: FeedHub,
-    app: ArtemisApp,
+    pipeline: Pipeline,
     controller: Controller,
     victim: Asn,
     attacker: Asn,
     prefix: Prefix,
     hijack_prefix: Prefix,
     vantage_count: usize,
-}
-
-struct QueuedEvent(SimTime, u64, FeedEvent);
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0 && self.1 == other.1
-    }
-}
-impl Eq for QueuedEvent {}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.cmp(&other.0).then(self.1.cmp(&other.1))
-    }
-}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 impl Experiment {
@@ -408,7 +390,7 @@ impl Experiment {
         let mut config = ArtemisConfig::new(victim, vec![owned]);
         config.auto_mitigate = builder.mitigate;
         config.deaggregation_policy = builder.deagg_policy;
-        let app = ArtemisApp::new(config, all_vps.clone());
+        let pipeline = Pipeline::new(hub, config, all_vps.clone());
 
         let controller = Controller::new(
             victim,
@@ -430,8 +412,7 @@ impl Experiment {
             vantage_count: all_vps.len(),
             builder,
             engine,
-            hub,
-            app,
+            pipeline,
             controller,
             victim,
             attacker,
@@ -453,8 +434,6 @@ impl Experiment {
     /// Run all three phases.
     pub fn run(mut self) -> ExperimentOutcome {
         let mut milestones: Vec<(SimTime, String)> = Vec::new();
-        let mut feed_queue: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
-        let mut queue_seq = 0u64;
         let mut timings = PhaseTimings::default();
         let mut detected_by = None;
         let mut hijack_type = None;
@@ -464,15 +443,10 @@ impl Experiment {
         };
 
         // ---- Phase 1: setup & convergence -------------------------------
-        self.app.expect_announcement(self.prefix);
+        self.pipeline.expect_announcement(self.prefix);
         self.engine.announce(self.victim, self.prefix);
         let changes = self.engine.run_to_quiescence(10_000_000);
-        for change in &changes {
-            for ev in self.hub.on_route_change(change) {
-                feed_queue.push(Reverse(QueuedEvent(ev.emitted_at, queue_seq, ev)));
-                queue_seq += 1;
-            }
-        }
+        self.pipeline.ingest_route_changes(&changes);
         let converged = self.engine.now();
         timings.setup_converged = Some(converged);
         milestones.push((
@@ -506,126 +480,93 @@ impl Experiment {
             ),
         ));
 
-        // ---- Interleaved main loop --------------------------------------
+        // ---- Interleaved main loop (delegated to the pipeline) ----------
+        // The observer records milestones/timings and stops the run at
+        // the first resolution — this harness measures exactly one
+        // incident; multi-incident drivers keep the pipeline running.
         let horizon = SimTime::ZERO + self.builder.max_sim_time;
-        let mut loop_now = converged;
-        loop {
-            if loop_now > horizon {
-                break;
-            }
-            // Candidate times across the four clock domains.
-            let t_engine = self.engine.next_event_time();
-            let t_feed = feed_queue.peek().map(|Reverse(q)| q.0);
-            let t_poll = self.hub.next_poll(loop_now);
-            let t_ctrl = self.controller.next_action_time();
-            let candidates = [t_engine, t_feed, t_ctrl, t_poll];
-            let Some(next) = candidates.iter().flatten().min().copied() else {
-                break; // fully drained
-            };
-            if next > horizon {
-                break;
-            }
-            loop_now = next;
-
-            if t_engine == Some(next) {
-                // Engine first at equal times so RIB views are current.
-                if let Some(changes) = self.engine.step() {
-                    for change in &changes {
-                        for ev in self.hub.on_route_change(change) {
-                            feed_queue.push(Reverse(QueuedEvent(ev.emitted_at, queue_seq, ev)));
-                            queue_seq += 1;
+        let attacker = self.attacker;
+        let hijack_prefix = self.hijack_prefix;
+        let report = self.pipeline.run(
+            &mut self.engine,
+            &mut self.controller,
+            converged,
+            horizon,
+            |engine, event| {
+                match event {
+                    PipelineEvent::ControllerApplied {
+                        kind: IntentKind::Announce,
+                        prefix,
+                        at,
+                    } => {
+                        if timings.mitigation_started.is_none() {
+                            timings.mitigation_started = Some(at);
+                            let probes = probe_targets(hijack_prefix);
+                            ground_truth.hijacked_at_mitigation = engine
+                                .ases()
+                                .collect::<Vec<_>>()
+                                .into_iter()
+                                .filter(|a| {
+                                    probes
+                                        .iter()
+                                        .any(|p| engine.origin_of(*a, *p) == Some(attacker))
+                                })
+                                .count();
+                            milestones.push((
+                                at,
+                                format!(
+                                    "mitigation announcements out: {prefix} (controller install done)"
+                                ),
+                            ));
                         }
                     }
-                }
-                continue;
-            }
-            if t_ctrl == Some(next) {
-                for action in self.controller.due_actions(next) {
-                    match action.kind {
-                        IntentKind::Announce => {
-                            self.engine
-                                .announce_at(action.origin_as, action.prefix, next);
-                            if timings.mitigation_started.is_none() {
-                                timings.mitigation_started = Some(next);
-                                let probes = probe_targets(self.hijack_prefix);
-                                ground_truth.hijacked_at_mitigation = self
-                                    .engine
-                                    .ases()
-                                    .collect::<Vec<_>>()
-                                    .into_iter()
-                                    .filter(|a| {
-                                        probes.iter().any(|p| {
-                                            self.engine.origin_of(*a, *p) == Some(self.attacker)
-                                        })
-                                    })
-                                    .count();
-                                milestones.push((
-                                    next,
-                                    format!(
-                                        "mitigation announcements out: {} (controller install done)",
-                                        action.prefix
-                                    ),
-                                ));
-                            }
-                        }
-                        IntentKind::Withdraw => {
-                            self.engine
-                                .withdraw_at(action.origin_as, action.prefix, next);
-                        }
+                    PipelineEvent::ControllerApplied { .. } => {}
+                    PipelineEvent::App(AppAction::AlertRaised(_)) => {
+                        // Alert details are read back below, after the
+                        // borrow on the pipeline ends.
                     }
-                }
-                continue;
-            }
-            if t_poll == Some(next) {
-                let events = {
-                    let view = EngineView(&self.engine);
-                    self.hub.poll(next, &view)
-                };
-                for ev in events {
-                    feed_queue.push(Reverse(QueuedEvent(ev.emitted_at, queue_seq, ev)));
-                    queue_seq += 1;
-                }
-                continue;
-            }
-            // Otherwise: deliver the next feed event to ARTEMIS.
-            let Some(Reverse(QueuedEvent(_, _, event))) = feed_queue.pop() else {
-                break;
-            };
-            let actions = self.app.handle_event(&event, &mut self.controller, &mut []);
-            for action in actions {
-                match action {
-                    AppAction::AlertRaised(id) => {
-                        if timings.detected_at.is_none() {
-                            let alert = self.app.detector().alerts().get(id).expect("raised");
-                            timings.detected_at = Some(alert.detected_at);
-                            detected_by = Some(alert.detected_by);
-                            hijack_type = Some(alert.hijack_type);
-                            milestones.push((alert.detected_at, format!("DETECTED: {alert}")));
-                        }
-                    }
-                    AppAction::MitigationTriggered { plan, at, .. } => {
+                    PipelineEvent::App(AppAction::MitigationTriggered { plan, at, .. }) => {
                         milestones.push((
-                            at,
+                            *at,
                             format!(
                                 "mitigation triggered: announce {:?} (rationale: {})",
                                 plan.announce, plan.rationale
                             ),
                         ));
                     }
-                    AppAction::Resolved { at, .. } => {
+                    PipelineEvent::App(AppAction::Resolved { at, .. }) => {
                         if timings.resolved_at.is_none() {
-                            timings.resolved_at = Some(at);
+                            timings.resolved_at = Some(*at);
                             milestones.push((
-                                at,
+                                *at,
                                 "RESOLVED: all vantage points back on the legitimate origin".into(),
                             ));
                         }
                     }
                 }
-            }
-            if timings.resolved_at.is_some() {
-                break;
-            }
+                if timings.resolved_at.is_some() {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        let loop_now = report.ended_at;
+
+        // First-alert details (detection instant, winning feed,
+        // classification) from the detector's store. The milestone is
+        // spliced in *before* same-instant mitigation entries so the
+        // narrated order matches causality.
+        if let Some(alert) = self.pipeline.detector().alerts().all().first() {
+            timings.detected_at = Some(alert.detected_at);
+            detected_by = Some(alert.detected_by);
+            hijack_type = Some(alert.hijack_type);
+            let at = alert.detected_at;
+            let idx = milestones
+                .iter()
+                .position(|(t, _)| *t >= at)
+                .unwrap_or(milestones.len());
+            milestones.insert(idx, (at, format!("DETECTED: {alert}")));
         }
 
         // The loop may break on resolution while later controller
@@ -669,12 +610,12 @@ impl Experiment {
         ground_truth.hijacked_at_end = hijacked;
 
         let timeline = self
-            .app
+            .pipeline
             .detector()
             .alerts()
             .all()
             .first()
-            .and_then(|a| self.app.monitor_for(a.id))
+            .and_then(|a| self.pipeline.monitor_for(a.id))
             .map(|m| m.timeline().to_vec())
             .unwrap_or_default();
 
@@ -682,14 +623,15 @@ impl Experiment {
 
         let lg_queries = {
             // Periscope is the only pull feed; find it in the hub stats.
-            self.hub
+            self.pipeline
+                .hub()
                 .emission_stats()
                 .iter()
                 .filter(|((kind, _), _)| *kind == FeedKind::Periscope)
                 .map(|(_, v)| *v)
                 .sum::<u64>()
         };
-        let lg_polls = self.hub.polls_executed();
+        let lg_polls = self.pipeline.hub().polls_executed();
         let run_end = timings.resolved_at.unwrap_or(loop_now);
         let elapsed_after_hijack = run_end.saturating_since(t_hijack);
 
@@ -703,7 +645,7 @@ impl Experiment {
             lg_queries,
             lg_polls,
             elapsed_after_hijack,
-            feed_events: self.app.detector().events_processed(),
+            feed_events: self.pipeline.detector().events_processed(),
             vantage_count: self.vantage_count,
             victim: self.victim,
             attacker: self.attacker,

@@ -1,9 +1,9 @@
-//! Hijack-duration statistics (Argus [3] substitution).
+//! Hijack-duration statistics (Argus \[3\] substitution).
 //!
 //! The paper cites two quantiles of the Argus hijack-duration data:
 //! * "more than 20% of hijacks last < 10 mins" (§1), and
 //! * ARTEMIS's ≈ 6 min total response "is smaller than the duration of
-//!   > 80% of the hijacking cases observed in [3]" (§3).
+//!   > 80% of the hijacking cases observed in \[3\]" (§3).
 //!
 //! The dataset itself is not available offline, so we model durations
 //! with a log-normal whose parameters honour both anchors (median

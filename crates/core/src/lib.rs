@@ -19,11 +19,16 @@
 //!    or the hijacking origin — declaring the incident resolved when
 //!    every vantage point has switched back.
 //!
-//! [`ArtemisApp`] wires the three together; [`experiment`] reproduces
-//! the paper's PEERING experiments (Phase 1 setup / Phase 2 hijack +
-//! detection / Phase 3 mitigation) on the simulated Internet; and
-//! [`baseline`] implements the slow pipelines ARTEMIS is compared
-//! against in §1.
+//! [`Pipeline`] wires the three together around the feed hub and owns
+//! the batched, multi-prefix event loop — the detector shards its
+//! state per owned prefix, so concurrent incidents on different
+//! prefixes run independent alert/monitor/mitigation lifecycles.
+//! [`ArtemisApp`] is a thin feed-less facade over it for hand-driven
+//! deployments; [`experiment`] reproduces the paper's PEERING
+//! experiments (Phase 1 setup / Phase 2 hijack + detection / Phase 3
+//! mitigation) on the simulated Internet by delegating its main loop
+//! to the pipeline; and [`baseline`] implements the slow pipelines
+//! ARTEMIS is compared against in §1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@ pub mod experiment;
 pub mod hijack_stats;
 pub mod mitigation;
 pub mod monitor;
+pub mod pipeline;
 pub mod report;
 pub mod roa;
 pub mod viz;
@@ -51,3 +57,4 @@ pub use experiment::{Experiment, ExperimentBuilder, ExperimentOutcome, PhaseTimi
 pub use hijack_stats::HijackDurationModel;
 pub use mitigation::{MitigationPlan, Mitigator};
 pub use monitor::MonitorService;
+pub use pipeline::{Pipeline, PipelineEvent, RunEnd, RunReport};

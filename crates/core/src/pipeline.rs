@@ -1,0 +1,530 @@
+//! The batched multi-prefix detection pipeline.
+//!
+//! A [`Pipeline`] is the reusable event loop that used to live inside
+//! the experiment harness: it owns the [`FeedHub`], the sharded
+//! multi-prefix [`Detector`], the per-alert [`MonitorService`]
+//! registry and the [`Mitigator`], and consumes feed events in
+//! **batches** ([`FeedHub::drain_batch`] merge-sorts everything due by
+//! `emitted_at` into one reusable buffer).
+//!
+//! Because the detector shards its state per owned prefix and every
+//! alert gets its own monitor, several concurrent incidents on
+//! different prefixes each run an independent
+//! alert → mitigation → resolution lifecycle — the multi-victim /
+//! simultaneous-attack operator configurations of the journal version
+//! of the paper ("ARTEMIS: Neutralizing BGP Hijacking within a
+//! Minute"), which the old single-alert experiment loop structurally
+//! could not represent.
+//!
+//! Drivers have two entry points:
+//!
+//! * [`Pipeline::run`] — the full interleaved loop across the four
+//!   clock domains (BGP engine, controller installs, pull-feed polls,
+//!   feed-event deliveries), reporting progress through an observer
+//!   callback. The experiment harness and the multi-prefix examples
+//!   are thin wrappers around this.
+//! * [`Pipeline::deliver`] — hand-feed single events (what
+//!   [`crate::ArtemisApp`] exposes for deployments that bring their
+//!   own transport).
+
+use crate::alert::AlertId;
+use crate::app::AppAction;
+use crate::config::ArtemisConfig;
+use crate::detector::{Detection, Detector};
+use crate::mitigation::Mitigator;
+use crate::monitor::MonitorService;
+use artemis_bgp::{Asn, Prefix};
+use artemis_bgpsim::Engine;
+use artemis_controller::{Controller, IntentKind};
+use artemis_feeds::{EngineView, FeedEvent, FeedHub};
+use artemis_simnet::{SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::ControlFlow;
+
+/// Progress notifications emitted by [`Pipeline::run`].
+#[derive(Debug)]
+pub enum PipelineEvent<'a> {
+    /// An action produced while delivering feed events (alert raised,
+    /// mitigation triggered, incident resolved).
+    App(&'a AppAction),
+    /// A controller intent finished installing and entered the routing
+    /// plane.
+    ControllerApplied {
+        /// Announce or withdraw.
+        kind: IntentKind,
+        /// The affected prefix.
+        prefix: Prefix,
+        /// Installation instant.
+        at: SimTime,
+    },
+}
+
+/// How a [`Pipeline::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd {
+    /// Every clock domain drained — nothing left to do.
+    Drained,
+    /// The time horizon was reached first.
+    Horizon,
+    /// The observer returned [`ControlFlow::Break`].
+    Stopped,
+}
+
+/// Summary of one [`Pipeline::run`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Virtual time when the loop exited.
+    pub ended_at: SimTime,
+    /// Why the loop exited.
+    pub end: RunEnd,
+    /// Feed events delivered to the detector during this run.
+    pub events_delivered: u64,
+}
+
+/// The assembled ARTEMIS pipeline: feeds → sharded detection →
+/// per-alert monitoring → automatic mitigation.
+pub struct Pipeline {
+    hub: FeedHub,
+    detector: Detector,
+    mitigator: Mitigator,
+    /// One monitor per alert, created when the alert is raised.
+    monitors: BTreeMap<AlertId, MonitorService>,
+    /// Vantage population handed to new monitors.
+    vantage_points: BTreeSet<Asn>,
+    config: ArtemisConfig,
+    auto_mitigate: bool,
+    mitigated: BTreeSet<AlertId>,
+    /// Alerts whose incident is over. Their monitors are kept for
+    /// reporting but skipped on ingestion, so per-event cost tracks
+    /// *active* incidents, not lifetime incident count.
+    resolved: BTreeSet<AlertId>,
+    /// Reusable drain buffer for batched feed consumption.
+    batch: Vec<FeedEvent>,
+    /// Reusable per-event action buffer.
+    actions: Vec<AppAction>,
+    events_delivered: u64,
+}
+
+impl Pipeline {
+    /// Assemble a pipeline around a configured feed hub.
+    pub fn new(hub: FeedHub, config: ArtemisConfig, vantage_points: BTreeSet<Asn>) -> Self {
+        Pipeline {
+            hub,
+            detector: Detector::new(config.clone()),
+            mitigator: Mitigator::new(config.clone()),
+            monitors: BTreeMap::new(),
+            vantage_points,
+            auto_mitigate: config.auto_mitigate,
+            config,
+            mitigated: BTreeSet::new(),
+            resolved: BTreeSet::new(),
+            batch: Vec::new(),
+            actions: Vec::new(),
+            events_delivered: 0,
+        }
+    }
+
+    /// A pipeline with no feeds attached — for drivers that deliver
+    /// events by hand through [`Pipeline::deliver`] (the
+    /// [`crate::ArtemisApp`] facade).
+    pub fn bare(config: ArtemisConfig, vantage_points: BTreeSet<Asn>) -> Self {
+        Pipeline::new(FeedHub::new(SimRng::new(0)), config, vantage_points)
+    }
+
+    /// Read access to the feed hub.
+    pub fn hub(&self) -> &FeedHub {
+        &self.hub
+    }
+
+    /// Mutable access to the feed hub (add feeds before running).
+    pub fn hub_mut(&mut self) -> &mut FeedHub {
+        &mut self.hub
+    }
+
+    /// Read access to the detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Read access to the mitigation history.
+    pub fn mitigator(&self) -> &Mitigator {
+        &self.mitigator
+    }
+
+    /// The monitor attached to an alert, if any.
+    pub fn monitor_for(&self, alert: AlertId) -> Option<&MonitorService> {
+        self.monitors.get(&alert)
+    }
+
+    /// Every `(alert, monitor)` pair, in alert-raise order.
+    pub fn monitors(&self) -> impl Iterator<Item = (AlertId, &MonitorService)> {
+        self.monitors.iter().map(|(id, m)| (*id, m))
+    }
+
+    /// Feed events delivered to the detector so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.events_delivered
+    }
+
+    /// Tell the detector that a prefix announcement of ours is
+    /// expected (phase-1 setup, planned anycast, …).
+    pub fn expect_announcement(&mut self, prefix: Prefix) {
+        self.detector.expect_announcement(prefix);
+    }
+
+    /// Fan a batch of routing changes out to the push feeds; the
+    /// resulting events queue inside the hub until due.
+    pub fn ingest_route_changes(&mut self, changes: &[artemis_bgpsim::RouteChange]) {
+        self.hub.ingest_route_changes(changes);
+    }
+
+    /// Emission instant of the earliest queued feed event.
+    pub fn next_feed_time(&self) -> Option<SimTime> {
+        self.hub.next_emission()
+    }
+
+    /// Earliest pending pull-feed poll.
+    pub fn next_poll(&self, now: SimTime) -> Option<SimTime> {
+        self.hub.next_poll(now)
+    }
+
+    /// Feed one monitoring event through detection, monitoring and
+    /// (when enabled) automatic mitigation. `controller` (and optional
+    /// helpers) receive mitigation intents when a new alert fires.
+    pub fn deliver(
+        &mut self,
+        event: &FeedEvent,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+    ) -> Vec<AppAction> {
+        let mut actions = Vec::new();
+        self.deliver_into(event, controller, helper_controllers, &mut actions);
+        actions
+    }
+
+    /// [`Pipeline::deliver`] into a caller-owned buffer (cleared
+    /// first) — the batch loop reuses one allocation per run.
+    pub fn deliver_into(
+        &mut self,
+        event: &FeedEvent,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+        actions: &mut Vec<AppAction>,
+    ) {
+        actions.clear();
+        self.events_delivered += 1;
+
+        // 1. Detection: route the event to the responsible shard.
+        let detection = self.detector.process(event);
+
+        if let Detection::NewAlert(id) = detection {
+            actions.push(AppAction::AlertRaised(id));
+
+            // 2. Spin up a monitor scoped to the attacked prefix. Each
+            // alert gets its own, so concurrent incidents on different
+            // prefixes track independent recovery timelines.
+            let alert = self.detector.alerts().get(id).expect("just created");
+            let owned = self
+                .config
+                .owned
+                .iter()
+                .find(|o| o.prefix == alert.owned_prefix)
+                .expect("alert references configured prefix");
+            let monitor = MonitorService::new(
+                alert.owned_prefix,
+                owned.legitimate_origins.clone(),
+                self.vantage_points.clone(),
+            );
+            self.monitors.insert(id, monitor);
+
+            // 3. Automatic mitigation.
+            if self.auto_mitigate && !self.mitigated.contains(&id) {
+                let plan = self.mitigator.plan(alert);
+                let at = event.emitted_at;
+                for p in &plan.announce {
+                    self.detector.expect_announcement(*p);
+                }
+                self.mitigator
+                    .execute(&plan, at, controller, helper_controllers);
+                self.detector.alerts_mut().mark_mitigating(id, at);
+                self.mitigated.insert(id);
+                actions.push(AppAction::MitigationTriggered {
+                    alert: id,
+                    plan,
+                    at,
+                });
+            }
+        }
+
+        // 4. Monitoring: every event updates every *active* monitor
+        // (resolved incidents' monitors are frozen for reporting); on
+        // full recovery, resolve that monitor's alert.
+        for (id, monitor) in &mut self.monitors {
+            if self.resolved.contains(id) {
+                continue;
+            }
+            monitor.ingest(event);
+            if self.mitigated.contains(id) && monitor.all_legitimate() {
+                self.detector
+                    .alerts_mut()
+                    .mark_resolved(*id, event.emitted_at);
+                self.resolved.insert(*id);
+                actions.push(AppAction::Resolved {
+                    alert: *id,
+                    at: event.emitted_at,
+                });
+            }
+        }
+    }
+
+    /// Drive the four interleaved clock domains — BGP engine,
+    /// controller installs, pull-feed polls, batched feed deliveries —
+    /// from `start` until `horizon`, everything drains, or the
+    /// observer breaks.
+    ///
+    /// Tie-break at equal instants (deterministic, and identical to
+    /// the historical experiment loop): engine first so RIB views are
+    /// current, then controller installs, then polls, then feed
+    /// deliveries. Feed events due at the same instant are delivered
+    /// as one batch in `(emitted_at, ingestion order)`.
+    ///
+    /// The observer sees every [`AppAction`] and every applied
+    /// controller intent, together with the engine (for ground-truth
+    /// measurements); returning [`ControlFlow::Break`] stops the run.
+    pub fn run<F>(
+        &mut self,
+        engine: &mut Engine,
+        controller: &mut Controller,
+        start: SimTime,
+        horizon: SimTime,
+        mut observer: F,
+    ) -> RunReport
+    where
+        F: FnMut(&mut Engine, PipelineEvent<'_>) -> ControlFlow<()>,
+    {
+        let delivered_before = self.events_delivered;
+        let mut now = start;
+        let end = loop {
+            if now > horizon {
+                break RunEnd::Horizon;
+            }
+            // Candidate times across the four clock domains.
+            let t_engine = engine.next_event_time();
+            let t_feed = self.hub.next_emission();
+            let t_poll = self.hub.next_poll(now);
+            let t_ctrl = controller.next_action_time();
+            let candidates = [t_engine, t_feed, t_ctrl, t_poll];
+            let Some(next) = candidates.iter().flatten().min().copied() else {
+                break RunEnd::Drained;
+            };
+            if next > horizon {
+                break RunEnd::Horizon;
+            }
+            now = next;
+
+            if t_engine == Some(next) {
+                // Engine first at equal times so RIB views are current.
+                if let Some(changes) = engine.step() {
+                    self.hub.ingest_route_changes(&changes);
+                }
+                continue;
+            }
+            if t_ctrl == Some(next) {
+                // Apply every due intent to the engine *before* the
+                // observer runs: `due_actions` already removed them
+                // from the controller's queue, so an early Break must
+                // not lose installs. (The announcements only enter
+                // RIBs when the engine processes them, so ground-truth
+                // reads in the observer are unaffected.)
+                let due = controller.due_actions(next);
+                for action in &due {
+                    match action.kind {
+                        IntentKind::Announce => {
+                            engine.announce_at(action.origin_as, action.prefix, next);
+                        }
+                        IntentKind::Withdraw => {
+                            engine.withdraw_at(action.origin_as, action.prefix, next);
+                        }
+                    }
+                }
+                let mut stopped = false;
+                for action in &due {
+                    let flow = observer(
+                        engine,
+                        PipelineEvent::ControllerApplied {
+                            kind: action.kind,
+                            prefix: action.prefix,
+                            at: next,
+                        },
+                    );
+                    if flow.is_break() {
+                        stopped = true;
+                        break;
+                    }
+                }
+                if stopped {
+                    break RunEnd::Stopped;
+                }
+                continue;
+            }
+            if t_poll == Some(next) {
+                let view = EngineView(engine);
+                self.hub.poll_and_queue(next, &view);
+                continue;
+            }
+
+            // Otherwise: deliver the batch of feed events due now.
+            self.hub.drain_batch(next, &mut self.batch);
+            let mut batch = std::mem::take(&mut self.batch);
+            let mut actions = std::mem::take(&mut self.actions);
+            let mut stopped_at: Option<usize> = None;
+            'events: for (i, event) in batch.iter().enumerate() {
+                self.deliver_into(event, controller, &mut [], &mut actions);
+                for action in &actions {
+                    if observer(engine, PipelineEvent::App(action)).is_break() {
+                        stopped_at = Some(i);
+                        break 'events;
+                    }
+                }
+            }
+            if let Some(i) = stopped_at {
+                // Hand undelivered events back to the hub so a later
+                // `run` resumes without losing them.
+                self.hub.requeue(batch.drain(i + 1..));
+            }
+            batch.clear();
+            actions.clear();
+            self.batch = batch;
+            self.actions = actions;
+            if stopped_at.is_some() {
+                break RunEnd::Stopped;
+            }
+        };
+        RunReport {
+            ended_at: now,
+            end,
+            events_delivered: self.events_delivered - delivered_before,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::AlertState;
+    use crate::config::OwnedPrefix;
+    use artemis_bgp::AsPath;
+    use artemis_feeds::FeedKind;
+    use artemis_simnet::LatencyModel;
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    fn event(vp: u32, prefix: &str, path: &[u32], t: u64) -> FeedEvent {
+        let as_path = AsPath::from_sequence(path.iter().copied());
+        let origin = as_path.origin();
+        FeedEvent {
+            emitted_at: SimTime::from_secs(t),
+            observed_at: SimTime::from_secs(t.saturating_sub(5)),
+            source: FeedKind::RisLive,
+            collector: "rrc00".into(),
+            vantage: Asn(vp),
+            prefix: pfx(prefix),
+            as_path: Some(as_path),
+            origin_as: origin,
+            raw: None,
+        }
+    }
+
+    fn two_prefix_pipeline() -> Pipeline {
+        let config = ArtemisConfig::new(
+            Asn(65001),
+            vec![
+                OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001)),
+                OwnedPrefix::new(pfx("172.16.0.0/23"), Asn(65001)),
+            ],
+        );
+        Pipeline::bare(config, [Asn(174), Asn(3356)].into_iter().collect())
+    }
+
+    fn controller() -> Controller {
+        Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1))
+    }
+
+    #[test]
+    fn concurrent_incidents_on_distinct_prefixes_are_independent() {
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+
+        // Two overlapping hijacks on different owned prefixes.
+        let acts1 = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        let acts2 = p.deliver(
+            &event(3356, "172.16.0.0/23", &[3356, 667], 50),
+            &mut ctrl,
+            &mut [],
+        );
+        let AppAction::AlertRaised(a1) = acts1[0] else {
+            panic!("first hijack must alert");
+        };
+        let AppAction::AlertRaised(a2) = acts2[0] else {
+            panic!("second hijack must alert");
+        };
+        assert_ne!(a1, a2);
+        assert_eq!(p.detector().shard_events(pfx("10.0.0.0/23")), Some(1));
+        assert_eq!(p.detector().shard_events(pfx("172.16.0.0/23")), Some(1));
+
+        // Both mitigations triggered independently (4 intents: 2 × /24s).
+        assert_eq!(ctrl.intents().count(), 4);
+        assert_eq!(p.monitors().count(), 2);
+
+        // Resolve incident 2 first; incident 1 stays active. The
+        // monitor judges the hijacked vantage by LPM, so the echoed
+        // mitigation /24 flips it back.
+        let acts = p.deliver(
+            &event(3356, "172.16.0.0/24", &[3356, 65001], 80),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, AppAction::Resolved { alert, at }
+                    if *alert == a2 && *at == SimTime::from_secs(80))),
+            "incident on 172.16.0.0/23 resolves alone: {acts:?}"
+        );
+        let alert1 = p.detector().alerts().get(a1).unwrap();
+        assert_ne!(alert1.state, AlertState::Resolved);
+
+        // Now resolve incident 1, on its own timeline.
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/24", &[174, 65001], 120),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, AppAction::Resolved { alert, at }
+                if *alert == a1 && *at == SimTime::from_secs(120))));
+
+        // Independent timelines on independent monitors.
+        let t1 = p.monitor_for(a1).unwrap();
+        let t2 = p.monitor_for(a2).unwrap();
+        assert_eq!(t1.target(), pfx("10.0.0.0/23"));
+        assert_eq!(t2.target(), pfx("172.16.0.0/23"));
+        assert!(!t1.timeline().is_empty());
+        assert!(!t2.timeline().is_empty());
+    }
+
+    #[test]
+    fn bare_pipeline_has_empty_hub() {
+        let p = two_prefix_pipeline();
+        assert!(p.hub().is_empty());
+        assert_eq!(p.next_feed_time(), None);
+        assert_eq!(p.events_delivered(), 0);
+    }
+}

@@ -71,9 +71,14 @@ impl FeedSource for ArchiveUpdatesFeed {
         &self.name
     }
 
-    fn on_route_change(&mut self, change: &RouteChange, _rng: &mut SimRng) -> Vec<FeedEvent> {
+    fn on_route_change_into(
+        &mut self,
+        change: &RouteChange,
+        _rng: &mut SimRng,
+        out: &mut Vec<FeedEvent>,
+    ) {
         if !self.peers.contains(&change.asn) {
-            return Vec::new();
+            return;
         }
         let visible = self.batch_end(change.time);
         let (as_path, origin_as) = match &change.new {
@@ -106,7 +111,7 @@ impl FeedSource for ArchiveUpdatesFeed {
             self.mrt_records += 1;
         }
         self.emitted += 1;
-        vec![FeedEvent {
+        out.push(FeedEvent {
             emitted_at: visible,
             observed_at: change.time,
             source: FeedKind::ArchiveUpdates,
@@ -116,7 +121,7 @@ impl FeedSource for ArchiveUpdatesFeed {
             as_path,
             origin_as,
             raw: None,
-        }]
+        });
     }
 
     fn next_poll(&self, _now: SimTime) -> Option<SimTime> {
@@ -192,8 +197,13 @@ impl FeedSource for ArchiveRibFeed {
         &self.name
     }
 
-    fn on_route_change(&mut self, _change: &RouteChange, _rng: &mut SimRng) -> Vec<FeedEvent> {
-        Vec::new() // snapshot-based
+    fn on_route_change_into(
+        &mut self,
+        _change: &RouteChange,
+        _rng: &mut SimRng,
+        _out: &mut Vec<FeedEvent>,
+    ) {
+        // snapshot-based
     }
 
     fn next_poll(&self, now: SimTime) -> Option<SimTime> {

@@ -1,23 +1,60 @@
 //! The [`FeedHub`]: fan-out of routing changes to all configured feeds
-//! and aggregation of their events.
+//! and time-ordered aggregation of their events.
 
 use crate::event::{FeedEvent, FeedKind};
 use crate::source::{FeedSource, RibView};
 use artemis_bgpsim::RouteChange;
 use artemis_simnet::{SimRng, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// A queued event's ordering key: `(emitted_at, ingestion sequence)` —
+/// the sequence number makes simultaneous emissions deterministic —
+/// plus the slab slot holding the event payload. Keeping the payload
+/// out of the heap makes every sift a 24-byte move instead of a full
+/// `FeedEvent` (collector name, AS path, raw JSON) move.
+#[derive(PartialEq, Eq)]
+struct QueuedKey(SimTime, u64, u32);
+
+impl Ord for QueuedKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+impl PartialOrd for QueuedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Aggregates any number of [`FeedSource`]s behind one interface.
 ///
-/// The experiment driver owns a hub and:
-/// 1. forwards every [`RouteChange`] (push feeds),
-/// 2. interleaves [`FeedHub::next_poll`] / [`FeedHub::poll`] with the
-///    BGP engine's event loop (pull feeds),
-/// 3. orders the returned [`FeedEvent`]s by `emitted_at` before handing
-///    them to the detector.
+/// The hub supports two consumption styles:
+///
+/// * **Batched (preferred)** — the driver calls
+///   [`FeedHub::ingest_route_changes`] / [`FeedHub::poll_and_queue`];
+///   the hub merge-sorts every produced event by `emitted_at` into an
+///   internal queue, and [`FeedHub::drain_batch`] moves everything due
+///   up to an instant into a caller-owned reusable buffer. One scratch
+///   buffer is threaded through all feeds, so the hot path performs no
+///   per-route-change allocation.
+/// * **Per-event (legacy)** — [`FeedHub::on_route_change`] /
+///   [`FeedHub::poll`] return a fresh `Vec` per call and leave ordering
+///   to the caller. These are thin wrappers kept for callers that want
+///   to observe raw feed output directly.
 pub struct FeedHub {
     feeds: Vec<Box<dyn FeedSource>>,
     rng: SimRng,
+    /// Merge queue of pending event keys across all feeds.
+    queue: BinaryHeap<Reverse<QueuedKey>>,
+    /// Event payloads, indexed by the slot in each queued key.
+    slots: Vec<Option<FeedEvent>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Monotone ingestion counter (tie-break for equal emission times).
+    seq: u64,
+    /// Reusable fan-out buffer shared by the batch ingestion paths.
+    scratch: Vec<FeedEvent>,
 }
 
 impl FeedHub {
@@ -26,6 +63,11 @@ impl FeedHub {
         FeedHub {
             feeds: Vec::new(),
             rng,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -44,11 +86,105 @@ impl FeedHub {
         self.feeds.is_empty()
     }
 
-    /// Fan a routing change out to all push feeds.
+    /// Move everything in the scratch buffer into the merge queue.
+    fn queue_scratch(&mut self) {
+        for ev in self.scratch.drain(..) {
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.slots[s as usize] = Some(ev);
+                    s
+                }
+                None => {
+                    let s = self.slots.len() as u32;
+                    self.slots.push(Some(ev));
+                    s
+                }
+            };
+            let emitted_at = self.slots[slot as usize]
+                .as_ref()
+                .expect("just stored")
+                .emitted_at;
+            self.queue
+                .push(Reverse(QueuedKey(emitted_at, self.seq, slot)));
+            self.seq += 1;
+        }
+    }
+
+    /// Fan one routing change out to all push feeds and queue the
+    /// resulting events for [`FeedHub::drain_batch`].
+    pub fn ingest_route_change(&mut self, change: &RouteChange) {
+        for feed in &mut self.feeds {
+            feed.on_route_change_into(change, &mut self.rng, &mut self.scratch);
+        }
+        self.queue_scratch();
+    }
+
+    /// Fan a batch of routing changes out to all push feeds, in order,
+    /// queueing every resulting event.
+    pub fn ingest_route_changes(&mut self, changes: &[RouteChange]) {
+        for change in changes {
+            self.ingest_route_change(change);
+        }
+    }
+
+    /// Run every feed whose poll is due at `at` and queue the results.
+    pub fn poll_and_queue(&mut self, at: SimTime, view: &dyn RibView) {
+        for feed in &mut self.feeds {
+            if feed.next_poll(at).is_some_and(|t| t <= at) {
+                self.scratch.extend(feed.poll(at, view, &mut self.rng));
+            }
+        }
+        self.queue_scratch();
+    }
+
+    /// Put drained-but-unprocessed events back into the merge queue
+    /// (e.g. when a driver stops mid-batch and wants a later drain to
+    /// resume losslessly). Relative order among requeued events is
+    /// preserved: they re-enter in iteration order with fresh
+    /// ingestion sequence numbers, and everything at their emission
+    /// instants has already been drained.
+    pub fn requeue(&mut self, events: impl IntoIterator<Item = FeedEvent>) {
+        self.scratch.extend(events);
+        self.queue_scratch();
+    }
+
+    /// Emission instant of the earliest queued event, if any.
+    pub fn next_emission(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(q)| q.0)
+    }
+
+    /// Number of queued (not yet drained) events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drain every queued event with `emitted_at <= upto` into `out`
+    /// (cleared first), globally merge-sorted by `(emitted_at,
+    /// ingestion order)` across push and pull feeds. Returns the number
+    /// of drained events. `out` is caller-owned so one buffer can be
+    /// reused across the whole run.
+    pub fn drain_batch(&mut self, upto: SimTime, out: &mut Vec<FeedEvent>) -> usize {
+        out.clear();
+        while self.queue.peek().is_some_and(|Reverse(q)| q.0 <= upto) {
+            let Some(Reverse(QueuedKey(_, _, slot))) = self.queue.pop() else {
+                break;
+            };
+            let ev = self.slots[slot as usize]
+                .take()
+                .expect("queued slot filled");
+            self.free.push(slot);
+            out.push(ev);
+        }
+        out.len()
+    }
+
+    /// Fan a routing change out to all push feeds, returning (not
+    /// queueing) the events. Thin allocating wrapper over the batch
+    /// path; ordering is left to the caller.
     pub fn on_route_change(&mut self, change: &RouteChange) -> Vec<FeedEvent> {
         let mut out = Vec::new();
         for feed in &mut self.feeds {
-            out.extend(feed.on_route_change(change, &mut self.rng));
+            feed.on_route_change_into(change, &mut self.rng, &mut out);
         }
         out
     }
@@ -58,7 +194,8 @@ impl FeedHub {
         self.feeds.iter().filter_map(|f| f.next_poll(now)).min()
     }
 
-    /// Run every feed whose poll is due at `at`.
+    /// Run every feed whose poll is due at `at`, returning (not
+    /// queueing) the events. Thin wrapper over the pull path.
     pub fn poll(&mut self, at: SimTime, view: &dyn RibView) -> Vec<FeedEvent> {
         let mut out = Vec::new();
         for feed in &mut self.feeds {
@@ -138,6 +275,98 @@ mod tests {
         assert!(hub.is_empty());
         assert!(hub.on_route_change(&change(1, 1)).is_empty());
         assert_eq!(hub.next_poll(SimTime::ZERO), None);
+        hub.ingest_route_change(&change(1, 1));
+        assert_eq!(hub.pending_events(), 0);
+        assert_eq!(hub.next_emission(), None);
+    }
+
+    #[test]
+    fn drain_batch_is_sorted_and_respects_upto() {
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        // Skewed constant delays: the later observation (t=20, 5 s
+        // delay) is emitted *before* the earlier one (t=10, 60 s).
+        hub.add(Box::new(
+            StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(60)),
+        ));
+        hub.add(Box::new(
+            StreamFeed::bgpmon(group_into_collectors("bmp", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(5)),
+        ));
+        hub.ingest_route_changes(&[change(174, 10), change(174, 20)]);
+        assert_eq!(hub.pending_events(), 4);
+        assert_eq!(hub.next_emission(), Some(SimTime::from_secs(15)));
+
+        let mut buf = Vec::new();
+        // Partial drain: only events emitted by t=30 (the two bgpmon).
+        let n = hub.drain_batch(SimTime::from_secs(30), &mut buf);
+        assert_eq!(n, 2);
+        assert!(buf.iter().all(|e| e.source == FeedKind::BgpMon));
+        assert_eq!(hub.pending_events(), 2);
+
+        // The rest drains in emission order despite reversed ingestion.
+        hub.drain_batch(SimTime::from_secs(1_000), &mut buf);
+        let times: Vec<SimTime> = buf.iter().map(|e| e.emitted_at).collect();
+        assert_eq!(times, vec![SimTime::from_secs(70), SimTime::from_secs(80)]);
+        assert_eq!(hub.pending_events(), 0);
+    }
+
+    #[test]
+    fn requeue_restores_undelivered_events() {
+        let mut hub = FeedHub::new(SimRng::new(4));
+        let vps = vec![Asn(174)];
+        hub.add(Box::new(
+            StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(5)),
+        ));
+        hub.ingest_route_changes(&[change(174, 10), change(174, 10), change(174, 20)]);
+        let mut buf = Vec::new();
+        hub.drain_batch(SimTime::from_secs(1_000), &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(hub.pending_events(), 0);
+
+        // A driver consumed only the first event; the rest goes back.
+        let undelivered: Vec<FeedEvent> = buf.drain(1..).collect();
+        hub.requeue(undelivered.clone());
+        assert_eq!(hub.pending_events(), 2);
+        assert_eq!(hub.next_emission(), Some(SimTime::from_secs(15)));
+        hub.drain_batch(SimTime::from_secs(1_000), &mut buf);
+        assert_eq!(
+            buf, undelivered,
+            "resumed drain sees the same events in order"
+        );
+    }
+
+    #[test]
+    fn batch_and_per_event_paths_emit_the_same_events() {
+        let vps = vec![Asn(174), Asn(3356)];
+        let changes: Vec<RouteChange> = (0..20u64)
+            .map(|i| change(if i % 2 == 0 { 174 } else { 3356 }, i))
+            .collect();
+        let build = || {
+            let mut hub = FeedHub::new(SimRng::new(9));
+            hub.add(Box::new(
+                StreamFeed::ris_live(group_into_collectors("rrc", &vps, 2))
+                    .with_export_delay(artemis_simnet::LatencyModel::const_secs(3)),
+            ));
+            hub
+        };
+
+        let mut per_event = Vec::new();
+        let mut hub = build();
+        for c in &changes {
+            per_event.extend(hub.on_route_change(c));
+        }
+
+        let mut batch = Vec::new();
+        let mut hub = build();
+        hub.ingest_route_changes(&changes);
+        hub.drain_batch(SimTime::from_secs(10_000), &mut batch);
+
+        let mut per_event_sorted = per_event.clone();
+        per_event_sorted.sort_by_key(|e| e.emitted_at);
+        assert_eq!(batch, per_event_sorted);
     }
 
     #[test]

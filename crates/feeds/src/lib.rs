@@ -18,9 +18,11 @@
 //! | [`ArchiveRibFeed`] | snapshot | visible at the next dump |
 //!
 //! Every source implements [`FeedSource`]; a [`FeedHub`] fans a
-//! [`RouteChange`] out to all of them and collects timestamped
-//! [`FeedEvent`]s. Detection delay is therefore *the min over sources*
-//! — exactly the property the paper exploits (claim C7 in DESIGN.md).
+//! [`RouteChange`](artemis_bgpsim::RouteChange) out to all of them and
+//! merge-sorts the timestamped [`FeedEvent`]s it collects into batches
+//! (see [`FeedHub::drain_batch`]). Detection delay is therefore *the
+//! min over sources* — exactly the property the paper exploits (claim
+//! C7 in DESIGN.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

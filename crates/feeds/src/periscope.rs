@@ -110,12 +110,13 @@ impl FeedSource for PeriscopeFeed {
         &self.name
     }
 
-    fn on_route_change(
+    fn on_route_change_into(
         &mut self,
         _change: &artemis_bgpsim::RouteChange,
         _rng: &mut SimRng,
-    ) -> Vec<FeedEvent> {
-        Vec::new() // purely pull-based
+        _out: &mut Vec<FeedEvent>,
+    ) {
+        // purely pull-based
     }
 
     fn next_poll(&self, now: SimTime) -> Option<SimTime> {

@@ -43,8 +43,24 @@ pub trait FeedSource {
     fn kind(&self) -> FeedKind;
     /// Human-readable instance name.
     fn name(&self) -> &str;
-    /// Push-path: react to a Loc-RIB change somewhere in the Internet.
-    fn on_route_change(&mut self, change: &RouteChange, rng: &mut SimRng) -> Vec<FeedEvent>;
+    /// Push-path: react to a Loc-RIB change somewhere in the Internet,
+    /// appending any resulting events to `out`. This is the primary
+    /// implementation surface: the [`crate::FeedHub`] batch path
+    /// threads one reusable buffer through every feed instead of
+    /// collecting a fresh `Vec` per `(change, feed)` pair.
+    fn on_route_change_into(
+        &mut self,
+        change: &RouteChange,
+        rng: &mut SimRng,
+        out: &mut Vec<FeedEvent>,
+    );
+    /// Push-path, allocating convenience wrapper around
+    /// [`FeedSource::on_route_change_into`].
+    fn on_route_change(&mut self, change: &RouteChange, rng: &mut SimRng) -> Vec<FeedEvent> {
+        let mut out = Vec::new();
+        self.on_route_change_into(change, rng, &mut out);
+        out
+    }
     /// Pull-path: when does this feed next want to run (`None` = never)?
     fn next_poll(&self, now: SimTime) -> Option<SimTime>;
     /// Pull-path: execute the poll scheduled at `at`.

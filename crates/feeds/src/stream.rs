@@ -124,13 +124,17 @@ impl FeedSource for StreamFeed {
         &self.name
     }
 
-    fn on_route_change(&mut self, change: &RouteChange, rng: &mut SimRng) -> Vec<FeedEvent> {
+    fn on_route_change_into(
+        &mut self,
+        change: &RouteChange,
+        rng: &mut SimRng,
+        out: &mut Vec<FeedEvent>,
+    ) {
         if let Some((from, to)) = self.outage {
             if change.time >= from && change.time < to {
-                return Vec::new();
+                return;
             }
         }
-        let mut out = Vec::new();
         for (collector, peers) in &self.collectors {
             if !peers.contains(&change.asn) {
                 continue;
@@ -153,9 +157,8 @@ impl FeedSource for StreamFeed {
             };
             ev.raw = self.render_raw(&ev);
             out.push(ev);
+            self.emitted += 1;
         }
-        self.emitted += out.len() as u64;
-        out
     }
 
     fn next_poll(&self, _now: SimTime) -> Option<SimTime> {

@@ -1,0 +1,224 @@
+//! Cross-feed event-ordering integration tests: `FeedHub::drain_batch`
+//! must interleave push feeds (RIS-live / BGPmon with skewed export
+//! pipelines) and pull feeds (Periscope looking glasses) into one
+//! stream globally sorted by `emitted_at`.
+
+use artemis_bgp::{AsPath, Asn, Prefix};
+use artemis_bgpsim::{BestRoute, RouteChange};
+use artemis_feeds::vantage::group_into_collectors;
+use artemis_feeds::{FeedHub, FeedKind, LookingGlass, PeriscopeFeed, RibView, StreamFeed};
+use artemis_simnet::{LatencyModel, SimDuration, SimRng, SimTime};
+use artemis_topology::RelKind;
+use proptest::prelude::*;
+use std::str::FromStr;
+
+fn pfx(s: &str) -> Prefix {
+    Prefix::from_str(s).unwrap()
+}
+
+fn change(asn: u32, t_micros: u64, origin: u32) -> RouteChange {
+    let as_path = AsPath::from_sequence([3356, origin]);
+    RouteChange {
+        time: SimTime::from_micros(t_micros),
+        asn: Asn(asn),
+        prefix: pfx("10.0.0.0/23"),
+        old: None,
+        new: Some(BestRoute {
+            origin_as: Asn(origin),
+            as_path,
+            neighbor: Some(Asn(3356)),
+            learned_from: Some(RelKind::Provider),
+            local_pref: 100,
+        }),
+    }
+}
+
+/// Static routing view for the pull feeds: every queried vantage
+/// currently selects the hijacker's route.
+struct StaticView;
+
+impl RibView for StaticView {
+    fn best_route(&self, _asn: Asn, prefix: Prefix) -> Option<BestRoute> {
+        (prefix == pfx("10.0.0.0/23")).then(|| BestRoute {
+            as_path: AsPath::from_sequence([174u32, 666]),
+            origin_as: Asn(666),
+            neighbor: Some(Asn(174)),
+            learned_from: Some(RelKind::Provider),
+            local_pref: 100,
+        })
+    }
+    fn loc_rib(&self, asn: Asn) -> Vec<(Prefix, BestRoute)> {
+        vec![(
+            pfx("10.0.0.0/23"),
+            self.best_route(asn, pfx("10.0.0.0/23")).unwrap(),
+        )]
+    }
+}
+
+/// A hub with two skewed push streams and a rate-limited pull feed.
+fn skewed_hub(seed: u64) -> FeedHub {
+    let vps = vec![Asn(174), Asn(3356), Asn(2914)];
+    let mut hub = FeedHub::new(SimRng::new(seed));
+    hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc", &vps, 2)).with_export_delay(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_secs(8),
+                sigma: 0.6,
+            },
+        ),
+    ));
+    hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 1)).with_export_delay(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_secs(40),
+                sigma: 0.9,
+            },
+        ),
+    ));
+    let mut lg_rng = SimRng::new(seed ^ 0xF00D);
+    let lgs = vec![
+        LookingGlass {
+            name: "lg-00".into(),
+            vantage: Asn(174),
+            min_interval: SimDuration::from_secs(30),
+            response_latency: LatencyModel::uniform_millis(1_000, 4_000),
+        },
+        LookingGlass {
+            name: "lg-01".into(),
+            vantage: Asn(2914),
+            min_interval: SimDuration::from_secs(45),
+            response_latency: LatencyModel::uniform_millis(1_000, 4_000),
+        },
+    ];
+    hub.add(Box::new(PeriscopeFeed::new(
+        lgs,
+        vec![pfx("10.0.0.0/23")],
+        &mut lg_rng,
+    )));
+    hub
+}
+
+/// Drive pushes and polls interleaved over `horizon`, then drain.
+fn run_interleaved(hub: &mut FeedHub, changes: &[RouteChange], horizon: SimTime) -> Vec<SimTime> {
+    let mut changes: Vec<&RouteChange> = changes.iter().collect();
+    changes.sort_by_key(|c| c.time);
+    let mut now = SimTime::ZERO;
+    let mut pending = changes.into_iter().peekable();
+    while now <= horizon {
+        let t_push = pending.peek().map(|c| c.time);
+        let t_poll = hub.next_poll(now);
+        let next = match (t_push, t_poll) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => break,
+        };
+        if next > horizon {
+            break;
+        }
+        now = next;
+        if t_push == Some(next) {
+            hub.ingest_route_change(pending.next().unwrap());
+        } else {
+            hub.poll_and_queue(next, &StaticView);
+        }
+    }
+    let mut buf = Vec::new();
+    hub.drain_batch(SimTime::from_micros(u64::MAX), &mut buf);
+    buf.iter().map(|e| e.emitted_at).collect()
+}
+
+#[test]
+fn drain_batch_is_globally_sorted_across_push_and_pull_feeds() {
+    let mut hub = skewed_hub(7);
+    let changes: Vec<RouteChange> = (0..40)
+        .map(|i| {
+            change(
+                [174u32, 3356, 2914][i % 3],
+                (i as u64) * 7_000_000 + 1,
+                if i % 4 == 0 { 666 } else { 65001 },
+            )
+        })
+        .collect();
+    let times = run_interleaved(&mut hub, &changes, SimTime::from_secs(600));
+    assert!(times.len() > 40, "push and pull feeds both contribute");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "drain_batch output must be sorted by emitted_at"
+    );
+}
+
+#[test]
+fn all_three_feed_kinds_appear_in_one_drained_batch() {
+    let mut hub = skewed_hub(11);
+    let changes: Vec<RouteChange> = (0..12)
+        .map(|i| change(174, i * 40_000_000 + 5, 666))
+        .collect();
+    let mut now = SimTime::ZERO;
+    for c in &changes {
+        hub.ingest_route_change(c);
+        while let Some(t) = hub.next_poll(now) {
+            if t > c.time {
+                break;
+            }
+            hub.poll_and_queue(t, &StaticView);
+            now = t;
+        }
+    }
+    let mut buf = Vec::new();
+    hub.drain_batch(SimTime::from_micros(u64::MAX), &mut buf);
+    let kinds: std::collections::BTreeSet<FeedKind> = buf.iter().map(|e| e.source).collect();
+    assert!(kinds.contains(&FeedKind::RisLive));
+    assert!(kinds.contains(&FeedKind::BgpMon));
+    assert!(kinds.contains(&FeedKind::Periscope));
+    assert!(
+        buf.windows(2).all(|w| w[0].emitted_at <= w[1].emitted_at),
+        "mixed-kind batch stays sorted"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random observation times, random skew, repeated partial drains:
+    /// every drained batch is internally sorted, batches never overlap
+    /// backwards in time, and nothing due is left behind.
+    #[test]
+    fn partial_drains_preserve_global_order(
+        seed in 1u64..1_000,
+        obs in prop::collection::vec((0u64..500, 0usize..3), 1..30),
+        cut_secs in 1u64..120,
+    ) {
+        let mut hub = skewed_hub(seed);
+        let vps = [174u32, 3356, 2914];
+        let mut changes: Vec<RouteChange> = obs
+            .iter()
+            .map(|(t, vp)| change(vps[*vp], t * 1_000_000, 666))
+            .collect();
+        changes.sort_by_key(|c| c.time);
+        hub.ingest_route_changes(&changes);
+
+        let mut buf = Vec::new();
+        let mut last_batch_end = SimTime::ZERO;
+        let mut drained_total = 0usize;
+        let total = hub.pending_events();
+        let mut upto = SimTime::from_secs(cut_secs);
+        for _ in 0..20 {
+            hub.drain_batch(upto, &mut buf);
+            prop_assert!(buf.windows(2).all(|w| w[0].emitted_at <= w[1].emitted_at));
+            if let Some(first) = buf.first() {
+                prop_assert!(first.emitted_at >= last_batch_end,
+                    "batches must not rewind time");
+            }
+            if let Some(last) = buf.last() {
+                last_batch_end = last.emitted_at;
+            }
+            drained_total += buf.len();
+            upto += SimDuration::from_secs(cut_secs);
+        }
+        hub.drain_batch(SimTime::from_micros(u64::MAX), &mut buf);
+        drained_total += buf.len();
+        prop_assert_eq!(drained_total, total, "every queued event drains exactly once");
+        prop_assert_eq!(hub.pending_events(), 0);
+    }
+}

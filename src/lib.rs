@@ -30,7 +30,7 @@ pub use artemis_topology as topology;
 pub mod prelude {
     pub use artemis_bgp::{Asn, Prefix};
     pub use artemis_core::{
-        ArtemisApp, ArtemisConfig, Detector, ExperimentBuilder, HijackType, Mitigator,
+        ArtemisApp, ArtemisConfig, Detector, ExperimentBuilder, HijackType, Mitigator, Pipeline,
     };
     pub use artemis_simnet::{SimDuration, SimTime};
 }
