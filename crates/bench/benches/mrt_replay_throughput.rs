@@ -1,0 +1,85 @@
+//! MRT replay ingestion throughput: how fast can raw archive bytes be
+//! turned back into pipeline input?
+//!
+//! Three tiers, hot to cold:
+//! * `scan_raw` — the zero-copy [`artemis_mrt::MrtScanner`] fast path:
+//!   chunk headers, borrow bodies, decode nothing. Target: well above
+//!   1M records/s.
+//! * `decode_full` — scan + full per-record decode (owned
+//!   [`artemis_mrt::MrtRecord`]s, embedded BGP messages parsed).
+//! * `replay_to_events` — the whole [`artemis_feeds::MrtReplayFeed`]
+//!   ingest: decode, vantage resolution, batch-window scheduling.
+
+use artemis_bgp::{AsPath, Asn, PathAttributes, Prefix, UpdateMessage};
+use artemis_feeds::MrtReplayFeed;
+use artemis_mrt::{Bgp4mpMessage, MrtRecord, MrtScanner, MrtWriter};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+const RECORDS: u32 = 20_000;
+
+fn build_archive(records: u32) -> Vec<u8> {
+    let mut w = MrtWriter::new();
+    for i in 0..records {
+        let attrs = PathAttributes::with_path(
+            AsPath::from_sequence([174u32, 3356, 65_000 + (i % 16)]),
+            "192.0.2.1".parse().expect("valid"),
+        );
+        let update = UpdateMessage::announce(
+            attrs,
+            vec![Prefix::v4(std::net::Ipv4Addr::from(i << 10), 22).expect("valid")],
+        );
+        w.write(&MrtRecord::Bgp4mp {
+            timestamp: i / 100,
+            microseconds: Some((i % 100) * 10_000),
+            message: Bgp4mpMessage {
+                peer_as: Asn(174 + (i % 8)),
+                local_as: Asn(64_999),
+                peer_ip: "192.0.2.10".parse().expect("valid"),
+                local_ip: "192.0.2.1".parse().expect("valid"),
+                message: artemis_bgp::BgpMessage::Update(update),
+            },
+        })
+        .expect("writable");
+    }
+    w.into_bytes()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let archive = build_archive(RECORDS);
+    let mut group = c.benchmark_group("mrt_replay_throughput");
+    group.throughput(Throughput::Elements(RECORDS as u64));
+
+    group.bench_function("scan_raw", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for raw in MrtScanner::new(black_box(&archive)) {
+                let raw = raw.expect("well-formed");
+                n += raw.body.len() as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("decode_full", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for raw in MrtScanner::new(black_box(&archive)) {
+                let rec = raw.expect("well-formed").decode().expect("decodable");
+                n += rec.timestamp() as u64;
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("replay_to_events", |b| {
+        b.iter(|| {
+            let feed = MrtReplayFeed::route_views(black_box(&archive));
+            black_box(feed.pending_events())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

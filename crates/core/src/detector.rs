@@ -130,6 +130,19 @@ impl Detector {
         }
     }
 
+    /// Mark a dormant owned prefix as activated: mitigation has begun
+    /// announcing it, so it is no longer "owned but unannounced".
+    /// Clears the shard's dormancy flag and registers the expectation,
+    /// so subsequent events classify under the normal (non-squatting)
+    /// rules instead of flagging our own announcement.
+    pub fn activate_prefix(&mut self, owned: Prefix) {
+        if let Some(idx) = self.routing.get(owned) {
+            let shard = &mut self.shards[*idx];
+            shard.owned.dormant = false;
+            shard.expected.insert(owned);
+        }
+    }
+
     /// Remove an expectation (after mitigation withdrawal).
     pub fn unexpect_announcement(&mut self, prefix: Prefix) {
         match self.routing.longest_match(prefix) {
@@ -190,7 +203,18 @@ impl Detector {
             .unwrap_or(false);
 
         let hijack_type = if owned.dormant {
-            Some(HijackType::Squatting)
+            // Any announcement of a dormant prefix is squatting —
+            // *except* the echo of our own mitigation announcement: a
+            // Squatting plan announces the dormant prefix itself, and
+            // that announcement re-enters here through the feeds. An
+            // event is ours only when it is both expected (registered
+            // by the mitigation) and carries a legitimate origin; an
+            // attacker announcing the same prefix stays a hijack.
+            if shard.expected.contains(&event.prefix) && legit_origin {
+                None
+            } else {
+                Some(HijackType::Squatting)
+            }
         } else if exact {
             if !legit_origin {
                 Some(HijackType::ExactOrigin)
@@ -413,6 +437,57 @@ mod tests {
                 assert_eq!(
                     d.alerts().get(id).unwrap().hijack_type,
                     HijackType::Squatting
+                );
+            }
+            other => panic!("expected new alert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn squatting_mitigation_echo_is_not_a_self_alert() {
+        // Regression: after a Squatting mitigation starts announcing
+        // the dormant prefix, the echo of our own announcement used to
+        // raise/update a squatting alert against ourselves.
+        let mut d = Detector::new(config());
+        let ev = event("203.0.113.0/24", &[2914, 174, 31337], 45);
+        assert!(matches!(d.process(&ev), Detection::NewAlert(_)));
+        // Mitigation registers its announcement (prefix still dormant).
+        d.expect_announcement(pfx("203.0.113.0/24"));
+        // Our own announcement echoes back: benign.
+        let echo = event("203.0.113.0/24", &[2914, 174, 65001], 60);
+        assert_eq!(d.process(&echo), Detection::Benign);
+        // The attacker's ongoing squat still updates the one alert.
+        let again = event("203.0.113.0/24", &[1299, 174, 31337], 61);
+        assert!(matches!(d.process(&again), Detection::UpdatedAlert(_)));
+        assert_eq!(d.alerts().all().len(), 1);
+    }
+
+    #[test]
+    fn expected_announcement_with_rogue_origin_is_still_squatting() {
+        let mut d = Detector::new(config());
+        d.expect_announcement(pfx("203.0.113.0/24"));
+        // Expected prefix, but the origin is not ours: a hijack of the
+        // mitigation announcement itself.
+        let ev = event("203.0.113.0/24", &[2914, 174, 666], 50);
+        assert!(matches!(d.process(&ev), Detection::NewAlert(_)));
+    }
+
+    #[test]
+    fn activate_prefix_clears_dormancy() {
+        let mut d = Detector::new(config());
+        d.activate_prefix(pfx("203.0.113.0/24"));
+        // Legitimate-origin announcements of the now-active prefix are
+        // benign even from vantage points that never saw the squat…
+        let ev = event("203.0.113.0/24", &[2914, 174, 65001], 70);
+        assert_eq!(d.process(&ev), Detection::Benign);
+        // …and a rogue origin classifies as an exact-origin hijack of
+        // an announced prefix, not as squatting.
+        let ev = event("203.0.113.0/24", &[2914, 174, 666], 71);
+        match d.process(&ev) {
+            Detection::NewAlert(id) => {
+                assert_eq!(
+                    d.alerts().get(id).unwrap().hijack_type,
+                    HijackType::ExactOrigin
                 );
             }
             other => panic!("expected new alert, got {other:?}"),

@@ -168,17 +168,33 @@ impl Mitigator {
     }
 
     /// Withdraw a previously executed plan (hijack over; restore
-    /// aggregate-only announcements).
+    /// aggregate-only announcements). Mirrors [`Mitigator::execute`]:
+    /// the operator's own de-aggregated announcements are withdrawn
+    /// through `controller`, and every helper-AS co-announcement from
+    /// `plan.helper_announce` through its matching helper controller —
+    /// otherwise helper ASes would keep originating the victim's
+    /// prefix forever after the incident resolves.
     pub fn withdraw(
         &mut self,
         plan: &MitigationPlan,
         now: SimTime,
         controller: &mut Controller,
+        helper_controllers: &mut [Controller],
     ) -> Vec<u64> {
-        plan.announce
+        let mut intents: Vec<u64> = plan
+            .announce
             .iter()
             .map(|p| controller.submit_withdraw(*p, now))
-            .collect()
+            .collect();
+        for (helper, prefix) in &plan.helper_announce {
+            if let Some(hc) = helper_controllers
+                .iter_mut()
+                .find(|c| c.origin_as() == *helper)
+            {
+                intents.push(hc.submit_withdraw(*prefix, now));
+            }
+        }
+        intents
     }
 
     /// Every plan executed so far.
@@ -389,9 +405,72 @@ mod tests {
         ));
         let mut ctrl = Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1));
         m.execute(&plan, SimTime::from_secs(45), &mut ctrl, &mut []);
-        let ids = m.withdraw(&plan, SimTime::from_secs(500), &mut ctrl);
+        let ids = m.withdraw(&plan, SimTime::from_secs(500), &mut ctrl, &mut []);
         assert_eq!(ids.len(), 2);
         assert_eq!(ctrl.intents().count(), 4);
+    }
+
+    #[test]
+    fn withdraw_reverses_helper_co_announcements() {
+        // Regression: an outsourced /24 mitigation must be withdrawn
+        // from the helper AS too, or the helper keeps originating the
+        // victim's prefix forever after the hijack resolves.
+        let mut m = Mitigator::new(config(vec![Asn(64900), Asn(64901)]));
+        let plan = m.plan(&alert(
+            HijackType::ExactOrigin,
+            "192.0.2.0/24",
+            "192.0.2.0/24",
+        ));
+        let mut ctrl = Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1));
+        let mut helpers = vec![
+            Controller::new(Asn(64900), LatencyModel::const_secs(15), SimRng::new(2)),
+            Controller::new(Asn(64901), LatencyModel::const_secs(15), SimRng::new(3)),
+        ];
+        m.execute(&plan, SimTime::from_secs(45), &mut ctrl, &mut helpers);
+        let ids = m.withdraw(&plan, SimTime::from_secs(500), &mut ctrl, &mut helpers);
+        assert_eq!(ids.len(), 3, "own withdraw + one per helper");
+        for helper in &helpers {
+            assert_eq!(
+                helper.intents().count(),
+                2,
+                "each helper got its announce AND its withdraw"
+            );
+            assert_eq!(
+                helper
+                    .intents()
+                    .filter(|i| i.kind == artemis_controller::IntentKind::Withdraw)
+                    .count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn withdraw_skips_helpers_without_controllers() {
+        // A helper named in the plan but not wired to a controller is
+        // skipped on execute and withdraw alike — no panic, no intent.
+        let mut m = Mitigator::new(config(vec![Asn(64900), Asn(64999)]));
+        let plan = m.plan(&alert(
+            HijackType::ExactOrigin,
+            "192.0.2.0/24",
+            "192.0.2.0/24",
+        ));
+        let mut ctrl = Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1));
+        let mut helper = Controller::new(Asn(64900), LatencyModel::const_secs(15), SimRng::new(2));
+        m.execute(
+            &plan,
+            SimTime::from_secs(45),
+            &mut ctrl,
+            std::slice::from_mut(&mut helper),
+        );
+        let ids = m.withdraw(
+            &plan,
+            SimTime::from_secs(500),
+            &mut ctrl,
+            std::slice::from_mut(&mut helper),
+        );
+        assert_eq!(ids.len(), 2, "own withdraw + reachable helper only");
+        assert_eq!(helper.intents().count(), 2);
     }
 
     #[test]

@@ -239,10 +239,18 @@ impl Pipeline {
 
             // 3. Automatic mitigation.
             if self.auto_mitigate && !self.mitigated.contains(&id) {
+                let hijack_type = alert.hijack_type;
+                let owned_prefix = alert.owned_prefix;
                 let plan = self.mitigator.plan(alert);
                 let at = event.emitted_at;
                 for p in &plan.announce {
                     self.detector.expect_announcement(*p);
+                }
+                // A Squatting plan announces the dormant prefix itself:
+                // from now on it is active, and the echo of our own
+                // announcement must classify under normal rules.
+                if hijack_type == crate::classify::HijackType::Squatting {
+                    self.detector.activate_prefix(owned_prefix);
                 }
                 self.mitigator
                     .execute(&plan, at, controller, helper_controllers);
@@ -518,6 +526,54 @@ mod tests {
         assert_eq!(t2.target(), pfx("172.16.0.0/23"));
         assert!(!t1.timeline().is_empty());
         assert!(!t2.timeline().is_empty());
+    }
+
+    #[test]
+    fn squatting_mitigation_echo_does_not_realert() {
+        // Regression: the echo of a Squatting mitigation's own
+        // announcement used to re-enter detection and raise/update a
+        // squatting alert against ourselves.
+        let config = ArtemisConfig::new(
+            Asn(65001),
+            vec![OwnedPrefix::new(pfx("203.0.113.0/24"), Asn(65001)).dormant()],
+        );
+        let mut p = Pipeline::bare(config, [Asn(174), Asn(3356)].into_iter().collect());
+        let mut ctrl = controller();
+
+        // Attacker squats the dormant prefix → alert + mitigation
+        // (announce the prefix ourselves).
+        let acts = p.deliver(
+            &event(174, "203.0.113.0/24", &[174, 31337], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        let AppAction::AlertRaised(alert) = acts[0] else {
+            panic!("squat must alert, got {acts:?}");
+        };
+        assert!(matches!(
+            &acts[1],
+            AppAction::MitigationTriggered { plan, .. }
+                if plan.announce == vec![pfx("203.0.113.0/24")]
+        ));
+
+        // Our own announcement echoes back through the feeds: no new
+        // alert, and the vantage point flipping to the legitimate
+        // origin resolves the incident.
+        let acts = p.deliver(
+            &event(174, "203.0.113.0/24", &[174, 65001], 80),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(
+            acts.iter().all(|a| !matches!(a, AppAction::AlertRaised(_))),
+            "echo must not self-alert: {acts:?}"
+        );
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, AppAction::Resolved { alert: a2, .. } if *a2 == alert)),
+            "legitimate echo resolves the squat: {acts:?}"
+        );
+        assert_eq!(p.detector().alerts().all().len(), 1, "exactly one alert");
     }
 
     #[test]

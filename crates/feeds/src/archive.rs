@@ -135,6 +135,10 @@ impl FeedSource for ArchiveUpdatesFeed {
     fn events_emitted(&self) -> u64 {
         self.emitted
     }
+
+    fn archive_bytes(&self) -> Option<&[u8]> {
+        Some(self.mrt_bytes())
+    }
 }
 
 /// Periodic full-RIB snapshots: the slowest baseline (paper: ~2 h).
@@ -288,6 +292,10 @@ impl FeedSource for ArchiveRibFeed {
 
     fn events_emitted(&self) -> u64 {
         self.emitted
+    }
+
+    fn archive_bytes(&self) -> Option<&[u8]> {
+        Some(self.last_dump_mrt())
     }
 }
 

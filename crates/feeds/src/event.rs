@@ -18,6 +18,8 @@ pub enum FeedKind {
     ArchiveUpdates,
     /// Periodic full-RIB dumps (baseline only).
     ArchiveRib,
+    /// Replay of raw MRT archive bytes (forensics / baseline replay).
+    MrtReplay,
 }
 
 impl fmt::Display for FeedKind {
@@ -28,6 +30,7 @@ impl fmt::Display for FeedKind {
             FeedKind::Periscope => write!(f, "periscope"),
             FeedKind::ArchiveUpdates => write!(f, "archive-updates"),
             FeedKind::ArchiveRib => write!(f, "archive-rib"),
+            FeedKind::MrtReplay => write!(f, "mrt-replay"),
         }
     }
 }

@@ -16,6 +16,7 @@
 //! | [`PeriscopeFeed`] | pull (rate-limited polls) | poll phase + response latency |
 //! | [`ArchiveUpdatesFeed`] | batch | visible at the next batch boundary |
 //! | [`ArchiveRibFeed`] | snapshot | visible at the next dump |
+//! | [`MrtReplayFeed`] | replay of raw MRT bytes | recorded instants + batch window |
 //!
 //! Every source implements [`FeedSource`]; a [`FeedHub`] fans a
 //! [`RouteChange`](artemis_bgpsim::RouteChange) out to all of them and
@@ -31,6 +32,7 @@ pub mod archive;
 pub mod event;
 pub mod hub;
 pub mod periscope;
+pub mod replay;
 pub mod source;
 pub mod stream;
 pub mod vantage;
@@ -39,6 +41,7 @@ pub use archive::{ArchiveRibFeed, ArchiveUpdatesFeed};
 pub use event::{FeedEvent, FeedKind};
 pub use hub::FeedHub;
 pub use periscope::{LookingGlass, PeriscopeFeed};
+pub use replay::{MrtReplayFeed, MrtRibSnapshot};
 pub use source::{EngineView, FeedSource, RibView};
 pub use stream::StreamFeed;
 pub use vantage::VantageStrategy;

@@ -72,6 +72,13 @@ pub trait FeedSource {
     fn polls_executed(&self) -> u64 {
         0
     }
+    /// Raw MRT bytes this feed has accumulated, for feeds that write
+    /// archives ([`crate::ArchiveUpdatesFeed`], [`crate::ArchiveRibFeed`]);
+    /// `None` for everything else. Lets drivers pull archive bytes back
+    /// out of a [`crate::FeedHub`]-boxed feed for replay.
+    fn archive_bytes(&self) -> Option<&[u8]> {
+        None
+    }
 }
 
 #[cfg(test)]

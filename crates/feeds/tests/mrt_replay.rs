@@ -1,0 +1,205 @@
+//! The MRT round-trip property (ISSUE 3 acceptance criterion):
+//! an experiment's `ArchiveUpdatesFeed` MRT bytes, replayed through
+//! `MrtReplayFeed` into a **fresh** `Pipeline`, yield the same alert
+//! set and detection instants as the original run.
+//!
+//! simulate → write MRT → replay → detect the same hijack at the same
+//! batch-delayed instant.
+
+use artemis_bgp::{Asn, Prefix};
+use artemis_bgpsim::{Engine, SimConfig};
+use artemis_controller::Controller;
+use artemis_core::{ArtemisConfig, OwnedPrefix, Pipeline};
+use artemis_feeds::{ArchiveUpdatesFeed, FeedHub, FeedKind, MrtReplayFeed};
+use artemis_simnet::{LatencyModel, SimDuration, SimRng, SimTime};
+use artemis_topology::{generate, AsGraph, TopologyConfig};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use std::str::FromStr;
+
+/// Everything about an alert that must survive the round trip
+/// (`detected_by` legitimately differs: archive vs replay kind).
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct AlertKey {
+    hijack_type: String,
+    owned: Prefix,
+    observed: Prefix,
+    origin: Option<Asn>,
+    detected_at: SimTime,
+    first_observed_at: SimTime,
+    vantage_points: Vec<Asn>,
+}
+
+fn alert_keys(pipeline: &Pipeline) -> Vec<AlertKey> {
+    let mut keys: Vec<AlertKey> = pipeline
+        .detector()
+        .alerts()
+        .all()
+        .iter()
+        .map(|a| AlertKey {
+            hijack_type: a.hijack_type.to_string(),
+            owned: a.owned_prefix,
+            observed: a.observed_prefix,
+            origin: a.offending_origin,
+            detected_at: a.detected_at,
+            first_observed_at: a.first_observed_at,
+            vantage_points: a.vantage_points.iter().copied().collect(),
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+struct OriginalRun {
+    keys: Vec<AlertKey>,
+    mrt_bytes: Vec<u8>,
+    config: ArtemisConfig,
+    vantage_points: BTreeSet<Asn>,
+    victim: Asn,
+    events_delivered: u64,
+}
+
+/// Run a hijack scenario whose only monitoring source is the batched
+/// update archive, and keep the MRT bytes it wrote.
+fn original_run(seed: u64) -> OriginalRun {
+    let mut rng = SimRng::new(seed);
+    let topo = generate(&TopologyConfig::tiny(), &mut rng);
+    let victim = topo.stubs[0];
+    let attacker = *topo.stubs.last().expect("stubs exist");
+    assert_ne!(victim, attacker);
+    let peers: Vec<Asn> = topo.tier1.clone();
+    let vantage_points: BTreeSet<Asn> = peers.iter().copied().collect();
+    let prefix = Prefix::from_str("10.0.0.0/23").expect("valid");
+
+    let config = ArtemisConfig::new(victim, vec![OwnedPrefix::new(prefix, victim)]);
+    let mut hub = FeedHub::new(SimRng::new(seed ^ 0xfeed));
+    hub.add(Box::new(ArchiveUpdatesFeed::route_views(peers)));
+    let mut pipeline = Pipeline::new(hub, config.clone(), vantage_points.clone());
+    let mut controller = Controller::new(victim, LatencyModel::const_secs(15), SimRng::new(3));
+
+    let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
+    pipeline.expect_announcement(prefix);
+    engine.announce(victim, prefix);
+    let changes = engine.run_to_quiescence(1_000_000);
+    pipeline.ingest_route_changes(&changes);
+    let converged = engine.now();
+    engine.announce_at(attacker, prefix, converged + SimDuration::from_secs(30));
+
+    let horizon = SimTime::ZERO + SimDuration::from_mins(120);
+    pipeline.run(&mut engine, &mut controller, converged, horizon, |_, _| {
+        ControlFlow::Continue(())
+    });
+
+    let keys = alert_keys(&pipeline);
+    let mrt_bytes = pipeline
+        .hub()
+        .feed(0)
+        .expect("archive feed registered")
+        .archive_bytes()
+        .expect("archive feeds expose their MRT bytes")
+        .to_vec();
+    let events_delivered = pipeline.events_delivered();
+    OriginalRun {
+        keys,
+        mrt_bytes,
+        config,
+        vantage_points,
+        victim,
+        events_delivered,
+    }
+}
+
+/// Replay `bytes` into a fresh pipeline with no engine and no live
+/// feeds: the archive is the only source of truth.
+fn replay_run(original: &OriginalRun) -> (Pipeline, Vec<AlertKey>) {
+    let mut hub = FeedHub::new(SimRng::new(99));
+    hub.add(Box::new(MrtReplayFeed::route_views(&original.mrt_bytes)));
+    let mut pipeline = Pipeline::new(
+        hub,
+        original.config.clone(),
+        original.vantage_points.clone(),
+    );
+    pipeline.expect_announcement(original.config.owned[0].prefix);
+    let mut controller = Controller::new(
+        original.victim,
+        LatencyModel::const_secs(15),
+        SimRng::new(3),
+    );
+    // A near-empty engine: the victim AS exists (so replayed
+    // mitigation intents have somewhere to land) but is isolated —
+    // nothing propagates, and the pipeline is driven purely by the
+    // replayed archive.
+    let mut graph = AsGraph::new();
+    graph.add_as(original.victim);
+    let mut engine = Engine::new(graph, SimConfig::default(), 1);
+    let horizon = SimTime::ZERO + SimDuration::from_mins(120);
+    pipeline.run(
+        &mut engine,
+        &mut controller,
+        SimTime::ZERO,
+        horizon,
+        |_, _| ControlFlow::Continue(()),
+    );
+    let keys = alert_keys(&pipeline);
+    (pipeline, keys)
+}
+
+#[test]
+fn replayed_archive_reproduces_the_detection_timeline() {
+    let original = original_run(5);
+    assert!(
+        !original.keys.is_empty(),
+        "the scenario must produce at least one alert"
+    );
+    let (replayed, replay_keys) = replay_run(&original);
+
+    assert_eq!(
+        original.keys, replay_keys,
+        "replaying the archive must reproduce the exact alert set, \
+         detection instants and witness sets"
+    );
+    // Replay delivered the same number of events the archive feed fed
+    // the original detector (the archive is complete).
+    assert_eq!(replayed.events_delivered(), original.events_delivered);
+    // And the winning feed on the replay side is the replay feed.
+    assert!(replayed
+        .detector()
+        .alerts()
+        .all()
+        .iter()
+        .all(|a| a.detected_by == FeedKind::MrtReplay));
+}
+
+#[test]
+fn replay_detection_instants_sit_on_batch_boundaries() {
+    // The paper's §1 claim made measurable: with a 15-min batch window
+    // + 60 s publish delay, every replayed detection instant is a
+    // batch boundary plus the publish delay — minutes of archive
+    // latency, not the seconds of the streaming feeds.
+    let original = original_run(9);
+    let (_, keys) = replay_run(&original);
+    assert!(!keys.is_empty());
+    for key in &keys {
+        let micros = key.detected_at.as_micros();
+        let publish = SimDuration::from_secs(60).as_micros();
+        let period = SimDuration::from_mins(15).as_micros();
+        assert_eq!(
+            (micros - publish) % period,
+            0,
+            "detection at {} is not batch-aligned",
+            key.detected_at
+        );
+        // And detection necessarily lags the observation.
+        assert!(key.detected_at > key.first_observed_at);
+    }
+}
+
+#[test]
+fn round_trip_holds_across_seeds() {
+    for seed in [11, 23] {
+        let original = original_run(seed);
+        assert!(!original.keys.is_empty(), "seed {seed} must detect");
+        let (_, replay_keys) = replay_run(&original);
+        assert_eq!(original.keys, replay_keys, "seed {seed} diverged");
+    }
+}

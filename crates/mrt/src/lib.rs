@@ -15,6 +15,17 @@
 //!
 //! [`MrtWriter`] produces byte-exact archives; [`MrtReader`] streams
 //! records back out of a byte slice; round-trips are proptest-verified.
+//!
+//! Two read paths:
+//!
+//! * [`MrtScanner`] — the zero-copy fast path: chunks records into
+//!   [`RawMrtRecord`]s whose bodies are *borrowed* slices (no
+//!   per-record allocation, no payload parse), bgpkit-parser style.
+//!   Consumers decode on demand and collect [`MrtDiagnostic`]s for
+//!   records that fail, resyncing at the next length-delimited
+//!   boundary instead of aborting the stream.
+//! * [`MrtReader`] — the strict path built on top: fully decodes every
+//!   record and aborts on the first error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,5 +33,8 @@
 pub mod record;
 pub mod rib;
 
-pub use record::{Bgp4mpMessage, MrtError, MrtReader, MrtRecord, MrtWriter};
+pub use record::{
+    Bgp4mpMessage, MrtDiagnostic, MrtError, MrtReader, MrtRecord, MrtScanner, MrtWriter,
+    RawMrtRecord,
+};
 pub use rib::{PeerEntry, PeerIndexTable, RibEntry, RibRecord};

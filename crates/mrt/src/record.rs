@@ -41,6 +41,18 @@ pub enum MrtError {
     Bgp(BgpError),
     /// Structural problem in a record body.
     Malformed(&'static str),
+    /// A variable-length field does not fit its wire-format counter
+    /// (e.g. a PEER_INDEX_TABLE with more than 65535 peers). Raised at
+    /// *encode* time: silently truncating the counter would produce a
+    /// record that round-trips wrong.
+    FieldOverflow {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The unencodable length.
+        len: usize,
+        /// The wire format's maximum for this field.
+        max: usize,
+    },
 }
 
 impl fmt::Display for MrtError {
@@ -52,6 +64,9 @@ impl fmt::Display for MrtError {
             }
             MrtError::Bgp(e) => write!(f, "embedded BGP message: {e}"),
             MrtError::Malformed(what) => write!(f, "malformed MRT record: {what}"),
+            MrtError::FieldOverflow { field, len, max } => {
+                write!(f, "{field} length {len} exceeds wire maximum {max}")
+            }
         }
     }
 }
@@ -162,7 +177,7 @@ impl MrtWriter {
                 TYPE_TABLE_DUMP_V2,
                 SUBTYPE_PEER_INDEX_TABLE,
                 None,
-                table.encode(),
+                table.encode()?,
             ),
             MrtRecord::Rib { rib, .. } => {
                 let subtype = if rib.prefix.afi() == artemis_bgp::prefix::Afi::Ipv4 {
@@ -270,62 +285,62 @@ fn read_ip(bytes: &[u8]) -> IpAddr {
     }
 }
 
-/// Streaming reader over an MRT byte slice.
-pub struct MrtReader<'a> {
-    data: &'a [u8],
-    offset: usize,
+/// A raw MRT record: parsed common header plus a **borrowed** body
+/// slice, produced by [`MrtScanner`] without allocating or touching the
+/// payload (bgpkit-parser's chunk-then-parse shape). Call
+/// [`RawMrtRecord::decode`] for the full owned [`MrtRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawMrtRecord<'a> {
+    /// Byte offset of the record's common header within the archive —
+    /// the stable identifier for per-record diagnostics.
+    pub offset: usize,
+    /// Seconds since the epoch (common header).
+    pub timestamp: u32,
+    /// MRT type code.
+    pub mrt_type: u16,
+    /// MRT subtype code.
+    pub subtype: u16,
+    /// Extended microseconds, already split off the body for
+    /// `BGP4MP_ET` records. `None` for an ET record whose body was too
+    /// short to hold the field — [`RawMrtRecord::decode`] reports that
+    /// as a per-record truncation.
+    pub microseconds: Option<u32>,
+    /// The record body (after the common header and, for ET records,
+    /// the microsecond field) — borrowed straight from the archive.
+    pub body: &'a [u8],
 }
 
-impl<'a> MrtReader<'a> {
-    /// Read from the start of `data`.
-    pub fn new(data: &'a [u8]) -> Self {
-        MrtReader { data, offset: 0 }
+impl<'a> RawMrtRecord<'a> {
+    /// True for `BGP4MP` / `BGP4MP_ET` update records — the hot kind
+    /// during replay; lets scanners filter before paying for a decode.
+    pub fn is_bgp4mp(&self) -> bool {
+        matches!(self.mrt_type, TYPE_BGP4MP | TYPE_BGP4MP_ET)
     }
 
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.data.len() - self.offset
+    /// True for `TABLE_DUMP_V2` snapshot records.
+    pub fn is_table_dump(&self) -> bool {
+        self.mrt_type == TYPE_TABLE_DUMP_V2
     }
 
-    /// Parse the next record, or `Ok(None)` at clean EOF.
-    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
-        if self.remaining() == 0 {
-            return Ok(None);
-        }
-        if self.remaining() < 12 {
-            return Err(MrtError::Truncated("MRT common header"));
-        }
-        let mut hdr = &self.data[self.offset..self.offset + 12];
-        let timestamp = hdr.get_u32();
-        let mrt_type = hdr.get_u16();
-        let subtype = hdr.get_u16();
-        let length = hdr.get_u32() as usize;
-        if self.remaining() < 12 + length {
-            return Err(MrtError::Truncated("MRT record body"));
-        }
-        let mut body = &self.data[self.offset + 12..self.offset + 12 + length];
-        self.offset += 12 + length;
-
-        let record = match (mrt_type, subtype) {
-            (TYPE_BGP4MP, st) => MrtRecord::Bgp4mp {
-                timestamp,
-                microseconds: None,
-                message: decode_bgp4mp_body(body, st)?,
-            },
-            (TYPE_BGP4MP_ET, st) => {
-                if body.len() < 4 {
+    /// Fully decode the record body into an owned [`MrtRecord`].
+    pub fn decode(&self) -> Result<MrtRecord, MrtError> {
+        let record = match (self.mrt_type, self.subtype) {
+            (TYPE_BGP4MP | TYPE_BGP4MP_ET, st) => {
+                if self.mrt_type == TYPE_BGP4MP_ET && self.microseconds.is_none() {
+                    // The scanner could not split the microsecond field
+                    // (body shorter than 4 bytes): a per-record defect,
+                    // reported here so the scan itself resyncs.
                     return Err(MrtError::Truncated("BGP4MP_ET microseconds"));
                 }
-                let micros = body.get_u32();
                 MrtRecord::Bgp4mp {
-                    timestamp,
-                    microseconds: Some(micros),
-                    message: decode_bgp4mp_body(body, st)?,
+                    timestamp: self.timestamp,
+                    microseconds: self.microseconds,
+                    message: decode_bgp4mp_body(self.body, st)?,
                 }
             }
             (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE) => MrtRecord::PeerIndex {
-                timestamp,
-                table: PeerIndexTable::decode(body)?,
+                timestamp: self.timestamp,
+                table: PeerIndexTable::decode(self.body)?,
             },
             (TYPE_TABLE_DUMP_V2, st @ (SUBTYPE_RIB_IPV4_UNICAST | SUBTYPE_RIB_IPV6_UNICAST)) => {
                 let afi = if st == SUBTYPE_RIB_IPV4_UNICAST {
@@ -334,8 +349,8 @@ impl<'a> MrtReader<'a> {
                     artemis_bgp::prefix::Afi::Ipv6
                 };
                 MrtRecord::Rib {
-                    timestamp,
-                    rib: RibRecord::decode(body, afi)?,
+                    timestamp: self.timestamp,
+                    rib: RibRecord::decode(self.body, afi)?,
                 }
             }
             (t, s) => {
@@ -345,7 +360,174 @@ impl<'a> MrtReader<'a> {
                 })
             }
         };
-        Ok(Some(record))
+        Ok(record)
+    }
+
+    /// Attach an error to this record's identity for reporting.
+    pub fn diagnostic(&self, error: MrtError) -> MrtDiagnostic {
+        MrtDiagnostic {
+            offset: self.offset,
+            timestamp: self.timestamp,
+            mrt_type: self.mrt_type,
+            subtype: self.subtype,
+            error,
+        }
+    }
+}
+
+/// A per-record parse failure: which record (by archive offset and
+/// header fields) failed and why. Streaming consumers collect these and
+/// keep going instead of aborting the whole archive on one bad record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtDiagnostic {
+    /// Byte offset of the failing record's common header.
+    pub offset: usize,
+    /// The record's timestamp (from the common header, always
+    /// readable even when the body is not).
+    pub timestamp: u32,
+    /// MRT type code.
+    pub mrt_type: u16,
+    /// MRT subtype code.
+    pub subtype: u16,
+    /// What went wrong.
+    pub error: MrtError,
+}
+
+impl fmt::Display for MrtDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "record at byte {} (type {}/{}, ts {}): {}",
+            self.offset, self.mrt_type, self.subtype, self.timestamp, self.error
+        )
+    }
+}
+
+/// Zero-copy streaming scanner over an MRT byte slice.
+///
+/// [`MrtScanner::next_raw`] reads only the 12-byte common header (plus
+/// the 4-byte microsecond field for `BGP4MP_ET`) and yields the body as
+/// a borrowed slice — no per-record allocation, no payload parse. The
+/// record *length* field lets the scanner hop to the next boundary, so
+/// a consumer that fails to decode one body can keep scanning: this is
+/// the resync property per-record diagnostics are built on.
+///
+/// Header-level corruption (a truncated header, or a length field
+/// pointing past the end of the input) is unrecoverable — there is no
+/// next boundary to resync to. The scanner reports it **once** (with
+/// the failing record's start offset still readable via
+/// [`MrtScanner::offset`]) and then fuses: every subsequent call is a
+/// clean EOF, so error-skipping consumers terminate instead of
+/// spinning on the same error forever.
+pub struct MrtScanner<'a> {
+    data: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> MrtScanner<'a> {
+    /// Scan from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        MrtScanner { data, offset: 0 }
+    }
+
+    /// Byte offset of the next unread record header — or, immediately
+    /// after an unrecoverable error, of the record that failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    /// Chunk the next record, or `Ok(None)` at clean EOF.
+    ///
+    /// An `Err` is unrecoverable (corrupt common header): it is
+    /// returned once and the scanner then reports EOF. Defects
+    /// *inside* a record body — including a `BGP4MP_ET` body too short
+    /// for its microsecond field — surface from
+    /// [`RawMrtRecord::decode`] instead, so the scan itself continues
+    /// at the next length-delimited boundary.
+    pub fn next_raw(&mut self) -> Result<Option<RawMrtRecord<'a>>, MrtError> {
+        if self.remaining() == 0 {
+            return Ok(None);
+        }
+        if self.remaining() < 12 {
+            return self.fail(MrtError::Truncated("MRT common header"));
+        }
+        let start = self.offset;
+        let mut hdr = &self.data[start..start + 12];
+        let timestamp = hdr.get_u32();
+        let mrt_type = hdr.get_u16();
+        let subtype = hdr.get_u16();
+        let length = hdr.get_u32() as usize;
+        if self.remaining() < 12 + length {
+            return self.fail(MrtError::Truncated("MRT record body"));
+        }
+        let mut body = &self.data[start + 12..start + 12 + length];
+        self.offset = start + 12 + length;
+
+        // Split the ET microsecond field when present; a too-short
+        // body yields `None` and errors at decode time (per-record).
+        let microseconds = if mrt_type == TYPE_BGP4MP_ET && body.len() >= 4 {
+            Some(body.get_u32())
+        } else {
+            None
+        };
+        Ok(Some(RawMrtRecord {
+            offset: start,
+            timestamp,
+            mrt_type,
+            subtype,
+            microseconds,
+            body,
+        }))
+    }
+
+    /// Report an unrecoverable error once, then fuse to EOF. The
+    /// failing offset stays readable until the next (EOF) call.
+    fn fail(&mut self, error: MrtError) -> Result<Option<RawMrtRecord<'a>>, MrtError> {
+        self.data = &self.data[..self.offset];
+        Err(error)
+    }
+}
+
+impl<'a> Iterator for MrtScanner<'a> {
+    type Item = Result<RawMrtRecord<'a>, MrtError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_raw().transpose()
+    }
+}
+
+/// Streaming reader over an MRT byte slice: [`MrtScanner`] plus a full
+/// per-record decode. Any record failing to decode aborts the stream;
+/// consumers that prefer to skip bad records and keep going should
+/// drive the scanner directly and collect [`MrtDiagnostic`]s.
+pub struct MrtReader<'a> {
+    scanner: MrtScanner<'a>,
+}
+
+impl<'a> MrtReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        MrtReader {
+            scanner: MrtScanner::new(data),
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.scanner.remaining()
+    }
+
+    /// Parse the next record, or `Ok(None)` at clean EOF.
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>, MrtError> {
+        match self.scanner.next_raw()? {
+            Some(raw) => Ok(Some(raw.decode()?)),
+            None => Ok(None),
+        }
     }
 
     /// Collect all remaining records.
@@ -515,5 +697,134 @@ mod tests {
     fn empty_input_is_clean_eof() {
         let mut r = MrtReader::new(&[]);
         assert_eq!(r.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn scanner_chunks_without_decoding() {
+        let mut w = MrtWriter::new();
+        for i in 0..5u32 {
+            w.write(&sample_bgp4mp(i, Some(i * 10))).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let raws: Vec<RawMrtRecord<'_>> =
+            MrtScanner::new(&bytes).collect::<Result<_, _>>().unwrap();
+        assert_eq!(raws.len(), 5);
+        assert_eq!(raws[0].offset, 0);
+        for (i, raw) in raws.iter().enumerate() {
+            assert!(raw.is_bgp4mp());
+            assert!(!raw.is_table_dump());
+            assert_eq!(raw.timestamp, i as u32);
+            assert_eq!(raw.microseconds, Some(i as u32 * 10));
+            // The body is a borrowed slice into the archive itself.
+            let body_ptr = raw.body.as_ptr() as usize;
+            let base = bytes.as_ptr() as usize;
+            assert!(body_ptr >= base && body_ptr < base + bytes.len());
+            assert_eq!(
+                raw.decode().unwrap(),
+                sample_bgp4mp(i as u32, Some(i as u32 * 10))
+            );
+        }
+    }
+
+    #[test]
+    fn scanner_resyncs_past_a_corrupt_body() {
+        // Three records; corrupt the *body* of the middle one. The
+        // scanner still chunks all three (lengths are intact); only the
+        // middle decode fails, and its diagnostic names the offset.
+        let mut w = MrtWriter::new();
+        for i in 0..3u32 {
+            w.write(&sample_bgp4mp(i, None)).unwrap();
+        }
+        let mut bytes = w.into_bytes();
+        let record_len = bytes.len() / 3;
+        // Clobber the AFI field of record 1 (offset 12 header + 10 into body).
+        bytes[record_len + 12 + 10] = 0xff;
+        bytes[record_len + 12 + 11] = 0xff;
+
+        let mut ok = Vec::new();
+        let mut diags = Vec::new();
+        for raw in MrtScanner::new(&bytes) {
+            let raw = raw.unwrap();
+            match raw.decode() {
+                Ok(rec) => ok.push(rec),
+                Err(e) => diags.push(raw.diagnostic(e)),
+            }
+        }
+        assert_eq!(ok.len(), 2, "records 0 and 2 still decode");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].offset, record_len);
+        assert_eq!(diags[0].timestamp, 1);
+        assert!(diags[0].to_string().contains("malformed"));
+        // The strict reader aborts at the same record.
+        assert!(MrtReader::new(&bytes).read_all().is_err());
+    }
+
+    #[test]
+    fn scanner_reports_unrecoverable_header_corruption() {
+        let mut w = MrtWriter::new();
+        w.write(&sample_bgp4mp(1, None)).unwrap();
+        let mut bytes = w.into_bytes();
+        // Length field claims more bytes than the archive holds.
+        bytes[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut s = MrtScanner::new(&bytes);
+        assert!(matches!(
+            s.next_raw(),
+            Err(MrtError::Truncated("MRT record body"))
+        ));
+        // The failing record's start offset is still readable…
+        assert_eq!(s.offset(), 0);
+        // …and the scanner fuses: the error is reported once, then EOF.
+        assert!(matches!(s.next_raw(), Ok(None)));
+    }
+
+    #[test]
+    fn scanner_iterator_terminates_on_unrecoverable_corruption() {
+        // Regression: a consumer that skips errors (filter_map,
+        // log-and-continue loops) must terminate, not spin forever on
+        // the same header-level error.
+        let mut w = MrtWriter::new();
+        w.write(&sample_bgp4mp(1, None)).unwrap();
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe]); // truncated tail
+        let items: Vec<Result<RawMrtRecord<'_>, MrtError>> = MrtScanner::new(&bytes).collect();
+        assert_eq!(items.len(), 2, "one record, one error, then EOF");
+        assert!(items[0].is_ok());
+        assert!(matches!(
+            items[1],
+            Err(MrtError::Truncated("MRT common header"))
+        ));
+        assert_eq!(MrtScanner::new(&bytes).filter_map(Result::ok).count(), 1);
+    }
+
+    #[test]
+    fn et_record_with_short_body_is_a_per_record_defect() {
+        // Regression: a BGP4MP_ET record whose body cannot hold the
+        // microsecond field must not kill the scan — the stream
+        // resyncs at the next boundary and the defect surfaces from
+        // decode() with the right offset.
+        let mut bytes = BytesMut::new();
+        bytes.put_u32(7); // timestamp
+        bytes.put_u16(TYPE_BGP4MP_ET);
+        bytes.put_u16(SUBTYPE_BGP4MP_MESSAGE_AS4);
+        bytes.put_u32(2); // body too short for the 4-byte micros field
+        bytes.put_slice(&[0, 0]);
+        let mut w = MrtWriter::new();
+        w.write(&sample_bgp4mp(8, Some(5))).unwrap();
+        let bad_len = bytes.len();
+        bytes.put_slice(&w.into_bytes());
+
+        let mut scanner = MrtScanner::new(&bytes);
+        let bad = scanner.next_raw().unwrap().expect("chunked despite defect");
+        assert_eq!(bad.offset, 0);
+        assert_eq!(bad.microseconds, None);
+        assert!(matches!(
+            bad.decode(),
+            Err(MrtError::Truncated("BGP4MP_ET microseconds"))
+        ));
+        // The next record is intact and fully decodable.
+        let good = scanner.next_raw().unwrap().expect("stream resynced");
+        assert_eq!(good.offset, bad_len);
+        assert_eq!(good.decode().unwrap(), sample_bgp4mp(8, Some(5)));
+        assert!(matches!(scanner.next_raw(), Ok(None)));
     }
 }

@@ -29,13 +29,23 @@ pub struct PeerIndexTable {
     pub peers: Vec<PeerEntry>,
 }
 
+/// Error on any `len > u16::MAX`: the wire format counts this field
+/// with 16 bits, and truncating the counter would corrupt the record.
+fn check_u16(field: &'static str, len: usize) -> Result<u16, MrtError> {
+    u16::try_from(len).map_err(|_| MrtError::FieldOverflow {
+        field,
+        len,
+        max: u16::MAX as usize,
+    })
+}
+
 impl PeerIndexTable {
-    pub(crate) fn encode(&self) -> Vec<u8> {
+    pub(crate) fn encode(&self) -> Result<Vec<u8>, MrtError> {
         let mut out = BytesMut::new();
         out.put_slice(&self.collector_id.octets());
-        out.put_u16(self.view_name.len() as u16);
+        out.put_u16(check_u16("peer index view name", self.view_name.len())?);
         out.put_slice(self.view_name.as_bytes());
-        out.put_u16(self.peers.len() as u16);
+        out.put_u16(check_u16("peer index peer count", self.peers.len())?);
         for p in &self.peers {
             // peer type: bit 0 = v6 address, bit 1 = 4-byte AS (always).
             let v6 = matches!(p.addr, IpAddr::V6(_));
@@ -47,7 +57,7 @@ impl PeerIndexTable {
             }
             out.put_u32(p.asn.value());
         }
-        out.to_vec()
+        Ok(out.to_vec())
     }
 
     pub(crate) fn decode(mut body: &[u8]) -> Result<Self, MrtError> {
@@ -133,12 +143,12 @@ impl RibRecord {
         out.put_u8(self.prefix.len());
         let nbytes = (self.prefix.len() as usize).div_ceil(8);
         out.put_slice(&self.prefix.bits().to_be_bytes()[..nbytes]);
-        out.put_u16(self.entries.len() as u16);
+        out.put_u16(check_u16("RIB entry count", self.entries.len())?);
         for e in &self.entries {
             out.put_u16(e.peer_index);
             out.put_u32(e.originated_time);
             let attrs = codec.encode_path_attributes(&e.attrs)?;
-            out.put_u16(attrs.len() as u16);
+            out.put_u16(check_u16("RIB entry attributes", attrs.len())?);
             out.put_slice(&attrs);
         }
         Ok(out.to_vec())
@@ -335,6 +345,77 @@ mod tests {
         w.write(&rec).unwrap();
         let bytes = w.into_bytes();
         assert_eq!(MrtReader::new(&bytes).read_all().unwrap(), vec![rec]);
+    }
+
+    #[test]
+    fn oversized_view_name_errors_instead_of_corrupting() {
+        let mut t = table();
+        t.view_name = "x".repeat(u16::MAX as usize + 1);
+        let rec = MrtRecord::PeerIndex {
+            timestamp: 1,
+            table: t,
+        };
+        let err = MrtWriter::new().write(&rec).unwrap_err();
+        assert_eq!(
+            err,
+            MrtError::FieldOverflow {
+                field: "peer index view name",
+                len: u16::MAX as usize + 1,
+                max: u16::MAX as usize,
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_peer_count_errors_instead_of_corrupting() {
+        let peer = PeerEntry {
+            bgp_id: "10.0.0.1".parse().unwrap(),
+            addr: "192.0.2.10".parse().unwrap(),
+            asn: Asn(174),
+        };
+        let t = PeerIndexTable {
+            collector_id: "198.51.100.1".parse().unwrap(),
+            view_name: String::new(),
+            peers: vec![peer; u16::MAX as usize + 1],
+        };
+        let rec = MrtRecord::PeerIndex {
+            timestamp: 1,
+            table: t,
+        };
+        assert!(matches!(
+            MrtWriter::new().write(&rec).unwrap_err(),
+            MrtError::FieldOverflow {
+                field: "peer index peer count",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_rib_entry_count_errors() {
+        let entry = RibEntry {
+            peer_index: 0,
+            originated_time: 1,
+            attrs: PathAttributes::with_path(
+                AsPath::from_sequence([174u32]),
+                "192.0.2.1".parse().unwrap(),
+            ),
+        };
+        let rec = MrtRecord::Rib {
+            timestamp: 1,
+            rib: RibRecord {
+                sequence: 0,
+                prefix: Prefix::from_str("10.0.0.0/8").unwrap(),
+                entries: vec![entry; u16::MAX as usize + 1],
+            },
+        };
+        assert!(matches!(
+            MrtWriter::new().write(&rec).unwrap_err(),
+            MrtError::FieldOverflow {
+                field: "RIB entry count",
+                ..
+            }
+        ));
     }
 
     #[test]
