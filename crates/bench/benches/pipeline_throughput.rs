@@ -133,8 +133,10 @@ fn bench_pipeline(c: &mut Criterion) {
             // sifted through the caller's heap, popped one at a time.
             let mut queue: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
             let mut seq = 0u64;
+            let mut scratch = Vec::new();
             for change in &changes {
-                for ev in hub.on_route_change(change) {
+                hub.on_route_change_into(change, &mut scratch);
+                for ev in scratch.drain(..) {
                     queue.push(Reverse(QueuedEvent(ev.emitted_at, seq, ev)));
                     seq += 1;
                 }

@@ -4,15 +4,16 @@ use crate::classify::HijackType;
 use artemis_bgp::{Asn, Prefix};
 use artemis_feeds::FeedKind;
 use artemis_simnet::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Opaque alert identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AlertId(pub u64);
 
 /// Alert lifecycle state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AlertState {
     /// Hijack currently observed at ≥ 1 vantage point.
     Active,

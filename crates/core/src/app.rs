@@ -18,6 +18,18 @@ use std::collections::BTreeSet;
 pub enum AppAction {
     /// A new alert was raised.
     AlertRaised(AlertId),
+    /// A mitigation plan was computed but held for operator
+    /// confirmation (confirm-first policy, or mitigation paused).
+    /// Execute it with `Pipeline::confirm_mitigation` or
+    /// `ServiceCommand::ConfirmMitigation`.
+    MitigationPending {
+        /// The alert whose plan is held.
+        alert: AlertId,
+        /// The plan awaiting confirmation.
+        plan: MitigationPlan,
+        /// When the plan was computed.
+        at: SimTime,
+    },
     /// Mitigation intents were submitted to the controller for `alert`.
     MitigationTriggered {
         /// The alert being mitigated.
@@ -42,8 +54,14 @@ pub enum AppAction {
 ///
 /// Since the event loop moved into [`Pipeline`], this is a thin
 /// facade over a feed-less pipeline for deployments that deliver
-/// monitoring events by hand; drivers that own feeds should use
-/// [`Pipeline`] directly.
+/// monitoring events by hand: [`ArtemisApp::handle_event`] is a pure
+/// delegation to [`Pipeline::deliver`], so detection/mitigation
+/// behaviour cannot drift between the two paths — everything the app
+/// does is also recorded in the pipeline's owned
+/// [`IncidentEvent`](crate::event_log::IncidentEvent) stream. Drivers
+/// that own feeds should use [`Pipeline`] directly; operators who
+/// want runtime reconfiguration should use
+/// [`crate::service::ArtemisService`].
 pub struct ArtemisApp {
     pipeline: Pipeline,
 }
@@ -208,6 +226,55 @@ mod tests {
             .expect("incident resolves once every VP is clean");
         assert_eq!(resolved.0, alert_id);
         assert_eq!(resolved.1, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn handle_event_is_a_pure_delegation_to_pipeline_deliver() {
+        // Drift-proof: the same event sequence through the app facade
+        // and through `Pipeline::deliver` directly must produce
+        // identical actions AND identical incident-event histories —
+        // there is exactly one code path.
+        use crate::event_log::EventCursor;
+        use crate::pipeline::Pipeline;
+
+        let events = [
+            event(174, "10.0.0.0/23", &[174, 65001], 10),
+            event(174, "10.0.0.0/23", &[174, 666], 45),
+            event(3356, "10.0.0.0/23", &[3356, 666], 50),
+            event(174, "10.0.0.0/24", &[174, 65001], 120),
+            event(174, "10.0.1.0/24", &[174, 65001], 121),
+            event(3356, "10.0.0.0/24", &[3356, 65001], 300),
+        ];
+
+        let mut app = app();
+        let mut app_ctrl = controller();
+        let app_actions: Vec<Vec<AppAction>> = events
+            .iter()
+            .map(|e| app.handle_event(e, &mut app_ctrl, &mut []))
+            .collect();
+
+        let config = ArtemisConfig::new(
+            Asn(65001),
+            vec![OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))],
+        );
+        let mut pipeline = Pipeline::bare(config, [Asn(174), Asn(3356)].into_iter().collect());
+        let mut pipe_ctrl = controller();
+        let pipe_actions: Vec<Vec<AppAction>> = events
+            .iter()
+            .map(|e| pipeline.deliver(e, &mut pipe_ctrl, &mut []))
+            .collect();
+
+        assert_eq!(app_actions, pipe_actions);
+        assert_eq!(
+            app.pipeline().poll_events(EventCursor::START).events,
+            pipeline.poll_events(EventCursor::START).events,
+            "facade and pipeline record identical histories"
+        );
+        assert_eq!(
+            app_ctrl.intents().count(),
+            pipe_ctrl.intents().count(),
+            "identical controller interaction"
+        );
     }
 
     #[test]

@@ -51,6 +51,19 @@ struct DetectorShard {
     events: u64,
 }
 
+/// What [`Detector::remove_shard`] hands back: everything the caller
+/// needs to wind an offboarded prefix down cleanly.
+#[derive(Debug)]
+pub struct RemovedShard {
+    /// The shard's configuration at removal time.
+    pub owned: OwnedPrefix,
+    /// Every alert the shard raised over its lifetime (the caller
+    /// closes the still-open ones).
+    pub alerts: Vec<AlertId>,
+    /// Events the shard processed (final accounting).
+    pub events: u64,
+}
+
 /// The ARTEMIS detection service.
 pub struct Detector {
     operator_as: Asn,
@@ -102,6 +115,54 @@ impl Detector {
     /// Number of per-prefix shards (one per configured owned prefix).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Onboard an owned prefix at runtime: a fresh shard with its own
+    /// legitimacy rules, expectation set and alert scope, routed like
+    /// any construction-time shard. Returns `false` (and changes
+    /// nothing) when a shard for exactly this prefix already exists.
+    pub fn add_shard(&mut self, owned: OwnedPrefix) -> bool {
+        if self.routing.get(owned.prefix).is_some() {
+            return false;
+        }
+        let mut expected = BTreeSet::new();
+        if !owned.dormant {
+            expected.insert(owned.prefix);
+        }
+        self.routing.insert(owned.prefix, self.shards.len());
+        // Expectations that strayed because no shard covered them yet
+        // (e.g. registered before onboarding) stay stray: they were
+        // never consulted and re-registering is the caller's call.
+        self.shards.push(DetectorShard {
+            owned,
+            expected,
+            alerts: Vec::new(),
+            events: 0,
+        });
+        true
+    }
+
+    /// Offboard the shard owning exactly `owned`, returning its
+    /// configuration and the alerts it raised (so the caller can close
+    /// in-flight incidents). Events for the removed address space
+    /// classify as "not our prefix" (benign) from now on.
+    pub fn remove_shard(&mut self, owned: Prefix) -> Option<RemovedShard> {
+        let idx = self.routing.remove(owned)?;
+        let shard = self.shards.swap_remove(idx);
+        // `swap_remove` moved the former last shard into `idx`; its
+        // routing entry must follow it.
+        if idx < self.shards.len() {
+            let moved_prefix = self.shards[idx].owned.prefix;
+            *self
+                .routing
+                .get_mut(moved_prefix)
+                .expect("moved shard stays routed") = idx;
+        }
+        Some(RemovedShard {
+            owned: shard.owned,
+            alerts: shard.alerts,
+            events: shard.events,
+        })
     }
 
     /// Events routed to the shard owning exactly `owned`, if any.
@@ -572,6 +633,50 @@ mod tests {
             panic!("expected alert");
         };
         assert_eq!(d.alerts().get(id).unwrap().rpki, None);
+    }
+
+    #[test]
+    fn add_shard_onboards_a_prefix_at_runtime() {
+        let mut d = Detector::new(config());
+        // Before onboarding: not our space, benign.
+        let ev = event("172.16.0.0/23", &[2914, 174, 666], 45);
+        assert_eq!(d.process(&ev), Detection::Benign);
+
+        assert!(d.add_shard(OwnedPrefix::new(pfx("172.16.0.0/23"), Asn(65001))));
+        assert_eq!(d.shard_count(), 3);
+        // Duplicate onboarding is rejected.
+        assert!(!d.add_shard(OwnedPrefix::new(pfx("172.16.0.0/23"), Asn(65001))));
+
+        // After onboarding: the same announcement is a hijack.
+        let ev = event("172.16.0.0/23", &[2914, 174, 666], 50);
+        assert!(matches!(d.process(&ev), Detection::NewAlert(_)));
+        assert_eq!(d.shard_events(pfx("172.16.0.0/23")), Some(1));
+    }
+
+    #[test]
+    fn remove_shard_offboards_and_keeps_other_shards_routed() {
+        let mut d = Detector::new(config());
+        // Raise an alert on the first shard, then offboard it.
+        let ev = event("10.0.0.0/23", &[2914, 174, 666], 45);
+        let Detection::NewAlert(id) = d.process(&ev) else {
+            panic!("expected alert");
+        };
+        let removed = d.remove_shard(pfx("10.0.0.0/23")).expect("shard exists");
+        assert_eq!(removed.owned.prefix, pfx("10.0.0.0/23"));
+        assert_eq!(removed.alerts, vec![id]);
+        assert_eq!(removed.events, 1);
+        assert_eq!(d.shard_count(), 1);
+        assert!(d.remove_shard(pfx("10.0.0.0/23")).is_none());
+
+        // The offboarded space is no longer ours.
+        let ev = event("10.0.0.0/23", &[2914, 174, 666], 50);
+        assert_eq!(d.process(&ev), Detection::Benign);
+
+        // The surviving shard (moved by swap_remove) still routes:
+        // squatting on the dormant prefix is still detected.
+        let ev = event("203.0.113.0/24", &[2914, 174, 31337], 55);
+        assert!(matches!(d.process(&ev), Detection::NewAlert(_)));
+        assert_eq!(d.shard_events(pfx("203.0.113.0/24")), Some(1));
     }
 
     #[test]

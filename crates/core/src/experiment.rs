@@ -17,14 +17,16 @@
 //!
 //! The run interleaves four clock domains deterministically — the BGP
 //! engine, the controller's install queue, pull-feed polls, and
-//! batched feed-event deliveries — by delegating to
-//! [`Pipeline::run`]; the harness itself only assembles the scenario
-//! and records milestones.
+//! batched feed-event deliveries — by assembling an
+//! [`ArtemisService`] (pipeline + controller) and delegating to
+//! [`ArtemisService::run`]; the harness itself only assembles the
+//! scenario and records milestones.
 
 use crate::app::AppAction;
 use crate::config::{ArtemisConfig, OwnedPrefix};
 use crate::monitor::TimelinePoint;
 use crate::pipeline::{Pipeline, PipelineEvent};
+use crate::service::ArtemisService;
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::{Engine, SimConfig};
 use artemis_controller::{Controller, IntentKind};
@@ -293,8 +295,7 @@ pub struct ExperimentOutcome {
 pub struct Experiment {
     builder: ExperimentBuilder,
     engine: Engine,
-    pipeline: Pipeline,
-    controller: Controller,
+    service: ArtemisService,
     victim: Asn,
     attacker: Asn,
     prefix: Prefix,
@@ -412,13 +413,17 @@ impl Experiment {
             vantage_count: all_vps.len(),
             builder,
             engine,
-            pipeline,
-            controller,
+            service: ArtemisService::new(pipeline, controller),
             victim,
             attacker,
             prefix,
             hijack_prefix,
         }
+    }
+
+    /// The assembled operator control plane (read access).
+    pub fn service(&self) -> &ArtemisService {
+        &self.service
     }
 
     /// The victim AS chosen for this run.
@@ -443,10 +448,10 @@ impl Experiment {
         };
 
         // ---- Phase 1: setup & convergence -------------------------------
-        self.pipeline.expect_announcement(self.prefix);
+        self.service.pipeline_mut().expect_announcement(self.prefix);
         self.engine.announce(self.victim, self.prefix);
         let changes = self.engine.run_to_quiescence(10_000_000);
-        self.pipeline.ingest_route_changes(&changes);
+        self.service.pipeline_mut().ingest_route_changes(&changes);
         let converged = self.engine.now();
         timings.setup_converged = Some(converged);
         milestones.push((
@@ -487,9 +492,8 @@ impl Experiment {
         let horizon = SimTime::ZERO + self.builder.max_sim_time;
         let attacker = self.attacker;
         let hijack_prefix = self.hijack_prefix;
-        let report = self.pipeline.run(
+        let report = self.service.run(
             &mut self.engine,
-            &mut self.controller,
             converged,
             horizon,
             |engine, event| {
@@ -525,6 +529,10 @@ impl Experiment {
                         // Alert details are read back below, after the
                         // borrow on the pipeline ends.
                     }
+                    PipelineEvent::App(AppAction::MitigationPending { .. }) => {
+                        // The experiment never swaps policies, so no
+                        // plan is ever held.
+                    }
                     PipelineEvent::App(AppAction::MitigationTriggered { plan, at, .. }) => {
                         milestones.push((
                             *at,
@@ -557,7 +565,7 @@ impl Experiment {
         // classification) from the detector's store. The milestone is
         // spliced in *before* same-instant mitigation entries so the
         // narrated order matches causality.
-        if let Some(alert) = self.pipeline.detector().alerts().all().first() {
+        if let Some(alert) = self.service.pipeline().detector().alerts().all().first() {
             timings.detected_at = Some(alert.detected_at);
             detected_by = Some(alert.detected_by);
             hijack_type = Some(alert.hijack_type);
@@ -572,7 +580,10 @@ impl Experiment {
         // The loop may break on resolution while later controller
         // installs are still in flight (e.g. the 9th of 16 /24s):
         // apply them before judging the end state.
-        let leftover = self.controller.due_actions(SimTime::from_micros(u64::MAX));
+        let leftover = self
+            .service
+            .controller_mut()
+            .due_actions(SimTime::from_micros(u64::MAX));
         for action in leftover {
             let at = action.effective_at.max(self.engine.now());
             match action.kind {
@@ -610,12 +621,13 @@ impl Experiment {
         ground_truth.hijacked_at_end = hijacked;
 
         let timeline = self
-            .pipeline
+            .service
+            .pipeline()
             .detector()
             .alerts()
             .all()
             .first()
-            .and_then(|a| self.pipeline.monitor_for(a.id))
+            .and_then(|a| self.service.pipeline().monitor_for(a.id))
             .map(|m| m.timeline().to_vec())
             .unwrap_or_default();
 
@@ -623,7 +635,8 @@ impl Experiment {
 
         let lg_queries = {
             // Periscope is the only pull feed; find it in the hub stats.
-            self.pipeline
+            self.service
+                .pipeline()
                 .hub()
                 .emission_stats()
                 .iter()
@@ -631,7 +644,7 @@ impl Experiment {
                 .map(|(_, v)| *v)
                 .sum::<u64>()
         };
-        let lg_polls = self.pipeline.hub().polls_executed();
+        let lg_polls = self.service.pipeline().hub().polls_executed();
         let run_end = timings.resolved_at.unwrap_or(loop_now);
         let elapsed_after_hijack = run_end.saturating_since(t_hijack);
 
@@ -645,7 +658,7 @@ impl Experiment {
             lg_queries,
             lg_polls,
             elapsed_after_hijack,
-            feed_events: self.pipeline.detector().events_processed(),
+            feed_events: self.service.pipeline().detector().events_processed(),
             vantage_count: self.vantage_count,
             victim: self.victim,
             attacker: self.attacker,

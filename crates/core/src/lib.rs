@@ -23,12 +23,19 @@
 //! the batched, multi-prefix event loop — the detector shards its
 //! state per owned prefix, so concurrent incidents on different
 //! prefixes run independent alert/monitor/mitigation lifecycles.
-//! [`ArtemisApp`] is a thin feed-less facade over it for hand-driven
-//! deployments; [`experiment`] reproduces the paper's PEERING
-//! experiments (Phase 1 setup / Phase 2 hijack + detection / Phase 3
-//! mitigation) on the simulated Internet by delegating its main loop
-//! to the pipeline; and [`baseline`] implements the slow pipelines
-//! ARTEMIS is compared against in §1.
+//! [`ArtemisService`] is the operator control plane on top: typed
+//! [`ServiceCommand`]s (runtime prefix onboarding/offboarding, feed
+//! attach/detach by handle, per-prefix [`MitigationPolicy`] swaps,
+//! pause/resume, confirm-first approvals), typed queries answered
+//! with owned serializable snapshots ([`service::ServiceStatus`]),
+//! and a replayable [`event_log::IncidentEvent`] stream with
+//! independent cursors.
+//! [`ArtemisApp`] is a thin feed-less facade over the pipeline for
+//! hand-driven deployments; [`experiment`] reproduces the paper's
+//! PEERING experiments (Phase 1 setup / Phase 2 hijack + detection /
+//! Phase 3 mitigation) on the simulated Internet by delegating its
+//! main loop to the service; and [`baseline`] implements the slow
+//! pipelines ARTEMIS is compared against in §1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +46,7 @@ pub mod baseline;
 pub mod classify;
 pub mod config;
 pub mod detector;
+pub mod event_log;
 pub mod experiment;
 pub mod hijack_stats;
 pub mod mitigation;
@@ -46,6 +54,7 @@ pub mod monitor;
 pub mod pipeline;
 pub mod report;
 pub mod roa;
+pub mod service;
 pub mod viz;
 
 pub use alert::{Alert, AlertId, AlertState};
@@ -53,8 +62,13 @@ pub use app::{AppAction, ArtemisApp};
 pub use classify::HijackType;
 pub use config::{ArtemisConfig, DeaggregationPolicy, OwnedPrefix};
 pub use detector::Detector;
+pub use event_log::{EventCursor, EventLog, IncidentEvent, PollBatch};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentOutcome, PhaseTimings};
 pub use hijack_stats::HijackDurationModel;
-pub use mitigation::{MitigationPlan, Mitigator};
+pub use mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
 pub use monitor::MonitorService;
-pub use pipeline::{Pipeline, PipelineEvent, RunEnd, RunReport};
+pub use pipeline::{OffboardReport, Pipeline, PipelineEvent, RunEnd, RunReport};
+pub use service::{
+    ArtemisService, CommandOutcome, ServiceCommand, ServiceError, ServiceQuery, ServiceReply,
+    ServiceStatus,
+};

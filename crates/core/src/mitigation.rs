@@ -20,6 +20,25 @@ use artemis_bgp::{Asn, Prefix};
 use artemis_controller::Controller;
 use artemis_simnet::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What the mitigation service does when an alert fires on a prefix.
+///
+/// Generalizes the global `ArtemisConfig::auto_mitigate` boolean into
+/// a per-prefix knob (the configurability the operator survey names as
+/// an adoption blocker): each owned prefix can run fully automatic,
+/// require a human in the loop, or alert-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MitigationPolicy {
+    /// Execute the computed plan immediately on detection (the
+    /// paper's headline behaviour).
+    Auto,
+    /// Compute and hold the plan; execute only on an explicit
+    /// operator confirmation (`ServiceCommand::ConfirmMitigation`).
+    ConfirmFirst,
+    /// Raise alerts only; never compute or execute plans.
+    DetectOnly,
+}
 
 /// The computed response to one alert.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +67,9 @@ impl MitigationPlan {
 pub struct Mitigator {
     config: ArtemisConfig,
     executed: Vec<(SimTime, MitigationPlan)>,
+    /// Per-owned-prefix policy overrides; prefixes without an entry
+    /// follow the default derived from `config.auto_mitigate`.
+    policies: BTreeMap<Prefix, MitigationPolicy>,
 }
 
 impl Mitigator {
@@ -56,7 +78,37 @@ impl Mitigator {
         Mitigator {
             config,
             executed: Vec::new(),
+            policies: BTreeMap::new(),
         }
+    }
+
+    /// The policy every prefix without an override follows: `Auto`
+    /// when the global `auto_mitigate` knob is on, `DetectOnly`
+    /// otherwise (exactly the two behaviours the boolean expressed).
+    pub fn default_policy(&self) -> MitigationPolicy {
+        if self.config.auto_mitigate {
+            MitigationPolicy::Auto
+        } else {
+            MitigationPolicy::DetectOnly
+        }
+    }
+
+    /// Override the mitigation policy of one owned prefix.
+    pub fn set_policy(&mut self, owned: Prefix, policy: MitigationPolicy) {
+        self.policies.insert(owned, policy);
+    }
+
+    /// Drop the override of one owned prefix (back to the default).
+    pub fn clear_policy(&mut self, owned: Prefix) {
+        self.policies.remove(&owned);
+    }
+
+    /// The policy in force for an owned prefix.
+    pub fn policy_for(&self, owned: Prefix) -> MitigationPolicy {
+        self.policies
+            .get(&owned)
+            .copied()
+            .unwrap_or_else(|| self.default_policy())
     }
 
     /// Compute the response plan for an alert. Pure function — no side

@@ -16,6 +16,19 @@
 //! Minute"), which the old single-alert experiment loop structurally
 //! could not represent.
 //!
+//! Since the control-plane redesign the pipeline is also **runtime
+//! reconfigurable**: owned prefixes onboard/offboard mid-run
+//! ([`Pipeline::add_owned_prefix`] / [`Pipeline::remove_owned_prefix`]),
+//! feeds attach/detach by stable handle, per-prefix
+//! [`MitigationPolicy`] swaps at any instant, and mitigation can
+//! pause/resume without stopping detection. Everything noteworthy is
+//! additionally recorded as an owned, serializable
+//! [`IncidentEvent`] record in an internal
+//! [`EventLog`] — poll it with [`Pipeline::poll_events`]; any number
+//! of cursors replay the same history independently. The borrowing
+//! [`PipelineEvent`] observer callback remains as a thin inline
+//! adapter for drivers that want zero-copy progress reporting.
+//!
 //! Drivers have two entry points:
 //!
 //! * [`Pipeline::run`] — the full interleaved loop across the four
@@ -26,22 +39,30 @@
 //! * [`Pipeline::deliver`] — hand-feed single events (what
 //!   [`crate::ArtemisApp`] exposes for deployments that bring their
 //!   own transport).
+//!
+//! Deployments that want typed commands/queries over these primitives
+//! should use [`crate::service::ArtemisService`].
 
-use crate::alert::AlertId;
+use crate::alert::{AlertId, AlertState};
 use crate::app::AppAction;
-use crate::config::ArtemisConfig;
+use crate::config::{ArtemisConfig, OwnedPrefix};
 use crate::detector::{Detection, Detector};
-use crate::mitigation::Mitigator;
+use crate::event_log::{EventCursor, EventLog, IncidentEvent, PollBatch};
+use crate::mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
 use crate::monitor::MonitorService;
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::Engine;
 use artemis_controller::{Controller, IntentKind};
-use artemis_feeds::{EngineView, FeedEvent, FeedHub};
+use artemis_feeds::{EngineView, FeedEvent, FeedHandle, FeedHub, FeedSource};
 use artemis_simnet::{SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
 
 /// Progress notifications emitted by [`Pipeline::run`].
+///
+/// This is the *inline* observer surface: it borrows into the pipeline
+/// and lives only for one callback. The owned, replayable equivalent
+/// is the [`IncidentEvent`] stream behind [`Pipeline::poll_events`].
 #[derive(Debug)]
 pub enum PipelineEvent<'a> {
     /// An action produced while delivering feed events (alert raised,
@@ -81,6 +102,22 @@ pub struct RunReport {
     pub events_delivered: u64,
 }
 
+/// What [`Pipeline::remove_owned_prefix`] did while winding the
+/// prefix down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffboardReport {
+    /// The removed prefix's configuration at offboard time.
+    pub owned: OwnedPrefix,
+    /// Alerts that were still open and got closed (their monitors are
+    /// frozen for reporting, exactly like naturally resolved ones).
+    pub closed_alerts: Vec<AlertId>,
+    /// Executed mitigation plans that were withdrawn through the
+    /// controller so no intent keeps originating offboarded space.
+    pub withdrawn_plans: usize,
+    /// Feed events the removed shard processed over its lifetime.
+    pub shard_events: u64,
+}
+
 /// The assembled ARTEMIS pipeline: feeds → sharded detection →
 /// per-alert monitoring → automatic mitigation.
 pub struct Pipeline {
@@ -92,12 +129,19 @@ pub struct Pipeline {
     /// Vantage population handed to new monitors.
     vantage_points: BTreeSet<Asn>,
     config: ArtemisConfig,
-    auto_mitigate: bool,
     mitigated: BTreeSet<AlertId>,
     /// Alerts whose incident is over. Their monitors are kept for
     /// reporting but skipped on ingestion, so per-event cost tracks
     /// *active* incidents, not lifetime incident count.
     resolved: BTreeSet<AlertId>,
+    /// Plans computed but held (confirm-first policy, or paused).
+    pending: BTreeMap<AlertId, MitigationPlan>,
+    /// Plans that were executed, for withdrawal on offboard.
+    executed_plans: BTreeMap<AlertId, MitigationPlan>,
+    /// True while mitigation is paused (detection continues).
+    paused: bool,
+    /// Owned, replayable record of everything noteworthy.
+    log: EventLog,
     /// Reusable drain buffer for batched feed consumption.
     batch: Vec<FeedEvent>,
     /// Reusable per-event action buffer.
@@ -114,10 +158,13 @@ impl Pipeline {
             mitigator: Mitigator::new(config.clone()),
             monitors: BTreeMap::new(),
             vantage_points,
-            auto_mitigate: config.auto_mitigate,
             config,
             mitigated: BTreeSet::new(),
             resolved: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            executed_plans: BTreeMap::new(),
+            paused: false,
+            log: EventLog::new(),
             batch: Vec::new(),
             actions: Vec::new(),
             events_delivered: 0,
@@ -129,6 +176,13 @@ impl Pipeline {
     /// [`crate::ArtemisApp`] facade).
     pub fn bare(config: ArtemisConfig, vantage_points: BTreeSet<Asn>) -> Self {
         Pipeline::new(FeedHub::new(SimRng::new(0)), config, vantage_points)
+    }
+
+    /// Replace the event log's retention (builder style; events pushed
+    /// so far are dropped).
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.log = EventLog::with_capacity(capacity);
+        self
     }
 
     /// Read access to the feed hub.
@@ -151,6 +205,12 @@ impl Pipeline {
         &self.mitigator
     }
 
+    /// The operator configuration as currently in force (kept current
+    /// across runtime onboarding/offboarding).
+    pub fn config(&self) -> &ArtemisConfig {
+        &self.config
+    }
+
     /// The monitor attached to an alert, if any.
     pub fn monitor_for(&self, alert: AlertId) -> Option<&MonitorService> {
         self.monitors.get(&alert)
@@ -165,6 +225,226 @@ impl Pipeline {
     pub fn events_delivered(&self) -> u64 {
         self.events_delivered
     }
+
+    // ---- Owned event stream -----------------------------------------
+
+    /// Everything recorded since `cursor` (owned, serializable
+    /// events). Any number of consumers poll with independent cursors
+    /// and replay identical histories.
+    pub fn poll_events(&self, cursor: EventCursor) -> PollBatch {
+        self.log.poll(cursor)
+    }
+
+    /// Read access to the event log (capacity/len accounting).
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    // ---- Runtime reconfiguration ------------------------------------
+
+    /// Onboard an owned prefix mid-run: a fresh detector shard, an
+    /// optional per-prefix [`MitigationPolicy`] override, and a
+    /// `PrefixOnboarded` event. Returns `false` (no change) when the
+    /// prefix is already configured.
+    pub fn add_owned_prefix(
+        &mut self,
+        owned: OwnedPrefix,
+        policy: Option<MitigationPolicy>,
+        now: SimTime,
+    ) -> bool {
+        if !self.detector.add_shard(owned.clone()) {
+            return false;
+        }
+        if let Some(p) = policy {
+            self.mitigator.set_policy(owned.prefix, p);
+        }
+        self.log.push(IncidentEvent::PrefixOnboarded {
+            prefix: owned.prefix,
+            at: now,
+        });
+        self.config.owned.push(owned);
+        true
+    }
+
+    /// Offboard an owned prefix mid-run.
+    ///
+    /// In-flight incidents on the prefix are closed: their monitors
+    /// freeze (kept for reporting, skipped on ingestion), their held
+    /// plans are discarded, and every *executed* mitigation plan is
+    /// withdrawn through the controller — so no helper or operator
+    /// intent keeps originating offboarded address space. Returns
+    /// `None` when the prefix is not configured.
+    pub fn remove_owned_prefix(
+        &mut self,
+        prefix: Prefix,
+        now: SimTime,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+    ) -> Option<OffboardReport> {
+        let removed = self.detector.remove_shard(prefix)?;
+        self.config.owned.retain(|o| o.prefix != prefix);
+        self.mitigator.clear_policy(prefix);
+        let mut closed_alerts = Vec::new();
+        let mut withdrawn_plans = 0usize;
+        for id in &removed.alerts {
+            self.pending.remove(id);
+            // Withdraw every plan ever executed on this shard — a
+            // naturally resolved incident keeps its de-aggregated
+            // announcements installed by design, so resolved alerts
+            // need the withdrawal just as much as open ones.
+            if let Some(plan) = self.executed_plans.remove(id) {
+                self.mitigator
+                    .withdraw(&plan, now, controller, helper_controllers);
+                withdrawn_plans += 1;
+            }
+            let open = self
+                .detector
+                .alerts()
+                .get(*id)
+                .map(|a| a.state != AlertState::Resolved)
+                .unwrap_or(false);
+            if !open {
+                continue;
+            }
+            self.detector.alerts_mut().mark_resolved(*id, now);
+            self.resolved.insert(*id);
+            closed_alerts.push(*id);
+        }
+        self.log.push(IncidentEvent::PrefixOffboarded {
+            prefix,
+            closed_alerts: closed_alerts.clone(),
+            at: now,
+        });
+        Some(OffboardReport {
+            owned: removed.owned,
+            closed_alerts,
+            withdrawn_plans,
+            shard_events: removed.events,
+        })
+    }
+
+    /// Attach a feed mid-run, returning its stable handle.
+    pub fn attach_feed(&mut self, feed: Box<dyn FeedSource>, now: SimTime) -> FeedHandle {
+        let handle = self.hub.add(feed);
+        self.log
+            .push(IncidentEvent::FeedAttached { handle, at: now });
+        handle
+    }
+
+    /// Detach a feed mid-run, dropping its queued undelivered events
+    /// (see `FeedHub::remove` for the exact semantics). Returns how
+    /// many were dropped, or `None` for an unknown handle.
+    pub fn detach_feed(&mut self, handle: FeedHandle, now: SimTime) -> Option<usize> {
+        let (_, dropped_events) = self.hub.remove(handle)?;
+        self.log.push(IncidentEvent::FeedDetached {
+            handle,
+            dropped_events,
+            at: now,
+        });
+        Some(dropped_events)
+    }
+
+    /// Swap the mitigation policy of an owned prefix. Returns `false`
+    /// for prefixes not currently configured.
+    pub fn set_mitigation_policy(
+        &mut self,
+        prefix: Prefix,
+        policy: MitigationPolicy,
+        now: SimTime,
+    ) -> bool {
+        if !self.config.owned.iter().any(|o| o.prefix == prefix) {
+            return false;
+        }
+        self.mitigator.set_policy(prefix, policy);
+        self.log.push(IncidentEvent::PolicyChanged {
+            prefix,
+            policy,
+            at: now,
+        });
+        true
+    }
+
+    /// The mitigation policy in force for an owned prefix.
+    pub fn mitigation_policy(&self, prefix: Prefix) -> MitigationPolicy {
+        self.mitigator.policy_for(prefix)
+    }
+
+    /// Pause mitigation service-wide: detection and monitoring keep
+    /// running; new plans are computed and *held* as pending instead
+    /// of executing. Idempotent.
+    pub fn pause_mitigation(&mut self, now: SimTime) {
+        if !self.paused {
+            self.paused = true;
+            self.log.push(IncidentEvent::MitigationPaused { at: now });
+        }
+    }
+
+    /// Resume mitigation: held plans whose prefix policy is
+    /// [`MitigationPolicy::Auto`] execute now (confirm-first plans
+    /// keep waiting for their confirmation). Returns the alerts whose
+    /// plans executed. No-op when not paused.
+    pub fn resume_mitigation(
+        &mut self,
+        now: SimTime,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+    ) -> Vec<AlertId> {
+        if !self.paused {
+            return Vec::new();
+        }
+        self.paused = false;
+        let to_run: Vec<AlertId> = self
+            .pending
+            .iter()
+            .filter(|(id, _)| {
+                self.detector.alerts().get(**id).is_some_and(|a| {
+                    self.mitigator.policy_for(a.owned_prefix) == MitigationPolicy::Auto
+                })
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &to_run {
+            let plan = self.pending.remove(id).expect("listed as pending");
+            self.execute_held_plan(*id, plan, now, controller, helper_controllers);
+        }
+        self.log.push(IncidentEvent::MitigationResumed {
+            executed_alerts: to_run.clone(),
+            at: now,
+        });
+        to_run
+    }
+
+    /// True while mitigation is paused.
+    pub fn mitigation_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Execute the held plan of a confirm-first (or paused-era) alert.
+    /// Returns the executed plan, or `None` when nothing is pending
+    /// for the alert.
+    pub fn confirm_mitigation(
+        &mut self,
+        alert: AlertId,
+        now: SimTime,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+    ) -> Option<MitigationPlan> {
+        let plan = self.pending.remove(&alert)?;
+        self.execute_held_plan(alert, plan.clone(), now, controller, helper_controllers);
+        Some(plan)
+    }
+
+    /// Every alert with a computed-but-held plan, in alert order.
+    pub fn pending_mitigations(&self) -> impl Iterator<Item = (AlertId, &MitigationPlan)> {
+        self.pending.iter().map(|(id, p)| (*id, p))
+    }
+
+    /// The executed plan of a mitigated alert, if any.
+    pub fn executed_plan(&self, alert: AlertId) -> Option<&MitigationPlan> {
+        self.executed_plans.get(&alert)
+    }
+
+    // ---- Event delivery ---------------------------------------------
 
     /// Tell the detector that a prefix announcement of ours is
     /// expected (phase-1 setup, planned anycast, …).
@@ -189,8 +469,9 @@ impl Pipeline {
     }
 
     /// Feed one monitoring event through detection, monitoring and
-    /// (when enabled) automatic mitigation. `controller` (and optional
-    /// helpers) receive mitigation intents when a new alert fires.
+    /// (policy permitting) automatic mitigation. `controller` (and
+    /// optional helpers) receive mitigation intents when a new alert
+    /// fires.
     pub fn deliver(
         &mut self,
         event: &FeedEvent,
@@ -220,47 +501,64 @@ impl Pipeline {
         if let Detection::NewAlert(id) = detection {
             actions.push(AppAction::AlertRaised(id));
 
+            let alert = self.detector.alerts().get(id).expect("just created");
+            let hijack_type = alert.hijack_type;
+            let owned_prefix = alert.owned_prefix;
+            let observed_prefix = alert.observed_prefix;
+            let at = event.emitted_at;
+            self.log.push(IncidentEvent::AlertRaised {
+                alert: id,
+                owned_prefix,
+                observed_prefix,
+                hijack_type,
+                at,
+            });
+
             // 2. Spin up a monitor scoped to the attacked prefix. Each
             // alert gets its own, so concurrent incidents on different
             // prefixes track independent recovery timelines.
-            let alert = self.detector.alerts().get(id).expect("just created");
             let owned = self
                 .config
                 .owned
                 .iter()
-                .find(|o| o.prefix == alert.owned_prefix)
+                .find(|o| o.prefix == owned_prefix)
                 .expect("alert references configured prefix");
             let monitor = MonitorService::new(
-                alert.owned_prefix,
+                owned_prefix,
                 owned.legitimate_origins.clone(),
                 self.vantage_points.clone(),
             );
             self.monitors.insert(id, monitor);
 
-            // 3. Automatic mitigation.
-            if self.auto_mitigate && !self.mitigated.contains(&id) {
-                let hijack_type = alert.hijack_type;
-                let owned_prefix = alert.owned_prefix;
-                let plan = self.mitigator.plan(alert);
-                let at = event.emitted_at;
-                for p in &plan.announce {
-                    self.detector.expect_announcement(*p);
+            // 3. Mitigation, governed by the prefix's policy.
+            let policy = self.mitigator.policy_for(owned_prefix);
+            if policy != MitigationPolicy::DetectOnly && !self.mitigated.contains(&id) {
+                if policy == MitigationPolicy::Auto && !self.paused {
+                    let alert = self.detector.alerts().get(id).expect("just created");
+                    let plan = self.mitigator.plan(alert);
+                    self.execute_held_plan(id, plan.clone(), at, controller, helper_controllers);
+                    actions.push(AppAction::MitigationTriggered {
+                        alert: id,
+                        plan,
+                        at,
+                    });
+                } else {
+                    // Confirm-first policy, or Auto while paused: the
+                    // plan is computed and held for the operator.
+                    let alert = self.detector.alerts().get(id).expect("just created");
+                    let plan = self.mitigator.plan(alert);
+                    self.pending.insert(id, plan.clone());
+                    self.log.push(IncidentEvent::MitigationPending {
+                        alert: id,
+                        plan: plan.clone(),
+                        at,
+                    });
+                    actions.push(AppAction::MitigationPending {
+                        alert: id,
+                        plan,
+                        at,
+                    });
                 }
-                // A Squatting plan announces the dormant prefix itself:
-                // from now on it is active, and the echo of our own
-                // announcement must classify under normal rules.
-                if hijack_type == crate::classify::HijackType::Squatting {
-                    self.detector.activate_prefix(owned_prefix);
-                }
-                self.mitigator
-                    .execute(&plan, at, controller, helper_controllers);
-                self.detector.alerts_mut().mark_mitigating(id, at);
-                self.mitigated.insert(id);
-                actions.push(AppAction::MitigationTriggered {
-                    alert: id,
-                    plan,
-                    at,
-                });
             }
         }
 
@@ -277,12 +575,53 @@ impl Pipeline {
                     .alerts_mut()
                     .mark_resolved(*id, event.emitted_at);
                 self.resolved.insert(*id);
+                self.log.push(IncidentEvent::Resolved {
+                    alert: *id,
+                    at: event.emitted_at,
+                });
                 actions.push(AppAction::Resolved {
                     alert: *id,
                     at: event.emitted_at,
                 });
             }
         }
+    }
+
+    /// Shared tail of the auto/confirm/resume execution paths for a
+    /// plan that was computed earlier and held.
+    fn execute_held_plan(
+        &mut self,
+        id: AlertId,
+        plan: MitigationPlan,
+        now: SimTime,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+    ) {
+        for p in &plan.announce {
+            self.detector.expect_announcement(*p);
+        }
+        // A Squatting plan announces the dormant prefix itself: from
+        // now on it is active, and the echo of our own announcement
+        // must classify under normal rules.
+        let squat_target = self
+            .detector
+            .alerts()
+            .get(id)
+            .filter(|a| a.hijack_type == crate::classify::HijackType::Squatting)
+            .map(|a| a.owned_prefix);
+        if let Some(prefix) = squat_target {
+            self.detector.activate_prefix(prefix);
+        }
+        self.mitigator
+            .execute(&plan, now, controller, helper_controllers);
+        self.detector.alerts_mut().mark_mitigating(id, now);
+        self.mitigated.insert(id);
+        self.executed_plans.insert(id, plan.clone());
+        self.log.push(IncidentEvent::MitigationTriggered {
+            alert: id,
+            plan,
+            at: now,
+        });
     }
 
     /// Drive the four interleaved clock domains — BGP engine,
@@ -305,6 +644,26 @@ impl Pipeline {
         controller: &mut Controller,
         start: SimTime,
         horizon: SimTime,
+        observer: F,
+    ) -> RunReport
+    where
+        F: FnMut(&mut Engine, PipelineEvent<'_>) -> ControlFlow<()>,
+    {
+        self.run_with_helpers(engine, controller, &mut [], start, horizon, observer)
+    }
+
+    /// [`Pipeline::run`] with helper-AS controllers: mitigation plans
+    /// that outsource co-announcements reach the helpers, and the
+    /// helpers' install queues participate in the controller clock
+    /// domain (the operator's controller installs first at equal
+    /// instants, then helpers in order).
+    pub fn run_with_helpers<F>(
+        &mut self,
+        engine: &mut Engine,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+        start: SimTime,
+        horizon: SimTime,
         mut observer: F,
     ) -> RunReport
     where
@@ -320,7 +679,10 @@ impl Pipeline {
             let t_engine = engine.next_event_time();
             let t_feed = self.hub.next_emission();
             let t_poll = self.hub.next_poll(now);
-            let t_ctrl = controller.next_action_time();
+            let t_ctrl = std::iter::once(controller.next_action_time())
+                .chain(helper_controllers.iter().map(|h| h.next_action_time()))
+                .flatten()
+                .min();
             let candidates = [t_engine, t_feed, t_ctrl, t_poll];
             let Some(next) = candidates.iter().flatten().min().copied() else {
                 break RunEnd::Drained;
@@ -344,7 +706,10 @@ impl Pipeline {
                 // not lose installs. (The announcements only enter
                 // RIBs when the engine processes them, so ground-truth
                 // reads in the observer are unaffected.)
-                let due = controller.due_actions(next);
+                let mut due = controller.due_actions(next);
+                for helper in helper_controllers.iter_mut() {
+                    due.extend(helper.due_actions(next));
+                }
                 for action in &due {
                     match action.kind {
                         IntentKind::Announce => {
@@ -357,6 +722,11 @@ impl Pipeline {
                 }
                 let mut stopped = false;
                 for action in &due {
+                    self.log.push(IncidentEvent::ControllerApplied {
+                        kind: action.kind,
+                        prefix: action.prefix,
+                        at: next,
+                    });
                     let flow = observer(
                         engine,
                         PipelineEvent::ControllerApplied {
@@ -387,7 +757,7 @@ impl Pipeline {
             let mut actions = std::mem::take(&mut self.actions);
             let mut stopped_at: Option<usize> = None;
             'events: for (i, event) in batch.iter().enumerate() {
-                self.deliver_into(event, controller, &mut [], &mut actions);
+                self.deliver_into(event, controller, helper_controllers, &mut actions);
                 for action in &actions {
                     if observer(engine, PipelineEvent::App(action)).is_break() {
                         stopped_at = Some(i);
@@ -421,6 +791,7 @@ mod tests {
     use super::*;
     use crate::alert::AlertState;
     use crate::config::OwnedPrefix;
+    use crate::event_log::EventCursor;
     use artemis_bgp::AsPath;
     use artemis_feeds::FeedKind;
     use artemis_simnet::LatencyModel;
@@ -582,5 +953,307 @@ mod tests {
         assert!(p.hub().is_empty());
         assert_eq!(p.next_feed_time(), None);
         assert_eq!(p.events_delivered(), 0);
+    }
+
+    #[test]
+    fn confirm_first_policy_holds_the_plan_until_confirmed() {
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+        assert!(p.set_mitigation_policy(
+            pfx("10.0.0.0/23"),
+            MitigationPolicy::ConfirmFirst,
+            SimTime::from_secs(1),
+        ));
+
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        let AppAction::AlertRaised(id) = acts[0] else {
+            panic!("must alert");
+        };
+        assert!(
+            matches!(&acts[1], AppAction::MitigationPending { alert, .. } if *alert == id),
+            "plan held, not executed: {acts:?}"
+        );
+        assert_eq!(ctrl.intents().count(), 0, "no intents before confirmation");
+        assert_eq!(p.pending_mitigations().count(), 1);
+
+        // More witnesses update the alert but cannot resolve anything
+        // yet (nothing is mitigated).
+        let acts = p.deliver(
+            &event(3356, "10.0.0.0/23", &[3356, 666], 60),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(acts
+            .iter()
+            .all(|a| !matches!(a, AppAction::Resolved { .. })));
+        assert_eq!(p.pending_mitigations().count(), 1, "still one held plan");
+
+        // Operator confirms: the held plan executes verbatim.
+        let plan = p
+            .confirm_mitigation(id, SimTime::from_secs(70), &mut ctrl, &mut [])
+            .expect("plan was pending");
+        assert_eq!(plan.announce, vec![pfx("10.0.0.0/24"), pfx("10.0.1.0/24")]);
+        assert_eq!(ctrl.intents().count(), 2);
+        assert_eq!(p.pending_mitigations().count(), 0);
+        assert_eq!(
+            p.detector().alerts().get(id).unwrap().state,
+            AlertState::Mitigating
+        );
+        assert!(
+            p.confirm_mitigation(id, SimTime::from_secs(71), &mut ctrl, &mut [])
+                .is_none(),
+            "double-confirm is a no-op"
+        );
+
+        // Now recovery resolves the incident as usual once every
+        // witnessing vantage point flips back.
+        p.deliver(
+            &event(174, "10.0.0.0/24", &[174, 65001], 120),
+            &mut ctrl,
+            &mut [],
+        );
+        let acts = p.deliver(
+            &event(3356, "10.0.0.0/24", &[3356, 65001], 121),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, AppAction::Resolved { alert, .. } if *alert == id)));
+    }
+
+    #[test]
+    fn pause_holds_auto_plans_and_resume_executes_them() {
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+        p.pause_mitigation(SimTime::from_secs(10));
+        assert!(p.mitigation_paused());
+
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        let AppAction::AlertRaised(id) = acts[0] else {
+            panic!("detection keeps running while paused");
+        };
+        assert!(matches!(&acts[1], AppAction::MitigationPending { .. }));
+        assert_eq!(ctrl.intents().count(), 0);
+
+        let executed = p.resume_mitigation(SimTime::from_secs(90), &mut ctrl, &mut []);
+        assert_eq!(executed, vec![id]);
+        assert!(!p.mitigation_paused());
+        assert_eq!(ctrl.intents().count(), 2, "held plan executed on resume");
+        assert_eq!(
+            p.detector().alerts().get(id).unwrap().state,
+            AlertState::Mitigating
+        );
+        assert!(
+            p.resume_mitigation(SimTime::from_secs(91), &mut ctrl, &mut [])
+                .is_empty(),
+            "resume is idempotent"
+        );
+    }
+
+    #[test]
+    fn detect_only_policy_never_computes_a_plan() {
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+        assert!(p.set_mitigation_policy(
+            pfx("10.0.0.0/23"),
+            MitigationPolicy::DetectOnly,
+            SimTime::ZERO,
+        ));
+        // Unknown prefixes are rejected.
+        assert!(!p.set_mitigation_policy(pfx("8.8.8.0/24"), MitigationPolicy::Auto, SimTime::ZERO,));
+
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        assert_eq!(acts.len(), 1, "alert only: {acts:?}");
+        assert_eq!(ctrl.intents().count(), 0);
+        assert_eq!(p.pending_mitigations().count(), 0);
+
+        // The second prefix still mitigates automatically.
+        let acts = p.deliver(
+            &event(174, "172.16.0.0/23", &[174, 666], 50),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, AppAction::MitigationTriggered { .. })));
+    }
+
+    #[test]
+    fn onboard_offboard_roundtrip_with_active_incident() {
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+
+        // Onboard a third prefix mid-run…
+        let onboarded = p.add_owned_prefix(
+            OwnedPrefix::new(pfx("192.0.2.0/24"), Asn(65001)),
+            Some(MitigationPolicy::DetectOnly),
+            SimTime::from_secs(5),
+        );
+        assert!(onboarded);
+        assert!(!p.add_owned_prefix(
+            OwnedPrefix::new(pfx("192.0.2.0/24"), Asn(65001)),
+            None,
+            SimTime::from_secs(6),
+        ));
+        assert_eq!(p.detector().shard_count(), 3);
+        assert_eq!(
+            p.mitigation_policy(pfx("192.0.2.0/24")),
+            MitigationPolicy::DetectOnly
+        );
+
+        // …hijack the first prefix (auto-mitigates: 2 announce intents)…
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        let AppAction::AlertRaised(id) = acts[0] else {
+            panic!("must alert");
+        };
+        assert_eq!(ctrl.intents().count(), 2);
+
+        // …then offboard it while the incident is still active.
+        let report = p
+            .remove_owned_prefix(
+                pfx("10.0.0.0/23"),
+                SimTime::from_secs(60),
+                &mut ctrl,
+                &mut [],
+            )
+            .expect("prefix configured");
+        assert_eq!(report.closed_alerts, vec![id]);
+        assert_eq!(report.withdrawn_plans, 1);
+        assert_eq!(report.shard_events, 1);
+        assert!(p
+            .remove_owned_prefix(
+                pfx("10.0.0.0/23"),
+                SimTime::from_secs(61),
+                &mut ctrl,
+                &mut []
+            )
+            .is_none());
+
+        // The alert is closed, its monitor frozen, and every announce
+        // intent has a matching withdraw — nothing orphaned.
+        assert_eq!(
+            p.detector().alerts().get(id).unwrap().state,
+            AlertState::Resolved
+        );
+        let announces = ctrl
+            .intents()
+            .filter(|i| i.kind == IntentKind::Announce)
+            .count();
+        let withdraws = ctrl
+            .intents()
+            .filter(|i| i.kind == IntentKind::Withdraw)
+            .count();
+        assert_eq!(announces, withdraws, "offboard must not orphan intents");
+
+        // Events for the offboarded space are no longer ours.
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 667], 70),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(acts.is_empty());
+        // The frozen monitor ignored the new event.
+        let monitor = p.monitor_for(id).expect("kept for reporting");
+        let last = monitor.timeline().last().map(|t| t.time);
+        assert!(last.is_none_or(|t| t < SimTime::from_secs(70)));
+    }
+
+    #[test]
+    fn offboard_after_natural_resolution_still_withdraws_the_plan() {
+        // A resolved incident keeps its de-aggregated announcements
+        // installed by design; offboarding the prefix must withdraw
+        // them anyway, or the operator keeps originating space it no
+        // longer owns.
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        let AppAction::AlertRaised(id) = acts[0] else {
+            panic!("must alert");
+        };
+        // The mitigation /24 echo resolves the incident naturally.
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/24", &[174, 65001], 120),
+            &mut ctrl,
+            &mut [],
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, AppAction::Resolved { alert, .. } if *alert == id)));
+
+        let report = p
+            .remove_owned_prefix(
+                pfx("10.0.0.0/23"),
+                SimTime::from_secs(200),
+                &mut ctrl,
+                &mut [],
+            )
+            .expect("prefix configured");
+        assert!(report.closed_alerts.is_empty(), "nothing was still open");
+        assert_eq!(report.withdrawn_plans, 1, "resolved plan still withdrawn");
+        let announces = ctrl
+            .intents()
+            .filter(|i| i.kind == IntentKind::Announce)
+            .count();
+        let withdraws = ctrl
+            .intents()
+            .filter(|i| i.kind == IntentKind::Withdraw)
+            .count();
+        assert_eq!(announces, withdraws, "no intent keeps originating");
+        assert!(p.executed_plan(id).is_none(), "plan bookkeeping cleared");
+    }
+
+    #[test]
+    fn event_log_mirrors_the_lifecycle_for_independent_cursors() {
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+        p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        p.deliver(
+            &event(174, "10.0.0.0/24", &[174, 65001], 120),
+            &mut ctrl,
+            &mut [],
+        );
+        let batch = p.poll_events(EventCursor::START);
+        let kinds: Vec<&'static str> = batch
+            .events
+            .iter()
+            .map(|e| match e {
+                IncidentEvent::AlertRaised { .. } => "alert",
+                IncidentEvent::MitigationTriggered { .. } => "mitigate",
+                IncidentEvent::Resolved { .. } => "resolve",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["alert", "mitigate", "resolve"]);
+
+        // A second cursor polled later sees the identical history.
+        let batch2 = p.poll_events(EventCursor::START);
+        assert_eq!(batch.events, batch2.events);
+        // And an incremental cursor sees nothing new.
+        assert!(p.poll_events(batch.next).events.is_empty());
     }
 }

@@ -5,8 +5,38 @@ use crate::event::{FeedEvent, FeedKind};
 use crate::source::{FeedSource, RibView};
 use artemis_bgpsim::RouteChange;
 use artemis_simnet::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+
+/// Stable identity of a feed inside a [`FeedHub`].
+///
+/// Returned by [`FeedHub::add`] and never reused, so drivers can
+/// attach, address and detach feeds at runtime without the positional
+/// fragility of index-based access (a detach shifts every later
+/// index; handles are immune).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FeedHandle(u64);
+
+impl FeedHandle {
+    /// Reserved pseudo-handle for events put back into the queue via
+    /// [`FeedHub::requeue`]. Requeued events were already drained once
+    /// — their feed attribution is deliberately severed, so a later
+    /// [`FeedHub::remove`] never drops them (they were due for
+    /// delivery before the detach).
+    pub const REQUEUED: FeedHandle = FeedHandle(0);
+
+    /// The raw numeric id (stable, serializable).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FeedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "feed#{}", self.0)
+    }
+}
 
 /// A queued event's ordering key: `(emitted_at, ingestion sequence)` —
 /// the sequence number makes simultaneous emissions deterministic —
@@ -38,21 +68,29 @@ impl PartialOrd for QueuedKey {
 ///   up to an instant into a caller-owned reusable buffer. One scratch
 ///   buffer is threaded through all feeds, so the hot path performs no
 ///   per-route-change allocation.
-/// * **Per-event (legacy)** — [`FeedHub::on_route_change`] /
-///   [`FeedHub::poll`] return a fresh `Vec` per call and leave ordering
-///   to the caller. These are thin wrappers kept for callers that want
-///   to observe raw feed output directly.
+/// * **Per-event** — [`FeedHub::on_route_change_into`] /
+///   [`FeedHub::poll_into`] append raw feed output to a caller-owned
+///   buffer and leave ordering to the caller. The allocating
+///   [`FeedHub::on_route_change`] / [`FeedHub::poll`] wrappers are
+///   deprecated.
+///
+/// Feeds are identified by the stable [`FeedHandle`] returned from
+/// [`FeedHub::add`]; [`FeedHub::remove`] detaches a feed at runtime and
+/// **drops** its queued, undelivered events (see `remove` docs).
 pub struct FeedHub {
-    feeds: Vec<Box<dyn FeedSource>>,
+    feeds: Vec<(FeedHandle, Box<dyn FeedSource>)>,
     rng: SimRng,
     /// Merge queue of pending event keys across all feeds.
     queue: BinaryHeap<Reverse<QueuedKey>>,
-    /// Event payloads, indexed by the slot in each queued key.
-    slots: Vec<Option<FeedEvent>>,
+    /// Event payloads with their source-feed attribution, indexed by
+    /// the slot in each queued key.
+    slots: Vec<Option<(FeedHandle, FeedEvent)>>,
     /// Recycled slab slots.
     free: Vec<u32>,
     /// Monotone ingestion counter (tie-break for equal emission times).
     seq: u64,
+    /// Monotone handle allocator (0 is [`FeedHandle::REQUEUED`]).
+    next_handle: u64,
     /// Reusable fan-out buffer shared by the batch ingestion paths.
     scratch: Vec<FeedEvent>,
 }
@@ -67,13 +105,52 @@ impl FeedHub {
             slots: Vec::new(),
             free: Vec::new(),
             seq: 0,
+            next_handle: 1,
             scratch: Vec::new(),
         }
     }
 
-    /// Add a feed.
-    pub fn add(&mut self, feed: Box<dyn FeedSource>) {
-        self.feeds.push(feed);
+    /// Add a feed, returning its stable [`FeedHandle`]. Handles are
+    /// never reused, even after [`FeedHub::remove`].
+    pub fn add(&mut self, feed: Box<dyn FeedSource>) -> FeedHandle {
+        let handle = FeedHandle(self.next_handle);
+        self.next_handle += 1;
+        self.feeds.push((handle, feed));
+        handle
+    }
+
+    /// Detach a feed at runtime, returning the feed and the number of
+    /// its queued, undelivered events.
+    ///
+    /// **Detach semantics (deliberate, deterministic):** every event
+    /// the detached feed emitted that is still waiting in the merge
+    /// queue is *dropped* — a detached feed's telemetry is considered
+    /// untrustworthy from the detach instant, and dropping (rather
+    /// than delivering a dying feed's tail) keeps the delivered stream
+    /// a pure function of the attach/detach schedule. Events from
+    /// other feeds keep their exact relative order. Events restored
+    /// via [`FeedHub::requeue`] carry [`FeedHandle::REQUEUED`] and are
+    /// never dropped by a detach (they were already due for delivery).
+    pub fn remove(&mut self, handle: FeedHandle) -> Option<(Box<dyn FeedSource>, usize)> {
+        let pos = self.feeds.iter().position(|(h, _)| *h == handle)?;
+        let (_, feed) = self.feeds.remove(pos);
+        // Rebuild the merge queue without the detached feed's events so
+        // `next_emission` / `pending_events` stay exact.
+        let mut dropped = 0usize;
+        let keys = std::mem::take(&mut self.queue).into_vec();
+        let mut kept = Vec::with_capacity(keys.len());
+        for Reverse(QueuedKey(t, seq, slot)) in keys {
+            let owner = self.slots[slot as usize].as_ref().map(|(h, _)| *h);
+            if owner == Some(handle) {
+                self.slots[slot as usize] = None;
+                self.free.push(slot);
+                dropped += 1;
+            } else {
+                kept.push(Reverse(QueuedKey(t, seq, slot)));
+            }
+        }
+        self.queue = BinaryHeap::from(kept);
+        Some((feed, dropped))
     }
 
     /// Number of feeds.
@@ -86,24 +163,22 @@ impl FeedHub {
         self.feeds.is_empty()
     }
 
-    /// Move everything in the scratch buffer into the merge queue.
-    fn queue_scratch(&mut self) {
+    /// Move everything in the scratch buffer into the merge queue,
+    /// attributed to `handle`.
+    fn queue_scratch(&mut self, handle: FeedHandle) {
         for ev in self.scratch.drain(..) {
+            let emitted_at = ev.emitted_at;
             let slot = match self.free.pop() {
                 Some(s) => {
-                    self.slots[s as usize] = Some(ev);
+                    self.slots[s as usize] = Some((handle, ev));
                     s
                 }
                 None => {
                     let s = self.slots.len() as u32;
-                    self.slots.push(Some(ev));
+                    self.slots.push(Some((handle, ev)));
                     s
                 }
             };
-            let emitted_at = self.slots[slot as usize]
-                .as_ref()
-                .expect("just stored")
-                .emitted_at;
             self.queue
                 .push(Reverse(QueuedKey(emitted_at, self.seq, slot)));
             self.seq += 1;
@@ -113,10 +188,14 @@ impl FeedHub {
     /// Fan one routing change out to all push feeds and queue the
     /// resulting events for [`FeedHub::drain_batch`].
     pub fn ingest_route_change(&mut self, change: &RouteChange) {
-        for feed in &mut self.feeds {
-            feed.on_route_change_into(change, &mut self.rng, &mut self.scratch);
+        for i in 0..self.feeds.len() {
+            let handle = {
+                let (h, feed) = &mut self.feeds[i];
+                feed.on_route_change_into(change, &mut self.rng, &mut self.scratch);
+                *h
+            };
+            self.queue_scratch(handle);
         }
-        self.queue_scratch();
     }
 
     /// Fan a batch of routing changes out to all push feeds, in order,
@@ -129,12 +208,16 @@ impl FeedHub {
 
     /// Run every feed whose poll is due at `at` and queue the results.
     pub fn poll_and_queue(&mut self, at: SimTime, view: &dyn RibView) {
-        for feed in &mut self.feeds {
-            if feed.next_poll(at).is_some_and(|t| t <= at) {
-                self.scratch.extend(feed.poll(at, view, &mut self.rng));
-            }
+        for i in 0..self.feeds.len() {
+            let handle = {
+                let (h, feed) = &mut self.feeds[i];
+                if feed.next_poll(at).is_some_and(|t| t <= at) {
+                    self.scratch.extend(feed.poll(at, view, &mut self.rng));
+                }
+                *h
+            };
+            self.queue_scratch(handle);
         }
-        self.queue_scratch();
     }
 
     /// Put drained-but-unprocessed events back into the merge queue
@@ -142,10 +225,12 @@ impl FeedHub {
     /// resume losslessly). Relative order among requeued events is
     /// preserved: they re-enter in iteration order with fresh
     /// ingestion sequence numbers, and everything at their emission
-    /// instants has already been drained.
+    /// instants has already been drained. Requeued events are
+    /// attributed to [`FeedHandle::REQUEUED`], so a later
+    /// [`FeedHub::remove`] does not drop them.
     pub fn requeue(&mut self, events: impl IntoIterator<Item = FeedEvent>) {
         self.scratch.extend(events);
-        self.queue_scratch();
+        self.queue_scratch(FeedHandle::REQUEUED);
     }
 
     /// Emission instant of the earliest queued event, if any.
@@ -169,7 +254,7 @@ impl FeedHub {
             let Some(Reverse(QueuedKey(_, _, slot))) = self.queue.pop() else {
                 break;
             };
-            let ev = self.slots[slot as usize]
+            let (_, ev) = self.slots[slot as usize]
                 .take()
                 .expect("queued slot filled");
             self.free.push(slot);
@@ -178,31 +263,56 @@ impl FeedHub {
         out.len()
     }
 
+    /// Fan a routing change out to all push feeds, appending the
+    /// resulting events to `out` (not queueing them; ordering is left
+    /// to the caller). The zero-extra-allocation per-event surface.
+    pub fn on_route_change_into(&mut self, change: &RouteChange, out: &mut Vec<FeedEvent>) {
+        for (_, feed) in &mut self.feeds {
+            feed.on_route_change_into(change, &mut self.rng, out);
+        }
+    }
+
     /// Fan a routing change out to all push feeds, returning (not
-    /// queueing) the events. Thin allocating wrapper over the batch
-    /// path; ordering is left to the caller.
+    /// queueing) the events.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use `FeedHub::on_route_change_into` \
+                with a reusable buffer, or the batched `ingest_route_change` path"
+    )]
     pub fn on_route_change(&mut self, change: &RouteChange) -> Vec<FeedEvent> {
         let mut out = Vec::new();
-        for feed in &mut self.feeds {
-            feed.on_route_change_into(change, &mut self.rng, &mut out);
-        }
+        self.on_route_change_into(change, &mut out);
         out
     }
 
     /// Earliest pending poll across all pull feeds.
     pub fn next_poll(&self, now: SimTime) -> Option<SimTime> {
-        self.feeds.iter().filter_map(|f| f.next_poll(now)).min()
+        self.feeds
+            .iter()
+            .filter_map(|(_, f)| f.next_poll(now))
+            .min()
     }
 
-    /// Run every feed whose poll is due at `at`, returning (not
-    /// queueing) the events. Thin wrapper over the pull path.
-    pub fn poll(&mut self, at: SimTime, view: &dyn RibView) -> Vec<FeedEvent> {
-        let mut out = Vec::new();
-        for feed in &mut self.feeds {
+    /// Run every feed whose poll is due at `at`, appending the events
+    /// to `out` (not queueing them).
+    pub fn poll_into(&mut self, at: SimTime, view: &dyn RibView, out: &mut Vec<FeedEvent>) {
+        for (_, feed) in &mut self.feeds {
             if feed.next_poll(at).is_some_and(|t| t <= at) {
                 out.extend(feed.poll(at, view, &mut self.rng));
             }
         }
+    }
+
+    /// Run every feed whose poll is due at `at`, returning (not
+    /// queueing) the events.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use `FeedHub::poll_into` with a \
+                reusable buffer, or the batched `poll_and_queue` path"
+    )]
+    pub fn poll(&mut self, at: SimTime, view: &dyn RibView) -> Vec<FeedEvent> {
+        let mut out = Vec::new();
+        self.poll_into(at, view, &mut out);
         out
     }
 
@@ -210,19 +320,42 @@ impl FeedHub {
     pub fn emission_stats(&self) -> BTreeMap<(FeedKind, String), u64> {
         self.feeds
             .iter()
-            .map(|f| ((f.kind(), f.name().to_string()), f.events_emitted()))
+            .map(|(_, f)| ((f.kind(), f.name().to_string()), f.events_emitted()))
             .collect()
     }
 
-    /// Access a feed by index (for feed-specific accessors like MRT
-    /// bytes; order = insertion order).
+    /// Every attached feed with its stable handle, in insertion order.
+    pub fn handles(&self) -> impl Iterator<Item = (FeedHandle, &dyn FeedSource)> {
+        self.feeds.iter().map(|(h, f)| (*h, f.as_ref()))
+    }
+
+    /// Access a feed by its stable handle (for feed-specific accessors
+    /// like MRT archive bytes).
+    pub fn feed_by_handle(&self, handle: FeedHandle) -> Option<&dyn FeedSource> {
+        self.feeds
+            .iter()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, f)| f.as_ref())
+    }
+
+    /// The handle of the feed at `index` (current insertion order).
+    pub fn handle_at(&self, index: usize) -> Option<FeedHandle> {
+        self.feeds.get(index).map(|(h, _)| *h)
+    }
+
+    /// Access a feed by position.
+    #[deprecated(
+        since = "0.1.0",
+        note = "positional access breaks once feeds detach at runtime; resolve a \
+                stable id via `handle_at`/`handles` and use `feed_by_handle`"
+    )]
     pub fn feed(&self, index: usize) -> Option<&dyn FeedSource> {
-        self.feeds.get(index).map(|b| b.as_ref())
+        self.feeds.get(index).map(|(_, f)| f.as_ref())
     }
 
     /// Total pull queries issued across feeds (LG overhead).
     pub fn polls_executed(&self) -> u64 {
-        self.feeds.iter().map(|f| f.polls_executed()).sum()
+        self.feeds.iter().map(|(_, f)| f.polls_executed()).sum()
     }
 }
 
@@ -262,7 +395,8 @@ mod tests {
             "bmp", &vps, 1,
         ))));
         assert_eq!(hub.len(), 2);
-        let evs = hub.on_route_change(&change(174, 10));
+        let mut evs = Vec::new();
+        hub.on_route_change_into(&change(174, 10), &mut evs);
         assert_eq!(evs.len(), 2);
         let kinds: std::collections::BTreeSet<FeedKind> = evs.iter().map(|e| e.source).collect();
         assert!(kinds.contains(&FeedKind::RisLive));
@@ -273,11 +407,127 @@ mod tests {
     fn empty_hub_is_silent() {
         let mut hub = FeedHub::new(SimRng::new(1));
         assert!(hub.is_empty());
-        assert!(hub.on_route_change(&change(1, 1)).is_empty());
+        let mut evs = Vec::new();
+        hub.on_route_change_into(&change(1, 1), &mut evs);
+        assert!(evs.is_empty());
         assert_eq!(hub.next_poll(SimTime::ZERO), None);
         hub.ingest_route_change(&change(1, 1));
         assert_eq!(hub.pending_events(), 0);
         assert_eq!(hub.next_emission(), None);
+    }
+
+    #[test]
+    fn handles_are_stable_and_unique() {
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        let h1 = hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
+            "rrc", &vps, 1,
+        ))));
+        let h2 = hub.add(Box::new(StreamFeed::bgpmon(group_into_collectors(
+            "bmp", &vps, 1,
+        ))));
+        assert_ne!(h1, h2);
+        assert_ne!(h1, FeedHandle::REQUEUED);
+        assert_eq!(hub.handle_at(0), Some(h1));
+        assert_eq!(hub.handle_at(1), Some(h2));
+        assert_eq!(hub.feed_by_handle(h1).unwrap().kind(), FeedKind::RisLive);
+        assert_eq!(hub.feed_by_handle(h2).unwrap().kind(), FeedKind::BgpMon);
+
+        // Detach the first feed: the second keeps its handle even
+        // though its position shifted, and the handle is never reused.
+        let (removed, dropped) = hub.remove(h1).expect("attached");
+        assert_eq!(removed.kind(), FeedKind::RisLive);
+        assert_eq!(dropped, 0);
+        assert_eq!(hub.len(), 1);
+        assert_eq!(hub.handle_at(0), Some(h2));
+        assert!(hub.feed_by_handle(h1).is_none());
+        let h3 = hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
+            "rrc", &vps, 1,
+        ))));
+        assert!(h3 != h1 && h3 != h2, "handles are never recycled");
+        assert!(hub.remove(h1).is_none(), "double-detach is a no-op");
+    }
+
+    #[test]
+    fn deprecated_positional_accessor_still_works() {
+        #![allow(deprecated)]
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        let h = hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
+            "rrc", &vps, 1,
+        ))));
+        assert_eq!(
+            hub.feed(0).unwrap().name(),
+            hub.feed_by_handle(h).unwrap().name()
+        );
+        assert!(hub.feed(1).is_none());
+    }
+
+    #[test]
+    fn deprecated_allocating_wrappers_match_into_buffers() {
+        #![allow(deprecated)]
+        let vps = vec![Asn(174)];
+        let build = || {
+            let mut hub = FeedHub::new(SimRng::new(3));
+            hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
+                "rrc", &vps, 1,
+            ))));
+            hub
+        };
+        let mut a = build();
+        let mut b = build();
+        let mut buf = Vec::new();
+        b.on_route_change_into(&change(174, 10), &mut buf);
+        assert_eq!(a.on_route_change(&change(174, 10)), buf);
+    }
+
+    #[test]
+    fn remove_drops_only_the_detached_feeds_queued_events() {
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        let _ris = hub.add(Box::new(
+            StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(60)),
+        ));
+        let bmon = hub.add(Box::new(
+            StreamFeed::bgpmon(group_into_collectors("bmp", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(5)),
+        ));
+        hub.ingest_route_changes(&[change(174, 10), change(174, 20)]);
+        assert_eq!(hub.pending_events(), 4);
+
+        let (_, dropped) = hub.remove(bmon).expect("attached");
+        assert_eq!(dropped, 2, "both queued bgpmon events dropped");
+        assert_eq!(hub.pending_events(), 2);
+        assert_eq!(
+            hub.next_emission(),
+            Some(SimTime::from_secs(70)),
+            "next emission reflects the surviving feed"
+        );
+        let mut buf = Vec::new();
+        hub.drain_batch(SimTime::from_secs(1_000), &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert!(buf.iter().all(|e| e.source == FeedKind::RisLive));
+    }
+
+    #[test]
+    fn requeued_events_survive_detach() {
+        let mut hub = FeedHub::new(SimRng::new(4));
+        let vps = vec![Asn(174)];
+        let h = hub.add(Box::new(
+            StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(5)),
+        ));
+        hub.ingest_route_changes(&[change(174, 10)]);
+        let mut buf = Vec::new();
+        hub.drain_batch(SimTime::from_secs(1_000), &mut buf);
+        assert_eq!(buf.len(), 1);
+        // The driver could not process the event; it goes back — and a
+        // subsequent detach must NOT drop it (it was already due).
+        hub.requeue(buf.drain(..));
+        let (_, dropped) = hub.remove(h).expect("attached");
+        assert_eq!(dropped, 0);
+        assert_eq!(hub.pending_events(), 1);
     }
 
     #[test]
@@ -356,7 +606,7 @@ mod tests {
         let mut per_event = Vec::new();
         let mut hub = build();
         for c in &changes {
-            per_event.extend(hub.on_route_change(c));
+            hub.on_route_change_into(c, &mut per_event);
         }
 
         let mut batch = Vec::new();
@@ -376,8 +626,9 @@ mod tests {
         hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
             "rrc", &vps, 1,
         ))));
-        hub.on_route_change(&change(174, 10));
-        hub.on_route_change(&change(174, 20));
+        let mut sink = Vec::new();
+        hub.on_route_change_into(&change(174, 10), &mut sink);
+        hub.on_route_change_into(&change(174, 20), &mut sink);
         let stats = hub.emission_stats();
         assert_eq!(stats[&(FeedKind::RisLive, "ris-live".to_string())], 2);
     }

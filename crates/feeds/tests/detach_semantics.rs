@@ -1,0 +1,153 @@
+//! Runtime feed-detach semantics: `FeedHub::remove(handle)` must drop
+//! exactly the detached feed's queued, undelivered events — nothing
+//! more, nothing less — while preserving the relative order of every
+//! surviving event. Property-tested across random ingest schedules,
+//! partial drains and detach points (ISSUE 4 satellite: "events for
+//! detached feeds are dropped deterministically — pick one, document
+//! it, proptest it").
+
+use artemis_bgp::{AsPath, Asn, Prefix};
+use artemis_bgpsim::{BestRoute, RouteChange};
+use artemis_feeds::vantage::group_into_collectors;
+use artemis_feeds::{FeedEvent, FeedHub, FeedKind, StreamFeed};
+use artemis_simnet::{LatencyModel, SimRng, SimTime};
+use artemis_topology::RelKind;
+use proptest::prelude::*;
+use std::str::FromStr;
+
+fn pfx(s: &str) -> Prefix {
+    Prefix::from_str(s).unwrap()
+}
+
+fn change(asn: u32, t_micros: u64, origin: u32) -> RouteChange {
+    let as_path = AsPath::from_sequence([3356, origin]);
+    RouteChange {
+        time: SimTime::from_micros(t_micros),
+        asn: Asn(asn),
+        prefix: pfx("10.0.0.0/23"),
+        old: None,
+        new: Some(BestRoute {
+            origin_as: Asn(origin),
+            as_path,
+            neighbor: Some(Asn(3356)),
+            learned_from: Some(RelKind::Provider),
+            local_pref: 100,
+        }),
+    }
+}
+
+/// Two push feeds with skewed export pipelines so queued events from
+/// different feeds interleave non-trivially in emission order.
+fn two_feed_hub(
+    seed: u64,
+) -> (
+    FeedHub,
+    artemis_feeds::FeedHandle,
+    artemis_feeds::FeedHandle,
+) {
+    let vps = vec![Asn(174), Asn(3356), Asn(2914)];
+    let mut hub = FeedHub::new(SimRng::new(seed));
+    let ris = hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc", &vps, 2))
+            .with_export_delay(LatencyModel::uniform_secs(2, 40)),
+    ));
+    let bmon = hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 1))
+            .with_export_delay(LatencyModel::uniform_secs(1, 90)),
+    ));
+    (hub, ris, bmon)
+}
+
+fn changes_from(spec: &[(u8, u64)]) -> Vec<RouteChange> {
+    spec.iter()
+        .map(|(vp, dt)| {
+            let asn = [174u32, 3356, 2914][(*vp % 3) as usize];
+            change(asn, 1_000_000 + *dt * 250_000, 666)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Detaching a feed drops exactly its queued events: the surviving
+    /// drain equals the no-detach drain with the detached feed's
+    /// events filtered out (same events, same relative order), and the
+    /// reported drop count matches.
+    #[test]
+    fn detach_drops_exactly_the_detached_feeds_queue(
+        seed in 0u64..500,
+        spec in prop::collection::vec((0u8..3, 0u64..200), 1..40),
+    ) {
+        let changes = changes_from(&spec);
+
+        // Reference: same seed, same ingests, never detached.
+        let (mut reference, _, _) = two_feed_hub(seed);
+        reference.ingest_route_changes(&changes);
+        let mut all = Vec::new();
+        reference.drain_batch(SimTime::from_secs(1_000_000), &mut all);
+        let expected: Vec<FeedEvent> = all
+            .iter()
+            .filter(|e| e.source != FeedKind::BgpMon)
+            .cloned()
+            .collect();
+        let expected_dropped = all.len() - expected.len();
+
+        // Under test: identical ingests, then detach before draining.
+        let (mut hub, _ris, bmon) = two_feed_hub(seed);
+        hub.ingest_route_changes(&changes);
+        let (_, dropped) = hub.remove(bmon).expect("attached");
+        prop_assert_eq!(dropped, expected_dropped);
+        let mut survived = Vec::new();
+        hub.drain_batch(SimTime::from_secs(1_000_000), &mut survived);
+        prop_assert_eq!(survived, expected);
+    }
+
+    /// Same property with a *partial* drain before the detach: events
+    /// already delivered stay delivered regardless of their source;
+    /// only the undelivered remainder of the detached feed is dropped.
+    #[test]
+    fn detach_after_partial_drain_only_touches_the_remainder(
+        seed in 0u64..500,
+        spec in prop::collection::vec((0u8..3, 0u64..200), 1..40),
+        cut_secs in 1u64..120,
+    ) {
+        let changes = changes_from(&spec);
+        let cut = SimTime::from_secs(cut_secs);
+
+        let (mut reference, _, _) = two_feed_hub(seed);
+        reference.ingest_route_changes(&changes);
+        let mut early_ref = Vec::new();
+        reference.drain_batch(cut, &mut early_ref);
+        let mut late_ref = Vec::new();
+        reference.drain_batch(SimTime::from_secs(1_000_000), &mut late_ref);
+        let late_expected: Vec<FeedEvent> = late_ref
+            .iter()
+            .filter(|e| e.source != FeedKind::BgpMon)
+            .cloned()
+            .collect();
+
+        let (mut hub, _ris, bmon) = two_feed_hub(seed);
+        hub.ingest_route_changes(&changes);
+        let mut early = Vec::new();
+        hub.drain_batch(cut, &mut early);
+        prop_assert_eq!(&early, &early_ref, "pre-detach drains agree");
+        let (_, dropped) = hub.remove(bmon).expect("attached");
+        prop_assert_eq!(dropped, late_ref.len() - late_expected.len());
+        let mut late = Vec::new();
+        hub.drain_batch(SimTime::from_secs(1_000_000), &mut late);
+        prop_assert_eq!(late, late_expected);
+        prop_assert_eq!(hub.pending_events(), 0);
+    }
+}
+
+#[test]
+fn detach_then_reingest_keeps_only_live_feeds() {
+    let (mut hub, _ris, bmon) = two_feed_hub(7);
+    hub.ingest_route_changes(&changes_from(&[(0, 0), (1, 5)]));
+    hub.remove(bmon).expect("attached");
+    // New ingests after the detach only reach the surviving feed.
+    hub.ingest_route_changes(&changes_from(&[(2, 10)]));
+    let mut out = Vec::new();
+    hub.drain_batch(SimTime::from_secs(1_000_000), &mut out);
+    assert!(!out.is_empty());
+    assert!(out.iter().all(|e| e.source == FeedKind::RisLive));
+}

@@ -93,7 +93,8 @@ fn original_run(seed: u64) -> OriginalRun {
     let keys = alert_keys(&pipeline);
     let mrt_bytes = pipeline
         .hub()
-        .feed(0)
+        .handle_at(0)
+        .and_then(|h| pipeline.hub().feed_by_handle(h))
         .expect("archive feed registered")
         .archive_bytes()
         .expect("archive feeds expose their MRT bytes")

@@ -38,7 +38,7 @@ fn main() {
 
     let config = ArtemisConfig::new(victim, vec![OwnedPrefix::new(prefix, victim)]);
     let mut hub = FeedHub::new(SimRng::new(42));
-    hub.add(Box::new(ArchiveUpdatesFeed::route_views(peers.clone())));
+    let archive_feed = hub.add(Box::new(ArchiveUpdatesFeed::route_views(peers.clone())));
     let mut pipeline = Pipeline::new(hub, config.clone(), vantage_points.clone());
     let mut controller = Controller::new(victim, LatencyModel::const_secs(15), SimRng::new(3));
 
@@ -65,7 +65,7 @@ fn main() {
 
     let update_bytes = pipeline
         .hub()
-        .feed(0)
+        .feed_by_handle(archive_feed)
         .expect("archive feed")
         .archive_bytes()
         .expect("archive feeds expose MRT bytes")

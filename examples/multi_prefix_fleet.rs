@@ -1,12 +1,15 @@
 //! Multi-prefix fleet: one operator, several owned prefixes, two
 //! *overlapping* hijacks on different prefixes — detected, mitigated
-//! and resolved independently by one [`Pipeline`].
+//! and resolved independently by one [`ArtemisService`].
 //!
 //! This is the operator configuration the journal version of ARTEMIS
 //! ("Neutralizing BGP Hijacking within a Minute") evaluates, which the
 //! single-alert experiment harness cannot represent: the detector
 //! shards its state per owned prefix, every alert gets its own
-//! monitor, and the mitigation lifecycles never interfere.
+//! monitor, and the mitigation lifecycles never interfere. Since the
+//! control-plane redesign the run is driven through the service
+//! surface, and the narration at the end replays the owned
+//! [`IncidentEvent`] stream instead of scraping pipeline internals.
 //!
 //! ```sh
 //! cargo run --release --example multi_prefix_fleet [seed]
@@ -17,6 +20,7 @@ use artemis_repro::controller::Controller;
 use artemis_repro::core::app::AppAction;
 use artemis_repro::core::config::OwnedPrefix;
 use artemis_repro::core::pipeline::PipelineEvent;
+use artemis_repro::core::{ArtemisService, EventCursor, IncidentEvent};
 use artemis_repro::feeds::vantage::group_into_collectors;
 use artemis_repro::feeds::{FeedHub, StreamFeed};
 use artemis_repro::prelude::*;
@@ -64,21 +68,22 @@ fn main() {
         victim,
         fleet.iter().map(|p| OwnedPrefix::new(*p, victim)).collect(),
     );
-    let mut pipeline = Pipeline::new(hub, config, vp_set);
+    let pipeline = Pipeline::new(hub, config, vp_set);
     let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
-    let mut controller = Controller::new(
+    let controller = Controller::new(
         victim,
         LatencyModel::uniform_secs(10, 20),
         SimRng::new(seed ^ 0xC001),
     );
+    let mut service = ArtemisService::new(pipeline, controller);
 
     // --- Phase 1: the fleet converges --------------------------------
     for p in &fleet {
-        pipeline.expect_announcement(*p);
+        service.pipeline_mut().expect_announcement(*p);
         engine.announce(victim, *p);
     }
     let changes = engine.run_to_quiescence(10_000_000);
-    pipeline.ingest_route_changes(&changes);
+    service.pipeline_mut().ingest_route_changes(&changes);
     let converged = engine.now();
     println!("=== multi-prefix fleet (seed {seed}) ===\n");
     println!(
@@ -95,66 +100,87 @@ fn main() {
     println!("hijack A: {attacker_a} announces {} at {t_a}", fleet[0]);
     println!("hijack B: {attacker_b} announces {} at {t_b}\n", fleet[1]);
 
-    // --- Drive the pipeline; stop once both prefixes recovered -------
+    // --- Drive the service; stop once both prefixes recovered --------
     // (Post-mitigation /23 churn may re-raise an already-mitigated
-    // incident — count recovered *prefixes*, not alerts.)
+    // incident — count recovered *prefixes*, not alerts. The inline
+    // observer only decides when to stop; the narration below comes
+    // from the owned event stream.)
     let mut incident_target: std::collections::BTreeMap<u64, Prefix> =
         std::collections::BTreeMap::new();
     let mut recovered: BTreeSet<Prefix> = BTreeSet::new();
     let horizon = converged + artemis_repro::simnet::SimDuration::from_mins(120);
-    let report = pipeline.run(
-        &mut engine,
-        &mut controller,
-        converged,
-        horizon,
-        |_, event| {
-            match event {
-                PipelineEvent::App(AppAction::AlertRaised(id)) => {
-                    println!("  ALERT        #{}", id.0);
-                }
-                PipelineEvent::App(AppAction::MitigationTriggered { alert, plan, at }) => {
-                    println!(
-                        "  MITIGATE     #{} at {at}: announce {:?}",
-                        alert.0, plan.announce
-                    );
-                    incident_target.insert(alert.0, plan.target);
-                }
-                PipelineEvent::App(AppAction::Resolved { alert, at }) => {
-                    println!("  RESOLVED     #{} at {at}", alert.0);
-                    if let Some(target) = incident_target.get(&alert.0) {
-                        recovered.insert(*target);
-                    }
-                }
-                PipelineEvent::ControllerApplied { prefix, at, .. } => {
-                    println!("  INSTALLED    {prefix} at {at}");
+    let report = service.run(&mut engine, converged, horizon, |_, event| {
+        match event {
+            PipelineEvent::App(AppAction::MitigationTriggered { alert, plan, .. }) => {
+                incident_target.insert(alert.0, plan.target);
+            }
+            PipelineEvent::App(AppAction::Resolved { alert, .. }) => {
+                if let Some(target) = incident_target.get(&alert.0) {
+                    recovered.insert(*target);
                 }
             }
-            if recovered.contains(&fleet[0]) && recovered.contains(&fleet[1]) {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
+            _ => {}
+        }
+        if recovered.contains(&fleet[0]) && recovered.contains(&fleet[1]) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+
+    // --- Narrate the run from the owned event stream -----------------
+    let batch = service.poll_events(EventCursor::START);
+    for event in &batch.events {
+        match event {
+            IncidentEvent::AlertRaised {
+                alert,
+                owned_prefix,
+                hijack_type,
+                at,
+                ..
+            } => println!(
+                "  ALERT        #{} {hijack_type} on {owned_prefix} at {at}",
+                alert.0
+            ),
+            IncidentEvent::MitigationTriggered { alert, plan, at } => println!(
+                "  MITIGATE     #{} at {at}: announce {:?}",
+                alert.0, plan.announce
+            ),
+            IncidentEvent::Resolved { alert, at } => {
+                println!("  RESOLVED     #{} at {at}", alert.0)
             }
-        },
-    );
+            IncidentEvent::ControllerApplied { prefix, at, .. } => {
+                println!("  INSTALLED    {prefix} at {at}")
+            }
+            other => println!("  EVENT        {other:?}"),
+        }
+    }
 
     // --- Report ------------------------------------------------------
     println!("\nrun ended at {} ({:?})", report.ended_at, report.end);
     println!("{} feed events delivered\n", report.events_delivered);
-    for alert in pipeline.detector().alerts().all() {
-        println!("incident: {alert}");
-        let monitor = pipeline.monitor_for(alert.id).expect("monitor per alert");
+    let status = service.status(report.ended_at);
+    for incident in &status.incidents {
+        println!(
+            "incident #{}: {} on {} ({:?}, phase {:?})",
+            incident.alert.0,
+            incident.hijack_type,
+            incident.owned_prefix,
+            incident.state,
+            incident.phase
+        );
+        let monitor = service
+            .pipeline()
+            .monitor_for(incident.alert)
+            .expect("monitor per alert");
         println!(
             "  monitor on {} recorded {} timeline points",
             monitor.target(),
             monitor.timeline().len()
         );
     }
-    let detector = pipeline.detector();
-    for p in &fleet {
-        println!(
-            "shard {p}: {} events routed",
-            detector.shard_events(*p).unwrap_or(0)
-        );
+    for row in &status.owned {
+        println!("shard {}: {} events routed", row.prefix, row.shard_events);
     }
     if recovered.contains(&fleet[0]) && recovered.contains(&fleet[1]) {
         println!("\nboth incidents detected, mitigated and resolved independently ✓");

@@ -120,7 +120,8 @@ fn run_fleet(seed: u64) -> FleetRun {
                         recovered.insert(*t);
                     }
                 }
-                PipelineEvent::ControllerApplied { .. } => {}
+                PipelineEvent::App(AppAction::MitigationPending { .. })
+                | PipelineEvent::ControllerApplied { .. } => {}
             }
             if recovered.contains(&p1) && recovered.contains(&p2) {
                 ControlFlow::Break(())
