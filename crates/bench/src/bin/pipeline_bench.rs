@@ -1,0 +1,213 @@
+//! **Pipeline throughput trajectory** — measures batched-ingest
+//! detection throughput across `PipelineConfig::workers` and emits
+//! `BENCH_pipeline.json`, the repo's committed perf-trajectory record.
+//!
+//! Unlike the criterion micro-bench (whose timed region includes the
+//! sequential feed fan-out), this binary pre-queues the events into
+//! the hub per repetition and times **only** `Pipeline::deliver_due` —
+//! drain + (parallel) classification + in-order commit — which is the
+//! stage the worker pool accelerates.
+//!
+//! ```sh
+//! cargo run --release -p artemis_bench --bin pipeline_bench            # full: 100k events
+//! cargo run --release -p artemis_bench --bin pipeline_bench -- --smoke # CI: 20k events
+//! cargo run --release -p artemis_bench --bin pipeline_bench -- --out BENCH_pipeline.json
+//! ```
+//!
+//! Scaling obviously requires cores: the JSON records the host's
+//! available parallelism so a 1-core container's ≈1× "speedup" is not
+//! mistaken for a regression.
+
+use artemis_bgp::{AsPath, Asn, Prefix};
+use artemis_bgpsim::{BestRoute, RouteChange};
+use artemis_controller::Controller;
+use artemis_core::{ArtemisConfig, OwnedPrefix, Pipeline, PipelineConfig};
+use artemis_feeds::vantage::group_into_collectors;
+use artemis_feeds::{FeedHub, StreamFeed};
+use artemis_simnet::{LatencyModel, SimRng, SimTime};
+use artemis_topology::RelKind;
+use std::time::Instant;
+
+/// Route changes per repetition; × 2 vantage feeds = events delivered.
+const FULL_CHANGES: usize = 50_000;
+const SMOKE_CHANGES: usize = 10_000;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Timed repetitions per worker count (best-of to shed scheduler noise).
+const REPS: usize = 5;
+
+fn config() -> ArtemisConfig {
+    ArtemisConfig::new(
+        Asn(65001),
+        (0..64u32)
+            .map(|i| {
+                OwnedPrefix::new(
+                    Prefix::v4(std::net::Ipv4Addr::from(10 << 24 | i << 16), 23).expect("valid"),
+                    Asn(65001),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn changes(n: usize) -> Vec<RouteChange> {
+    (0..n as u64)
+        .map(|i| {
+            // The realistic firehose mix: mostly unrelated prefixes,
+            // occasional touches of owned space, occasional hijacks.
+            let prefix = if i % 100 == 0 {
+                Prefix::v4(std::net::Ipv4Addr::new(10, (i % 64) as u8, 0, 0), 23)
+            } else {
+                Prefix::v4(std::net::Ipv4Addr::from((i as u32) << 8), 24)
+            }
+            .expect("valid");
+            let vantage = if i % 2 == 0 { Asn(174) } else { Asn(3356) };
+            let path = AsPath::from_sequence([3356u32, 65001 + (i % 7 == 0) as u32]);
+            RouteChange {
+                time: SimTime::from_micros(i * 50),
+                asn: vantage,
+                prefix,
+                old: None,
+                new: Some(BestRoute {
+                    origin_as: path.origin().expect("non-empty"),
+                    as_path: path,
+                    neighbor: Some(Asn(3356)),
+                    learned_from: Some(RelKind::Provider),
+                    local_pref: 100,
+                }),
+            }
+        })
+        .collect()
+}
+
+fn hub() -> FeedHub {
+    let vps = vec![Asn(174), Asn(3356)];
+    let mut hub = FeedHub::new(SimRng::new(1));
+    hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(3)),
+    ));
+    hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(9)),
+    ));
+    hub
+}
+
+struct Sample {
+    workers: usize,
+    best_secs: f64,
+    events_per_sec: f64,
+}
+
+/// Best-of-`REPS` drain time for one worker count. Returns the sample
+/// and the alert-count fingerprint used to assert identity.
+fn measure(workers: usize, route_changes: &[RouteChange], events: u64) -> (Sample, usize) {
+    let mut best = f64::INFINITY;
+    let mut alerts = 0usize;
+    for _ in 0..REPS {
+        let mut pipeline =
+            Pipeline::new(hub(), config(), [Asn(174), Asn(3356)].into_iter().collect())
+                .with_pipeline_config(PipelineConfig {
+                    workers,
+                    parallel_threshold: 128,
+                });
+        let mut ctrl = Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1));
+        // Untimed: fan the route changes out into the hub's merge queue.
+        pipeline.ingest_route_changes(route_changes);
+        // Timed: drain + classify (parallel) + commit in order.
+        let start = Instant::now();
+        let delivered = pipeline.deliver_due(SimTime::from_micros(u64::MAX), &mut ctrl, &mut []);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(delivered, events, "every queued event must deliver");
+        alerts = pipeline.detector().alerts().all().len();
+        best = best.min(secs);
+    }
+    (
+        Sample {
+            workers,
+            best_secs: best,
+            events_per_sec: events as f64 / best,
+        },
+        alerts,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let n_changes = if smoke { SMOKE_CHANGES } else { FULL_CHANGES };
+    let route_changes = changes(n_changes);
+    let events = (n_changes as u64) * 2;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "pipeline_bench: {events} events/rep, best of {REPS} reps, {} mode, {cores} core(s)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut fingerprint: Option<usize> = None;
+    for workers in WORKER_COUNTS {
+        let (sample, alerts) = measure(workers, &route_changes, events);
+        // Determinism guard: every configuration detects the same set.
+        match fingerprint {
+            None => fingerprint = Some(alerts),
+            Some(f) => assert_eq!(f, alerts, "worker counts must agree on detections"),
+        }
+        println!(
+            "  workers={:<2} {:>10.1} k events/s   ({:.4} s)",
+            sample.workers,
+            sample.events_per_sec / 1_000.0,
+            sample.best_secs
+        );
+        samples.push(sample);
+    }
+
+    let base = samples[0].events_per_sec;
+    let speedup_4 = samples
+        .iter()
+        .find(|s| s.workers == 4)
+        .map(|s| s.events_per_sec / base)
+        .unwrap_or(1.0);
+    println!("  speedup @4 workers vs 1: {speedup_4:.2}x");
+
+    let results: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"workers\": {}, \"best_secs\": {:.6}, \"events_per_sec\": {:.0}, \"speedup_vs_1\": {:.3} }}",
+                s.workers,
+                s.best_secs,
+                s.events_per_sec,
+                s.events_per_sec / base
+            )
+        })
+        .collect();
+    let json = format!
+(
+        "{{\n  \"bench\": \"pipeline_throughput/deliver_due\",\n  \"mode\": \"{}\",\n  \"events_per_rep\": {},\n  \"reps\": {},\n  \"timed_region\": \"drain_batch + parallel classify + in-order commit (ingest excluded)\",\n  \"host_cores\": {},\n  \"detected_alerts\": {},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_workers_vs_1\": {:.3},\n  \"note\": \"scaling requires >= 4 physical cores; on a 1-core host all configurations collapse to ~1x\"\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        events,
+        REPS,
+        cores,
+        fingerprint.unwrap_or(0),
+        results.join(",\n"),
+        speedup_4
+    );
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

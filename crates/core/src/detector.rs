@@ -11,14 +11,33 @@
 //! never talks to the network itself — that separation is what makes
 //! it equally usable against simulated feeds (here) or the real
 //! services (a deployment).
+//!
+//! # Two-phase processing
+//!
+//! Detection splits into a *classification* phase (route the event to
+//! the owning shard and classify it against that shard's rules — a
+//! pure read) and a *commit* phase (per-shard event accounting, alert
+//! dedup against the shard's open alerts, RPKI annotation). The
+//! classification phase is exposed through [`ClassifyContext`] /
+//! [`Detector::prepare`] so the parallel pipeline can fan it out to
+//! worker threads; [`Detector::process_prepared`] then commits the
+//! precomputed outcome in deterministic batch order.
+//! [`Detector::process`] is the fused sequential path — it classifies
+//! against live state and commits immediately, and the split is
+//! guaranteed to agree with it: classification rules are shared
+//! copy-on-write, and any rules mutation mid-batch (a mitigation
+//! registering an expected announcement, a squatting plan activating
+//! a dormant prefix) marks the shard *dirty* so stale precomputed
+//! classifications are recomputed at commit time.
 
 use crate::alert::{AlertId, AlertStore};
 use crate::classify::HijackType;
 use crate::config::{ArtemisConfig, OwnedPrefix};
-use artemis_bgp::{Asn, Prefix, PrefixTrie};
+use artemis_bgp::{AsPath, Asn, Prefix, PrefixTrie};
 use artemis_feeds::FeedEvent;
 use artemis_simnet::SimTime;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Outcome of feeding one event to the detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,239 +50,37 @@ pub enum Detection {
     UpdatedAlert(AlertId),
 }
 
-/// Per-owned-prefix detection state.
+/// The classification-relevant state of one shard: the owned prefix's
+/// legitimacy rules and the announcements we expect within its space.
 ///
-/// Each configured prefix gets its own shard: legitimacy rules, the
-/// set of announcements we expect within its address space (the
-/// mitigation /24s), and the alerts raised for it. Events are routed
-/// to exactly one shard via longest-prefix match, so concurrent
-/// incidents on different prefixes never contend on shared state and
-/// per-event work stays independent of how many prefixes an operator
-/// configures.
-struct DetectorShard {
+/// Kept behind `Arc`s so worker threads can classify against an
+/// immutable snapshot while the main thread retains copy-on-write
+/// mutability (mutations between batches are free; mutations while a
+/// [`ClassifyContext`] is alive clone only the touched shard).
+#[derive(Debug, Clone)]
+struct ShardRules {
     /// The shard's owned prefix and its legitimacy rules.
     owned: OwnedPrefix,
     /// Announcements within this shard's space we originate ourselves.
     expected: BTreeSet<Prefix>,
-    /// Alerts raised for this shard (dedup scope).
-    alerts: Vec<AlertId>,
-    /// Events routed to this shard.
-    events: u64,
 }
 
-/// What [`Detector::remove_shard`] hands back: everything the caller
-/// needs to wind an offboarded prefix down cleanly.
-#[derive(Debug)]
-pub struct RemovedShard {
-    /// The shard's configuration at removal time.
-    pub owned: OwnedPrefix,
-    /// Every alert the shard raised over its lifetime (the caller
-    /// closes the still-open ones).
-    pub alerts: Vec<AlertId>,
-    /// Events the shard processed (final accounting).
-    pub events: u64,
-}
-
-/// The ARTEMIS detection service.
-pub struct Detector {
-    operator_as: Asn,
-    shards: Vec<DetectorShard>,
-    /// Routes an observed prefix to the responsible shard (index into
-    /// `shards`) by longest-prefix match.
-    routing: PrefixTrie<usize>,
-    store: AlertStore,
-    /// Expectations outside every owned prefix (never consulted by
-    /// classification; kept so expect/unexpect round-trips hold).
-    stray_expected: BTreeSet<Prefix>,
-    /// Optional RPKI table for alert annotation (extension).
-    roa: Option<crate::roa::RoaTable>,
-    events_processed: u64,
-}
-
-impl Detector {
-    /// Build from the operator's configuration: one shard per owned
-    /// prefix. Every owned, non-dormant prefix is initially expected
-    /// to be announced.
-    pub fn new(config: ArtemisConfig) -> Self {
-        let operator_as = config.operator_as;
-        let mut routing = PrefixTrie::new();
-        let mut shards = Vec::with_capacity(config.owned.len());
-        for o in config.owned {
-            let mut expected = BTreeSet::new();
-            if !o.dormant {
-                expected.insert(o.prefix);
-            }
-            routing.insert(o.prefix, shards.len());
-            shards.push(DetectorShard {
-                owned: o,
-                expected,
-                alerts: Vec::new(),
-                events: 0,
-            });
-        }
-        Detector {
-            operator_as,
-            shards,
-            routing,
-            store: AlertStore::new(),
-            stray_expected: BTreeSet::new(),
-            roa: None,
-            events_processed: 0,
-        }
-    }
-
-    /// Number of per-prefix shards (one per configured owned prefix).
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Onboard an owned prefix at runtime: a fresh shard with its own
-    /// legitimacy rules, expectation set and alert scope, routed like
-    /// any construction-time shard. Returns `false` (and changes
-    /// nothing) when a shard for exactly this prefix already exists.
-    pub fn add_shard(&mut self, owned: OwnedPrefix) -> bool {
-        if self.routing.get(owned.prefix).is_some() {
-            return false;
-        }
-        let mut expected = BTreeSet::new();
-        if !owned.dormant {
-            expected.insert(owned.prefix);
-        }
-        self.routing.insert(owned.prefix, self.shards.len());
-        // Expectations that strayed because no shard covered them yet
-        // (e.g. registered before onboarding) stay stray: they were
-        // never consulted and re-registering is the caller's call.
-        self.shards.push(DetectorShard {
-            owned,
-            expected,
-            alerts: Vec::new(),
-            events: 0,
-        });
-        true
-    }
-
-    /// Offboard the shard owning exactly `owned`, returning its
-    /// configuration and the alerts it raised (so the caller can close
-    /// in-flight incidents). Events for the removed address space
-    /// classify as "not our prefix" (benign) from now on.
-    pub fn remove_shard(&mut self, owned: Prefix) -> Option<RemovedShard> {
-        let idx = self.routing.remove(owned)?;
-        let shard = self.shards.swap_remove(idx);
-        // `swap_remove` moved the former last shard into `idx`; its
-        // routing entry must follow it.
-        if idx < self.shards.len() {
-            let moved_prefix = self.shards[idx].owned.prefix;
-            *self
-                .routing
-                .get_mut(moved_prefix)
-                .expect("moved shard stays routed") = idx;
-        }
-        Some(RemovedShard {
-            owned: shard.owned,
-            alerts: shard.alerts,
-            events: shard.events,
-        })
-    }
-
-    /// Events routed to the shard owning exactly `owned`, if any.
-    pub fn shard_events(&self, owned: Prefix) -> Option<u64> {
-        self.routing.get(owned).map(|i| self.shards[*i].events)
-    }
-
-    /// Load an RPKI ROA table; subsequent alerts carry a validity
-    /// verdict for the offending announcement.
-    pub fn set_roa_table(&mut self, roa: crate::roa::RoaTable) {
-        self.roa = Some(roa);
-    }
-
-    /// Register a prefix we are about to announce ourselves (e.g. the
-    /// mitigation /24s) so the detector does not flag it. The
-    /// expectation is routed to the shard owning the covering prefix —
-    /// the same shard the echoed announcements will be routed to.
-    pub fn expect_announcement(&mut self, prefix: Prefix) {
-        match self.routing.longest_match(prefix) {
-            Some((_, idx)) => {
-                self.shards[*idx].expected.insert(prefix);
-            }
-            None => {
-                self.stray_expected.insert(prefix);
-            }
-        }
-    }
-
-    /// Mark a dormant owned prefix as activated: mitigation has begun
-    /// announcing it, so it is no longer "owned but unannounced".
-    /// Clears the shard's dormancy flag and registers the expectation,
-    /// so subsequent events classify under the normal (non-squatting)
-    /// rules instead of flagging our own announcement.
-    pub fn activate_prefix(&mut self, owned: Prefix) {
-        if let Some(idx) = self.routing.get(owned) {
-            let shard = &mut self.shards[*idx];
-            shard.owned.dormant = false;
-            shard.expected.insert(owned);
-        }
-    }
-
-    /// Remove an expectation (after mitigation withdrawal).
-    pub fn unexpect_announcement(&mut self, prefix: Prefix) {
-        match self.routing.longest_match(prefix) {
-            Some((_, idx)) => {
-                self.shards[*idx].expected.remove(&prefix);
-            }
-            None => {
-                self.stray_expected.remove(&prefix);
-            }
-        }
-    }
-
-    /// Total events processed (throughput accounting).
-    pub fn events_processed(&self) -> u64 {
-        self.events_processed
-    }
-
-    /// The alert store (read access).
-    pub fn alerts(&self) -> &AlertStore {
-        &self.store
-    }
-
-    /// Mutable alert store (lifecycle transitions by the app).
-    pub fn alerts_mut(&mut self) -> &mut AlertStore {
-        &mut self.store
-    }
-
-    /// Process one monitoring event: route it to the shard whose owned
-    /// prefix covers it (longest-prefix match through the routing
-    /// trie), then classify against that shard's rules.
-    pub fn process(&mut self, event: &FeedEvent) -> Detection {
-        self.events_processed += 1;
-
-        // Withdrawals never *raise* alerts (resolution is judged by the
-        // monitoring service, which tracks per-VP state).
-        let Some(as_path) = &event.as_path else {
-            return Detection::Benign;
-        };
-
-        // Which shard is responsible? The most-specific owned prefix
-        // containing the observed one (exact and sub-prefix cases) —
-        // an allocation-free trie walk.
-        let shard_idx = match self.routing.longest_match(event.prefix) {
-            Some((_, idx)) => *idx,
-            None => return Detection::Benign, // not our address space
-        };
-        let shard = &mut self.shards[shard_idx];
-        shard.events += 1;
-        let owned = &shard.owned;
-
-        // The origin as seen by the vantage point. The path includes
-        // the vantage AS at the front; the origin is at the end.
-        let observed_origin = event.origin_as.or_else(|| as_path.origin());
-
+impl ShardRules {
+    /// Classify one event routed to this shard. Pure read — shared by
+    /// the sequential path and the parallel preparation phase.
+    fn classify(
+        &self,
+        event: &FeedEvent,
+        as_path: &AsPath,
+        observed_origin: Option<Asn>,
+    ) -> Option<HijackType> {
+        let owned = &self.owned;
         let exact = event.prefix == owned.prefix;
         let legit_origin = observed_origin
             .map(|o| owned.legitimate_origins.contains(&o))
             .unwrap_or(false);
 
-        let hijack_type = if owned.dormant {
+        if owned.dormant {
             // Any announcement of a dormant prefix is squatting —
             // *except* the echo of our own mitigation announcement: a
             // Squatting plan announces the dormant prefix itself, and
@@ -271,7 +88,7 @@ impl Detector {
             // event is ours only when it is both expected (registered
             // by the mitigation) and carries a legitimate origin; an
             // attacker announcing the same prefix stays a hijack.
-            if shard.expected.contains(&event.prefix) && legit_origin {
+            if self.expected.contains(&event.prefix) && legit_origin {
                 None
             } else {
                 Some(HijackType::Squatting)
@@ -299,7 +116,7 @@ impl Detector {
             }
         } else {
             // More-specific announcement of our space.
-            if shard.expected.contains(&event.prefix) {
+            if self.expected.contains(&event.prefix) {
                 // Our own (mitigation) announcement echoed back — but
                 // only if the origin is also legitimate; an attacker
                 // announcing *the same* /24 is still a hijack.
@@ -313,13 +130,388 @@ impl Detector {
             } else {
                 Some(HijackType::SubPrefix)
             }
-        };
+        }
+    }
+}
 
+/// Per-owned-prefix mutable accounting (main-thread only).
+///
+/// Each configured prefix gets its own shard: the alerts raised for it
+/// (the dedup scope) and its event counter. The classification rules
+/// live separately in [`ShardRules`] so they can be shared with worker
+/// threads. Events are routed to exactly one shard via longest-prefix
+/// match, so concurrent incidents on different prefixes never contend
+/// on shared state and per-event work stays independent of how many
+/// prefixes an operator configures.
+struct DetectorShard {
+    /// Alerts raised for this shard (dedup scope).
+    alerts: Vec<AlertId>,
+    /// Events routed to this shard.
+    events: u64,
+}
+
+/// What [`Detector::remove_shard`] hands back: everything the caller
+/// needs to wind an offboarded prefix down cleanly.
+#[derive(Debug)]
+pub struct RemovedShard {
+    /// The shard's configuration at removal time.
+    pub owned: OwnedPrefix,
+    /// Every alert the shard raised over its lifetime (the caller
+    /// closes the still-open ones).
+    pub alerts: Vec<AlertId>,
+    /// Events the shard processed (final accounting).
+    pub events: u64,
+}
+
+/// Precomputed classification outcome for one event — the output of
+/// the thread-safe preparation phase, committed in batch order via
+/// [`Detector::process_prepared`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedEvent {
+    /// Index of the shard the event routes to; `None` for withdrawals
+    /// and events outside every owned prefix (both classify Benign
+    /// without touching shard accounting).
+    shard: Option<u32>,
+    /// The classification against the rules snapshot at preparation
+    /// time (`None` = benign).
+    hijack: Option<HijackType>,
+    /// The origin AS as seen by the vantage point.
+    origin: Option<Asn>,
+}
+
+impl PreparedEvent {
+    /// A prepared outcome that commits as benign without shard
+    /// accounting (withdrawals, space we do not own).
+    pub const BENIGN: PreparedEvent = PreparedEvent {
+        shard: None,
+        hijack: None,
+        origin: None,
+    };
+}
+
+impl Default for PreparedEvent {
+    fn default() -> Self {
+        PreparedEvent::BENIGN
+    }
+}
+
+/// An owned, thread-safe snapshot of the detector's routing trie and
+/// classification rules, for fanning [`ClassifyContext::prepare`] out
+/// to worker threads. Cheap to clone (two `Arc` bumps).
+#[derive(Clone)]
+pub struct ClassifyContext {
+    routing: Arc<PrefixTrie<usize>>,
+    rules: Arc<Vec<Arc<ShardRules>>>,
+}
+
+impl ClassifyContext {
+    /// Classify one event against the snapshot: route it to the
+    /// responsible shard (longest-prefix match) and run the shard's
+    /// legitimacy rules. Pure; safe to call from any thread.
+    pub fn prepare(&self, event: &FeedEvent) -> PreparedEvent {
+        prepare_with(&self.routing, &self.rules, event)
+    }
+}
+
+fn prepare_with(
+    routing: &PrefixTrie<usize>,
+    rules: &[Arc<ShardRules>],
+    event: &FeedEvent,
+) -> PreparedEvent {
+    // Withdrawals never *raise* alerts (resolution is judged by the
+    // monitoring service, which tracks per-VP state).
+    let Some(as_path) = &event.as_path else {
+        return PreparedEvent::BENIGN;
+    };
+    // Which shard is responsible? The most-specific owned prefix
+    // containing the observed one (exact and sub-prefix cases) — an
+    // allocation-free trie walk.
+    let Some((_, idx)) = routing.longest_match(event.prefix) else {
+        return PreparedEvent::BENIGN; // not our address space
+    };
+    // The origin as seen by the vantage point. The path includes the
+    // vantage AS at the front; the origin is at the end.
+    let origin = event.origin_as.or_else(|| as_path.origin());
+    PreparedEvent {
+        shard: Some(*idx as u32),
+        hijack: rules[*idx].classify(event, as_path, origin),
+        origin,
+    }
+}
+
+/// The ARTEMIS detection service.
+pub struct Detector {
+    operator_as: Asn,
+    shards: Vec<DetectorShard>,
+    /// Classification rules per shard, shared copy-on-write with
+    /// worker-thread [`ClassifyContext`]s.
+    rules: Arc<Vec<Arc<ShardRules>>>,
+    /// Routes an observed prefix to the responsible shard (index into
+    /// `shards`/`rules`) by longest-prefix match.
+    routing: Arc<PrefixTrie<usize>>,
+    store: AlertStore,
+    /// Expectations outside every owned prefix (never consulted by
+    /// classification; kept so expect/unexpect round-trips hold).
+    stray_expected: BTreeSet<Prefix>,
+    /// Optional RPKI table for alert annotation (extension).
+    roa: Option<crate::roa::RoaTable>,
+    events_processed: u64,
+    /// Shards whose rules changed since [`Detector::begin_batch`]:
+    /// batch-start [`PreparedEvent`]s for them are stale and commit by
+    /// re-classifying against live state instead.
+    dirty: Vec<bool>,
+}
+
+impl Detector {
+    /// Build from the operator's configuration: one shard per owned
+    /// prefix. Every owned, non-dormant prefix is initially expected
+    /// to be announced.
+    pub fn new(config: ArtemisConfig) -> Self {
+        let operator_as = config.operator_as;
+        let mut routing = PrefixTrie::new();
+        let mut shards = Vec::with_capacity(config.owned.len());
+        let mut rules = Vec::with_capacity(config.owned.len());
+        for o in config.owned {
+            let mut expected = BTreeSet::new();
+            if !o.dormant {
+                expected.insert(o.prefix);
+            }
+            routing.insert(o.prefix, shards.len());
+            rules.push(Arc::new(ShardRules { owned: o, expected }));
+            shards.push(DetectorShard {
+                alerts: Vec::new(),
+                events: 0,
+            });
+        }
+        let dirty = vec![false; shards.len()];
+        Detector {
+            operator_as,
+            shards,
+            rules: Arc::new(rules),
+            routing: Arc::new(routing),
+            store: AlertStore::new(),
+            stray_expected: BTreeSet::new(),
+            roa: None,
+            events_processed: 0,
+            dirty,
+        }
+    }
+
+    /// Number of per-prefix shards (one per configured owned prefix).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Onboard an owned prefix at runtime: a fresh shard with its own
+    /// legitimacy rules, expectation set and alert scope, routed like
+    /// any construction-time shard. Returns `false` (and changes
+    /// nothing) when a shard for exactly this prefix already exists.
+    pub fn add_shard(&mut self, owned: OwnedPrefix) -> bool {
+        if self.routing.get(owned.prefix).is_some() {
+            return false;
+        }
+        let mut expected = BTreeSet::new();
+        if !owned.dormant {
+            expected.insert(owned.prefix);
+        }
+        Arc::make_mut(&mut self.routing).insert(owned.prefix, self.shards.len());
+        // Expectations that strayed because no shard covered them yet
+        // (e.g. registered before onboarding) stay stray: they were
+        // never consulted and re-registering is the caller's call.
+        Arc::make_mut(&mut self.rules).push(Arc::new(ShardRules { owned, expected }));
+        self.shards.push(DetectorShard {
+            alerts: Vec::new(),
+            events: 0,
+        });
+        self.dirty.push(true);
+        true
+    }
+
+    /// Offboard the shard owning exactly `owned`, returning its
+    /// configuration and the alerts it raised (so the caller can close
+    /// in-flight incidents). Events for the removed address space
+    /// classify as "not our prefix" (benign) from now on.
+    pub fn remove_shard(&mut self, owned: Prefix) -> Option<RemovedShard> {
+        let idx = Arc::make_mut(&mut self.routing).remove(owned)?;
+        let shard = self.shards.swap_remove(idx);
+        let rules = Arc::make_mut(&mut self.rules).swap_remove(idx);
+        self.dirty.swap_remove(idx);
+        // `swap_remove` moved the former last shard into `idx`; its
+        // routing entry must follow it.
+        if idx < self.shards.len() {
+            let moved_prefix = self.rules[idx].owned.prefix;
+            *Arc::make_mut(&mut self.routing)
+                .get_mut(moved_prefix)
+                .expect("moved shard stays routed") = idx;
+            self.dirty[idx] = true;
+        }
+        Some(RemovedShard {
+            owned: Arc::try_unwrap(rules)
+                .unwrap_or_else(|shared| (*shared).clone())
+                .owned,
+            alerts: shard.alerts,
+            events: shard.events,
+        })
+    }
+
+    /// Events routed to the shard owning exactly `owned`, if any.
+    pub fn shard_events(&self, owned: Prefix) -> Option<u64> {
+        self.routing.get(owned).map(|i| self.shards[*i].events)
+    }
+
+    /// Load an RPKI ROA table; subsequent alerts carry a validity
+    /// verdict for the offending announcement.
+    pub fn set_roa_table(&mut self, roa: crate::roa::RoaTable) {
+        self.roa = Some(roa);
+    }
+
+    /// Mutable access to one shard's rules, marking the shard dirty so
+    /// in-flight batch preparations re-classify at commit time.
+    fn rules_mut(&mut self, idx: usize) -> &mut ShardRules {
+        self.dirty[idx] = true;
+        Arc::make_mut(&mut Arc::make_mut(&mut self.rules)[idx])
+    }
+
+    /// Register a prefix we are about to announce ourselves (e.g. the
+    /// mitigation /24s) so the detector does not flag it. The
+    /// expectation is routed to the shard owning the covering prefix —
+    /// the same shard the echoed announcements will be routed to.
+    pub fn expect_announcement(&mut self, prefix: Prefix) {
+        match self.routing.longest_match(prefix) {
+            Some((_, idx)) => {
+                let idx = *idx;
+                self.rules_mut(idx).expected.insert(prefix);
+            }
+            None => {
+                self.stray_expected.insert(prefix);
+            }
+        }
+    }
+
+    /// Mark a dormant owned prefix as activated: mitigation has begun
+    /// announcing it, so it is no longer "owned but unannounced".
+    /// Clears the shard's dormancy flag and registers the expectation,
+    /// so subsequent events classify under the normal (non-squatting)
+    /// rules instead of flagging our own announcement.
+    pub fn activate_prefix(&mut self, owned: Prefix) {
+        if let Some(idx) = self.routing.get(owned) {
+            let idx = *idx;
+            let rules = self.rules_mut(idx);
+            rules.owned.dormant = false;
+            rules.expected.insert(owned);
+        }
+    }
+
+    /// Remove an expectation (after mitigation withdrawal).
+    pub fn unexpect_announcement(&mut self, prefix: Prefix) {
+        match self.routing.longest_match(prefix) {
+            Some((_, idx)) => {
+                let idx = *idx;
+                self.rules_mut(idx).expected.remove(&prefix);
+            }
+            None => {
+                self.stray_expected.remove(&prefix);
+            }
+        }
+    }
+
+    /// Total events processed (throughput accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The alert store (read access).
+    pub fn alerts(&self) -> &AlertStore {
+        &self.store
+    }
+
+    /// Mutable alert store (lifecycle transitions by the app).
+    pub fn alerts_mut(&mut self) -> &mut AlertStore {
+        &mut self.store
+    }
+
+    // ---- Two-phase (parallel) processing ----------------------------
+
+    /// An owned snapshot of the routing trie and per-shard rules for
+    /// worker threads (two `Arc` bumps; no copying).
+    pub fn classify_context(&self) -> ClassifyContext {
+        ClassifyContext {
+            routing: Arc::clone(&self.routing),
+            rules: Arc::clone(&self.rules),
+        }
+    }
+
+    /// Classify one event against live state without committing it —
+    /// the single-threaded equivalent of [`ClassifyContext::prepare`].
+    pub fn prepare(&self, event: &FeedEvent) -> PreparedEvent {
+        prepare_with(&self.routing, &self.rules, event)
+    }
+
+    /// Start a new commit batch: forget which shards were dirtied by
+    /// earlier batches. Call once per batch, *before* preparing events
+    /// against the current rules snapshot.
+    pub fn begin_batch(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Commit one prepared event in batch order.
+    ///
+    /// Uses the precomputed classification unless the owning shard's
+    /// rules changed since [`Detector::begin_batch`] (a mitigation
+    /// registered an expectation, a squatting plan activated the
+    /// prefix), in which case the event is re-classified against live
+    /// state — making the two-phase path byte-identical to
+    /// [`Detector::process`] by construction.
+    pub fn process_prepared(&mut self, event: &FeedEvent, prep: PreparedEvent) -> Detection {
+        self.events_processed += 1;
+        let Some(idx) = prep.shard else {
+            return Detection::Benign;
+        };
+        let idx = idx as usize;
+        self.shards[idx].events += 1;
+        let (hijack_type, observed_origin) = if self.dirty[idx] {
+            let as_path = event.as_path.as_ref().expect("routed events carry a path");
+            let origin = event.origin_as.or_else(|| as_path.origin());
+            (self.rules[idx].classify(event, as_path, origin), origin)
+        } else {
+            (prep.hijack, prep.origin)
+        };
+        self.commit(event, idx, hijack_type, observed_origin)
+    }
+
+    /// Process one monitoring event: route it to the shard whose owned
+    /// prefix covers it (longest-prefix match through the routing
+    /// trie), classify against that shard's rules, and commit. The
+    /// fused sequential path — identical to `prepare` +
+    /// [`Detector::process_prepared`], except the dirty check is
+    /// skipped: this classification is against live state by
+    /// definition, and per-event drivers never call
+    /// [`Detector::begin_batch`], so a stale dirty bit must not force
+    /// a redundant second classification on every call.
+    pub fn process(&mut self, event: &FeedEvent) -> Detection {
+        self.events_processed += 1;
+        let prep = prepare_with(&self.routing, &self.rules, event);
+        let Some(idx) = prep.shard else {
+            return Detection::Benign;
+        };
+        let idx = idx as usize;
+        self.shards[idx].events += 1;
+        self.commit(event, idx, prep.hijack, prep.origin)
+    }
+
+    /// Shared commit tail: per-shard alert dedup + RPKI annotation.
+    fn commit(
+        &mut self,
+        event: &FeedEvent,
+        idx: usize,
+        hijack_type: Option<HijackType>,
+        observed_origin: Option<Asn>,
+    ) -> Detection {
         let Some(hijack_type) = hijack_type else {
             return Detection::Benign;
         };
-
-        let owned_prefix = owned.prefix;
+        let owned_prefix = self.rules[idx].owned.prefix;
+        let shard = &mut self.shards[idx];
         let (id, new) = self.store.observe_scoped(
             &mut shard.alerts,
             hijack_type,
@@ -615,7 +807,7 @@ mod tests {
         use crate::roa::{RoaTable, RoaValidity};
         let mut d = Detector::new(config());
         let mut roa = RoaTable::new();
-        roa.add(pfx("10.0.0.0/23"), Asn(65001), 24);
+        assert!(roa.add(pfx("10.0.0.0/23"), Asn(65001), 24));
         d.set_roa_table(roa);
         // The hijack is RPKI-Invalid (covered by a ROA, wrong origin).
         let ev = event("10.0.0.0/23", &[2914, 174, 666], 45);
@@ -687,5 +879,100 @@ mod tests {
         let mut d = Detector::new(cfg);
         let ev = event("10.0.0.0/23", &[2914, 174, 65002], 45);
         assert_eq!(d.process(&ev), Detection::Benign);
+    }
+
+    // ---- Two-phase path ---------------------------------------------
+
+    #[test]
+    fn prepared_path_matches_fused_process() {
+        let events = [
+            event("10.0.0.0/23", &[2914, 174, 666], 45), // exact hijack
+            event("10.0.0.0/23", &[1299, 174, 666], 46), // second witness
+            event("10.0.0.0/24", &[2914, 666, 65001], 47), // forged origin
+            event("8.8.8.0/24", &[2914, 15169], 48),     // unrelated
+            event("203.0.113.0/24", &[2914, 174, 31337], 49), // squat
+            event("10.0.0.0/23", &[2914, 174, 65001], 50), // legit
+        ];
+        let mut fused = Detector::new(config());
+        let fused_out: Vec<Detection> = events.iter().map(|e| fused.process(e)).collect();
+
+        let mut split = Detector::new(config());
+        split.begin_batch();
+        let ctx = split.classify_context();
+        let prepared: Vec<PreparedEvent> = events.iter().map(|e| ctx.prepare(e)).collect();
+        let split_out: Vec<Detection> = events
+            .iter()
+            .zip(prepared)
+            .map(|(e, p)| split.process_prepared(e, p))
+            .collect();
+
+        assert_eq!(fused_out, split_out);
+        assert_eq!(fused.alerts().all(), split.alerts().all());
+        assert_eq!(fused.events_processed(), split.events_processed());
+        assert_eq!(
+            fused.shard_events(pfx("10.0.0.0/23")),
+            split.shard_events(pfx("10.0.0.0/23"))
+        );
+    }
+
+    #[test]
+    fn dirty_shard_reclassifies_stale_preparations() {
+        // Prepare a batch, then mutate the shard's rules mid-batch
+        // (exactly what a mitigation's expect_announcement does): the
+        // stale preparation must be ignored and the event re-classified
+        // against live state.
+        let mut d = Detector::new(config());
+        d.begin_batch();
+        let ctx = d.classify_context();
+        let echo = event("10.0.0.0/24", &[2914, 174, 65001], 60);
+        let prep = ctx.prepare(&echo);
+        // At preparation time this is a forged-origin sub-prefix
+        // hijack (the /24 is not yet expected).
+        assert!(matches!(
+            d.process_prepared(&echo, prep),
+            Detection::NewAlert(_)
+        ));
+
+        // Same preparation, but the mitigation registers the /24
+        // before the commit: dirty shard → re-classified → benign.
+        let mut d = Detector::new(config());
+        d.begin_batch();
+        let ctx = d.classify_context();
+        let prep = ctx.prepare(&echo);
+        d.expect_announcement(pfx("10.0.0.0/24"));
+        assert_eq!(d.process_prepared(&echo, prep), Detection::Benign);
+
+        // A fresh batch resets the dirty mark.
+        d.begin_batch();
+        let prep = d.prepare(&echo);
+        assert_eq!(d.process_prepared(&echo, prep), Detection::Benign);
+    }
+
+    #[test]
+    fn classify_context_is_a_stable_snapshot() {
+        let d = Detector::new(config());
+        let ctx = d.classify_context();
+        let hijack = event("10.0.0.0/23", &[2914, 174, 666], 45);
+        let a = ctx.prepare(&hijack);
+        // The snapshot is clonable and shareable across threads.
+        let ctx2 = ctx.clone();
+        let b = std::thread::spawn(move || ctx2.prepare(&hijack))
+            .join()
+            .expect("worker classifies");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn copy_on_write_rules_do_not_disturb_live_snapshots() {
+        let mut d = Detector::new(config());
+        let ctx = d.classify_context();
+        let echo = event("10.0.0.0/24", &[2914, 174, 65001], 60);
+        let before = ctx.prepare(&echo);
+        // Mutating the detector's rules clones the touched shard; the
+        // held snapshot keeps classifying against the old rules.
+        d.expect_announcement(pfx("10.0.0.0/24"));
+        assert_eq!(ctx.prepare(&echo), before);
+        // The detector's own (live) classification sees the new rules.
+        assert_eq!(d.prepare(&echo).hijack, None);
     }
 }

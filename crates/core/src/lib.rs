@@ -51,6 +51,7 @@ pub mod experiment;
 pub mod hijack_stats;
 pub mod mitigation;
 pub mod monitor;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod roa;
@@ -67,7 +68,10 @@ pub use experiment::{Experiment, ExperimentBuilder, ExperimentOutcome, PhaseTimi
 pub use hijack_stats::HijackDurationModel;
 pub use mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
 pub use monitor::MonitorService;
-pub use pipeline::{OffboardReport, Pipeline, PipelineEvent, RunEnd, RunReport};
+pub use parallel::WorkerPool;
+pub use pipeline::{
+    OffboardReport, Pipeline, PipelineConfig, PipelineEvent, RunEnd, RunReport, WorkerStatus,
+};
 pub use service::{
     ArtemisService, CommandOutcome, ServiceCommand, ServiceError, ServiceQuery, ServiceReply,
     ServiceStatus,

@@ -73,7 +73,17 @@ impl MonitorService {
     }
 
     /// Ingest a monitoring event; records a timeline point when the
-    /// aggregate state changed.
+    /// reporting vantage point's selection changed.
+    ///
+    /// The change test is **per-VP**, not aggregate: it compares the
+    /// reporting VP's `(state, selected origin)` before and after the
+    /// observation. Comparing aggregate `(legitimate, hijacked,
+    /// unknown)` counts — the previous behaviour — suppressed every
+    /// transition that left the totals untouched: a vantage point
+    /// switching from one hijacker origin to another (or between two
+    /// legitimate anycast origins) stayed inside its bucket, and
+    /// opposite per-VP flips netting out across a recorded point
+    /// vanished from the timeline entirely.
     pub fn ingest(&mut self, event: &FeedEvent) {
         // Only events about the monitored space matter.
         if !(self.target.contains(event.prefix) || event.prefix.contains(self.target)) {
@@ -82,6 +92,7 @@ impl MonitorService {
         if !self.vantage_points.contains(&event.vantage) {
             return;
         }
+        let before = self.vp_observation(event.vantage);
         let slot = self.observations.entry(event.vantage).or_default();
         match (&event.as_path, event.origin_as) {
             (Some(_), origin) => {
@@ -91,24 +102,18 @@ impl MonitorService {
                 slot.remove(&event.prefix);
             }
         }
-        let point = self.snapshot(event.emitted_at);
-        if self
-            .timeline
-            .last()
-            .map(|last| {
-                (last.legitimate, last.hijacked, last.unknown)
-                    != (point.legitimate, point.hijacked, point.unknown)
-            })
-            .unwrap_or(true)
-        {
-            self.timeline.push(point);
+        let after = self.vp_observation(event.vantage);
+        if self.timeline.is_empty() || before != after {
+            self.timeline.push(self.snapshot(event.emitted_at));
         }
     }
 
-    /// The state of one vantage point (LPM over its observations).
-    pub fn vp_state(&self, vp: Asn) -> VpState {
+    /// The state of one vantage point together with the origin its
+    /// LPM-selected observation points at (`None` when the VP has no
+    /// data, or its best route carries an AS_SET origin).
+    pub fn vp_observation(&self, vp: Asn) -> (VpState, Option<Asn>) {
         let Some(obs) = self.observations.get(&vp) else {
-            return VpState::Unknown;
+            return (VpState::Unknown, None);
         };
         // Longest prefix match across everything the VP reported that
         // covers (part of) the target. For the paper's measurement the
@@ -119,13 +124,18 @@ impl MonitorService {
             .filter(|(p, _)| p.contains(self.target) || self.target.contains(**p))
             .max_by_key(|(p, _)| p.len());
         match best {
-            None => VpState::Unknown,
+            None => (VpState::Unknown, None),
             Some((_, Some(origin))) if self.legitimate_origins.contains(origin) => {
-                VpState::Legitimate
+                (VpState::Legitimate, Some(*origin))
             }
-            Some((_, Some(_))) => VpState::Hijacked,
-            Some((_, None)) => VpState::Hijacked, // AS_SET origin: suspicious
+            Some((_, Some(origin))) => (VpState::Hijacked, Some(*origin)),
+            Some((_, None)) => (VpState::Hijacked, None), // AS_SET origin: suspicious
         }
+    }
+
+    /// The state of one vantage point (LPM over its observations).
+    pub fn vp_state(&self, vp: Asn) -> VpState {
+        self.vp_observation(vp).0
     }
 
     /// Aggregate counts now.
@@ -283,5 +293,80 @@ mod tests {
         m.ingest(&event(3356, "10.0.0.0/23", Some(666), 12));
         assert_eq!(m.timeline().len(), 2);
         assert_eq!(m.timeline()[1].hijacked, 1);
+    }
+
+    #[test]
+    fn hijacker_origin_swap_records_a_timeline_point() {
+        // Regression: the old aggregate-count comparison suppressed
+        // every per-VP transition that left (legitimate, hijacked,
+        // unknown) untouched — a vantage point moving from one
+        // hijacker to another stayed "1 hijacked" and vanished from
+        // the timeline.
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(666), 10));
+        assert_eq!(m.timeline().len(), 1);
+        m.ingest(&event(174, "10.0.0.0/23", Some(667), 20));
+        assert_eq!(
+            m.timeline().len(),
+            2,
+            "origin 666 → 667 is a state transition even though the \
+             aggregate counts are unchanged"
+        );
+        assert_eq!(m.timeline()[1].time, SimTime::from_secs(20));
+        assert_eq!(
+            m.vp_observation(Asn(174)),
+            (VpState::Hijacked, Some(Asn(667)))
+        );
+    }
+
+    #[test]
+    fn legitimate_anycast_origin_swap_records_a_timeline_point() {
+        let mut m = MonitorService::new(
+            pfx("10.0.0.0/23"),
+            [Asn(65001), Asn(65002)].into_iter().collect(),
+            [Asn(174)].into_iter().collect(),
+        );
+        m.ingest(&event(174, "10.0.0.0/23", Some(65001), 10));
+        m.ingest(&event(174, "10.0.0.0/23", Some(65002), 20));
+        assert_eq!(m.timeline().len(), 2, "anycast swap is visible");
+        assert!(m.all_legitimate());
+    }
+
+    #[test]
+    fn simultaneous_opposite_flips_both_appear() {
+        // Two VPs flip in opposite directions at the same instant; the
+        // aggregate counts net out to the pre-flip values, but the
+        // timeline must still carry both transitions.
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(65001), 10));
+        m.ingest(&event(3356, "10.0.0.0/23", Some(666), 11));
+        let len_before = m.timeline().len();
+        m.ingest(&event(174, "10.0.0.0/23", Some(666), 30)); // legit → hijacked
+        m.ingest(&event(3356, "10.0.0.0/23", Some(65001), 30)); // hijacked → legit
+        assert_eq!(
+            m.timeline().len(),
+            len_before + 2,
+            "both opposite flips are recorded"
+        );
+        let last = m.timeline().last().unwrap();
+        let prior = &m.timeline()[m.timeline().len() - 3];
+        assert_eq!(
+            (last.legitimate, last.hijacked, last.unknown),
+            (prior.legitimate, prior.hijacked, prior.unknown),
+            "net aggregate change is zero — exactly why the aggregate \
+             comparison lost these"
+        );
+    }
+
+    #[test]
+    fn redundant_reannouncement_still_suppressed() {
+        // The fix must not regress the dedup property: an event that
+        // changes nothing for its VP records nothing.
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(666), 10));
+        // Same VP, same origin, via a different (less specific) covering
+        // route: LPM selection unchanged.
+        m.ingest(&event(174, "10.0.0.0/16", Some(666), 11));
+        assert_eq!(m.timeline().len(), 1);
     }
 }

@@ -1,0 +1,268 @@
+//! The persistent worker pool behind the parallel detection pipeline.
+//!
+//! The container this project targets is registry-less, so there is no
+//! rayon/tokio to lean on: the pool is plain [`std::thread`] workers
+//! wired with [`std::sync::mpsc`] channels. Each worker owns a job
+//! receiver; results funnel back over one shared channel.
+//!
+//! # Design
+//!
+//! A classification job is an immutable slice of a drained feed-event
+//! batch: the batch rides in an [`Arc`] (no copying, no `unsafe`
+//! lifetime games), together with a [`ClassifyContext`] snapshot of
+//! the detector's routing trie and per-shard rules (two `Arc` bumps).
+//! Workers classify their assigned index range into a recycled output
+//! buffer and send it back; the dispatcher copies each returned chunk
+//! into the batch-aligned `prepared` buffer **by range**, so the merge
+//! order is a function of the batch layout alone — never of thread
+//! scheduling. Determinism is structural, not best-effort.
+//!
+//! The pool is engaged per batch and blocks until every chunk
+//! returns, which also means a [`WorkerPool`] borrowed nothing: jobs
+//! only carry owned (`Arc`ed) data.
+
+use crate::detector::{ClassifyContext, PreparedEvent};
+use artemis_feeds::{batch_chunks, FeedEvent};
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One classification job: prepare `events[range]` against `ctx`.
+struct Job {
+    events: Arc<Vec<FeedEvent>>,
+    range: Range<usize>,
+    ctx: ClassifyContext,
+    /// Recycled output buffer (cleared by the worker).
+    out: Vec<PreparedEvent>,
+}
+
+/// A finished job: the classifications for `range`, in batch order.
+struct JobResult {
+    range: Range<usize>,
+    out: Vec<PreparedEvent>,
+}
+
+/// A persistent pool of classification workers.
+///
+/// Workers are spawned once (at pipeline construction) and park on
+/// their job channel between batches; per-batch overhead is a channel
+/// round-trip per worker, amortized over the whole batch.
+pub struct WorkerPool {
+    job_txs: Vec<Sender<Job>>,
+    result_rx: Receiver<JobResult>,
+    /// Recycled per-chunk output buffers.
+    spare: Vec<Vec<PreparedEvent>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Events classified by each worker over the pool's lifetime.
+    worker_events: Vec<u64>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` (≥ 1) classification threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (result_tx, result_rx) = channel::<JobResult>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut threads = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (job_tx, job_rx) = channel::<Job>();
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("artemis-detect-{i}"))
+                .spawn(move || worker_loop(job_rx, result_tx))
+                .expect("spawn detection worker");
+            job_txs.push(job_tx);
+            threads.push(handle);
+        }
+        WorkerPool {
+            job_txs,
+            result_rx,
+            spare: Vec::new(),
+            threads,
+            worker_events: vec![0; workers],
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Events classified by each worker so far (chunk assignment is
+    /// deterministic: chunk *i* of every batch goes to worker *i*).
+    pub fn worker_events(&self) -> &[u64] {
+        &self.worker_events
+    }
+
+    /// Classify a drained batch across the pool against `ctx`.
+    ///
+    /// `events` is the batch exactly as `FeedHub::drain_batch`
+    /// produced it (already `(emitted_at, ingestion order)`-sorted);
+    /// `prepared` must be `events.len()` long and receives the
+    /// per-event classification at the event's batch position. Blocks
+    /// until every chunk returned, so the caller can immediately
+    /// reclaim the batch from the `Arc`.
+    pub fn classify(
+        &mut self,
+        events: &Arc<Vec<FeedEvent>>,
+        ctx: &ClassifyContext,
+        prepared: &mut [PreparedEvent],
+    ) {
+        assert_eq!(events.len(), prepared.len(), "prepared buffer mis-sized");
+        let mut dispatched = 0usize;
+        for (i, range) in batch_chunks(events.len(), self.job_txs.len()).enumerate() {
+            self.worker_events[i] += range.len() as u64;
+            let job = Job {
+                events: Arc::clone(events),
+                range,
+                ctx: ctx.clone(),
+                out: self.spare.pop().unwrap_or_default(),
+            };
+            self.job_txs[i]
+                .send(job)
+                .expect("detection worker is alive");
+            dispatched += 1;
+        }
+        for _ in 0..dispatched {
+            let JobResult { range, out } = self
+                .result_rx
+                .recv()
+                .expect("detection worker pool lost a worker");
+            prepared[range].copy_from_slice(&out);
+            self.spare.push(out);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends every worker loop; join so no
+        // detached thread outlives the pipeline.
+        self.job_txs.clear();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(jobs: Receiver<Job>, results: Sender<JobResult>) {
+    while let Ok(Job {
+        events,
+        range,
+        ctx,
+        mut out,
+    }) = jobs.recv()
+    {
+        out.clear();
+        out.extend(events[range.clone()].iter().map(|ev| ctx.prepare(ev)));
+        // Release the batch before signalling completion: once the
+        // dispatcher has received every result, it is guaranteed to be
+        // the sole owner of the `Arc` again.
+        drop(events);
+        drop(ctx);
+        if results.send(JobResult { range, out }).is_err() {
+            break; // pool dropped mid-flight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArtemisConfig, OwnedPrefix};
+    use crate::detector::Detector;
+    use artemis_bgp::{AsPath, Asn, Prefix};
+    use artemis_feeds::FeedKind;
+    use artemis_simnet::SimTime;
+    use std::str::FromStr;
+
+    fn pfx(s: &str) -> Prefix {
+        Prefix::from_str(s).unwrap()
+    }
+
+    fn detector() -> Detector {
+        Detector::new(ArtemisConfig::new(
+            Asn(65001),
+            vec![
+                OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001)),
+                OwnedPrefix::new(pfx("172.16.0.0/23"), Asn(65001)),
+            ],
+        ))
+    }
+
+    fn events(n: usize) -> Arc<Vec<FeedEvent>> {
+        Arc::new(
+            (0..n)
+                .map(|i| {
+                    let prefix = match i % 3 {
+                        0 => pfx("10.0.0.0/23"),
+                        1 => pfx("172.16.0.0/23"),
+                        _ => pfx("8.8.8.0/24"),
+                    };
+                    let origin = if i % 5 == 0 { 666 } else { 65001 };
+                    let as_path = AsPath::from_sequence([174u32, origin]);
+                    FeedEvent {
+                        emitted_at: SimTime::from_secs(i as u64),
+                        observed_at: SimTime::from_secs(i as u64),
+                        source: FeedKind::RisLive,
+                        collector: "rrc00".into(),
+                        vantage: Asn(174),
+                        prefix,
+                        origin_as: as_path.origin(),
+                        as_path: Some(as_path),
+                        raw: None,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pool_matches_single_threaded_preparation() {
+        let d = detector();
+        let batch = events(1_000);
+        let expected: Vec<PreparedEvent> = batch.iter().map(|e| d.prepare(e)).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let mut pool = WorkerPool::new(workers);
+            let mut prepared = vec![PreparedEvent::BENIGN; batch.len()];
+            pool.classify(&batch, &d.classify_context(), &mut prepared);
+            assert_eq!(prepared, expected, "workers={workers}");
+            assert_eq!(pool.worker_events().iter().sum::<u64>(), batch.len() as u64);
+        }
+    }
+
+    #[test]
+    fn batch_ownership_returns_after_classify() {
+        let d = detector();
+        let batch = events(64);
+        let mut pool = WorkerPool::new(3);
+        let mut prepared = vec![PreparedEvent::BENIGN; batch.len()];
+        pool.classify(&batch, &d.classify_context(), &mut prepared);
+        // All worker clones dropped: the dispatcher is sole owner.
+        let inner = Arc::try_unwrap(batch).expect("exclusive after classify");
+        assert_eq!(inner.len(), 64);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let d = detector();
+        let batch = events(0);
+        let mut pool = WorkerPool::new(2);
+        let mut prepared = Vec::new();
+        pool.classify(&batch, &d.classify_context(), &mut prepared);
+        assert_eq!(pool.worker_events(), &[0, 0]);
+    }
+
+    #[test]
+    fn chunk_assignment_is_deterministic() {
+        let d = detector();
+        let batch = events(10);
+        let mut pool = WorkerPool::new(4);
+        let mut prepared = vec![PreparedEvent::BENIGN; batch.len()];
+        pool.classify(&batch, &d.classify_context(), &mut prepared);
+        pool.classify(&batch, &d.classify_context(), &mut prepared);
+        // ceil(10/4)=3 → chunks of 3,3,3,1 — same workers every batch.
+        assert_eq!(pool.worker_events(), &[6, 6, 6, 2]);
+    }
+}

@@ -46,17 +46,79 @@
 use crate::alert::{AlertId, AlertState};
 use crate::app::AppAction;
 use crate::config::{ArtemisConfig, OwnedPrefix};
-use crate::detector::{Detection, Detector};
+use crate::detector::{Detection, Detector, PreparedEvent};
 use crate::event_log::{EventCursor, EventLog, IncidentEvent, PollBatch};
 use crate::mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
 use crate::monitor::MonitorService;
+use crate::parallel::WorkerPool;
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::Engine;
 use artemis_controller::{Controller, IntentKind};
 use artemis_feeds::{EngineView, FeedEvent, FeedHandle, FeedHub, FeedSource};
 use artemis_simnet::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
+use std::sync::Arc;
+
+/// Execution parameters of the [`Pipeline`] itself (as opposed to the
+/// operator's [`ArtemisConfig`], which describes *what* to protect).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of detection worker threads. `1` (the default) keeps
+    /// everything on the calling thread — bit-for-bit the historical
+    /// sequential pipeline. With `workers ≥ 2`, every drained batch of
+    /// at least [`PipelineConfig::parallel_threshold`] events is
+    /// partitioned and classified concurrently on a persistent
+    /// [`WorkerPool`], then committed in deterministic `(emitted_at,
+    /// ingestion order)` — outputs are byte-identical to `workers =
+    /// 1` regardless of thread scheduling.
+    pub workers: usize,
+    /// Minimum batch size worth fanning out; smaller batches (the
+    /// common case in fine-grained simulation loops, where a batch is
+    /// one emission instant) stay on the calling thread to avoid
+    /// paying channel round-trips for a handful of events.
+    pub parallel_threshold: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 1,
+            parallel_threshold: 128,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A config with `workers` threads and the default fan-out
+    /// threshold.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineConfig {
+            workers,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Worker-occupancy snapshot of the (possibly parallel) pipeline.
+///
+/// Purely observability: none of these counters feed back into
+/// detection, and between worker counts they legitimately differ —
+/// identity tests compare everything *else* in a status snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStatus {
+    /// Configured worker threads (`1` = sequential pipeline).
+    pub workers: usize,
+    /// Batches fanned out to the worker pool.
+    pub parallel_batches: u64,
+    /// Batches delivered inline (no pool, or below the threshold).
+    pub sequential_batches: u64,
+    /// Events classified by each worker over the pipeline's lifetime
+    /// (chunk *i* of every parallel batch goes to worker *i*, so the
+    /// distribution shows per-shard/per-chunk occupancy).
+    pub per_worker_events: Vec<u64>,
+}
 
 /// Progress notifications emitted by [`Pipeline::run`].
 ///
@@ -147,6 +209,15 @@ pub struct Pipeline {
     /// Reusable per-event action buffer.
     actions: Vec<AppAction>,
     events_delivered: u64,
+    /// Execution parameters (worker count, fan-out threshold).
+    pconfig: PipelineConfig,
+    /// The persistent classification pool (`None` when `workers = 1`).
+    pool: Option<WorkerPool>,
+    /// Batch-aligned classification cache filled by the pool.
+    prepared: Vec<PreparedEvent>,
+    /// Batches fanned out / delivered inline (observability).
+    parallel_batches: u64,
+    sequential_batches: u64,
 }
 
 impl Pipeline {
@@ -168,6 +239,11 @@ impl Pipeline {
             batch: Vec::new(),
             actions: Vec::new(),
             events_delivered: 0,
+            pconfig: PipelineConfig::default(),
+            pool: None,
+            prepared: Vec::new(),
+            parallel_batches: 0,
+            sequential_batches: 0,
         }
     }
 
@@ -183,6 +259,42 @@ impl Pipeline {
     pub fn with_event_capacity(mut self, capacity: usize) -> Self {
         self.log = EventLog::with_capacity(capacity);
         self
+    }
+
+    /// Set the execution parameters (builder style). `workers ≥ 2`
+    /// spawns the persistent classification pool immediately; a later
+    /// call can also shrink back to the sequential pipeline (the pool
+    /// is dropped and joined). Outputs are byte-identical across
+    /// worker counts — see the [`PipelineConfig::workers`] docs.
+    pub fn with_pipeline_config(mut self, pconfig: PipelineConfig) -> Self {
+        self.pool = (pconfig.workers > 1).then(|| WorkerPool::new(pconfig.workers));
+        self.pconfig = pconfig;
+        self
+    }
+
+    /// Shorthand for [`Pipeline::with_pipeline_config`] with the
+    /// default fan-out threshold.
+    pub fn with_workers(self, workers: usize) -> Self {
+        self.with_pipeline_config(PipelineConfig::with_workers(workers))
+    }
+
+    /// The execution parameters in force.
+    pub fn pipeline_config(&self) -> &PipelineConfig {
+        &self.pconfig
+    }
+
+    /// Worker-occupancy snapshot (see [`WorkerStatus`]).
+    pub fn worker_status(&self) -> WorkerStatus {
+        WorkerStatus {
+            workers: self.pconfig.workers.max(1),
+            parallel_batches: self.parallel_batches,
+            sequential_batches: self.sequential_batches,
+            per_worker_events: self
+                .pool
+                .as_ref()
+                .map(|p| p.worker_events().to_vec())
+                .unwrap_or_default(),
+        }
     }
 
     /// Read access to the feed hub.
@@ -492,11 +604,33 @@ impl Pipeline {
         helper_controllers: &mut [Controller],
         actions: &mut Vec<AppAction>,
     ) {
+        self.deliver_impl(event, None, controller, helper_controllers, actions);
+    }
+
+    /// Shared tail of the sequential and parallel delivery paths:
+    /// commit detection (using the precomputed classification when one
+    /// exists), then monitoring and mitigation — always on the calling
+    /// thread, always in batch order.
+    fn deliver_impl(
+        &mut self,
+        event: &FeedEvent,
+        prepared: Option<PreparedEvent>,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+        actions: &mut Vec<AppAction>,
+    ) {
         actions.clear();
         self.events_delivered += 1;
 
-        // 1. Detection: route the event to the responsible shard.
-        let detection = self.detector.process(event);
+        // 1. Detection: route the event to the responsible shard. A
+        // prepared classification (from the worker pool) is committed
+        // via the detector's two-phase path, which re-classifies
+        // against live state whenever the owning shard's rules changed
+        // mid-batch — so both arms produce identical outcomes.
+        let detection = match prepared {
+            Some(prep) => self.detector.process_prepared(event, prep),
+            None => self.detector.process(event),
+        };
 
         if let Detection::NewAlert(id) = detection {
             actions.push(AppAction::AlertRaised(id));
@@ -585,6 +719,78 @@ impl Pipeline {
                 });
             }
         }
+    }
+
+    /// Classify the events currently in `self.batch`, fanning out to
+    /// the worker pool when one is configured and the batch is large
+    /// enough. Returns `true` when `self.prepared` is batch-aligned
+    /// and should be consumed; `false` selects the inline sequential
+    /// path. Either way the detector's per-batch dirty tracking is
+    /// reset so mid-batch rule changes invalidate stale preparations.
+    fn prepare_batch(&mut self) -> bool {
+        self.detector.begin_batch();
+        let n = self.batch.len();
+        if n == 0 {
+            return false;
+        }
+        let parallel = self
+            .pool
+            .as_ref()
+            .is_some_and(|_| n >= self.pconfig.parallel_threshold);
+        if !parallel {
+            self.sequential_batches += 1;
+            return false;
+        }
+        self.parallel_batches += 1;
+        let ctx = self.detector.classify_context();
+        // The batch rides to the workers in an `Arc` (no copying) and
+        // comes back untouched once every chunk has returned.
+        let events = Arc::new(std::mem::take(&mut self.batch));
+        self.prepared.clear();
+        self.prepared.resize(n, PreparedEvent::BENIGN);
+        self.pool.as_mut().expect("parallel implies pool").classify(
+            &events,
+            &ctx,
+            &mut self.prepared,
+        );
+        drop(ctx);
+        self.batch = Arc::try_unwrap(events).expect("workers released the batch");
+        true
+    }
+
+    /// Drain every queued feed event due by `upto` and deliver it as
+    /// **one** batch (classified across the worker pool when
+    /// configured), using the service's controllers but no observer.
+    /// Returns the number of events delivered.
+    ///
+    /// This is the bulk-ingestion surface for drivers that replay
+    /// pre-queued streams (benchmarks, archive replays): unlike
+    /// [`Pipeline::run`], which batches per emission instant, the
+    /// whole backlog becomes a single batch — exactly the
+    /// `drain_batch` contract — maximizing fan-out while preserving
+    /// the global `(emitted_at, ingestion order)` delivery order.
+    pub fn deliver_due(
+        &mut self,
+        upto: SimTime,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+    ) -> u64 {
+        self.hub.drain_batch(upto, &mut self.batch);
+        let prepared = self.prepare_batch();
+        let batch = std::mem::take(&mut self.batch);
+        let prep = std::mem::take(&mut self.prepared);
+        let mut actions = std::mem::take(&mut self.actions);
+        for (i, event) in batch.iter().enumerate() {
+            let p = prepared.then(|| prep[i]);
+            self.deliver_impl(event, p, controller, helper_controllers, &mut actions);
+        }
+        let delivered = batch.len() as u64;
+        actions.clear();
+        self.actions = actions;
+        self.batch = batch;
+        self.batch.clear();
+        self.prepared = prep;
+        delivered
     }
 
     /// Shared tail of the auto/confirm/resume execution paths for a
@@ -751,13 +957,18 @@ impl Pipeline {
                 continue;
             }
 
-            // Otherwise: deliver the batch of feed events due now.
+            // Otherwise: deliver the batch of feed events due now —
+            // classified across the worker pool when configured, then
+            // committed one by one in `(emitted_at, ingestion order)`.
             self.hub.drain_batch(next, &mut self.batch);
+            let prepared = self.prepare_batch();
             let mut batch = std::mem::take(&mut self.batch);
+            let prep = std::mem::take(&mut self.prepared);
             let mut actions = std::mem::take(&mut self.actions);
             let mut stopped_at: Option<usize> = None;
             'events: for (i, event) in batch.iter().enumerate() {
-                self.deliver_into(event, controller, helper_controllers, &mut actions);
+                let p = prepared.then(|| prep[i]);
+                self.deliver_impl(event, p, controller, helper_controllers, &mut actions);
                 for action in &actions {
                     if observer(engine, PipelineEvent::App(action)).is_break() {
                         stopped_at = Some(i);
@@ -774,6 +985,7 @@ impl Pipeline {
             actions.clear();
             self.batch = batch;
             self.actions = actions;
+            self.prepared = prep;
             if stopped_at.is_some() {
                 break RunEnd::Stopped;
             }
@@ -1221,6 +1433,162 @@ mod tests {
             .count();
         assert_eq!(announces, withdraws, "no intent keeps originating");
         assert!(p.executed_plan(id).is_none(), "plan bookkeeping cleared");
+    }
+
+    // ---- Parallel execution mode ------------------------------------
+
+    /// A hub-backed pipeline over several owned prefixes, fed with a
+    /// deterministic mix of benign, hijack and mitigation-echo
+    /// traffic.
+    fn hub_pipeline(workers: usize) -> (Pipeline, Controller) {
+        use artemis_feeds::vantage::group_into_collectors;
+        use artemis_feeds::StreamFeed;
+        let vps = vec![Asn(174), Asn(3356)];
+        let mut hub = FeedHub::new(SimRng::new(11));
+        hub.add(Box::new(
+            StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(3)),
+        ));
+        hub.add(Box::new(
+            StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(9)),
+        ));
+        let config = ArtemisConfig::new(
+            Asn(65001),
+            (0..8u32)
+                .map(|i| {
+                    OwnedPrefix::new(
+                        Prefix::v4(std::net::Ipv4Addr::new(10, i as u8, 0, 0), 23).unwrap(),
+                        Asn(65001),
+                    )
+                })
+                .collect(),
+        );
+        let p = Pipeline::new(hub, config, [Asn(174), Asn(3356)].into_iter().collect())
+            .with_pipeline_config(PipelineConfig {
+                workers,
+                parallel_threshold: 16,
+            });
+        (p, controller())
+    }
+
+    fn synthetic_changes(n: u64) -> Vec<artemis_bgpsim::RouteChange> {
+        use artemis_bgp::AsPath;
+        use artemis_bgpsim::BestRoute;
+        (0..n)
+            .map(|i| {
+                // Mostly unrelated prefixes, periodic touches of owned
+                // space, periodic hijack origins.
+                let prefix = if i % 5 == 0 {
+                    Prefix::v4(std::net::Ipv4Addr::new(10, (i % 8) as u8, 0, 0), 23).unwrap()
+                } else {
+                    Prefix::v4(std::net::Ipv4Addr::from((i as u32) << 8), 24).unwrap()
+                };
+                let origin = if i % 7 == 0 { 666 } else { 65001 };
+                let path = AsPath::from_sequence([3356u32, origin]);
+                artemis_bgpsim::RouteChange {
+                    time: SimTime::from_micros(i * 50),
+                    asn: if i % 2 == 0 { Asn(174) } else { Asn(3356) },
+                    prefix,
+                    old: None,
+                    new: Some(BestRoute {
+                        origin_as: path.origin().unwrap(),
+                        as_path: path,
+                        neighbor: Some(Asn(3356)),
+                        learned_from: Some(artemis_topology::RelKind::Provider),
+                        local_pref: 100,
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_delivery_is_byte_identical_to_sequential() {
+        let changes = synthetic_changes(600);
+        let (mut seq, mut seq_ctrl) = hub_pipeline(1);
+        seq.ingest_route_changes(&changes);
+        let n_seq = seq.deliver_due(SimTime::from_secs(1 << 30), &mut seq_ctrl, &mut []);
+
+        for workers in [2usize, 4, 8] {
+            let (mut par, mut par_ctrl) = hub_pipeline(workers);
+            par.ingest_route_changes(&changes);
+            let n_par = par.deliver_due(SimTime::from_secs(1 << 30), &mut par_ctrl, &mut []);
+            assert_eq!(n_seq, n_par, "workers={workers}");
+            assert_eq!(
+                seq.detector().alerts().all(),
+                par.detector().alerts().all(),
+                "workers={workers}"
+            );
+            assert_eq!(
+                seq.poll_events(EventCursor::START).events,
+                par.poll_events(EventCursor::START).events,
+                "workers={workers}"
+            );
+            assert_eq!(seq.events_delivered(), par.events_delivered());
+            assert_eq!(
+                seq_ctrl.intents().collect::<Vec<_>>(),
+                par_ctrl.intents().collect::<Vec<_>>(),
+                "workers={workers}: identical mitigation intents"
+            );
+            // The parallel pipeline actually fanned out.
+            let ws = par.worker_status();
+            assert_eq!(ws.workers, workers);
+            assert!(ws.parallel_batches > 0, "workers={workers} fanned out");
+            assert_eq!(
+                ws.per_worker_events.iter().sum::<u64>(),
+                n_par,
+                "every event classified exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_inline() {
+        let (mut p, mut ctrl) = hub_pipeline(4);
+        // Two route changes → four events, below the threshold of 16.
+        let changes = synthetic_changes(2);
+        p.ingest_route_changes(&changes);
+        p.deliver_due(SimTime::from_secs(1 << 30), &mut ctrl, &mut []);
+        let ws = p.worker_status();
+        assert_eq!(ws.parallel_batches, 0);
+        assert_eq!(ws.sequential_batches, 1);
+        assert_eq!(ws.per_worker_events, vec![0; 4]);
+    }
+
+    #[test]
+    fn sequential_pipeline_reports_one_worker() {
+        let (mut p, mut ctrl) = hub_pipeline(1);
+        p.ingest_route_changes(&synthetic_changes(50));
+        p.deliver_due(SimTime::from_secs(1 << 30), &mut ctrl, &mut []);
+        let ws = p.worker_status();
+        assert_eq!(ws.workers, 1);
+        assert_eq!(ws.parallel_batches, 0);
+        assert!(ws.sequential_batches > 0);
+        assert!(ws.per_worker_events.is_empty());
+    }
+
+    #[test]
+    fn deliver_due_is_equivalent_to_per_event_delivery() {
+        let changes = synthetic_changes(40);
+        // Reference: drain by hand, deliver one event at a time.
+        let (mut a, mut ctrl_a) = hub_pipeline(1);
+        a.ingest_route_changes(&changes);
+        let mut buf = Vec::new();
+        a.hub_mut()
+            .drain_batch(SimTime::from_secs(1 << 30), &mut buf);
+        for ev in &buf {
+            a.deliver(ev, &mut ctrl_a, &mut []);
+        }
+        // Bulk path.
+        let (mut b, mut ctrl_b) = hub_pipeline(1);
+        b.ingest_route_changes(&changes);
+        b.deliver_due(SimTime::from_secs(1 << 30), &mut ctrl_b, &mut []);
+        assert_eq!(a.detector().alerts().all(), b.detector().alerts().all());
+        assert_eq!(
+            a.poll_events(EventCursor::START).events,
+            b.poll_events(EventCursor::START).events
+        );
     }
 
     #[test]

@@ -58,10 +58,22 @@ impl RoaTable {
         self.count == 0
     }
 
-    /// Add a ROA. `max_length` below the prefix length is clamped up
-    /// to it (RFC 6482 treats absent maxLength as the prefix length).
-    pub fn add(&mut self, prefix: Prefix, asn: Asn, max_length: u8) {
-        let max_length = max_length.clamp(prefix.len(), prefix.afi().max_len());
+    /// Add a ROA, returning whether it was accepted.
+    ///
+    /// RFC 9582 (§4.8.1) requires `prefixLength <= maxLength <=
+    /// family max`; a ROA violating either bound is corrupt and MUST
+    /// be considered unusable. Such ROAs are **rejected** (`false`,
+    /// table unchanged) rather than repaired: the previous behaviour
+    /// of clamping `max_length` *up* to the prefix length silently
+    /// converted an erroneous, unusable ROA into one that validates
+    /// the exact prefix — granting an authorization the signer never
+    /// expressed. (RFC 9582 treats an *absent* maxLength as the prefix
+    /// length; callers model that case by passing `prefix.len()`.)
+    #[must_use = "a ROA with an out-of-range maxLength is ignored; check acceptance"]
+    pub fn add(&mut self, prefix: Prefix, asn: Asn, max_length: u8) -> bool {
+        if max_length < prefix.len() || max_length > prefix.afi().max_len() {
+            return false;
+        }
         let roa = Roa {
             prefix,
             asn,
@@ -74,6 +86,7 @@ impl RoaTable {
             }
         }
         self.count += 1;
+        true
     }
 
     /// RFC 6811 origin validation of an announcement.
@@ -104,8 +117,8 @@ mod tests {
 
     fn table() -> RoaTable {
         let mut t = RoaTable::new();
-        t.add(pfx("10.0.0.0/23"), Asn(65001), 24);
-        t.add(pfx("192.0.2.0/24"), Asn(65001), 24);
+        assert!(t.add(pfx("10.0.0.0/23"), Asn(65001), 24));
+        assert!(t.add(pfx("192.0.2.0/24"), Asn(65001), 24));
         t
     }
 
@@ -167,7 +180,7 @@ mod tests {
     #[test]
     fn multiple_roas_any_match_validates() {
         let mut t = table();
-        t.add(pfx("10.0.0.0/23"), Asn(65002), 23); // anycast partner
+        assert!(t.add(pfx("10.0.0.0/23"), Asn(65002), 23)); // anycast partner
         assert_eq!(
             t.validate(pfx("10.0.0.0/23"), Asn(65002)),
             RoaValidity::Valid
@@ -185,11 +198,41 @@ mod tests {
     }
 
     #[test]
-    fn maxlength_clamps_to_prefix_len() {
+    fn maxlength_below_prefix_len_is_rejected() {
+        // Regression: a ROA whose maxLength is shorter than its prefix
+        // (unusable per RFC 9582) used to be clamped *up*, granting a
+        // validation for the exact prefix that the signer never
+        // authorized. It must be ignored instead.
         let mut t = RoaTable::new();
-        t.add(pfx("10.0.0.0/24"), Asn(1), 8); // nonsense maxLength
+        assert!(!t.add(pfx("10.0.0.0/24"), Asn(1), 8)); // nonsense maxLength
+        assert!(!t.add(pfx("10.0.0.0/24"), Asn(1), 23)); // off by one
+        assert_eq!(
+            t.validate(pfx("10.0.0.0/24"), Asn(1)),
+            RoaValidity::NotFound,
+            "a rejected ROA must not grant any authorization"
+        );
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn maxlength_boundaries() {
+        let mut t = RoaTable::new();
+        // maxLength == prefix length: the tightest valid ROA.
+        assert!(t.add(pfx("10.0.0.0/24"), Asn(1), 24));
         assert_eq!(t.validate(pfx("10.0.0.0/24"), Asn(1)), RoaValidity::Valid);
-        assert_eq!(t.len(), 1);
-        assert!(!t.is_empty());
+        // maxLength == family max: still valid.
+        assert!(t.add(pfx("192.0.2.0/24"), Asn(1), 32));
+        assert_eq!(
+            t.validate(pfx("192.0.2.128/25"), Asn(1)),
+            RoaValidity::Valid
+        );
+        // maxLength beyond the family max is corrupt (RFC 9582: it
+        // must not exceed the address size) and rejected.
+        assert!(!t.add(pfx("10.1.0.0/24"), Asn(1), 33));
+        assert!(!t.add(pfx("2001:db8::/48"), Asn(1), 129));
+        // IPv6 at its family max is fine.
+        assert!(t.add(pfx("2001:db8::/48"), Asn(1), 128));
+        assert_eq!(t.len(), 3);
     }
 }

@@ -1,0 +1,141 @@
+//! Property: the parallel detection pipeline is **byte-identical** to
+//! the sequential one on arbitrary event mixes.
+//!
+//! The fleet-level test (`tests/pipeline_multi_prefix.rs` at the
+//! workspace root) drives full simulated-Internet scenarios where
+//! batches are per-emission-instant; this suite attacks the other
+//! regime — one huge multi-instant backlog drained through
+//! [`Pipeline::deliver_due`] — with randomized traffic: benign noise,
+//! exact/sub-prefix hijacks, forged origins, withdrawals, and
+//! mitigation echoes that mutate shard rules mid-batch (the dirty-
+//! shard recompute path).
+
+use artemis_bgp::{AsPath, Asn};
+use artemis_bgpsim::{BestRoute, RouteChange};
+use artemis_core::config::OwnedPrefix;
+use artemis_core::{ArtemisConfig, EventCursor, Pipeline, PipelineConfig};
+use artemis_feeds::vantage::group_into_collectors;
+use artemis_feeds::{FeedHub, StreamFeed};
+use artemis_simnet::{LatencyModel, SimRng, SimTime};
+use artemis_topology::RelKind;
+use proptest::prelude::*;
+
+fn pipeline(
+    seed: u64,
+    workers: usize,
+    threshold: usize,
+) -> (Pipeline, artemis_controller::Controller) {
+    let vps = vec![Asn(174), Asn(3356), Asn(2914)];
+    let mut hub = FeedHub::new(SimRng::new(seed));
+    hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc", &vps, 2))
+            .with_export_delay(LatencyModel::uniform_secs(2, 8)),
+    ));
+    hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(12)),
+    ));
+    let config = ArtemisConfig::new(
+        Asn(65001),
+        vec![
+            OwnedPrefix::new("10.0.0.0/23".parse().unwrap(), Asn(65001)),
+            OwnedPrefix::new("172.16.0.0/22".parse().unwrap(), Asn(65001)),
+            OwnedPrefix::new("192.0.2.0/24".parse().unwrap(), Asn(65001)),
+            OwnedPrefix::new("203.0.113.0/24".parse().unwrap(), Asn(65001)).dormant(),
+        ],
+    );
+    let p = Pipeline::new(
+        hub,
+        config,
+        [Asn(174), Asn(3356), Asn(2914)].into_iter().collect(),
+    )
+    .with_pipeline_config(PipelineConfig {
+        workers,
+        parallel_threshold: threshold,
+    });
+    let ctrl = artemis_controller::Controller::new(
+        Asn(65001),
+        LatencyModel::const_secs(15),
+        SimRng::new(seed ^ 0xC0),
+    );
+    (p, ctrl)
+}
+
+/// Decode one randomized `(kind, slot, t)` triple into a route change.
+fn change(kind: u8, slot: u8, t: u64) -> RouteChange {
+    let vantage = [Asn(174), Asn(3356), Asn(2914)][(slot % 3) as usize];
+    let (prefix, origin): (&str, u32) = match kind % 8 {
+        0 => ("10.0.0.0/23", 65001),     // benign exact
+        1 => ("10.0.0.0/23", 666),       // exact-origin hijack
+        2 => ("10.0.0.0/24", 666),       // sub-prefix hijack
+        3 => ("172.16.1.0/24", 65001),   // forged-origin sub-prefix
+        4 => ("192.0.2.0/24", 667),      // /24 hijack (infeasible deagg)
+        5 => ("203.0.113.0/24", 31337),  // squat on the dormant prefix
+        6 => ("8.8.8.0/24", 15169),      // unrelated noise
+        _ => ("198.51.100.0/24", 65001), // unrelated, "our" origin
+    };
+    let withdrawal = kind >= 240; // rare withdrawals
+    let path = AsPath::from_sequence([vantage.value(), 3356, origin]);
+    RouteChange {
+        time: SimTime::from_micros(t),
+        asn: vantage,
+        prefix: prefix.parse().unwrap(),
+        old: if withdrawal {
+            Some(BestRoute {
+                origin_as: path.origin().unwrap(),
+                as_path: path.clone(),
+                neighbor: Some(Asn(3356)),
+                learned_from: Some(RelKind::Provider),
+                local_pref: 100,
+            })
+        } else {
+            None
+        },
+        new: if withdrawal {
+            None
+        } else {
+            Some(BestRoute {
+                origin_as: path.origin().unwrap(),
+                as_path: path,
+                neighbor: Some(Asn(3356)),
+                learned_from: Some(RelKind::Provider),
+                local_pref: 100,
+            })
+        },
+    }
+}
+
+fn run(
+    seed: u64,
+    workers: usize,
+    threshold: usize,
+    spec: &[(u8, u8, u64)],
+) -> (String, String, u64) {
+    let (mut p, mut ctrl) = pipeline(seed, workers, threshold);
+    let mut changes: Vec<RouteChange> = spec.iter().map(|(k, s, t)| change(*k, *s, *t)).collect();
+    changes.sort_by_key(|c| c.time);
+    p.ingest_route_changes(&changes);
+    let delivered = p.deliver_due(SimTime::from_secs(1 << 40), &mut ctrl, &mut []);
+    let history = serde_json::to_string(&p.poll_events(EventCursor::START).events).unwrap();
+    let alerts = format!("{:?}", p.detector().alerts().all());
+    (history, alerts, delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_backlog_drain_matches_sequential(
+        seed in 1u64..10_000,
+        spec in prop::collection::vec((0u8..=255, 0u8..=255, 0u64..5_000_000), 1..300),
+        workers_idx in 0usize..3,
+        threshold in 1usize..64,
+    ) {
+        let workers = [2usize, 4, 8][workers_idx];
+        let sequential = run(seed, 1, threshold, &spec);
+        let parallel = run(seed, workers, threshold, &spec);
+        prop_assert_eq!(&sequential.0, &parallel.0, "event-log history differs");
+        prop_assert_eq!(&sequential.1, &parallel.1, "alert store differs");
+        prop_assert_eq!(sequential.2, parallel.2, "delivered count differs");
+    }
+}

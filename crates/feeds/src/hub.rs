@@ -359,6 +359,24 @@ impl FeedHub {
     }
 }
 
+/// Split a drained batch of `len` events into at most `chunks`
+/// near-equal contiguous index ranges, preserving `(emitted_at,
+/// ingestion order)` within and across ranges.
+///
+/// This is the partitioning contract parallel consumers of
+/// [`FeedHub::drain_batch`] rely on: concatenating the ranges in
+/// iteration order reproduces the batch exactly, so per-chunk results
+/// indexed by position merge back deterministically regardless of
+/// which worker handled which chunk. Trailing ranges are never empty
+/// (fewer ranges are yielded when `len < chunks`).
+pub fn batch_chunks(len: usize, chunks: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let chunks = chunks.max(1);
+    let size = len.div_ceil(chunks).max(1);
+    (0..len)
+        .step_by(size)
+        .map(move |start| start..(start + size).min(len))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +635,27 @@ mod tests {
         let mut per_event_sorted = per_event.clone();
         per_event_sorted.sort_by_key(|e| e.emitted_at);
         assert_eq!(batch, per_event_sorted);
+    }
+
+    #[test]
+    fn batch_chunks_cover_exactly_once_in_order() {
+        for (len, chunks) in [(0, 4), (1, 4), (7, 3), (8, 4), (100, 7), (5, 1), (3, 8)] {
+            let ranges: Vec<_> = batch_chunks(len, chunks).collect();
+            assert!(ranges.len() <= chunks.max(1), "len={len} chunks={chunks}");
+            let mut covered = Vec::new();
+            for r in &ranges {
+                assert!(!r.is_empty(), "no empty ranges: len={len} chunks={chunks}");
+                covered.extend(r.clone());
+            }
+            assert_eq!(covered, (0..len).collect::<Vec<_>>());
+            // Near-equal: sizes differ by at most the rounding step.
+            if let (Some(max), Some(min)) = (
+                ranges.iter().map(|r| r.len()).max(),
+                ranges.iter().map(|r| r.len()).min(),
+            ) {
+                assert!(max - min <= len.div_ceil(chunks));
+            }
+        }
     }
 
     #[test]

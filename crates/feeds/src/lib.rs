@@ -39,7 +39,7 @@ pub mod vantage;
 
 pub use archive::{ArchiveRibFeed, ArchiveUpdatesFeed};
 pub use event::{FeedEvent, FeedKind};
-pub use hub::{FeedHandle, FeedHub};
+pub use hub::{batch_chunks, FeedHandle, FeedHub};
 pub use periscope::{LookingGlass, PeriscopeFeed};
 pub use replay::{MrtReplayFeed, MrtRibSnapshot};
 pub use source::{EngineView, FeedSource, RibView};

@@ -36,13 +36,14 @@ fn main() {
     let mut archive = ArchiveUpdatesFeed::route_views(vps.clone());
     let mut feed_rng = SimRng::new(99);
     let mut ris_raw: Vec<String> = Vec::new();
+    // One reusable buffer through both feeds — the `_into` surface the
+    // batched pipeline uses (the allocating wrappers are deprecated).
+    let mut events = Vec::new();
     for change in &changes {
-        for ev in ris.on_route_change(change, &mut feed_rng) {
-            if let Some(raw) = ev.raw {
-                ris_raw.push(raw);
-            }
-        }
-        archive.on_route_change(change, &mut feed_rng);
+        ris.on_route_change_into(change, &mut feed_rng, &mut events);
+        ris_raw.extend(events.drain(..).filter_map(|ev| ev.raw));
+        archive.on_route_change_into(change, &mut feed_rng, &mut events);
+        events.clear(); // archive events only matter as MRT bytes here
     }
 
     println!("=== RIS-live JSON stream ===");

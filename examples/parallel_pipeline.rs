@@ -1,0 +1,132 @@
+//! Parallel sharded detection: the same firehose, 1 vs 4 workers.
+//!
+//! Builds two identical ARTEMIS pipelines over 16 owned prefixes, fans
+//! a ~40k-event synthetic firehose (benign noise + a handful of
+//! hijacks) through both — one sequential, one with a 4-thread
+//! classification pool — and proves the headline property of the
+//! parallel execution mode: the outputs are **byte-identical**, only
+//! the wall-clock differs (on multicore hardware; a 1-core container
+//! shows parity).
+//!
+//! ```sh
+//! cargo run --release --example parallel_pipeline
+//! ```
+
+use artemis_repro::bgp::AsPath;
+use artemis_repro::bgpsim::{BestRoute, RouteChange};
+use artemis_repro::controller::Controller;
+use artemis_repro::core::config::OwnedPrefix;
+use artemis_repro::core::{EventCursor, PipelineConfig};
+use artemis_repro::feeds::vantage::group_into_collectors;
+use artemis_repro::feeds::{FeedHub, StreamFeed};
+use artemis_repro::prelude::*;
+use artemis_repro::simnet::{LatencyModel, SimRng};
+use artemis_repro::topology::RelKind;
+use std::time::Instant;
+
+const CHANGES: u64 = 20_000; // × 2 vantage feeds = 40k feed events
+
+fn build(workers: usize) -> (Pipeline, Controller) {
+    let vps = vec![Asn(174), Asn(3356)];
+    let mut hub = FeedHub::new(SimRng::new(7));
+    hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(3)),
+    ));
+    hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(9)),
+    ));
+    let config = ArtemisConfig::new(
+        Asn(65001),
+        (0..16u32)
+            .map(|i| {
+                OwnedPrefix::new(
+                    Prefix::v4(std::net::Ipv4Addr::new(10, i as u8, 0, 0), 23).expect("valid"),
+                    Asn(65001),
+                )
+            })
+            .collect(),
+    );
+    let pipeline = Pipeline::new(hub, config, [Asn(174), Asn(3356)].into_iter().collect())
+        .with_pipeline_config(PipelineConfig {
+            workers,
+            parallel_threshold: 128,
+        });
+    let controller = Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1));
+    (pipeline, controller)
+}
+
+fn firehose() -> Vec<RouteChange> {
+    (0..CHANGES)
+        .map(|i| {
+            // 1% owned-space traffic, a fraction of it hijacked.
+            let prefix = if i % 100 == 0 {
+                Prefix::v4(std::net::Ipv4Addr::new(10, (i % 16) as u8, 0, 0), 23)
+            } else {
+                Prefix::v4(std::net::Ipv4Addr::from((i as u32) << 8), 24)
+            }
+            .expect("valid");
+            let origin = if i % 700 == 0 { 666 } else { 65001 };
+            let path = AsPath::from_sequence([3356u32, origin]);
+            RouteChange {
+                time: artemis_repro::simnet::SimTime::from_micros(i * 50),
+                asn: if i % 2 == 0 { Asn(174) } else { Asn(3356) },
+                prefix,
+                old: None,
+                new: Some(BestRoute {
+                    origin_as: path.origin().expect("non-empty"),
+                    as_path: path,
+                    neighbor: Some(Asn(3356)),
+                    learned_from: Some(RelKind::Provider),
+                    local_pref: 100,
+                }),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let changes = firehose();
+    println!(
+        "=== parallel sharded detection: {} feed events, 16 owned prefixes ===\n",
+        CHANGES * 2
+    );
+
+    let mut outputs = Vec::new();
+    for workers in [1usize, 4] {
+        let (mut pipeline, mut ctrl) = build(workers);
+        pipeline.ingest_route_changes(&changes);
+        let start = Instant::now();
+        let delivered = pipeline.deliver_due(
+            artemis_repro::simnet::SimTime::from_micros(u64::MAX),
+            &mut ctrl,
+            &mut [],
+        );
+        let secs = start.elapsed().as_secs_f64();
+        let ws = pipeline.worker_status();
+        println!(
+            "workers={workers}: {delivered} events in {:.1} ms ({:.0}k events/s)",
+            secs * 1_000.0,
+            delivered as f64 / secs / 1_000.0
+        );
+        println!(
+            "  alerts raised: {}, mitigations executed: {}",
+            pipeline.detector().alerts().all().len(),
+            pipeline.mitigator().executed().len()
+        );
+        println!(
+            "  batches: {} fanned out, {} inline; per-worker occupancy: {:?}",
+            ws.parallel_batches, ws.sequential_batches, ws.per_worker_events
+        );
+        let history = serde_json::to_string(&pipeline.poll_events(EventCursor::START).events)
+            .expect("events serialize");
+        outputs.push((history, format!("{:?}", pipeline.detector().alerts().all())));
+    }
+
+    assert_eq!(
+        outputs[0], outputs[1],
+        "parallel output must be byte-identical to sequential"
+    );
+    println!("\ndeterminism check: 4-worker event log and alert store are byte-identical to sequential ✓");
+}

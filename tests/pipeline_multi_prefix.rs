@@ -5,18 +5,25 @@
 //! concurrent alerts with independent monitor timelines and
 //! independent mitigation lifecycles (the configuration the old
 //! single-alert experiment loop could not represent).
+//!
+//! Also the home of the parallel-mode determinism contract: the same
+//! scenario driven with `PipelineConfig::workers ∈ {2, 4, 8}` must
+//! produce **byte-identical** event-log histories and service status
+//! snapshots to the sequential pipeline, across seeds (property test).
 
 use artemis_repro::bgpsim::{Engine, SimConfig};
 use artemis_repro::controller::Controller;
 use artemis_repro::core::app::AppAction;
 use artemis_repro::core::config::OwnedPrefix;
-use artemis_repro::core::pipeline::{PipelineEvent, RunEnd};
-use artemis_repro::core::AlertState;
+use artemis_repro::core::pipeline::{PipelineConfig, PipelineEvent, RunEnd};
+use artemis_repro::core::service::ServiceStatus;
+use artemis_repro::core::{AlertState, EventCursor};
 use artemis_repro::feeds::vantage::group_into_collectors;
 use artemis_repro::feeds::{FeedHub, StreamFeed};
 use artemis_repro::prelude::*;
 use artemis_repro::simnet::{LatencyModel, SimRng};
 use artemis_repro::topology::{generate, TopologyConfig};
+use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
 
@@ -29,12 +36,18 @@ struct FleetRun {
     resolutions: Vec<(u64, artemis_repro::simnet::SimTime)>,
     /// Alert ids active (raised, unresolved) when each alert fired.
     concurrent_at_raise: BTreeMap<u64, usize>,
-    pipeline: Pipeline,
+    service: ArtemisService,
     end: RunEnd,
+    /// The full owned event history, serialized (byte-identity probe).
+    history: String,
+    /// Status snapshot with worker-occupancy counters scrubbed.
+    status: ServiceStatus,
 }
 
 /// Mirror of the `multi_prefix_fleet` example scenario, instrumented.
-fn run_fleet(seed: u64) -> FleetRun {
+/// `workers` selects the pipeline's execution mode; the scenario (and
+/// per the determinism contract, every output) is independent of it.
+fn run_fleet_with(seed: u64, workers: usize) -> FleetRun {
     let mut rng = SimRng::new(seed);
     let topo = generate(&TopologyConfig::tiny(), &mut rng);
     let victim = topo.stubs[0];
@@ -67,20 +80,27 @@ fn run_fleet(seed: u64) -> FleetRun {
             OwnedPrefix::new(p3, victim),
         ],
     );
-    let mut pipeline = Pipeline::new(hub, config, vp_set);
+    // Threshold 1: every batch — even a single-instant one — takes the
+    // fan-out path, maximizing the surface the identity contract
+    // covers.
+    let pipeline = Pipeline::new(hub, config, vp_set).with_pipeline_config(PipelineConfig {
+        workers,
+        parallel_threshold: 1,
+    });
     let mut engine = Engine::new(topo.graph.clone(), SimConfig::default(), seed);
-    let mut controller = Controller::new(
+    let controller = Controller::new(
         victim,
         LatencyModel::uniform_secs(10, 20),
         SimRng::new(seed ^ 0xC001),
     );
+    let mut service = ArtemisService::new(pipeline, controller);
 
     for p in [p1, p2, p3] {
-        pipeline.expect_announcement(p);
+        service.pipeline_mut().expect_announcement(p);
         engine.announce(victim, p);
     }
     let changes = engine.run_to_quiescence(10_000_000);
-    pipeline.ingest_route_changes(&changes);
+    service.pipeline_mut().ingest_route_changes(&changes);
     let converged = engine.now();
 
     let dt = artemis_repro::simnet::SimDuration::from_secs(30);
@@ -98,46 +118,50 @@ fn run_fleet(seed: u64) -> FleetRun {
     let mut recovered: BTreeSet<Prefix> = BTreeSet::new();
     let mut target_of: BTreeMap<u64, Prefix> = BTreeMap::new();
     let horizon = converged + artemis_repro::simnet::SimDuration::from_mins(120);
-    let report = pipeline.run(
-        &mut engine,
-        &mut controller,
-        converged,
-        horizon,
-        |_, event| {
-            match event {
-                PipelineEvent::App(AppAction::AlertRaised(id)) => {
-                    concurrent_at_raise.insert(id.0, active.len());
-                    active.insert(id.0);
-                }
-                PipelineEvent::App(AppAction::MitigationTriggered { alert, plan, at }) => {
-                    triggers.push((alert.0, plan.target, *at));
-                    target_of.insert(alert.0, plan.target);
-                }
-                PipelineEvent::App(AppAction::Resolved { alert, at }) => {
-                    resolutions.push((alert.0, *at));
-                    active.remove(&alert.0);
-                    if let Some(t) = target_of.get(&alert.0) {
-                        recovered.insert(*t);
-                    }
-                }
-                PipelineEvent::App(AppAction::MitigationPending { .. })
-                | PipelineEvent::ControllerApplied { .. } => {}
+    let report = service.run(&mut engine, converged, horizon, |_, event| {
+        match event {
+            PipelineEvent::App(AppAction::AlertRaised(id)) => {
+                concurrent_at_raise.insert(id.0, active.len());
+                active.insert(id.0);
             }
-            if recovered.contains(&p1) && recovered.contains(&p2) {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
+            PipelineEvent::App(AppAction::MitigationTriggered { alert, plan, at }) => {
+                triggers.push((alert.0, plan.target, *at));
+                target_of.insert(alert.0, plan.target);
             }
-        },
-    );
+            PipelineEvent::App(AppAction::Resolved { alert, at }) => {
+                resolutions.push((alert.0, *at));
+                active.remove(&alert.0);
+                if let Some(t) = target_of.get(&alert.0) {
+                    recovered.insert(*t);
+                }
+            }
+            PipelineEvent::App(AppAction::MitigationPending { .. })
+            | PipelineEvent::ControllerApplied { .. } => {}
+        }
+        if recovered.contains(&p1) && recovered.contains(&p2) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+
+    let history = serde_json::to_string(&service.poll_events(EventCursor::START).events)
+        .expect("events serialize");
+    let status = service.status(horizon).scrubbed_of_worker_stats();
 
     FleetRun {
         triggers,
         resolutions,
         concurrent_at_raise,
-        pipeline,
+        service,
         end: report.end,
+        history,
+        status,
     }
+}
+
+fn run_fleet(seed: u64) -> FleetRun {
+    run_fleet_with(seed, 1)
 }
 
 #[test]
@@ -177,15 +201,16 @@ fn two_concurrent_incidents_run_independent_lifecycles() {
 
     // Each incident has its own monitor with its own non-empty
     // timeline over its own prefix.
-    let alerts = run.pipeline.detector().alerts();
+    let pipeline = run.service.pipeline();
+    let alerts = pipeline.detector().alerts();
     let a1 = alerts.get(artemis_repro::core::AlertId(t1.0)).unwrap();
     let a2 = alerts.get(artemis_repro::core::AlertId(t2.0)).unwrap();
     assert_eq!(a1.owned_prefix, p1);
     assert_eq!(a2.owned_prefix, p2);
     assert_eq!(a1.state, AlertState::Resolved);
     assert_eq!(a2.state, AlertState::Resolved);
-    let m1 = run.pipeline.monitor_for(a1.id).expect("monitor per alert");
-    let m2 = run.pipeline.monitor_for(a2.id).expect("monitor per alert");
+    let m1 = pipeline.monitor_for(a1.id).expect("monitor per alert");
+    let m2 = pipeline.monitor_for(a2.id).expect("monitor per alert");
     assert_eq!(m1.target(), p1);
     assert_eq!(m2.target(), p2);
     assert!(!m1.timeline().is_empty() && !m2.timeline().is_empty());
@@ -197,7 +222,7 @@ fn two_concurrent_incidents_run_independent_lifecycles() {
 
     // Sharded routing: both attacked shards saw traffic; the untouched
     // third prefix never alerted.
-    let det = run.pipeline.detector();
+    let det = pipeline.detector();
     assert_eq!(det.shard_count(), 3);
     assert!(det.shard_events(p1).unwrap() > 0);
     assert!(det.shard_events(p2).unwrap() > 0);
@@ -211,5 +236,58 @@ fn fleet_runs_are_deterministic() {
     let b = run_fleet(SEED);
     assert_eq!(a.triggers, b.triggers);
     assert_eq!(a.resolutions, b.resolutions);
-    assert_eq!(a.pipeline.events_delivered(), b.pipeline.events_delivered());
+    assert_eq!(
+        a.service.pipeline().events_delivered(),
+        b.service.pipeline().events_delivered()
+    );
+}
+
+/// The core of the parallel determinism contract, shared by the fixed
+/// smoke test and the cross-seed property below.
+fn assert_workers_identical(seed: u64, workers: usize) {
+    let seq = run_fleet_with(seed, 1);
+    let par = run_fleet_with(seed, workers);
+    assert_eq!(
+        seq.history, par.history,
+        "seed {seed}, workers {workers}: serialized event-log history \
+         must be byte-identical"
+    );
+    assert_eq!(
+        seq.status, par.status,
+        "seed {seed}, workers {workers}: status snapshots (minus worker \
+         occupancy) must be identical"
+    );
+    assert_eq!(seq.triggers, par.triggers);
+    assert_eq!(seq.resolutions, par.resolutions);
+    assert_eq!(seq.end, par.end);
+    assert_eq!(
+        seq.service.pipeline().events_delivered(),
+        par.service.pipeline().events_delivered()
+    );
+    // Status JSON too — "identical" down to the serialized bytes.
+    let seq_json = serde_json::to_string(&seq.status).expect("serializes");
+    let par_json = serde_json::to_string(&par.status).expect("serializes");
+    assert_eq!(seq_json, par_json);
+}
+
+#[test]
+fn parallel_fleet_is_byte_identical_to_sequential() {
+    for workers in [2usize, 4, 8] {
+        assert_workers_identical(SEED, workers);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cross-seed: whatever topology, victim/attacker pair and feed
+    /// timing a seed produces, `workers ∈ {2, 4, 8}` replays the exact
+    /// sequential history.
+    #[test]
+    fn parallel_fleet_matches_sequential_across_seeds(
+        seed in 1u64..500,
+        workers_idx in 0usize..3,
+    ) {
+        assert_workers_identical(seed, [2usize, 4, 8][workers_idx]);
+    }
 }

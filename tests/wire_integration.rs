@@ -67,9 +67,10 @@ fn ris_json_stream_feeds_the_detector() {
     );
     let mut detector = Detector::new(config);
 
+    // The `_into` surface: one reusable buffer, no per-change Vec.
     let mut events: Vec<artemis_repro::feeds::FeedEvent> = Vec::new();
     for change in &changes {
-        events.extend(ris.on_route_change(change, &mut rng));
+        ris.on_route_change_into(change, &mut rng, &mut events);
     }
     events.sort_by_key(|e| e.emitted_at);
 
@@ -97,8 +98,10 @@ fn mrt_archive_replays_into_the_detector() {
     let (changes, victim, attacker, vps) = scenario();
     let mut archive = ArchiveUpdatesFeed::route_views(vps);
     let mut rng = SimRng::new(2);
+    let mut sink = Vec::new();
     for change in &changes {
-        archive.on_route_change(change, &mut rng);
+        archive.on_route_change_into(change, &mut rng, &mut sink);
+        sink.clear(); // only the MRT bytes matter here
     }
 
     // Parse the MRT bytes like a baseline detector would and replay the
