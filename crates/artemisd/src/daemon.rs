@@ -1,0 +1,452 @@
+//! The network-facing daemon: an [`ArtemisService`] behind HTTP/JSON.
+//!
+//! [`Daemon::start`] takes ownership of a fully assembled service,
+//! binds a TCP listener, and serves the control-plane API until the
+//! shutdown switch fires (via [`DaemonHandle::shutdown`] or the
+//! `POST /v1/shutdown` endpoint). Every route maps 1:1 onto the typed
+//! in-process API — commands to [`ArtemisService::apply`], queries to
+//! [`ArtemisService::query`], the event stream to
+//! [`ArtemisService::poll_events`] — wrapped in the versioned
+//! envelopes of [`artemis_core::wire`], so wire and in-process
+//! consumers observe byte-identical histories.
+//!
+//! | Method | Path            | Meaning                                   |
+//! |--------|-----------------|-------------------------------------------|
+//! | GET    | `/healthz`      | liveness probe                            |
+//! | POST   | `/v1/command`   | apply a [`CommandEnvelope`]               |
+//! | POST   | `/v1/query`     | answer a [`QueryEnvelope`]                |
+//! | GET    | `/v1/status`    | full [`ServiceReply::Status`] snapshot    |
+//! | GET    | `/v1/prefixes`  | owned-prefix table                        |
+//! | GET    | `/v1/incidents` | incident table                            |
+//! | GET    | `/v1/feeds`     | feed-health table                         |
+//! | GET    | `/v1/events`    | long-poll the incident stream by cursor   |
+//! | POST   | `/v1/inject`    | deliver feed events (loopback/testing)    |
+//! | GET    | `/v1/audit`     | the audit trail from a sequence number    |
+//! | GET    | `/v1/sinks`     | registered alert sinks                    |
+//! | POST   | `/v1/sinks`     | register a webhook alert sink             |
+//! | GET    | `/metrics`      | Prometheus text exposition                |
+//! | POST   | `/v1/shutdown`  | stop the daemon                           |
+//!
+//! The service clock is derived from the daemon's wall clock: `now` is
+//! microseconds since daemon start as a [`SimTime`]. Command and
+//! inject envelopes may carry an explicit `at` instead, which makes
+//! replayed histories deterministic — the wire end-to-end tests drive
+//! the daemon and an in-process twin with the same explicit
+//! timestamps and require byte-identical event logs.
+//!
+//! [`ServiceReply::Status`]: artemis_core::ServiceReply::Status
+
+use crate::alerts::{AlertDispatcher, WebhookSink};
+use crate::audit::{AuditLog, AuditRecord};
+use artemis_core::wire::{
+    CommandEnvelope, CommandResult, EventsEnvelope, InjectEnvelope, InjectOutcome, OutcomeEnvelope,
+    QueryEnvelope, SCHEMA_VERSION,
+};
+use artemis_core::{AppAction, ArtemisService, EventCursor, IncidentEvent, ServiceQuery};
+use artemis_simnet::SimTime;
+use minihttp::{Request, Response, Server, ShutdownSwitch};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Payload posted to alert sinks: one alert-worthy incident event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertPayload {
+    /// Wire schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The event that fired the alert.
+    pub event: IncidentEvent,
+}
+
+/// Body of `POST /v1/sinks`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinkRequest {
+    /// Webhook endpoint, `http://host:port/path`.
+    pub url: String,
+}
+
+/// Daemon tuning knobs. [`DaemonConfig::default`] suits tests and the
+/// loopback example; the binary maps its flags onto these fields.
+pub struct DaemonConfig {
+    /// Append audit records to this JSONL file as well as memory.
+    pub audit_path: Option<PathBuf>,
+    /// Webhook sinks registered before the daemon starts serving.
+    pub webhooks: Vec<String>,
+    /// Alert dispatcher queue capacity.
+    pub alert_queue: usize,
+    /// Delivery attempts per alert payload.
+    pub alert_attempts: u32,
+    /// Minimum interval between alert deliveries.
+    pub alert_min_interval: Duration,
+    /// How often the background thread retries queued alerts.
+    pub pump_interval: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            audit_path: None,
+            webhooks: Vec::new(),
+            alert_queue: 256,
+            alert_attempts: 3,
+            alert_min_interval: Duration::from_millis(50),
+            pump_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+struct Inner {
+    service: ArtemisService,
+    audit: AuditLog,
+    dispatcher: AlertDispatcher,
+    alert_cursor: EventCursor,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    started: Instant,
+}
+
+impl Shared {
+    /// The service clock: microseconds since daemon start.
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.started.elapsed().as_micros() as u64)
+    }
+
+    fn wall_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// Tail the incident stream for alert-worthy events, queue them as
+/// payloads, and pump the dispatcher. Called with the state lock held.
+fn pump_alerts(inner: &mut Inner) {
+    let batch = inner.service.poll_events(inner.alert_cursor);
+    inner.alert_cursor = batch.next;
+    for event in batch.events {
+        let alert_worthy = matches!(
+            event,
+            IncidentEvent::AlertRaised { .. }
+                | IncidentEvent::MitigationPending { .. }
+                | IncidentEvent::MitigationTriggered { .. }
+                | IncidentEvent::Resolved { .. }
+        );
+        if !alert_worthy {
+            continue;
+        }
+        let payload = AlertPayload {
+            schema_version: SCHEMA_VERSION,
+            event,
+        };
+        if let Ok(json) = serde_json::to_string(&payload) {
+            inner.dispatcher.enqueue(json);
+        }
+    }
+    inner.dispatcher.pump();
+}
+
+fn json_body<T: for<'de> Deserialize<'de>>(req: &Request) -> Result<T, Response> {
+    let text = req.body_utf8().map_err(Response::bad_request)?;
+    serde_json::from_str(text).map_err(|e| Response::bad_request(format!("invalid body: {e}")))
+}
+
+fn reply_json<T: Serialize>(value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(body),
+        Err(e) => Response::status(500, format!("serialization failed: {e}")),
+    }
+}
+
+fn check_schema(version: u32) -> Result<(), Response> {
+    if version == SCHEMA_VERSION {
+        Ok(())
+    } else {
+        Err(Response::bad_request(format!(
+            "unsupported schema_version {version}, this daemon speaks {SCHEMA_VERSION}"
+        )))
+    }
+}
+
+fn handle_command(shared: &Shared, req: &Request) -> Response {
+    let env: CommandEnvelope = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_schema(env.schema_version) {
+        return resp;
+    }
+    let at = env.at.unwrap_or_else(|| shared.now());
+    let wall_ms = shared.wall_ms();
+    let mut inner = shared.inner.lock().expect("daemon state");
+    let result = inner.service.apply(env.command.clone(), at);
+    let result = match result {
+        Ok(outcome) => CommandResult::Outcome(outcome),
+        Err(error) => CommandResult::Rejected(error),
+    };
+    inner.audit.record(wall_ms, at, env.command, result.clone());
+    pump_alerts(&mut inner);
+    let envelope = OutcomeEnvelope {
+        schema_version: SCHEMA_VERSION,
+        at,
+        result,
+    };
+    reply_json(&envelope)
+}
+
+fn handle_query(shared: &Shared, req: &Request) -> Response {
+    let env: QueryEnvelope = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_schema(env.schema_version) {
+        return resp;
+    }
+    let at = env.at.unwrap_or_else(|| shared.now());
+    let inner = shared.inner.lock().expect("daemon state");
+    reply_json(&inner.service.query(env.query, at))
+}
+
+fn handle_named_query(shared: &Shared, query: ServiceQuery) -> Response {
+    let at = shared.now();
+    let inner = shared.inner.lock().expect("daemon state");
+    reply_json(&inner.service.query(query, at))
+}
+
+fn handle_events(shared: &Shared, req: &Request) -> Response {
+    let cursor = match req.query_param("cursor") {
+        None => EventCursor::START,
+        Some(raw) => match serde_json::from_str::<EventCursor>(raw) {
+            Ok(c) => c,
+            Err(_) => return Response::bad_request("cursor must be a sequence number"),
+        },
+    };
+    let wait = req
+        .query_param("wait_ms")
+        .and_then(|w| w.parse::<u64>().ok())
+        .unwrap_or(0)
+        .min(30_000);
+    let deadline = Instant::now() + Duration::from_millis(wait);
+    loop {
+        let batch = {
+            let inner = shared.inner.lock().expect("daemon state");
+            inner.service.poll_events(cursor)
+        };
+        // Return as soon as there is anything to report (events, or an
+        // overrun the consumer must learn about) or the wait expires;
+        // the lock is released while parked so commands keep flowing.
+        if !batch.events.is_empty() || batch.missed > 0 || Instant::now() >= deadline {
+            return reply_json(&EventsEnvelope::from(batch));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn handle_inject(shared: &Shared, req: &Request) -> Response {
+    let env: InjectEnvelope = match json_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(resp) = check_schema(env.schema_version) {
+        return resp;
+    }
+    let mut inner = shared.inner.lock().expect("daemon state");
+    let mut delivered = 0u64;
+    let mut alerts_raised = 0u64;
+    for event in &env.events {
+        let actions = inner.service.deliver(event);
+        delivered += 1;
+        alerts_raised += actions
+            .iter()
+            .filter(|a| matches!(a, AppAction::AlertRaised(_)))
+            .count() as u64;
+    }
+    pump_alerts(&mut inner);
+    reply_json(&InjectOutcome {
+        schema_version: SCHEMA_VERSION,
+        delivered,
+        alerts_raised,
+    })
+}
+
+fn handle_audit(shared: &Shared, req: &Request) -> Response {
+    let from = req
+        .query_param("from")
+        .and_then(|f| f.parse::<u64>().ok())
+        .unwrap_or(0);
+    let inner = shared.inner.lock().expect("daemon state");
+    let records: Vec<AuditRecord> = inner.audit.records_from(from).to_vec();
+    reply_json(&records)
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let at = shared.now();
+    let inner = shared.inner.lock().expect("daemon state");
+    let status = inner.service.status(at);
+    let text = crate::metrics::render(
+        &status,
+        inner.service.stage_metrics(),
+        &inner.dispatcher.stats(),
+        inner.dispatcher.queued(),
+        inner.audit.len(),
+    );
+    Response::text(text)
+}
+
+fn handle_sinks(shared: &Shared, req: &Request) -> Response {
+    if req.method == "POST" {
+        let body: SinkRequest = match json_body(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let sink = match WebhookSink::from_url(&body.url) {
+            Ok(s) => s,
+            Err(e) => return Response::bad_request(e),
+        };
+        let mut inner = shared.inner.lock().expect("daemon state");
+        inner.dispatcher.add_sink(Box::new(sink));
+        reply_json(&inner.dispatcher.sink_names())
+    } else {
+        let inner = shared.inner.lock().expect("daemon state");
+        reply_json(&inner.dispatcher.sink_names())
+    }
+}
+
+fn route(shared: &Shared, switch: &ShutdownSwitch, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text("ok\n"),
+        ("POST", "/v1/command") => handle_command(shared, req),
+        ("POST", "/v1/query") => handle_query(shared, req),
+        ("GET", "/v1/status") => handle_named_query(shared, ServiceQuery::Status),
+        ("GET", "/v1/prefixes") => handle_named_query(shared, ServiceQuery::OwnedPrefixes),
+        ("GET", "/v1/incidents") => handle_named_query(shared, ServiceQuery::Incidents),
+        ("GET", "/v1/feeds") => handle_named_query(shared, ServiceQuery::Feeds),
+        ("GET", "/v1/events") => handle_events(shared, req),
+        ("POST", "/v1/inject") => handle_inject(shared, req),
+        ("GET", "/v1/audit") => handle_audit(shared, req),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/v1/sinks") | ("POST", "/v1/sinks") => handle_sinks(shared, req),
+        ("POST", "/v1/shutdown") => {
+            switch.trigger();
+            Response::json("{\"shutting_down\":true}").closing()
+        }
+        _ => Response::not_found(),
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the daemon;
+/// call [`DaemonHandle::shutdown`] (or hit `POST /v1/shutdown` and
+/// then [`DaemonHandle::wait`]).
+pub struct DaemonHandle {
+    addr: std::net::SocketAddr,
+    switch: ShutdownSwitch,
+    server: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the shutdown switch, e.g. for signal handlers.
+    pub fn switch(&self) -> ShutdownSwitch {
+        self.switch.clone()
+    }
+
+    /// Trigger shutdown and join the server and pump threads.
+    pub fn shutdown(mut self) {
+        self.switch.trigger();
+        self.join_threads();
+    }
+
+    /// Block until the daemon stops some other way (`POST
+    /// /v1/shutdown` or a triggered switch), then join its threads.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(server) = self.server.take() {
+            let _ = server.join();
+        }
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+    }
+}
+
+/// The operator daemon: binds, serves, pumps alerts in the background.
+pub struct Daemon;
+
+impl Daemon {
+    /// Start serving `service` on `addr` (use `127.0.0.1:0` for an
+    /// ephemeral port). Returns once the listener is bound; the
+    /// daemon runs on background threads until shut down.
+    pub fn start(
+        addr: &str,
+        service: ArtemisService,
+        config: DaemonConfig,
+    ) -> std::io::Result<DaemonHandle> {
+        let mut dispatcher = AlertDispatcher::new(
+            config.alert_queue,
+            config.alert_attempts,
+            config.alert_min_interval,
+        );
+        for url in &config.webhooks {
+            let sink = WebhookSink::from_url(url)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+            dispatcher.add_sink(Box::new(sink));
+        }
+        let audit = match &config.audit_path {
+            Some(path) => AuditLog::with_file(path)?,
+            None => AuditLog::in_memory(),
+        };
+        // Alerts raised before the daemon started (setup-time history)
+        // are not paged: the alert cursor begins at the current tail.
+        let alert_cursor = service.event_log().poll(EventCursor::START).next;
+
+        let server = Server::bind(addr)?;
+        let bound = server.local_addr()?;
+        let switch = server.shutdown_switch()?;
+
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                service,
+                audit,
+                dispatcher,
+                alert_cursor,
+            }),
+            started: Instant::now(),
+        });
+
+        let server_shared = Arc::clone(&shared);
+        let server_switch = switch.clone();
+        let server_thread = std::thread::spawn(move || {
+            let _ = server.serve(move |req| route(&server_shared, &server_switch, req));
+        });
+
+        // Background retry loop: queued alert payloads whose sinks were
+        // down (or rate-limited) are retried even when no request
+        // arrives to pump them.
+        let pump_shared = Arc::clone(&shared);
+        let pump_switch = switch.clone();
+        let pump_interval = config.pump_interval;
+        let pump_thread = std::thread::spawn(move || {
+            while !pump_switch.is_triggered() {
+                std::thread::sleep(pump_interval);
+                let mut inner = pump_shared.inner.lock().expect("daemon state");
+                pump_alerts(&mut inner);
+            }
+        });
+
+        Ok(DaemonHandle {
+            addr: bound,
+            switch,
+            server: Some(server_thread),
+            pump: Some(pump_thread),
+        })
+    }
+}

@@ -1,0 +1,246 @@
+//! Prometheus text exposition for the daemon's `/metrics` endpoint.
+//!
+//! Everything rendered here comes from surfaces the typed API already
+//! exposes — [`ServiceStatus`] snapshots, the pipeline's wall-clock
+//! [`StageMetrics`], the alert dispatcher's [`DispatchStats`], and the
+//! audit-log length — so a scrape can never disagree with what
+//! `ServiceQuery::Status` reports at the same instant.
+
+use crate::alerts::DispatchStats;
+use artemis_core::service::{MitigationPhase, ServiceStatus};
+use artemis_core::{StageMetrics, StageStat};
+use std::fmt::Write;
+
+fn phase_label(phase: MitigationPhase) -> &'static str {
+    match phase {
+        MitigationPhase::None => "none",
+        MitigationPhase::PendingConfirmation => "pending_confirmation",
+        MitigationPhase::Executing => "executing",
+        MitigationPhase::Resolved => "resolved",
+    }
+}
+
+fn stage_lines(out: &mut String, name: &str, stat: &StageStat) {
+    let _ = writeln!(
+        out,
+        "artemis_stage_batches_total{{stage=\"{name}\"}} {}",
+        stat.batches
+    );
+    let _ = writeln!(
+        out,
+        "artemis_stage_events_total{{stage=\"{name}\"}} {}",
+        stat.events
+    );
+    let _ = writeln!(
+        out,
+        "artemis_stage_nanos_total{{stage=\"{name}\"}} {}",
+        stat.nanos
+    );
+    let _ = writeln!(
+        out,
+        "artemis_stage_mean_batch_nanos{{stage=\"{name}\"}} {}",
+        stat.mean_batch_nanos()
+    );
+}
+
+/// Render one scrape in the Prometheus text exposition format.
+pub fn render(
+    status: &ServiceStatus,
+    stages: &StageMetrics,
+    dispatch: &DispatchStats,
+    alert_queue_depth: usize,
+    audit_records: u64,
+) -> String {
+    let mut out = String::with_capacity(2048);
+
+    // -- pipeline throughput ------------------------------------------
+    out.push_str("# HELP artemis_events_delivered_total Feed events delivered to the detector.\n");
+    out.push_str("# TYPE artemis_events_delivered_total counter\n");
+    let _ = writeln!(
+        out,
+        "artemis_events_delivered_total {}",
+        status.events_delivered
+    );
+    out.push_str("# HELP artemis_events_recorded_total Incident events recorded in the log.\n");
+    out.push_str("# TYPE artemis_events_recorded_total counter\n");
+    let _ = writeln!(
+        out,
+        "artemis_events_recorded_total {}",
+        status.events_recorded
+    );
+
+    // -- per-stage wall-clock batch latency ---------------------------
+    out.push_str("# HELP artemis_stage_batches_total Non-empty batches seen per pipeline stage.\n");
+    out.push_str("# TYPE artemis_stage_batches_total counter\n");
+    out.push_str("# HELP artemis_stage_events_total Events processed per pipeline stage.\n");
+    out.push_str("# TYPE artemis_stage_events_total counter\n");
+    out.push_str("# HELP artemis_stage_nanos_total Wall-clock nanoseconds spent per stage.\n");
+    out.push_str("# TYPE artemis_stage_nanos_total counter\n");
+    out.push_str("# HELP artemis_stage_mean_batch_nanos Mean wall-clock nanoseconds per batch.\n");
+    out.push_str("# TYPE artemis_stage_mean_batch_nanos gauge\n");
+    stage_lines(&mut out, "drain", &stages.drain);
+    stage_lines(&mut out, "classify", &stages.classify);
+    stage_lines(&mut out, "commit", &stages.commit);
+
+    // -- worker occupancy ---------------------------------------------
+    out.push_str("# HELP artemis_workers Detection worker threads configured.\n");
+    out.push_str("# TYPE artemis_workers gauge\n");
+    let _ = writeln!(out, "artemis_workers {}", status.workers.workers);
+    out.push_str("# HELP artemis_worker_parallel_batches_total Batches classified in parallel.\n");
+    out.push_str("# TYPE artemis_worker_parallel_batches_total counter\n");
+    let _ = writeln!(
+        out,
+        "artemis_worker_parallel_batches_total {}",
+        status.workers.parallel_batches
+    );
+    out.push_str(
+        "# HELP artemis_worker_sequential_batches_total Batches classified sequentially.\n",
+    );
+    out.push_str("# TYPE artemis_worker_sequential_batches_total counter\n");
+    let _ = writeln!(
+        out,
+        "artemis_worker_sequential_batches_total {}",
+        status.workers.sequential_batches
+    );
+    out.push_str("# HELP artemis_worker_events_total Events classified per worker slot.\n");
+    out.push_str("# TYPE artemis_worker_events_total counter\n");
+    for (slot, events) in status.workers.per_worker_events.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "artemis_worker_events_total{{worker=\"{slot}\"}} {events}"
+        );
+    }
+
+    // -- feed lag ------------------------------------------------------
+    out.push_str("# HELP artemis_feed_events_emitted_total Events emitted per attached feed.\n");
+    out.push_str("# TYPE artemis_feed_events_emitted_total counter\n");
+    out.push_str("# HELP artemis_feed_queued_events Emitted-but-undrained events per feed.\n");
+    out.push_str("# TYPE artemis_feed_queued_events gauge\n");
+    out.push_str(
+        "# HELP artemis_feed_last_event_seconds Service-clock emission instant of the \
+         newest queued event per feed.\n",
+    );
+    out.push_str("# TYPE artemis_feed_last_event_seconds gauge\n");
+    for feed in &status.feeds {
+        let handle = feed.handle;
+        let _ = writeln!(
+            out,
+            "artemis_feed_events_emitted_total{{feed=\"{handle}\",name=\"{}\"}} {}",
+            feed.name, feed.events_emitted
+        );
+        let _ = writeln!(
+            out,
+            "artemis_feed_queued_events{{feed=\"{handle}\",name=\"{}\"}} {}",
+            feed.name, feed.queued_events
+        );
+        if let Some(at) = feed.last_event_at {
+            let _ = writeln!(
+                out,
+                "artemis_feed_last_event_seconds{{feed=\"{handle}\",name=\"{}\"}} {}",
+                feed.name,
+                at.as_micros() as f64 / 1_000_000.0
+            );
+        }
+    }
+
+    // -- incidents by mitigation phase --------------------------------
+    out.push_str("# HELP artemis_incidents Incidents by mitigation lifecycle phase.\n");
+    out.push_str("# TYPE artemis_incidents gauge\n");
+    for phase in [
+        MitigationPhase::None,
+        MitigationPhase::PendingConfirmation,
+        MitigationPhase::Executing,
+        MitigationPhase::Resolved,
+    ] {
+        let count = status.incidents.iter().filter(|i| i.phase == phase).count();
+        let _ = writeln!(
+            out,
+            "artemis_incidents{{phase=\"{}\"}} {count}",
+            phase_label(phase)
+        );
+    }
+
+    // -- service state -------------------------------------------------
+    out.push_str("# HELP artemis_owned_prefixes Owned prefixes currently onboarded.\n");
+    out.push_str("# TYPE artemis_owned_prefixes gauge\n");
+    let _ = writeln!(out, "artemis_owned_prefixes {}", status.owned.len());
+    out.push_str("# HELP artemis_mitigation_paused 1 while mitigation is paused.\n");
+    out.push_str("# TYPE artemis_mitigation_paused gauge\n");
+    let _ = writeln!(
+        out,
+        "artemis_mitigation_paused {}",
+        u8::from(status.mitigation_paused)
+    );
+
+    // -- alert dispatch ------------------------------------------------
+    out.push_str("# HELP artemis_alerts_enqueued_total Alert payloads queued for delivery.\n");
+    out.push_str("# TYPE artemis_alerts_enqueued_total counter\n");
+    let _ = writeln!(out, "artemis_alerts_enqueued_total {}", dispatch.enqueued);
+    out.push_str("# HELP artemis_alerts_delivered_total Alert payloads delivered to all sinks.\n");
+    out.push_str("# TYPE artemis_alerts_delivered_total counter\n");
+    let _ = writeln!(out, "artemis_alerts_delivered_total {}", dispatch.delivered);
+    out.push_str("# HELP artemis_alerts_dropped_total Alert payloads dropped, by reason.\n");
+    out.push_str("# TYPE artemis_alerts_dropped_total counter\n");
+    let _ = writeln!(
+        out,
+        "artemis_alerts_dropped_total{{reason=\"overflow\"}} {}",
+        dispatch.dropped_overflow
+    );
+    let _ = writeln!(
+        out,
+        "artemis_alerts_dropped_total{{reason=\"failed\"}} {}",
+        dispatch.dropped_failed
+    );
+    out.push_str("# HELP artemis_alert_queue_depth Alert payloads waiting for delivery.\n");
+    out.push_str("# TYPE artemis_alert_queue_depth gauge\n");
+    let _ = writeln!(out, "artemis_alert_queue_depth {alert_queue_depth}");
+
+    // -- audit ---------------------------------------------------------
+    out.push_str("# HELP artemis_audit_records_total Operator commands audited.\n");
+    out.push_str("# TYPE artemis_audit_records_total counter\n");
+    let _ = writeln!(out, "artemis_audit_records_total {audit_records}");
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_core::pipeline::WorkerStatus;
+    use artemis_simnet::SimTime;
+
+    fn empty_status() -> ServiceStatus {
+        ServiceStatus {
+            at: SimTime::from_secs(1),
+            mitigation_paused: false,
+            events_delivered: 7,
+            events_recorded: 3,
+            owned: Vec::new(),
+            incidents: Vec::new(),
+            feeds: Vec::new(),
+            workers: WorkerStatus::default(),
+        }
+    }
+
+    #[test]
+    fn render_is_valid_exposition_text() {
+        let text = render(
+            &empty_status(),
+            &StageMetrics::default(),
+            &DispatchStats::default(),
+            0,
+            5,
+        );
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "malformed line: {line}"
+            );
+        }
+        assert!(text.contains("artemis_events_delivered_total 7"));
+        assert!(text.contains("artemis_stage_batches_total{stage=\"drain\"} 0"));
+        assert!(text.contains("artemis_incidents{phase=\"executing\"} 0"));
+        assert!(text.contains("artemis_audit_records_total 5"));
+        assert!(text.contains("artemis_mitigation_paused 0"));
+    }
+}

@@ -49,6 +49,7 @@ pub mod detector;
 pub mod event_log;
 pub mod experiment;
 pub mod hijack_stats;
+pub mod metrics;
 pub mod mitigation;
 pub mod monitor;
 pub mod parallel;
@@ -57,6 +58,7 @@ pub mod report;
 pub mod roa;
 pub mod service;
 pub mod viz;
+pub mod wire;
 
 pub use alert::{Alert, AlertId, AlertState};
 pub use app::{AppAction, ArtemisApp};
@@ -66,6 +68,7 @@ pub use detector::Detector;
 pub use event_log::{EventCursor, EventLog, IncidentEvent, PollBatch};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentOutcome, PhaseTimings};
 pub use hijack_stats::HijackDurationModel;
+pub use metrics::{StageMetrics, StageStat};
 pub use mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
 pub use monitor::MonitorService;
 pub use parallel::WorkerPool;
@@ -75,4 +78,8 @@ pub use pipeline::{
 pub use service::{
     ArtemisService, CommandOutcome, ServiceCommand, ServiceError, ServiceQuery, ServiceReply,
     ServiceStatus,
+};
+pub use wire::{
+    CommandEnvelope, CommandResult, EventsEnvelope, InjectEnvelope, InjectOutcome, OutcomeEnvelope,
+    QueryEnvelope, SCHEMA_VERSION,
 };

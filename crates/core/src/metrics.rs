@@ -1,0 +1,72 @@
+//! Wall-clock stage telemetry for the batched delivery path.
+//!
+//! These counters time the three stages of a feed batch — drain from
+//! the hub's merge queue, classification (inline or across the worker
+//! pool), and the ordered commit through monitoring/mitigation — with
+//! `std::time::Instant`. They exist for operators: the daemon's
+//! `/metrics` endpoint renders them as Prometheus counters.
+//!
+//! Wall-clock readings are inherently nondeterministic, so they are
+//! deliberately **not** part of [`ServiceStatus`](crate::ServiceStatus)
+//! or any other snapshot covered by the cross-worker-count identity
+//! tests; they are reachable only through
+//! [`Pipeline::stage_metrics`](crate::Pipeline::stage_metrics).
+
+use std::time::Duration;
+
+/// Accumulated timing of one delivery stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStat {
+    /// Batches that passed through this stage (empty batches are not
+    /// counted).
+    pub batches: u64,
+    /// Events those batches carried in total.
+    pub events: u64,
+    /// Total wall-clock nanoseconds spent in this stage.
+    pub nanos: u64,
+}
+
+impl StageStat {
+    /// Record one batch of `events` events that took `elapsed`.
+    pub fn record(&mut self, events: u64, elapsed: Duration) {
+        self.batches += 1;
+        self.events += events;
+        self.nanos = self
+            .nanos
+            .saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Mean wall-clock nanoseconds per batch (0 before any batch).
+    pub fn mean_batch_nanos(&self) -> u64 {
+        self.nanos.checked_div(self.batches).unwrap_or(0)
+    }
+}
+
+/// Per-stage batch latency of the pipeline's delivery path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Draining due events out of the hub's merge queue.
+    pub drain: StageStat,
+    /// Classifying the drained batch (inline or worker pool).
+    pub classify: StageStat,
+    /// Committing the batch in order through detection, monitoring
+    /// and mitigation.
+    pub commit: StageStat,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_average() {
+        let mut s = StageStat::default();
+        assert_eq!(s.mean_batch_nanos(), 0);
+        s.record(10, Duration::from_nanos(300));
+        s.record(5, Duration::from_nanos(100));
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.events, 15);
+        assert_eq!(s.nanos, 400);
+        assert_eq!(s.mean_batch_nanos(), 200);
+    }
+}

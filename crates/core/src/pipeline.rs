@@ -48,6 +48,7 @@ use crate::app::AppAction;
 use crate::config::{ArtemisConfig, OwnedPrefix};
 use crate::detector::{Detection, Detector, PreparedEvent};
 use crate::event_log::{EventCursor, EventLog, IncidentEvent, PollBatch};
+use crate::metrics::StageMetrics;
 use crate::mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
 use crate::monitor::MonitorService;
 use crate::parallel::WorkerPool;
@@ -166,7 +167,7 @@ pub struct RunReport {
 
 /// What [`Pipeline::remove_owned_prefix`] did while winding the
 /// prefix down.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OffboardReport {
     /// The removed prefix's configuration at offboard time.
     pub owned: OwnedPrefix,
@@ -218,6 +219,9 @@ pub struct Pipeline {
     /// Batches fanned out / delivered inline (observability).
     parallel_batches: u64,
     sequential_batches: u64,
+    /// Wall-clock per-stage batch latency (observability only; never
+    /// part of deterministic snapshots).
+    stage_metrics: StageMetrics,
 }
 
 impl Pipeline {
@@ -244,6 +248,7 @@ impl Pipeline {
             prepared: Vec::new(),
             parallel_batches: 0,
             sequential_batches: 0,
+            stage_metrics: StageMetrics::default(),
         }
     }
 
@@ -331,6 +336,13 @@ impl Pipeline {
     /// Every `(alert, monitor)` pair, in alert-raise order.
     pub fn monitors(&self) -> impl Iterator<Item = (AlertId, &MonitorService)> {
         self.monitors.iter().map(|(id, m)| (*id, m))
+    }
+
+    /// Wall-clock per-stage batch latency of the delivery path
+    /// (observability only; see [`StageMetrics`] for why this is kept
+    /// out of deterministic snapshots).
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        &self.stage_metrics
     }
 
     /// Feed events delivered to the detector so far.
@@ -775,8 +787,12 @@ impl Pipeline {
         controller: &mut Controller,
         helper_controllers: &mut [Controller],
     ) -> u64 {
+        let t0 = std::time::Instant::now();
         self.hub.drain_batch(upto, &mut self.batch);
+        let delivered = self.batch.len() as u64;
+        let t1 = std::time::Instant::now();
         let prepared = self.prepare_batch();
+        let t2 = std::time::Instant::now();
         let batch = std::mem::take(&mut self.batch);
         let prep = std::mem::take(&mut self.prepared);
         let mut actions = std::mem::take(&mut self.actions);
@@ -784,7 +800,12 @@ impl Pipeline {
             let p = prepared.then(|| prep[i]);
             self.deliver_impl(event, p, controller, helper_controllers, &mut actions);
         }
-        let delivered = batch.len() as u64;
+        if delivered > 0 {
+            let t3 = std::time::Instant::now();
+            self.stage_metrics.drain.record(delivered, t1 - t0);
+            self.stage_metrics.classify.record(delivered, t2 - t1);
+            self.stage_metrics.commit.record(delivered, t3 - t2);
+        }
         actions.clear();
         self.actions = actions;
         self.batch = batch;
@@ -960,8 +981,12 @@ impl Pipeline {
             // Otherwise: deliver the batch of feed events due now —
             // classified across the worker pool when configured, then
             // committed one by one in `(emitted_at, ingestion order)`.
+            let t0 = std::time::Instant::now();
             self.hub.drain_batch(next, &mut self.batch);
+            let drained = self.batch.len() as u64;
+            let t1 = std::time::Instant::now();
             let prepared = self.prepare_batch();
+            let t2 = std::time::Instant::now();
             let mut batch = std::mem::take(&mut self.batch);
             let prep = std::mem::take(&mut self.prepared);
             let mut actions = std::mem::take(&mut self.actions);
@@ -975,6 +1000,12 @@ impl Pipeline {
                         break 'events;
                     }
                 }
+            }
+            if drained > 0 {
+                let t3 = std::time::Instant::now();
+                self.stage_metrics.drain.record(drained, t1 - t0);
+                self.stage_metrics.classify.record(drained, t2 - t1);
+                self.stage_metrics.commit.record(drained, t3 - t2);
             }
             if let Some(i) = stopped_at {
                 // Hand undelivered events back to the hub so a later

@@ -34,13 +34,22 @@ use crate::{AppAction, HijackType};
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::Engine;
 use artemis_controller::Controller;
-use artemis_feeds::{FeedEvent, FeedHandle, FeedKind, FeedSource};
+use artemis_feeds::{FeedEvent, FeedHandle, FeedKind, FeedSpec};
 use artemis_simnet::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::ControlFlow;
 
 /// A typed operator command, applied with [`ArtemisService::apply`].
+///
+/// Every variant is a plain serializable value — including feed
+/// attachment, which carries a [`FeedSpec`] description rather than a
+/// trait object — so the exact same command type travels over the
+/// daemon's wire API and through the in-process API. Feeds that
+/// cannot be described by a spec (archive/replay feeds needing engine
+/// views or raw bytes) attach at assembly time via
+/// [`Pipeline::attach_feed`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServiceCommand {
     /// Onboard an owned prefix at runtime, optionally with a
     /// per-prefix mitigation policy override.
@@ -58,11 +67,11 @@ pub enum ServiceCommand {
         /// exactly).
         prefix: Prefix,
     },
-    /// Attach a monitoring feed; the outcome carries its stable
-    /// [`FeedHandle`].
+    /// Attach a monitoring feed described by a serializable
+    /// [`FeedSpec`]; the outcome carries its stable [`FeedHandle`].
     AttachFeed {
-        /// The feed to attach.
-        feed: Box<dyn FeedSource>,
+        /// Description of the feed to attach.
+        feed: FeedSpec,
     },
     /// Detach a feed by handle; its queued undelivered events are
     /// dropped deterministically (see `FeedHub::remove`).
@@ -90,44 +99,8 @@ pub enum ServiceCommand {
     Resume,
 }
 
-impl fmt::Debug for ServiceCommand {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ServiceCommand::AddOwnedPrefix { owned, policy } => f
-                .debug_struct("AddOwnedPrefix")
-                .field("owned", owned)
-                .field("policy", policy)
-                .finish(),
-            ServiceCommand::RemoveOwnedPrefix { prefix } => f
-                .debug_struct("RemoveOwnedPrefix")
-                .field("prefix", prefix)
-                .finish(),
-            ServiceCommand::AttachFeed { feed } => f
-                .debug_struct("AttachFeed")
-                .field("kind", &feed.kind())
-                .field("name", &feed.name())
-                .finish(),
-            ServiceCommand::DetachFeed { handle } => f
-                .debug_struct("DetachFeed")
-                .field("handle", handle)
-                .finish(),
-            ServiceCommand::SetMitigationPolicy { prefix, policy } => f
-                .debug_struct("SetMitigationPolicy")
-                .field("prefix", prefix)
-                .field("policy", policy)
-                .finish(),
-            ServiceCommand::ConfirmMitigation { alert } => f
-                .debug_struct("ConfirmMitigation")
-                .field("alert", alert)
-                .finish(),
-            ServiceCommand::Pause => write!(f, "Pause"),
-            ServiceCommand::Resume => write!(f, "Resume"),
-        }
-    }
-}
-
 /// What a successfully applied [`ServiceCommand`] did.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CommandOutcome {
     /// The prefix was onboarded.
     PrefixAdded {
@@ -173,7 +146,7 @@ pub enum CommandOutcome {
 
 /// Why a [`ServiceCommand`] was rejected. Rejected commands change
 /// nothing and record nothing in the event stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ServiceError {
     /// The prefix is not currently configured.
     UnknownPrefix(Prefix),
@@ -208,7 +181,7 @@ impl fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {}
 
 /// A typed read-only question, answered with [`ArtemisService::query`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ServiceQuery {
     /// The full snapshot.
     Status,
@@ -221,7 +194,7 @@ pub enum ServiceQuery {
 }
 
 /// The answer to a [`ServiceQuery`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServiceReply {
     /// Answer to [`ServiceQuery::Status`].
     Status(ServiceStatus),
@@ -235,7 +208,7 @@ pub enum ServiceReply {
 
 /// Owned snapshot of the whole service — serializable, no borrows
 /// into pipeline internals.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStatus {
     /// Snapshot instant (the `now` passed to the query).
     pub at: SimTime,
@@ -272,7 +245,7 @@ impl ServiceStatus {
 }
 
 /// One row of the owned-prefix table.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PrefixStatus {
     /// The owned prefix.
     pub prefix: Prefix,
@@ -302,7 +275,7 @@ pub enum MitigationPhase {
 }
 
 /// One row of the incident table.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IncidentStatus {
     /// The alert's identifier.
     pub alert: AlertId,
@@ -338,7 +311,7 @@ pub struct MonitorSummary {
 }
 
 /// One row of the feed-health table.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeedStatus {
     /// The feed's stable handle.
     pub handle: FeedHandle,
@@ -350,6 +323,14 @@ pub struct FeedStatus {
     pub events_emitted: u64,
     /// Pull queries issued (0 for push feeds).
     pub polls_executed: u64,
+    /// Events queued in the hub (emitted, not yet drained) from this
+    /// feed — the daemon-visible lag depth.
+    pub queued_events: usize,
+    /// Emission instant of the newest event this feed queued, if any —
+    /// the daemon-visible "last seen" instant. Both fields read the
+    /// hub's [`artemis_feeds::FeedLag`] bookkeeping, the same source
+    /// `/metrics` scrapes, so query and metrics always agree.
+    pub last_event_at: Option<SimTime>,
 }
 
 /// The runtime-reconfigurable ARTEMIS service: a [`Pipeline`] plus
@@ -434,7 +415,7 @@ impl ArtemisService {
                 .map(CommandOutcome::PrefixRemoved)
                 .ok_or(ServiceError::UnknownPrefix(prefix)),
             ServiceCommand::AttachFeed { feed } => {
-                let handle = self.pipeline.attach_feed(feed, now);
+                let handle = self.pipeline.attach_feed(feed.build(), now);
                 Ok(CommandOutcome::FeedAttached { handle })
             }
             ServiceCommand::DetachFeed { handle } => self
@@ -574,15 +555,19 @@ impl ArtemisService {
     }
 
     fn feed_table(&self) -> Vec<FeedStatus> {
-        self.pipeline
-            .hub()
-            .handles()
-            .map(|(handle, feed)| FeedStatus {
-                handle,
-                kind: feed.kind(),
-                name: feed.name().to_string(),
-                events_emitted: feed.events_emitted(),
-                polls_executed: feed.polls_executed(),
+        let hub = self.pipeline.hub();
+        hub.handles()
+            .map(|(handle, feed)| {
+                let lag = hub.feed_lag(handle).unwrap_or_default();
+                FeedStatus {
+                    handle,
+                    kind: feed.kind(),
+                    name: feed.name().to_string(),
+                    events_emitted: feed.events_emitted(),
+                    polls_executed: feed.polls_executed(),
+                    queued_events: lag.queued_events,
+                    last_event_at: lag.last_event_at,
+                }
             })
             .collect()
     }
@@ -598,6 +583,12 @@ impl ArtemisService {
     /// Read access to the underlying event log.
     pub fn event_log(&self) -> &EventLog {
         self.pipeline.event_log()
+    }
+
+    /// Wall-clock per-stage batch latency (observability only; see
+    /// [`crate::metrics::StageMetrics`]).
+    pub fn stage_metrics(&self) -> &crate::metrics::StageMetrics {
+        self.pipeline.stage_metrics()
     }
 
     // ---- Driving ----------------------------------------------------
@@ -642,7 +633,6 @@ mod tests {
     use crate::config::ArtemisConfig;
     use crate::event_log::IncidentEvent;
     use artemis_bgp::AsPath;
-    use artemis_feeds::{vantage::group_into_collectors, StreamFeed};
     use artemis_simnet::{LatencyModel, SimRng};
     use std::str::FromStr;
 
@@ -709,11 +699,10 @@ mod tests {
         );
 
         // Feed lifecycle by handle.
-        let vps = vec![Asn(174)];
         let out = svc
             .apply(
                 ServiceCommand::AttachFeed {
-                    feed: Box::new(StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))),
+                    feed: FeedSpec::ris_live("rrc", vec![Asn(174)]),
                 },
                 t,
             )

@@ -40,7 +40,7 @@ impl fmt::Display for FeedKind {
 /// `as_path` is the path *as seen from the vantage point's collector
 /// session* — i.e. it starts with the vantage AS itself (a collector
 /// receives the peer's Adj-RIB-Out, which prepends the peer).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeedEvent {
     /// When the monitoring service delivered the event to subscribers
     /// (this is when ARTEMIS can possibly react).

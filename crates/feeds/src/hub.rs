@@ -38,6 +38,19 @@ impl std::fmt::Display for FeedHandle {
     }
 }
 
+/// Hub-observed health of one attached feed: how many of its events
+/// sit undrained in the merge queue, and the emission instant of the
+/// newest event it ever queued. This is the single source of truth
+/// behind both `ServiceStatus` feed health and daemon `/metrics` —
+/// they must agree because they both read it from here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedLag {
+    /// Events queued (not yet drained) attributed to this feed.
+    pub queued_events: usize,
+    /// Emission instant of the newest event this feed queued, if any.
+    pub last_event_at: Option<SimTime>,
+}
+
 /// A queued event's ordering key: `(emitted_at, ingestion sequence)` —
 /// the sequence number makes simultaneous emissions deterministic —
 /// plus the slab slot holding the event payload. Keeping the payload
@@ -70,9 +83,7 @@ impl PartialOrd for QueuedKey {
 ///   per-route-change allocation.
 /// * **Per-event** — [`FeedHub::on_route_change_into`] /
 ///   [`FeedHub::poll_into`] append raw feed output to a caller-owned
-///   buffer and leave ordering to the caller. The allocating
-///   [`FeedHub::on_route_change`] / [`FeedHub::poll`] wrappers are
-///   deprecated.
+///   buffer and leave ordering to the caller.
 ///
 /// Feeds are identified by the stable [`FeedHandle`] returned from
 /// [`FeedHub::add`]; [`FeedHub::remove`] detaches a feed at runtime and
@@ -93,6 +104,9 @@ pub struct FeedHub {
     next_handle: u64,
     /// Reusable fan-out buffer shared by the batch ingestion paths.
     scratch: Vec<FeedEvent>,
+    /// Per-feed lag bookkeeping, keyed by handle id. Entries live
+    /// exactly as long as the feed is attached.
+    lag: BTreeMap<u64, FeedLag>,
 }
 
 impl FeedHub {
@@ -107,6 +121,7 @@ impl FeedHub {
             seq: 0,
             next_handle: 1,
             scratch: Vec::new(),
+            lag: BTreeMap::new(),
         }
     }
 
@@ -116,6 +131,7 @@ impl FeedHub {
         let handle = FeedHandle(self.next_handle);
         self.next_handle += 1;
         self.feeds.push((handle, feed));
+        self.lag.insert(handle.0, FeedLag::default());
         handle
     }
 
@@ -150,6 +166,7 @@ impl FeedHub {
             }
         }
         self.queue = BinaryHeap::from(kept);
+        self.lag.remove(&handle.0);
         Some((feed, dropped))
     }
 
@@ -168,6 +185,11 @@ impl FeedHub {
     fn queue_scratch(&mut self, handle: FeedHandle) {
         for ev in self.scratch.drain(..) {
             let emitted_at = ev.emitted_at;
+            if let Some(lag) = self.lag.get_mut(&handle.0) {
+                lag.queued_events += 1;
+                lag.last_event_at =
+                    Some(lag.last_event_at.map_or(emitted_at, |t| t.max(emitted_at)));
+            }
             let slot = match self.free.pop() {
                 Some(s) => {
                     self.slots[s as usize] = Some((handle, ev));
@@ -254,9 +276,12 @@ impl FeedHub {
             let Some(Reverse(QueuedKey(_, _, slot))) = self.queue.pop() else {
                 break;
             };
-            let (_, ev) = self.slots[slot as usize]
+            let (owner, ev) = self.slots[slot as usize]
                 .take()
                 .expect("queued slot filled");
+            if let Some(lag) = self.lag.get_mut(&owner.0) {
+                lag.queued_events = lag.queued_events.saturating_sub(1);
+            }
             self.free.push(slot);
             out.push(ev);
         }
@@ -270,19 +295,6 @@ impl FeedHub {
         for (_, feed) in &mut self.feeds {
             feed.on_route_change_into(change, &mut self.rng, out);
         }
-    }
-
-    /// Fan a routing change out to all push feeds, returning (not
-    /// queueing) the events.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a fresh Vec per call; use `FeedHub::on_route_change_into` \
-                with a reusable buffer, or the batched `ingest_route_change` path"
-    )]
-    pub fn on_route_change(&mut self, change: &RouteChange) -> Vec<FeedEvent> {
-        let mut out = Vec::new();
-        self.on_route_change_into(change, &mut out);
-        out
     }
 
     /// Earliest pending poll across all pull feeds.
@@ -301,19 +313,6 @@ impl FeedHub {
                 out.extend(feed.poll(at, view, &mut self.rng));
             }
         }
-    }
-
-    /// Run every feed whose poll is due at `at`, returning (not
-    /// queueing) the events.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a fresh Vec per call; use `FeedHub::poll_into` with a \
-                reusable buffer, or the batched `poll_and_queue` path"
-    )]
-    pub fn poll(&mut self, at: SimTime, view: &dyn RibView) -> Vec<FeedEvent> {
-        let mut out = Vec::new();
-        self.poll_into(at, view, &mut out);
-        out
     }
 
     /// Per-feed event counters (monitoring overhead of E3).
@@ -343,14 +342,10 @@ impl FeedHub {
         self.feeds.get(index).map(|(h, _)| *h)
     }
 
-    /// Access a feed by position.
-    #[deprecated(
-        since = "0.1.0",
-        note = "positional access breaks once feeds detach at runtime; resolve a \
-                stable id via `handle_at`/`handles` and use `feed_by_handle`"
-    )]
-    pub fn feed(&self, index: usize) -> Option<&dyn FeedSource> {
-        self.feeds.get(index).map(|(_, f)| f.as_ref())
+    /// Hub-observed lag of an attached feed (see [`FeedLag`]).
+    /// `None` once the feed is detached.
+    pub fn feed_lag(&self, handle: FeedHandle) -> Option<FeedLag> {
+        self.lag.get(&handle.0).copied()
     }
 
     /// Total pull queries issued across feeds (LG overhead).
@@ -467,36 +462,35 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_positional_accessor_still_works() {
-        #![allow(deprecated)]
+    fn feed_lag_tracks_queue_depth_and_last_emission() {
         let mut hub = FeedHub::new(SimRng::new(1));
         let vps = vec![Asn(174)];
-        let h = hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
-            "rrc", &vps, 1,
-        ))));
-        assert_eq!(
-            hub.feed(0).unwrap().name(),
-            hub.feed_by_handle(h).unwrap().name()
-        );
-        assert!(hub.feed(1).is_none());
-    }
+        let h = hub.add(Box::new(
+            StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+                .with_export_delay(artemis_simnet::LatencyModel::const_secs(5)),
+        ));
+        assert_eq!(hub.feed_lag(h), Some(FeedLag::default()));
 
-    #[test]
-    fn deprecated_allocating_wrappers_match_into_buffers() {
-        #![allow(deprecated)]
-        let vps = vec![Asn(174)];
-        let build = || {
-            let mut hub = FeedHub::new(SimRng::new(3));
-            hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
-                "rrc", &vps, 1,
-            ))));
-            hub
-        };
-        let mut a = build();
-        let mut b = build();
+        hub.ingest_route_changes(&[change(174, 10), change(174, 20)]);
+        let lag = hub.feed_lag(h).unwrap();
+        assert_eq!(lag.queued_events, 2);
+        assert_eq!(lag.last_event_at, Some(SimTime::from_secs(25)));
+
+        // Partial drain decrements the queue depth but keeps the
+        // high-water emission instant.
         let mut buf = Vec::new();
-        b.on_route_change_into(&change(174, 10), &mut buf);
-        assert_eq!(a.on_route_change(&change(174, 10)), buf);
+        hub.drain_batch(SimTime::from_secs(15), &mut buf);
+        let lag = hub.feed_lag(h).unwrap();
+        assert_eq!(lag.queued_events, 1);
+        assert_eq!(lag.last_event_at, Some(SimTime::from_secs(25)));
+
+        // Requeued events are attributed to REQUEUED, not the feed.
+        hub.requeue(buf.drain(..));
+        assert_eq!(hub.feed_lag(h).unwrap().queued_events, 1);
+
+        // Detach removes the bookkeeping entirely.
+        hub.remove(h).expect("attached");
+        assert_eq!(hub.feed_lag(h), None);
     }
 
     #[test]

@@ -34,14 +34,16 @@ pub mod hub;
 pub mod periscope;
 pub mod replay;
 pub mod source;
+pub mod spec;
 pub mod stream;
 pub mod vantage;
 
 pub use archive::{ArchiveRibFeed, ArchiveUpdatesFeed};
 pub use event::{FeedEvent, FeedKind};
-pub use hub::{batch_chunks, FeedHandle, FeedHub};
+pub use hub::{batch_chunks, FeedHandle, FeedHub, FeedLag};
 pub use periscope::{LookingGlass, PeriscopeFeed};
 pub use replay::{MrtReplayFeed, MrtRibSnapshot};
 pub use source::{EngineView, FeedSource, RibView};
+pub use spec::FeedSpec;
 pub use stream::StreamFeed;
 pub use vantage::VantageStrategy;

@@ -38,7 +38,10 @@ impl RibView for EngineView<'_> {
 ///
 /// Either path returns [`FeedEvent`]s whose `emitted_at` may lie in the
 /// future (pipeline delay); the driver is responsible for ordering.
-pub trait FeedSource {
+///
+/// Feeds are `Send`: the operator daemon keeps the hub (and thus every
+/// attached feed) behind a mutex shared across connection threads.
+pub trait FeedSource: Send {
     /// The feed family.
     fn kind(&self) -> FeedKind;
     /// Human-readable instance name.

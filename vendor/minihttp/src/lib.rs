@@ -1,0 +1,685 @@
+//! A minimal, dependency-free, blocking HTTP/1.1 server and client
+//! over [`std::net`].
+//!
+//! The workspace builds fully offline, so the operator daemon
+//! (`artemisd`) cannot pull in hyper/axum; this crate is the vendored
+//! substitute. It implements exactly the slice of HTTP/1.1 that a
+//! control-plane API and its load-test drivers need:
+//!
+//! * request/response framing with `Content-Length` bodies (no
+//!   chunked transfer encoding),
+//! * persistent connections (`keep-alive`) with a `Connection: close`
+//!   opt-out,
+//! * a thread-per-connection [`Server`] with a cooperative
+//!   [`ShutdownSwitch`] for clean teardown,
+//! * a one-request [`Client`] good enough for CLI tools, webhook
+//!   sinks, and integration tests.
+//!
+//! Nothing in here knows about ARTEMIS: the crate is reusable as-is
+//! for future loopback load-testing harnesses.
+
+#![deny(missing_docs)]
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted header block, in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request/response body, in bytes.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// Request / Response
+// ---------------------------------------------------------------------
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the request target (no query string).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty when none was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value under `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter under `name`, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an error string describing the defect.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("request body is not UTF-8: {e}"))
+    }
+}
+
+/// One HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: String,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// When true the connection closes after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A `200 OK` with a JSON body.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json".into(),
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A `200 OK` with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// An arbitrary status with a plain-text body.
+    pub fn status(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A `404 Not Found`.
+    pub fn not_found() -> Response {
+        Response::status(404, "not found")
+    }
+
+    /// A `400 Bad Request` with a reason.
+    pub fn bad_request(reason: impl Into<String>) -> Response {
+        Response::status(400, reason)
+    }
+
+    /// Mark the connection to close after this response (builder).
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            _ => "Response",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        if self.close {
+            head.push_str("connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire parsing (shared by server and client)
+// ---------------------------------------------------------------------
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Read one CRLF-terminated header block (request/status line included)
+/// from `reader`. Returns `Ok(None)` on a clean EOF before any byte.
+fn read_head(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Vec<String>>> {
+    let mut lines = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return if lines.is_empty() && total == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ))
+            };
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header block exceeds MAX_HEADER_BYTES",
+            ));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']).to_string();
+        if trimmed.is_empty() {
+            if lines.is_empty() {
+                // Tolerate leading blank lines between pipelined requests.
+                continue;
+            }
+            return Ok(Some(lines));
+        }
+        lines.push(trimmed);
+    }
+}
+
+fn parse_headers(lines: &[String]) -> Vec<(String, String)> {
+    lines
+        .iter()
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect()
+}
+
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    headers: &[(String, String)],
+) -> io::Result<Result<Vec<u8>, Response>> {
+    let len = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Ok(Err(
+            Response::status(413, "body exceeds MAX_BODY_BYTES").closing()
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Ok(body))
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Cooperative shutdown control for a running [`Server`].
+///
+/// Cloneable and sendable; [`ShutdownSwitch::trigger`] flips the flag
+/// and wakes the blocked accept loop with a dummy connection so
+/// [`Server::serve`] returns promptly.
+#[derive(Debug, Clone)]
+pub struct ShutdownSwitch {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownSwitch {
+    /// Request shutdown. Idempotent.
+    pub fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop; errors are irrelevant (the loop
+            // may already be gone).
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        }
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A blocking HTTP/1.1 server: thread per connection, keep-alive,
+/// `Content-Length` framing.
+pub struct Server {
+    listener: TcpListener,
+    flag: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            flag: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A switch that stops [`Server::serve`] when triggered.
+    pub fn shutdown_switch(&self) -> io::Result<ShutdownSwitch> {
+        Ok(ShutdownSwitch {
+            flag: self.flag.clone(),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept and serve connections until the shutdown switch fires.
+    /// Each connection runs on its own thread; all connection threads
+    /// are joined before this returns, so teardown is clean.
+    pub fn serve<H>(self, handler: H) -> io::Result<()>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let handler = Arc::clone(&handler);
+            let flag = Arc::clone(&self.flag);
+            workers.push(std::thread::spawn(move || {
+                let _ = serve_connection(stream, &*handler, &flag);
+            }));
+            // Reap finished connection threads so long-running servers
+            // don't accumulate handles.
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
+    flag: &AtomicBool,
+) -> io::Result<()> {
+    // A generous idle timeout so abandoned keep-alive connections
+    // cannot pin the worker thread forever.
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let head = match read_head(&mut reader) {
+            Ok(Some(lines)) => lines,
+            Ok(None) => return Ok(()), // clean EOF between requests
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(()); // idle keep-alive connection
+            }
+            Err(e) => return Err(e),
+        };
+        let mut parts = head[0].split_whitespace();
+        let (method, target) = match (parts.next(), parts.next()) {
+            (Some(m), Some(t)) => (m.to_ascii_uppercase(), t.to_string()),
+            _ => {
+                Response::bad_request("malformed request line")
+                    .closing()
+                    .write_to(&mut writer)?;
+                return Ok(());
+            }
+        };
+        let headers = parse_headers(&head[1..]);
+        let body = match read_body(&mut reader, &headers)? {
+            Ok(b) => b,
+            Err(resp) => {
+                resp.write_to(&mut writer)?;
+                return Ok(());
+            }
+        };
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target.as_str(), ""),
+        };
+        let request = Request {
+            method,
+            path: percent_decode(raw_path),
+            query: parse_query(raw_query),
+            headers,
+            body,
+        };
+        let close_requested = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let mut response = handler(&request);
+        if close_requested || flag.load(Ordering::SeqCst) {
+            response.close = true;
+        }
+        let close = response.close;
+        response.write_to(&mut writer)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A response as seen by the [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn body_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A one-request-per-connection blocking HTTP client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `host:port`.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the connect/read timeout (builder).
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The `host:port` this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Issue a `GET`.
+    pub fn get(&self, path_and_query: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path_and_query, None, "")
+    }
+
+    /// Issue a `POST` with a body.
+    pub fn post(
+        &self,
+        path_and_query: &str,
+        content_type: &str,
+        body: &str,
+    ) -> io::Result<ClientResponse> {
+        self.request("POST", path_and_query, Some(body.as_bytes()), content_type)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&[u8]>,
+        content_type: &str,
+    ) -> io::Result<ClientResponse> {
+        let sockaddr =
+            self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address")
+            })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut writer = stream.try_clone()?;
+        let body = body.unwrap_or(&[]);
+        let mut head = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\n",
+            self.addr
+        );
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!(
+                "content-type: {content_type}\r\ncontent-length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(body)?;
+        writer.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let head = read_head(&mut reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "no response before EOF")
+        })?;
+        let status = head[0]
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        let headers = parse_headers(&head[1..]);
+        let body = match read_body(&mut reader, &headers)? {
+            Ok(b) => b,
+            Err(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response body exceeds MAX_BODY_BYTES",
+                ))
+            }
+        };
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_echo_server() -> (SocketAddr, ShutdownSwitch, std::thread::JoinHandle<()>) {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let switch = server.shutdown_switch().unwrap();
+        let handle = std::thread::spawn(move || {
+            server
+                .serve(
+                    |req: &Request| match (req.method.as_str(), req.path.as_str()) {
+                        ("GET", "/hello") => Response::text("world"),
+                        ("GET", "/query") => {
+                            Response::text(req.query_param("q").unwrap_or("<missing>").to_string())
+                        }
+                        ("POST", "/echo") => Response::json(req.body_utf8().unwrap().to_string()),
+                        _ => Response::not_found(),
+                    },
+                )
+                .unwrap();
+        });
+        (addr, switch, handle)
+    }
+
+    #[test]
+    fn get_and_post_round_trip() {
+        let (addr, switch, handle) = spawn_echo_server();
+        let client = Client::new(addr.to_string());
+        let resp = client.get("/hello").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_utf8(), "world");
+
+        let resp = client
+            .post("/echo", "application/json", "{\"a\":1}")
+            .unwrap();
+        assert!(resp.is_success());
+        assert_eq!(resp.body_utf8(), "{\"a\":1}");
+
+        let resp = client.get("/nope").unwrap();
+        assert_eq!(resp.status, 404);
+
+        switch.trigger();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn query_strings_decode() {
+        let (addr, switch, handle) = spawn_echo_server();
+        let client = Client::new(addr.to_string());
+        let resp = client.get("/query?q=a%20b+c&x=1").unwrap();
+        assert_eq!(resp.body_utf8(), "a b c");
+        let resp = client.get("/query").unwrap();
+        assert_eq!(resp.body_utf8(), "<missing>");
+        switch.trigger();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (addr, switch, handle) = spawn_echo_server();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for _ in 0..3 {
+            writer
+                .write_all(b"GET /hello HTTP/1.1\r\nhost: t\r\n\r\n")
+                .unwrap();
+            writer.flush().unwrap();
+            let head = read_head(&mut reader).unwrap().unwrap();
+            assert!(head[0].contains("200"));
+            let headers = parse_headers(&head[1..]);
+            let body = read_body(&mut reader, &headers).unwrap().unwrap();
+            assert_eq!(body, b"world");
+        }
+        drop(writer);
+        drop(reader);
+        switch.trigger();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_prompt() {
+        let (_, switch, handle) = spawn_echo_server();
+        switch.trigger();
+        switch.trigger();
+        handle.join().unwrap();
+        assert!(switch.is_triggered());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let (addr, switch, handle) = spawn_echo_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let head = format!(
+            "POST /echo HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut buf = String::new();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        reader.read_line(&mut buf).unwrap();
+        assert!(buf.contains("413"), "got: {buf}");
+        switch.trigger();
+        handle.join().unwrap();
+    }
+}
