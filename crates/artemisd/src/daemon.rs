@@ -284,9 +284,16 @@ fn handle_metrics(shared: &Shared) -> Response {
     let at = shared.now();
     let inner = shared.inner.lock().expect("daemon state");
     let status = inner.service.status(at);
+    let pipeline = inner.service.pipeline();
+    let structure = crate::metrics::StructureGauges {
+        routing_nodes: pipeline.detector().routing_nodes(),
+        routing_bytes: pipeline.detector().routing_bytes(),
+        retired_incidents: pipeline.retired_count(),
+    };
     let text = crate::metrics::render(
         &status,
         inner.service.stage_metrics(),
+        &structure,
         &inner.dispatcher.stats(),
         inner.dispatcher.queued(),
         inner.audit.len(),

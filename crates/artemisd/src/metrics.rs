@@ -20,6 +20,21 @@ fn phase_label(phase: MitigationPhase) -> &'static str {
     }
 }
 
+/// Point-in-time gauges of the pipeline's internal structures that
+/// [`ServiceStatus`] does not carry (they are implementation detail,
+/// not operator-facing state): the flattened routing structure's
+/// footprint and the count of incidents whose monitors were retired
+/// into compact summaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StructureGauges {
+    /// Nodes in the detector's flattened routing structure.
+    pub routing_nodes: usize,
+    /// Approximate heap bytes held by the routing structure.
+    pub routing_bytes: usize,
+    /// Resolved incidents retired to compact monitor summaries.
+    pub retired_incidents: usize,
+}
+
 fn stage_lines(out: &mut String, name: &str, stat: &StageStat) {
     let _ = writeln!(
         out,
@@ -41,12 +56,18 @@ fn stage_lines(out: &mut String, name: &str, stat: &StageStat) {
         "artemis_stage_mean_batch_nanos{{stage=\"{name}\"}} {}",
         stat.mean_batch_nanos()
     );
+    let _ = writeln!(
+        out,
+        "artemis_stage_p99_batch_nanos{{stage=\"{name}\"}} {}",
+        stat.p99_batch_nanos()
+    );
 }
 
 /// Render one scrape in the Prometheus text exposition format.
 pub fn render(
     status: &ServiceStatus,
     stages: &StageMetrics,
+    structure: &StructureGauges,
     dispatch: &DispatchStats,
     alert_queue_depth: usize,
     audit_records: u64,
@@ -171,6 +192,21 @@ pub fn render(
         "artemis_mitigation_paused {}",
         u8::from(status.mitigation_paused)
     );
+    out.push_str("# HELP artemis_routing_nodes Nodes in the flattened routing structure.\n");
+    out.push_str("# TYPE artemis_routing_nodes gauge\n");
+    let _ = writeln!(out, "artemis_routing_nodes {}", structure.routing_nodes);
+    out.push_str("# HELP artemis_routing_bytes Approximate heap bytes of the routing structure.\n");
+    out.push_str("# TYPE artemis_routing_bytes gauge\n");
+    let _ = writeln!(out, "artemis_routing_bytes {}", structure.routing_bytes);
+    out.push_str(
+        "# HELP artemis_retired_incidents Resolved incidents retired to compact summaries.\n",
+    );
+    out.push_str("# TYPE artemis_retired_incidents gauge\n");
+    let _ = writeln!(
+        out,
+        "artemis_retired_incidents {}",
+        structure.retired_incidents
+    );
 
     // -- alert dispatch ------------------------------------------------
     out.push_str("# HELP artemis_alerts_enqueued_total Alert payloads queued for delivery.\n");
@@ -227,6 +263,11 @@ mod tests {
         let text = render(
             &empty_status(),
             &StageMetrics::default(),
+            &StructureGauges {
+                routing_nodes: 42,
+                routing_bytes: 1024,
+                retired_incidents: 2,
+            },
             &DispatchStats::default(),
             0,
             5,
@@ -242,5 +283,9 @@ mod tests {
         assert!(text.contains("artemis_incidents{phase=\"executing\"} 0"));
         assert!(text.contains("artemis_audit_records_total 5"));
         assert!(text.contains("artemis_mitigation_paused 0"));
+        assert!(text.contains("artemis_stage_p99_batch_nanos{stage=\"classify\"} 0"));
+        assert!(text.contains("artemis_routing_nodes 42"));
+        assert!(text.contains("artemis_routing_bytes 1024"));
+        assert!(text.contains("artemis_retired_incidents 2"));
     }
 }

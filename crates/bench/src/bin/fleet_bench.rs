@@ -1,0 +1,351 @@
+//! **Fleet-scale trajectory** — drives the pipeline with a fleet-sized
+//! operator (~100k owned prefixes), a full-table-sized churn stream
+//! and dozens of concurrent hijack incidents, and emits
+//! `BENCH_fleet.json`: end-to-end events/s (ingest, drain, classify
+//! and commit), p99 per-stage batch latency from the pipeline's
+//! `StageMetrics` taps, the flattened routing structure's
+//! bytes-per-owned-prefix, and a longest-prefix-match microbench of
+//! the flattened [`FlatTrie`] against the boxed [`PrefixTrie`] on the
+//! same 100k-entry fleet.
+//!
+//! ```sh
+//! cargo run --release -p artemis_bench --bin fleet_bench            # full: 100k prefixes
+//! cargo run --release -p artemis_bench --bin fleet_bench -- --smoke # CI: 5k prefixes
+//! cargo run --release -p artemis_bench --bin fleet_bench -- --out BENCH_fleet.json
+//! ```
+//!
+//! Churn is delivered in waves (ingest a chunk, drain it, repeat) the
+//! way a live deployment sees the firehose, which both bounds queue
+//! memory and gives the stage histograms enough batch samples for a
+//! meaningful p99.
+
+use artemis_bgp::{AsPath, Asn, FlatTrie, Prefix, PrefixTrie};
+use artemis_bgpsim::{BestRoute, RouteChange};
+use artemis_controller::Controller;
+use artemis_core::{ArtemisConfig, OwnedPrefix, Pipeline, PipelineConfig};
+use artemis_feeds::vantage::group_into_collectors;
+use artemis_feeds::{FeedHub, StreamFeed};
+use artemis_simnet::{LatencyModel, SimRng, SimTime};
+use artemis_topology::RelKind;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+const FULL_OWNED: usize = 100_000;
+const SMOKE_OWNED: usize = 5_000;
+const FULL_CHANGES: usize = 200_000;
+const SMOKE_CHANGES: usize = 20_000;
+const FULL_LPM_QUERIES: usize = 1_000_000;
+const SMOKE_LPM_QUERIES: usize = 100_000;
+/// Route changes per delivery wave (≈ 2× events per wave).
+const WAVE_CHANGES: usize = 2_000;
+/// Distinct owned prefixes attacked mid-churn ("dozens of concurrent
+/// incidents").
+const HIJACKED_PREFIXES: usize = 48;
+const OPERATOR: u32 = 65_001;
+const ROGUE: u32 = 64_666;
+
+/// The owned fleet: consecutive /24s from 10.0.0.0 up — 100k of them
+/// span 10.0.0.0/7, the shape of a large provider's customer blocks.
+fn owned_fleet(n: usize) -> Vec<Prefix> {
+    (0..n as u32)
+        .map(|i| {
+            Prefix::v4(Ipv4Addr::from(0x0A00_0000u32 + (i << 8)), 24).expect("fleet /24 is valid")
+        })
+        .collect()
+}
+
+fn config(owned: &[Prefix]) -> ArtemisConfig {
+    ArtemisConfig::new(
+        Asn(OPERATOR),
+        owned
+            .iter()
+            .map(|p| OwnedPrefix::new(*p, Asn(OPERATOR)))
+            .collect(),
+    )
+}
+
+fn hub() -> FeedHub {
+    let vps = vec![Asn(174), Asn(3356)];
+    let mut hub = FeedHub::new(SimRng::new(1));
+    hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(3)),
+    ));
+    hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(9)),
+    ));
+    hub
+}
+
+/// Full-table-sized churn: mostly unrelated internet noise, a steady
+/// trickle of legitimate owned-space updates, and hijack announcements
+/// against [`HIJACKED_PREFIXES`] distinct owned prefixes spread across
+/// the run so the incidents overlap.
+fn churn(n: usize, owned: &[Prefix]) -> Vec<RouteChange> {
+    let hijack_every = (n / (HIJACKED_PREFIXES * 2)).max(1);
+    let hijack_stride = owned.len() / HIJACKED_PREFIXES.min(owned.len()).max(1);
+    (0..n as u64)
+        .map(|i| {
+            let (prefix, origin) = if i % (hijack_every as u64) == 7 {
+                // Hijack: rogue origin announces an owned /24. Repeat
+                // announcements against the same target prefix land in
+                // the same incident, keeping ~48 concurrent alerts.
+                let victim =
+                    ((i / hijack_every as u64) as usize % HIJACKED_PREFIXES) * hijack_stride.max(1);
+                (owned[victim % owned.len()], ROGUE)
+            } else if i % 4 == 0 {
+                // Legitimate owned-space update.
+                (owned[(i as usize * 7919) % owned.len()], OPERATOR)
+            } else {
+                // Unrelated internet noise: /24s far outside the fleet.
+                let addr =
+                    0x6400_0000u32 | (((i as u32).wrapping_mul(2_654_435_761)) & 0x00FF_FF00);
+                (Prefix::v4(Ipv4Addr::from(addr), 24).expect("valid"), 7018)
+            };
+            let vantage = if i % 2 == 0 { Asn(174) } else { Asn(3356) };
+            let path = AsPath::from_sequence([3356u32, origin]);
+            RouteChange {
+                time: SimTime::from_micros(i * 50),
+                asn: vantage,
+                prefix,
+                old: None,
+                new: Some(BestRoute {
+                    origin_as: path.origin().expect("non-empty"),
+                    as_path: path,
+                    neighbor: Some(Asn(3356)),
+                    learned_from: Some(RelKind::Provider),
+                    local_pref: 100,
+                }),
+            }
+        })
+        .collect()
+}
+
+struct ChurnResult {
+    events: u64,
+    secs: f64,
+    alerts: usize,
+    routing_nodes: usize,
+    routing_bytes: usize,
+    p99: [u64; 3],
+    mean: [u64; 3],
+}
+
+/// Wave-delivered churn through a fleet-sized pipeline; the timed
+/// region is the full hot path — parallel feed ingest, merge-queue
+/// drain, (parallel) classification and the in-order commit.
+fn run_churn(owned: &[Prefix], route_changes: &[RouteChange], workers: usize) -> ChurnResult {
+    let mut pipeline = Pipeline::new(
+        hub(),
+        config(owned),
+        [Asn(174), Asn(3356)].into_iter().collect(),
+    )
+    .with_pipeline_config(PipelineConfig {
+        workers,
+        parallel_threshold: PipelineConfig::ADAPTIVE,
+    });
+    let mut ctrl = Controller::new(Asn(OPERATOR), LatencyModel::const_secs(15), SimRng::new(1));
+
+    let mut events = 0u64;
+    let start = Instant::now();
+    for wave in route_changes.chunks(WAVE_CHANGES) {
+        pipeline.ingest_route_changes(wave);
+        events += pipeline.deliver_due(SimTime::from_micros(u64::MAX), &mut ctrl, &mut []);
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let stages = pipeline.stage_metrics();
+    ChurnResult {
+        events,
+        secs,
+        alerts: pipeline.detector().alerts().all().len(),
+        routing_nodes: pipeline.detector().routing_nodes(),
+        routing_bytes: pipeline.detector().routing_bytes(),
+        p99: [
+            stages.drain.p99_batch_nanos(),
+            stages.classify.p99_batch_nanos(),
+            stages.commit.p99_batch_nanos(),
+        ],
+        mean: [
+            stages.drain.mean_batch_nanos(),
+            stages.classify.mean_batch_nanos(),
+            stages.commit.mean_batch_nanos(),
+        ],
+    }
+}
+
+/// Deterministic LPM query mix over the fleet: exact owned /24s, host
+/// routes inside owned space (sub-prefix hits), covering /16s
+/// (misses — nothing shorter than /24 is owned) and far-away noise.
+fn lpm_queries(n: usize, owned: &[Prefix]) -> Vec<Prefix> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let pick = owned[(state >> 33) as usize % owned.len()];
+            match i % 4 {
+                0 => pick,
+                1 => {
+                    let host = pick.bits() | u128::from(state & 0xFF) << 96;
+                    Prefix::v4(Ipv4Addr::from((host >> 96) as u32), 32).expect("host route")
+                }
+                2 => Prefix::v4(Ipv4Addr::from((pick.bits() >> 96) as u32), 16).expect("/16"),
+                _ => {
+                    let addr = 0xC000_0000u32 | ((state as u32) & 0x00FF_FF00);
+                    Prefix::v4(Ipv4Addr::from(addr), 24).expect("noise /24")
+                }
+            }
+        })
+        .collect()
+}
+
+struct LpmResult {
+    queries: usize,
+    boxed_ns: f64,
+    flat_ns: f64,
+    speedup: f64,
+    hits: u64,
+}
+
+/// Boxed-vs-flattened longest-prefix-match microbench on the same
+/// fleet the pipeline routes with. Best-of-3 per structure; both sides
+/// run the identical query list and must agree on the hit count.
+fn lpm_bench(owned: &[Prefix], n_queries: usize) -> LpmResult {
+    let mut trie: PrefixTrie<usize> = PrefixTrie::new();
+    for (i, p) in owned.iter().enumerate() {
+        trie.insert(*p, i);
+    }
+    let flat = FlatTrie::from_trie(&trie);
+    let queries = lpm_queries(n_queries, owned);
+
+    let mut boxed_best = f64::INFINITY;
+    let mut boxed_hits = 0u64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut hits = 0u64;
+        for q in &queries {
+            hits += u64::from(std::hint::black_box(trie.longest_match(*q)).is_some());
+        }
+        boxed_best = boxed_best.min(start.elapsed().as_secs_f64());
+        boxed_hits = hits;
+    }
+    let mut flat_best = f64::INFINITY;
+    let mut flat_hits = 0u64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut hits = 0u64;
+        for q in &queries {
+            hits += u64::from(std::hint::black_box(flat.longest_match(*q)).is_some());
+        }
+        flat_best = flat_best.min(start.elapsed().as_secs_f64());
+        flat_hits = hits;
+    }
+    assert_eq!(boxed_hits, flat_hits, "structures must agree on hits");
+
+    let boxed_ns = boxed_best * 1e9 / n_queries as f64;
+    let flat_ns = flat_best * 1e9 / n_queries as f64;
+    LpmResult {
+        queries: n_queries,
+        boxed_ns,
+        flat_ns,
+        speedup: boxed_ns / flat_ns,
+        hits: flat_hits,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (n_owned, n_changes, n_queries) = if smoke {
+        (SMOKE_OWNED, SMOKE_CHANGES, SMOKE_LPM_QUERIES)
+    } else {
+        (FULL_OWNED, FULL_CHANGES, FULL_LPM_QUERIES)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cores.clamp(1, 8);
+
+    println!(
+        "fleet_bench: {n_owned} owned prefixes, {n_changes} route changes, {} mode, \
+         {cores} core(s), workers={workers}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let owned = owned_fleet(n_owned);
+    let route_changes = churn(n_changes, &owned);
+
+    let lpm = lpm_bench(&owned, n_queries);
+    println!(
+        "  lpm: boxed {:.1} ns/lookup, flat {:.1} ns/lookup, speedup {:.2}x ({} hits)",
+        lpm.boxed_ns, lpm.flat_ns, lpm.speedup, lpm.hits
+    );
+
+    let run = run_churn(&owned, &route_changes, workers);
+    let events_per_sec = run.events as f64 / run.secs;
+    let bytes_per_owned = run.routing_bytes as f64 / n_owned as f64;
+    println!(
+        "  churn: {} events in {:.3} s = {:.1} k events/s, {} alerts",
+        run.events,
+        run.secs,
+        events_per_sec / 1_000.0,
+        run.alerts
+    );
+    println!(
+        "  routing: {} nodes, {} bytes ({:.1} B per owned prefix)",
+        run.routing_nodes, run.routing_bytes, bytes_per_owned
+    );
+    println!(
+        "  p99 batch nanos: drain {}, classify {}, commit {}",
+        run.p99[0], run.p99[1], run.p99[2]
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_scale/churn_and_lpm\",\n  \"mode\": \"{mode}\",\n  \
+         \"owned_prefixes\": {n_owned},\n  \"churn_changes\": {n_changes},\n  \
+         \"events_delivered\": {events},\n  \"events_per_sec\": {eps:.0},\n  \
+         \"alerts_raised\": {alerts},\n  \"workers\": {workers},\n  \"host_cores\": {cores},\n  \
+         \"timed_region\": \"ingest (parallel feed synthesis) + drain + classify + in-order commit, in {wave}-change waves\",\n  \
+         \"stage_p99_batch_nanos\": {{ \"drain\": {p0}, \"classify\": {p1}, \"commit\": {p2} }},\n  \
+         \"stage_mean_batch_nanos\": {{ \"drain\": {m0}, \"classify\": {m1}, \"commit\": {m2} }},\n  \
+         \"routing\": {{ \"nodes\": {nodes}, \"bytes\": {bytes}, \"bytes_per_owned_prefix\": {bpo:.1} }},\n  \
+         \"lpm_microbench\": {{ \"queries\": {queries}, \"hits\": {hits}, \"boxed_ns_per_lookup\": {bns:.1}, \"flat_ns_per_lookup\": {fns:.1}, \"flat_speedup_vs_boxed\": {spd:.2} }},\n  \
+         \"note\": \"LPM microbench is single-threaded; churn throughput uses the worker pool and scales with cores\"\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        events = run.events,
+        eps = events_per_sec,
+        alerts = run.alerts,
+        wave = WAVE_CHANGES,
+        p0 = run.p99[0],
+        p1 = run.p99[1],
+        p2 = run.p99[2],
+        m0 = run.mean[0],
+        m1 = run.mean[1],
+        m2 = run.mean[2],
+        nodes = run.routing_nodes,
+        bytes = run.routing_bytes,
+        bpo = bytes_per_owned,
+        queries = lpm.queries,
+        hits = lpm.hits,
+        bns = lpm.boxed_ns,
+        fns = lpm.flat_ns,
+        spd = lpm.speedup,
+    );
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -1,0 +1,347 @@
+//! Flattened, array-backed companion to [`PrefixTrie`].
+//!
+//! [`FlatTrie`] stores the same prefix → value mapping as a
+//! [`PrefixTrie`], but in two contiguous arrays — a node pool linked by
+//! `u32` indices instead of `[Option<Box<Node>>; 2]` pointers, and a
+//! value table ordered exactly like [`PrefixTrie::iter`]. Longest-prefix
+//! match becomes a cache-friendly walk over a dense array, and for IPv4
+//! lookups a precomputed stride-16 root table skips the first sixteen
+//! branches in one indexed load.
+//!
+//! The structure is immutable: it is built from a [`PrefixTrie`]
+//! snapshot with [`FlatTrie::from_trie`] and rebuilt wholesale whenever
+//! the source trie changes. That trade is deliberate — the ARTEMIS
+//! detector mutates its routing table only when a prefix is onboarded
+//! or offboarded, while every incoming feed event performs a lookup, so
+//! the read path gets the flat layout and the rare write path pays the
+//! rebuild.
+//!
+//! Lookup results are bit-for-bit identical to the boxed trie:
+//! [`FlatTrie::longest_match`], [`FlatTrie::get`] and
+//! [`FlatTrie::iter`] agree with their [`PrefixTrie`] counterparts on
+//! every input (property-locked in `tests/flat_properties.rs`).
+
+use crate::prefix::{Afi, Prefix};
+use crate::trie::PrefixTrie;
+
+/// Sentinel for "no node" / "no value" links in the flat arrays.
+const NONE: u32 = u32::MAX;
+/// Index of the IPv4 root node in the node pool.
+const V4_ROOT: u32 = 0;
+/// Index of the IPv6 root node in the node pool.
+const V6_ROOT: u32 = 1;
+/// Number of leading IPv4 bits resolved by the stride table.
+const TABLE_BITS: u8 = 16;
+/// Minimum number of IPv4 entries before the 65536-slot stride table
+/// is materialized. Below this the plain walk is already cheap and the
+/// 512 KiB table would dominate the structure's footprint.
+const TABLE_MIN_V4: usize = 32;
+
+/// One node of the flattened trie: two child links and an optional
+/// index into the value table.
+#[derive(Debug, Clone, Copy)]
+struct FlatNode {
+    children: [u32; 2],
+    value: u32,
+}
+
+impl FlatNode {
+    const EMPTY: FlatNode = FlatNode {
+        children: [NONE, NONE],
+        value: NONE,
+    };
+}
+
+/// Precomputed state after consuming the first [`TABLE_BITS`] bits of
+/// an IPv4 lookup: the node reached (or [`NONE`]) and the best value
+/// index seen on the way down.
+#[derive(Debug, Clone, Copy)]
+struct RootSlot {
+    node: u32,
+    best: u32,
+}
+
+/// A level-compressed, array-backed snapshot of a [`PrefixTrie`].
+///
+/// See the [module docs](self) for the design rationale. `FlatTrie` is
+/// cheap to share (`Arc<FlatTrie<T>>`) and cheap to query; it cannot be
+/// mutated in place — rebuild it from the source trie instead.
+#[derive(Debug, Clone)]
+pub struct FlatTrie<T> {
+    nodes: Vec<FlatNode>,
+    /// `(prefix, value)` pairs in [`PrefixTrie::iter`] order (IPv4
+    /// before IPv6, address order within each family).
+    values: Vec<(Prefix, T)>,
+    /// Stride-16 IPv4 root table (empty when below [`TABLE_MIN_V4`]).
+    v4_table: Vec<RootSlot>,
+}
+
+impl<T: Clone> FlatTrie<T> {
+    /// Build a flat snapshot of `trie`. Lookups on the result are
+    /// identical to lookups on `trie` at the time of the call.
+    pub fn from_trie(trie: &PrefixTrie<T>) -> Self {
+        let mut flat = FlatTrie {
+            nodes: vec![FlatNode::EMPTY, FlatNode::EMPTY],
+            values: Vec::with_capacity(trie.len()),
+            v4_table: Vec::new(),
+        };
+        let mut v4_values = 0usize;
+        for (prefix, value) in trie.iter() {
+            if prefix.afi() == Afi::Ipv4 {
+                v4_values += 1;
+            }
+            flat.insert(prefix, value.clone());
+        }
+        if v4_values >= TABLE_MIN_V4 {
+            flat.build_v4_table();
+        }
+        flat
+    }
+
+    fn insert(&mut self, prefix: Prefix, value: T) {
+        let mut cur = match prefix.afi() {
+            Afi::Ipv4 => V4_ROOT,
+            Afi::Ipv6 => V6_ROOT,
+        };
+        for i in 0..prefix.len() {
+            let b = usize::from(prefix.bit(i));
+            let next = self.nodes[cur as usize].children[b];
+            cur = if next == NONE {
+                let idx = u32::try_from(self.nodes.len()).expect("node pool fits in u32");
+                self.nodes.push(FlatNode::EMPTY);
+                self.nodes[cur as usize].children[b] = idx;
+                idx
+            } else {
+                next
+            };
+        }
+        let vidx = u32::try_from(self.values.len()).expect("value table fits in u32");
+        self.nodes[cur as usize].value = vidx;
+        self.values.push((prefix, value));
+    }
+
+    fn build_v4_table(&mut self) {
+        let slots = 1usize << TABLE_BITS;
+        let mut table = Vec::with_capacity(slots);
+        for head in 0..slots {
+            let mut cur = V4_ROOT;
+            let mut best = self.nodes[cur as usize].value;
+            let mut reached = Some(cur);
+            for i in 0..TABLE_BITS {
+                let b = (head >> (TABLE_BITS - 1 - i)) & 1;
+                let next = self.nodes[cur as usize].children[b];
+                if next == NONE {
+                    reached = None;
+                    break;
+                }
+                cur = next;
+                if self.nodes[cur as usize].value != NONE {
+                    best = self.nodes[cur as usize].value;
+                }
+            }
+            table.push(RootSlot {
+                node: reached.map_or(NONE, |_| cur),
+                best,
+            });
+        }
+        self.v4_table = table;
+    }
+}
+
+impl<T> FlatTrie<T> {
+    /// An empty flat trie (no prefixes, lookups all miss).
+    pub fn new() -> Self {
+        FlatTrie {
+            nodes: vec![FlatNode::EMPTY, FlatNode::EMPTY],
+            values: Vec::new(),
+            v4_table: Vec::new(),
+        }
+    }
+
+    /// Longest stored prefix covering `prefix`, with its value.
+    /// Agrees exactly with [`PrefixTrie::longest_match`].
+    pub fn longest_match(&self, prefix: Prefix) -> Option<(Prefix, &T)> {
+        let (mut cur, mut best, start) = match prefix.afi() {
+            Afi::Ipv4 if !self.v4_table.is_empty() && prefix.len() >= TABLE_BITS => {
+                let head = (prefix.bits() >> (128 - u32::from(TABLE_BITS))) as usize;
+                let slot = self.v4_table[head];
+                if slot.node == NONE {
+                    return self.value_at(slot.best);
+                }
+                (slot.node, slot.best, TABLE_BITS)
+            }
+            Afi::Ipv4 => (V4_ROOT, self.nodes[V4_ROOT as usize].value, 0),
+            Afi::Ipv6 => (V6_ROOT, self.nodes[V6_ROOT as usize].value, 0),
+        };
+        for i in start..prefix.len() {
+            let b = usize::from(prefix.bit(i));
+            let next = self.nodes[cur as usize].children[b];
+            if next == NONE {
+                break;
+            }
+            cur = next;
+            let v = self.nodes[cur as usize].value;
+            if v != NONE {
+                best = v;
+            }
+        }
+        self.value_at(best)
+    }
+
+    /// Value stored for exactly `prefix`, if any. Agrees with
+    /// [`PrefixTrie::get`].
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let mut cur = match prefix.afi() {
+            Afi::Ipv4 => V4_ROOT,
+            Afi::Ipv6 => V6_ROOT,
+        };
+        for i in 0..prefix.len() {
+            let next = self.nodes[cur as usize].children[usize::from(prefix.bit(i))];
+            if next == NONE {
+                return None;
+            }
+            cur = next;
+        }
+        self.value_at(self.nodes[cur as usize].value)
+            .map(|(_, v)| v)
+    }
+
+    fn value_at(&self, idx: u32) -> Option<(Prefix, &T)> {
+        if idx == NONE {
+            None
+        } else {
+            let (p, v) = &self.values[idx as usize];
+            Some((*p, v))
+        }
+    }
+
+    /// All `(prefix, value)` pairs in [`PrefixTrie::iter`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        self.values.iter().map(|(p, v)| (*p, v))
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of nodes in the flat pool (including the two roots).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate heap footprint in bytes: node pool, value table and
+    /// the IPv4 stride table. Per-value payload is counted by
+    /// `size_of::<T>()`; heap owned by `T` itself is not followed.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<FlatNode>()
+            + self.values.capacity() * std::mem::size_of::<(Prefix, T)>()
+            + self.v4_table.capacity() * std::mem::size_of::<RootSlot>()
+    }
+}
+
+impl<T: Clone> Default for FlatTrie<T> {
+    fn default() -> Self {
+        FlatTrie::new()
+    }
+}
+
+impl<T: Clone> From<&PrefixTrie<T>> for FlatTrie<T> {
+    fn from(trie: &PrefixTrie<T>) -> Self {
+        FlatTrie::from_trie(trie)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().expect("valid prefix")
+    }
+
+    #[test]
+    fn empty_trie_misses_everything() {
+        let flat: FlatTrie<u32> = FlatTrie::new();
+        assert!(flat.longest_match(p("10.0.0.0/24")).is_none());
+        assert!(flat.get(p("::/0")).is_none());
+        assert_eq!(flat.len(), 0);
+        assert!(flat.is_empty());
+        assert_eq!(flat.node_count(), 2);
+    }
+
+    #[test]
+    fn matches_boxed_trie_on_nested_prefixes() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(p("10.0.0.0/8"), 8u32);
+        trie.insert(p("10.0.0.0/24"), 24);
+        trie.insert(p("10.0.1.0/24"), 124);
+        trie.insert(p("0.0.0.0/0"), 0);
+        trie.insert(p("2001:db8::/32"), 632);
+        let flat = FlatTrie::from_trie(&trie);
+        for q in [
+            "10.0.0.0/25",
+            "10.0.0.0/24",
+            "10.0.1.7/32",
+            "10.9.0.0/16",
+            "11.0.0.0/8",
+            "0.0.0.0/0",
+            "2001:db8:1::/48",
+            "2001:db9::/32",
+        ] {
+            let q = p(q);
+            assert_eq!(
+                flat.longest_match(q).map(|(pr, v)| (pr, *v)),
+                trie.longest_match(q).map(|(pr, v)| (pr, *v)),
+                "longest_match({q})"
+            );
+            assert_eq!(flat.get(q), trie.get(q), "get({q})");
+        }
+        let flat_pairs: Vec<_> = flat.iter().map(|(pr, v)| (pr, *v)).collect();
+        let boxed_pairs: Vec<_> = trie.iter().map(|(pr, v)| (pr, *v)).collect();
+        assert_eq!(flat_pairs, boxed_pairs);
+    }
+
+    #[test]
+    fn stride_table_kicks_in_above_threshold_and_stays_identical() {
+        let mut trie = PrefixTrie::new();
+        for i in 0..64u32 {
+            let octets = [10, (i >> 8) as u8, i as u8, 0];
+            let pr = Prefix::v4(octets.into(), 24).expect("valid");
+            trie.insert(pr, i);
+        }
+        trie.insert(p("10.0.0.0/12"), 9000);
+        let flat = FlatTrie::from_trie(&trie);
+        assert!(!flat.v4_table.is_empty(), "table built above threshold");
+        for i in 0..128u32 {
+            let octets = [10, (i >> 8) as u8, i as u8, 1];
+            let q = Prefix::v4(octets.into(), 32).expect("valid");
+            assert_eq!(
+                flat.longest_match(q).map(|(pr, v)| (pr, *v)),
+                trie.longest_match(q).map(|(pr, v)| (pr, *v)),
+                "query {q}"
+            );
+        }
+        // Short queries bypass the table but still agree.
+        let q = p("10.128.0.0/9");
+        assert_eq!(
+            flat.longest_match(q).map(|(pr, v)| (pr, *v)),
+            trie.longest_match(q).map(|(pr, v)| (pr, *v)),
+        );
+    }
+
+    #[test]
+    fn footprint_accessors_report_plausible_sizes() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(p("192.0.2.0/24"), 1u32);
+        let flat = FlatTrie::from_trie(&trie);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat.node_count(), 2 + 24);
+        assert!(flat.approx_bytes() >= flat.node_count() * std::mem::size_of::<FlatNode>());
+    }
+}

@@ -19,6 +19,10 @@
 //!   longest-prefix-match, exact-match, covering- and covered-prefix
 //!   queries. This is the data structure both the simulated routers and
 //!   the ARTEMIS detector index routes with.
+//! * [`FlatTrie`] — an immutable, array-backed snapshot of a
+//!   [`PrefixTrie`] (contiguous nodes linked by `u32` indices plus a
+//!   stride-16 IPv4 root table) for cache-friendly longest-prefix match
+//!   on the detector's hot path.
 //! * [`Route`] / [`RouteUpdate`] — announced paths and announce/withdraw
 //!   events exchanged between the simulator, the feeds and the detector.
 //!
@@ -31,6 +35,7 @@
 pub mod aspath;
 pub mod attrs;
 pub mod error;
+pub mod flat;
 pub mod message;
 pub mod prefix;
 pub mod route;
@@ -43,6 +48,7 @@ pub use asn::Asn;
 pub use aspath::{AsPath, Segment};
 pub use attrs::{Community, Origin, PathAttributes};
 pub use error::BgpError;
+pub use flat::FlatTrie;
 pub use message::{
     BgpMessage, NotificationMessage, OpenMessage, UpdateMessage, KEEPALIVE_TYPE, NOTIFICATION_TYPE,
     OPEN_TYPE, UPDATE_TYPE,

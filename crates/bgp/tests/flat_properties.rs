@@ -1,0 +1,185 @@
+//! Cross-structure property tests: [`FlatTrie`] must be an exact,
+//! query-for-query stand-in for the boxed [`PrefixTrie`] it is built
+//! from — longest-prefix match, exact lookup and iteration order all
+//! identical — including across offboard-then-readd churn (the detector
+//! rebuilds the flattened structure wholesale after every shard
+//! change), nested/adjacent prefix sets, and on either side of the
+//! stride-16 root-table threshold.
+
+use artemis_bgp::{FlatTrie, Prefix, PrefixTrie};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+// ---------------------------------------------------------------------
+// Generators — deliberately clustered so nesting and adjacency are the
+// norm, not a rare accident.
+// ---------------------------------------------------------------------
+
+/// V4 prefixes drawn from a handful of /8s with short-ish masks:
+/// collisions, covering prefixes and adjacent siblings are frequent.
+fn clustered_v4() -> impl Strategy<Value = Prefix> {
+    (0u8..4, any::<u32>(), 4u8..=32).prop_map(|(net, addr, len)| {
+        let addr = Ipv4Addr::from((u32::from(net) << 24) | (addr & 0x00FF_FFFF));
+        Prefix::v4(addr, len).expect("len <= 32")
+    })
+}
+
+/// V6 prefixes clustered under 2001:db8::/32.
+fn clustered_v6() -> impl Strategy<Value = Prefix> {
+    (any::<u64>(), 8u8..=64).prop_map(|(low, len)| {
+        let addr = Ipv6Addr::from((0x2001_0db8u128 << 96) | u128::from(low));
+        Prefix::v6(addr, len).expect("len <= 128")
+    })
+}
+
+fn arb_prefix_set(max: usize) -> impl Strategy<Value = Vec<Prefix>> {
+    prop::collection::vec(
+        prop_oneof![
+            clustered_v4(),
+            clustered_v4(),
+            clustered_v4(),
+            clustered_v6()
+        ],
+        1..max,
+    )
+}
+
+/// Rebuild a prefix of the same family from left-aligned bits (the
+/// constructors zero host bits, so derived queries stay canonical).
+fn mk(template: Prefix, bits: u128, len: u8) -> Prefix {
+    match template.afi() {
+        artemis_bgp::prefix::Afi::Ipv4 => {
+            Prefix::v4(Ipv4Addr::from((bits >> 96) as u32), len).expect("len <= 32")
+        }
+        artemis_bgp::prefix::Afi::Ipv6 => {
+            Prefix::v6(Ipv6Addr::from(bits), len).expect("len <= 128")
+        }
+    }
+}
+
+/// Queries derived from an inserted prefix: itself, a covering parent,
+/// a more-specific child, the host route and the adjacent sibling —
+/// the relationships a longest-prefix match has to arbitrate.
+fn related_queries(p: Prefix) -> Vec<Prefix> {
+    let mut queries = vec![p];
+    if p.len() > 0 {
+        queries.push(mk(p, p.bits(), p.len() - 1));
+        // Sibling: flip the last masked bit.
+        let flipped = p.bits() ^ (1u128 << (128 - u32::from(p.len())));
+        queries.push(mk(p, flipped, p.len()));
+    }
+    let host_len = p.afi().max_len();
+    if p.len() < host_len {
+        queries.push(mk(p, p.bits(), p.len() + 1));
+        queries.push(mk(p, p.bits(), host_len));
+    }
+    queries
+}
+
+/// Assert FlatTrie and PrefixTrie agree on every probe we can derive.
+fn assert_identical(trie: &PrefixTrie<u32>, flat: &FlatTrie<u32>, queries: &[Prefix]) {
+    assert_eq!(flat.len(), trie.len());
+    assert_eq!(flat.is_empty(), trie.is_empty());
+    let flat_iter: Vec<(Prefix, u32)> = flat.iter().map(|(p, v)| (p, *v)).collect();
+    let trie_iter: Vec<(Prefix, u32)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+    assert_eq!(flat_iter, trie_iter, "iteration order and contents");
+    for &q in queries {
+        assert_eq!(
+            flat.longest_match(q).map(|(p, v)| (p, *v)),
+            trie.longest_match(q).map(|(p, v)| (p, *v)),
+            "longest_match({q})"
+        );
+        assert_eq!(flat.get(q).copied(), trie.get(q).copied(), "get({q})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any clustered prefix set: identical views, identical matches.
+    #[test]
+    fn flat_matches_boxed_on_clustered_sets(
+        prefixes in arb_prefix_set(120),
+        extra_queries in prop::collection::vec(
+            prop_oneof![clustered_v4(), clustered_v6()], 0..32),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i as u32);
+        }
+        let flat = FlatTrie::from_trie(&trie);
+        let mut queries: Vec<Prefix> =
+            prefixes.iter().flat_map(|p| related_queries(*p)).collect();
+        queries.extend(extra_queries);
+        assert_identical(&trie, &flat, &queries);
+    }
+
+    /// Offboard-then-readd churn: remove a subset, rebuild, check;
+    /// re-add the removed prefixes (fresh values), rebuild, check.
+    /// This is exactly the detector's shard onboard/offboard life
+    /// cycle, where every mutation is a wholesale rebuild.
+    #[test]
+    fn flat_survives_offboard_then_readd_churn(
+        prefixes in arb_prefix_set(80),
+        removal_seed in any::<u64>(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut live: BTreeMap<Prefix, u32> = BTreeMap::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i as u32);
+            live.insert(*p, i as u32);
+        }
+        let queries: Vec<Prefix> =
+            prefixes.iter().flat_map(|p| related_queries(*p)).collect();
+
+        // Offboard roughly half, chosen by a cheap deterministic hash.
+        let removed: Vec<Prefix> = live
+            .keys()
+            .filter(|p| (p.bits().wrapping_mul(removal_seed as u128)) & 1 == 1)
+            .copied()
+            .collect();
+        for p in &removed {
+            trie.remove(*p);
+        }
+        let flat = FlatTrie::from_trie(&trie);
+        assert_identical(&trie, &flat, &queries);
+
+        // Re-add with fresh shard indices (offboard → onboard again).
+        for (j, p) in removed.iter().enumerate() {
+            trie.insert(*p, 10_000 + j as u32);
+        }
+        let flat = FlatTrie::from_trie(&trie);
+        assert_identical(&trie, &flat, &queries);
+    }
+
+    /// The stride-16 root table must be behaviorally invisible: a set
+    /// just below the table threshold and the same set grown past it
+    /// answer every query identically (each vs its own boxed trie).
+    #[test]
+    fn root_table_threshold_is_invisible(
+        base in prop::collection::vec(clustered_v4(), 8..24),
+        filler_seed in any::<u32>(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in base.iter().enumerate() {
+            trie.insert(*p, i as u32);
+        }
+        let queries: Vec<Prefix> =
+            base.iter().flat_map(|p| related_queries(*p)).collect();
+        // Below threshold (≤ 24 v4 entries): no root table.
+        let flat = FlatTrie::from_trie(&trie);
+        assert_identical(&trie, &flat, &queries);
+
+        // Push past the 32-entry threshold with distinct /24 filler.
+        for i in 0..40u32 {
+            let addr = Ipv4Addr::from(
+                0xC000_0000u32 | (filler_seed.wrapping_add(i * 251) & 0x00FF_FF00),
+            );
+            trie.insert(Prefix::v4(addr, 24).expect("/24"), 50_000 + i);
+        }
+        let flat = FlatTrie::from_trie(&trie);
+        assert!(flat.node_count() > 0);
+        assert_identical(&trie, &flat, &queries);
+    }
+}

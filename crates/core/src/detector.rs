@@ -33,7 +33,7 @@
 use crate::alert::{AlertId, AlertStore};
 use crate::classify::HijackType;
 use crate::config::{ArtemisConfig, OwnedPrefix};
-use artemis_bgp::{AsPath, Asn, Prefix, PrefixTrie};
+use artemis_bgp::{AsPath, Asn, FlatTrie, Prefix, PrefixTrie};
 use artemis_feeds::FeedEvent;
 use artemis_simnet::SimTime;
 use std::collections::BTreeSet;
@@ -195,12 +195,35 @@ impl Default for PreparedEvent {
     }
 }
 
-/// An owned, thread-safe snapshot of the detector's routing trie and
-/// classification rules, for fanning [`ClassifyContext::prepare`] out
-/// to worker threads. Cheap to clone (two `Arc` bumps).
+/// The shard-routing structure a [`ClassifyContext`] snapshot walks.
+///
+/// The hot path is [`RoutingSnapshot::Flat`]: an immutable, array-backed
+/// [`FlatTrie`] rebuilt only when a prefix is onboarded or offboarded.
+/// [`RoutingSnapshot::Boxed`] is the fallback when the flat snapshot is
+/// stale (a shard was added/removed and no batch boundary has refreshed
+/// it yet); both return identical longest-match results.
+#[derive(Clone)]
+enum RoutingSnapshot {
+    Flat(Arc<FlatTrie<usize>>),
+    Boxed(Arc<PrefixTrie<usize>>),
+}
+
+impl RoutingSnapshot {
+    /// Shard index of the most-specific owned prefix covering `p`.
+    fn route(&self, p: Prefix) -> Option<usize> {
+        match self {
+            RoutingSnapshot::Flat(f) => f.longest_match(p).map(|(_, idx)| *idx),
+            RoutingSnapshot::Boxed(t) => t.longest_match(p).map(|(_, idx)| *idx),
+        }
+    }
+}
+
+/// An owned, thread-safe snapshot of the detector's routing structure
+/// and classification rules, for fanning [`ClassifyContext::prepare`]
+/// out to worker threads. Cheap to clone (two `Arc` bumps).
 #[derive(Clone)]
 pub struct ClassifyContext {
-    routing: Arc<PrefixTrie<usize>>,
+    routing: RoutingSnapshot,
     rules: Arc<Vec<Arc<ShardRules>>>,
 }
 
@@ -209,12 +232,12 @@ impl ClassifyContext {
     /// responsible shard (longest-prefix match) and run the shard's
     /// legitimacy rules. Pure; safe to call from any thread.
     pub fn prepare(&self, event: &FeedEvent) -> PreparedEvent {
-        prepare_with(&self.routing, &self.rules, event)
+        prepare_with(|p| self.routing.route(p), &self.rules, event)
     }
 }
 
 fn prepare_with(
-    routing: &PrefixTrie<usize>,
+    route: impl Fn(Prefix) -> Option<usize>,
     rules: &[Arc<ShardRules>],
     event: &FeedEvent,
 ) -> PreparedEvent {
@@ -225,16 +248,16 @@ fn prepare_with(
     };
     // Which shard is responsible? The most-specific owned prefix
     // containing the observed one (exact and sub-prefix cases) — an
-    // allocation-free trie walk.
-    let Some((_, idx)) = routing.longest_match(event.prefix) else {
+    // allocation-free walk over the routing structure.
+    let Some(idx) = route(event.prefix) else {
         return PreparedEvent::BENIGN; // not our address space
     };
     // The origin as seen by the vantage point. The path includes the
     // vantage AS at the front; the origin is at the end.
     let origin = event.origin_as.or_else(|| as_path.origin());
     PreparedEvent {
-        shard: Some(*idx as u32),
-        hijack: rules[*idx].classify(event, as_path, origin),
+        shard: Some(idx as u32),
+        hijack: rules[idx].classify(event, as_path, origin),
         origin,
     }
 }
@@ -247,8 +270,15 @@ pub struct Detector {
     /// worker-thread [`ClassifyContext`]s.
     rules: Arc<Vec<Arc<ShardRules>>>,
     /// Routes an observed prefix to the responsible shard (index into
-    /// `shards`/`rules`) by longest-prefix match.
+    /// `shards`/`rules`) by longest-prefix match. Source of truth for
+    /// mutations (onboard/offboard).
     routing: Arc<PrefixTrie<usize>>,
+    /// Flattened snapshot of `routing` for the per-event hot path: a
+    /// cache-friendly array walk instead of pointer chasing. Rebuilt
+    /// lazily (at batch boundaries) after onboard/offboard.
+    flat: Arc<FlatTrie<usize>>,
+    /// True when `routing` changed since `flat` was last rebuilt.
+    flat_stale: bool,
     store: AlertStore,
     /// Expectations outside every owned prefix (never consulted by
     /// classification; kept so expect/unexpect round-trips hold).
@@ -284,11 +314,14 @@ impl Detector {
             });
         }
         let dirty = vec![false; shards.len()];
+        let flat = Arc::new(FlatTrie::from_trie(&routing));
         Detector {
             operator_as,
             shards,
             rules: Arc::new(rules),
             routing: Arc::new(routing),
+            flat,
+            flat_stale: false,
             store: AlertStore::new(),
             stray_expected: BTreeSet::new(),
             roa: None,
@@ -315,6 +348,7 @@ impl Detector {
             expected.insert(owned.prefix);
         }
         Arc::make_mut(&mut self.routing).insert(owned.prefix, self.shards.len());
+        self.flat_stale = true;
         // Expectations that strayed because no shard covered them yet
         // (e.g. registered before onboarding) stay stray: they were
         // never consulted and re-registering is the caller's call.
@@ -333,6 +367,7 @@ impl Detector {
     /// classify as "not our prefix" (benign) from now on.
     pub fn remove_shard(&mut self, owned: Prefix) -> Option<RemovedShard> {
         let idx = Arc::make_mut(&mut self.routing).remove(owned)?;
+        self.flat_stale = true;
         let shard = self.shards.swap_remove(idx);
         let rules = Arc::make_mut(&mut self.rules).swap_remove(idx);
         self.dirty.swap_remove(idx);
@@ -432,11 +467,49 @@ impl Detector {
 
     // ---- Two-phase (parallel) processing ----------------------------
 
-    /// An owned snapshot of the routing trie and per-shard rules for
-    /// worker threads (two `Arc` bumps; no copying).
+    /// Rebuild the flattened routing snapshot if onboard/offboard made
+    /// it stale. Called at batch boundaries so the per-event hot path
+    /// always walks the flat structure.
+    fn refresh_routing(&mut self) {
+        if self.flat_stale {
+            self.flat = Arc::new(FlatTrie::from_trie(&self.routing));
+            self.flat_stale = false;
+        }
+    }
+
+    /// The snapshot lookups route through: the flat structure when
+    /// fresh, the boxed trie as a stale-window fallback. Identical
+    /// results either way.
+    fn routing_snapshot(&self) -> RoutingSnapshot {
+        if self.flat_stale {
+            RoutingSnapshot::Boxed(Arc::clone(&self.routing))
+        } else {
+            RoutingSnapshot::Flat(Arc::clone(&self.flat))
+        }
+    }
+
+    /// Nodes in the flattened routing structure (capacity gauge).
+    pub fn routing_nodes(&self) -> usize {
+        self.flat.node_count()
+    }
+
+    /// Approximate heap bytes held by the flattened routing structure
+    /// (capacity gauge).
+    pub fn routing_bytes(&self) -> usize {
+        self.flat.approx_bytes()
+    }
+
+    /// The legitimacy rules of the shard owning exactly `owned`, if
+    /// any — a keyed trie lookup, not a scan over the configuration.
+    pub fn owned_rules(&self, owned: Prefix) -> Option<&OwnedPrefix> {
+        self.routing.get(owned).map(|idx| &self.rules[*idx].owned)
+    }
+
+    /// An owned snapshot of the routing structure and per-shard rules
+    /// for worker threads (two `Arc` bumps; no copying).
     pub fn classify_context(&self) -> ClassifyContext {
         ClassifyContext {
-            routing: Arc::clone(&self.routing),
+            routing: self.routing_snapshot(),
             rules: Arc::clone(&self.rules),
         }
     }
@@ -444,13 +517,27 @@ impl Detector {
     /// Classify one event against live state without committing it —
     /// the single-threaded equivalent of [`ClassifyContext::prepare`].
     pub fn prepare(&self, event: &FeedEvent) -> PreparedEvent {
-        prepare_with(&self.routing, &self.rules, event)
+        if self.flat_stale {
+            prepare_with(
+                |p| self.routing.longest_match(p).map(|(_, idx)| *idx),
+                &self.rules,
+                event,
+            )
+        } else {
+            prepare_with(
+                |p| self.flat.longest_match(p).map(|(_, idx)| *idx),
+                &self.rules,
+                event,
+            )
+        }
     }
 
     /// Start a new commit batch: forget which shards were dirtied by
-    /// earlier batches. Call once per batch, *before* preparing events
-    /// against the current rules snapshot.
+    /// earlier batches, and fold any pending onboard/offboard into the
+    /// flattened routing snapshot. Call once per batch, *before*
+    /// preparing events against the current rules snapshot.
     pub fn begin_batch(&mut self) {
+        self.refresh_routing();
         self.dirty.iter_mut().for_each(|d| *d = false);
     }
 
@@ -489,8 +576,9 @@ impl Detector {
     /// [`Detector::begin_batch`], so a stale dirty bit must not force
     /// a redundant second classification on every call.
     pub fn process(&mut self, event: &FeedEvent) -> Detection {
+        self.refresh_routing();
         self.events_processed += 1;
-        let prep = prepare_with(&self.routing, &self.rules, event);
+        let prep = self.prepare(event);
         let Some(idx) = prep.shard else {
             return Detection::Benign;
         };
@@ -974,5 +1062,52 @@ mod tests {
         assert_eq!(ctx.prepare(&echo), before);
         // The detector's own (live) classification sees the new rules.
         assert_eq!(d.prepare(&echo).hijack, None);
+    }
+
+    #[test]
+    fn flat_routing_agrees_with_boxed_across_onboard_offboard_churn() {
+        let mut d = Detector::new(config());
+        let probes = [
+            event("10.0.0.0/23", &[2914, 174, 666], 45),
+            event("10.0.0.0/24", &[2914, 174, 666], 45),
+            event("172.16.0.0/24", &[2914, 174, 666], 45),
+            event("203.0.113.0/24", &[2914, 174, 31337], 45),
+            event("8.8.8.0/24", &[2914, 15169], 45),
+        ];
+        let check = |d: &Detector| {
+            for ev in &probes {
+                let boxed = prepare_with(
+                    |p| d.routing.longest_match(p).map(|(_, idx)| *idx),
+                    &d.rules,
+                    ev,
+                );
+                assert_eq!(d.prepare(ev), boxed, "probe {}", ev.prefix);
+                assert_eq!(d.classify_context().prepare(ev), boxed);
+            }
+        };
+        // Fresh from construction: flat path, identical to boxed.
+        assert!(!d.flat_stale);
+        check(&d);
+        // Onboard: stale window uses the boxed fallback…
+        assert!(d.add_shard(OwnedPrefix::new(pfx("172.16.0.0/23"), Asn(65001))));
+        assert!(d.flat_stale);
+        check(&d);
+        // …and the batch boundary folds it into the flat snapshot.
+        d.begin_batch();
+        assert!(!d.flat_stale);
+        check(&d);
+        assert!(d.routing_nodes() > 2);
+        assert!(d.routing_bytes() > 0);
+        // Offboard-then-readd churn keeps the two structures agreeing.
+        d.remove_shard(pfx("10.0.0.0/23")).expect("shard exists");
+        check(&d);
+        d.begin_batch();
+        check(&d);
+        assert!(d.add_shard(OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))));
+        d.begin_batch();
+        check(&d);
+        // Keyed owned-prefix lookup sees exactly the onboarded shards.
+        assert!(d.owned_rules(pfx("10.0.0.0/23")).is_some());
+        assert!(d.owned_rules(pfx("10.0.0.0/24")).is_none());
     }
 }

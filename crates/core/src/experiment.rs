@@ -633,8 +633,14 @@ impl Experiment {
             .alerts()
             .all()
             .first()
-            .and_then(|a| self.service.pipeline().monitor_for(a.id))
-            .map(|m| m.timeline().to_vec())
+            .and_then(|a| {
+                let p = self.service.pipeline();
+                // A resolved incident's monitor has retired; its
+                // recorded timeline is preserved on the retired record.
+                p.monitor_for(a.id)
+                    .map(|m| m.timeline().to_vec())
+                    .or_else(|| p.retired_monitor(a.id).map(|r| r.timeline().to_vec()))
+            })
             .unwrap_or_default();
 
         milestones.sort_by_key(|(t, _)| *t);

@@ -14,6 +14,12 @@
 
 use std::time::Duration;
 
+/// Number of power-of-two latency buckets; bucket *i* counts batches
+/// whose stage latency fell in `[2^i, 2^(i+1))` ns (bucket 0 also
+/// takes 0 ns). 2^31 ns ≈ 2.1 s — the top bucket absorbs anything
+/// slower, far beyond any sane per-batch stage time.
+const HIST_BUCKETS: usize = 32;
+
 /// Accumulated timing of one delivery stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageStat {
@@ -24,6 +30,10 @@ pub struct StageStat {
     pub events: u64,
     /// Total wall-clock nanoseconds spent in this stage.
     pub nanos: u64,
+    /// Log₂-spaced per-batch latency histogram backing the percentile
+    /// accessors; constant-size, so tail latency costs O(1) memory no
+    /// matter how long the pipeline runs.
+    hist: [u64; HIST_BUCKETS],
 }
 
 impl StageStat {
@@ -31,14 +41,51 @@ impl StageStat {
     pub fn record(&mut self, events: u64, elapsed: Duration) {
         self.batches += 1;
         self.events += events;
-        self.nanos = self
-            .nanos
-            .saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos = self.nanos.saturating_add(ns);
+        let bucket = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        };
+        self.hist[bucket] += 1;
     }
 
     /// Mean wall-clock nanoseconds per batch (0 before any batch).
     pub fn mean_batch_nanos(&self) -> u64 {
         self.nanos.checked_div(self.batches).unwrap_or(0)
+    }
+
+    /// Upper-bound batch latency (ns) at quantile `q` (e.g. `0.99`):
+    /// the upper edge of the first histogram bucket whose cumulative
+    /// batch count reaches `q · batches`. Resolution is a factor of
+    /// two — the bucket width — which is plenty for "did p99 blow up"
+    /// dashboards. 0 before any batch.
+    pub fn percentile_batch_nanos(&self, q: f64) -> u64 {
+        if self.batches == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.batches as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, count) in self.hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // The top bucket absorbs everything slower than its
+                // nominal range, so it has no finite upper edge.
+                return if i + 1 >= HIST_BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// 99th-percentile batch latency in nanoseconds (bucketed upper
+    /// bound; see [`StageStat::percentile_batch_nanos`]).
+    pub fn p99_batch_nanos(&self) -> u64 {
+        self.percentile_batch_nanos(0.99)
     }
 }
 
@@ -68,5 +115,32 @@ mod tests {
         assert_eq!(s.events, 15);
         assert_eq!(s.nanos, 400);
         assert_eq!(s.mean_batch_nanos(), 200);
+    }
+
+    #[test]
+    fn percentiles_come_from_log_buckets() {
+        let mut s = StageStat::default();
+        assert_eq!(s.p99_batch_nanos(), 0);
+        // 99 fast batches in [64, 128) ns, one slow one in [2^20, 2^21).
+        for _ in 0..99 {
+            s.record(1, Duration::from_nanos(100));
+        }
+        s.record(1, Duration::from_nanos(1 << 20));
+        // p50 lands in the fast bucket: upper edge 127 ns.
+        assert_eq!(s.percentile_batch_nanos(0.50), 127);
+        // p99 needs rank 99 — still the fast bucket…
+        assert_eq!(s.p99_batch_nanos(), 127);
+        // …while p100 must reach the slow bucket's upper edge.
+        assert_eq!(s.percentile_batch_nanos(1.0), (1 << 21) - 1);
+
+        // Zero-duration batches land in bucket 0 (upper edge 1 ns).
+        let mut z = StageStat::default();
+        z.record(1, Duration::from_nanos(0));
+        assert_eq!(z.p99_batch_nanos(), 1);
+
+        // Saturating top bucket: absurd latencies stay in-range.
+        let mut t = StageStat::default();
+        t.record(1, Duration::from_secs(600));
+        assert_eq!(t.p99_batch_nanos(), u64::MAX);
     }
 }

@@ -182,6 +182,59 @@ impl MonitorService {
     pub fn vantage_count(&self) -> usize {
         self.vantage_points.len()
     }
+
+    /// Freeze this monitor into its compact retirement record,
+    /// dropping the per-VP observation maps (the part of monitor state
+    /// that grows with every ingested event). `at` stamps the final
+    /// snapshot. See [`RetiredMonitor`].
+    pub fn retire(self, at: SimTime) -> RetiredMonitor {
+        let final_point = self.snapshot(at);
+        RetiredMonitor {
+            target: self.target,
+            vantage_count: self.vantage_points.len(),
+            final_point,
+            timeline: self.timeline,
+        }
+    }
+}
+
+/// Compact record of a monitor whose incident is over (resolved, or
+/// closed by offboarding its prefix).
+///
+/// Keeps what reporting needs — the target, the recorded timeline (one
+/// point per state *change*, so bounded by transitions rather than
+/// event volume) and the final aggregate counts — while dropping the
+/// per-VP, per-prefix observation maps that grow with feed volume.
+/// Long-running daemons therefore pay a small frozen record per
+/// lifetime incident instead of leaking full monitor state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetiredMonitor {
+    target: Prefix,
+    vantage_count: usize,
+    final_point: TimelinePoint,
+    timeline: Vec<TimelinePoint>,
+}
+
+impl RetiredMonitor {
+    /// The prefix the monitor tracked.
+    pub fn target(&self) -> Prefix {
+        self.target
+    }
+
+    /// Number of vantage points the monitor tracked.
+    pub fn vantage_count(&self) -> usize {
+        self.vantage_count
+    }
+
+    /// Aggregate counts at retirement time.
+    pub fn final_point(&self) -> &TimelinePoint {
+        &self.final_point
+    }
+
+    /// The recorded timeline (identical to what the live monitor had).
+    pub fn timeline(&self) -> &[TimelinePoint] {
+        &self.timeline
+    }
 }
 
 #[cfg(test)]

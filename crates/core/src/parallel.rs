@@ -95,6 +95,12 @@ impl WorkerPool {
         &self.worker_events
     }
 
+    /// Zero the per-worker counters, so synthetic traffic (threshold
+    /// calibration) never shows up as real occupancy.
+    pub(crate) fn reset_worker_events(&mut self) {
+        self.worker_events.iter_mut().for_each(|c| *c = 0);
+    }
+
     /// Classify a drained batch across the pool against `ctx`.
     ///
     /// `events` is the batch exactly as `FeedHub::drain_batch`

@@ -50,7 +50,7 @@ use crate::detector::{Detection, Detector, PreparedEvent};
 use crate::event_log::{EventCursor, EventLog, IncidentEvent, PollBatch};
 use crate::metrics::StageMetrics;
 use crate::mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
-use crate::monitor::MonitorService;
+use crate::monitor::{MonitorService, RetiredMonitor};
 use crate::parallel::WorkerPool;
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::Engine;
@@ -79,6 +79,17 @@ pub struct PipelineConfig {
     /// common case in fine-grained simulation loops, where a batch is
     /// one emission instant) stay on the calling thread to avoid
     /// paying channel round-trips for a handful of events.
+    ///
+    /// [`PipelineConfig::ADAPTIVE`] (`0`, the default) calibrates the
+    /// break-even point at pool spawn time: the pipeline times one
+    /// pool dispatch round-trip against the inline per-event classify
+    /// cost on this machine and picks the batch size where fan-out
+    /// starts paying for itself (clamped to `16..=4096`). Any nonzero
+    /// value is an explicit override, used verbatim. The *effective*
+    /// threshold in force is
+    /// [`Pipeline::effective_parallel_threshold`]; either way, outputs
+    /// stay byte-identical — the threshold only picks which
+    /// (identical) execution arm runs.
     pub parallel_threshold: usize,
 }
 
@@ -86,14 +97,18 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             workers: 1,
-            parallel_threshold: 128,
+            parallel_threshold: PipelineConfig::ADAPTIVE,
         }
     }
 }
 
 impl PipelineConfig {
-    /// A config with `workers` threads and the default fan-out
-    /// threshold.
+    /// Sentinel for [`PipelineConfig::parallel_threshold`]: calibrate
+    /// the fan-out break-even at pool spawn instead of fixing it.
+    pub const ADAPTIVE: usize = 0;
+
+    /// A config with `workers` threads and the default (adaptive)
+    /// fan-out threshold.
     pub fn with_workers(workers: usize) -> Self {
         PipelineConfig {
             workers,
@@ -193,10 +208,11 @@ pub struct Pipeline {
     vantage_points: BTreeSet<Asn>,
     config: ArtemisConfig,
     mitigated: BTreeSet<AlertId>,
-    /// Alerts whose incident is over. Their monitors are kept for
-    /// reporting but skipped on ingestion, so per-event cost tracks
-    /// *active* incidents, not lifetime incident count.
-    resolved: BTreeSet<AlertId>,
+    /// Compact records of incidents that are over (resolved, or closed
+    /// by offboarding). Their full monitors are retired on resolution,
+    /// so per-event cost *and* memory track active incidents, not
+    /// lifetime incident count.
+    retired: BTreeMap<AlertId, RetiredMonitor>,
     /// Plans computed but held (confirm-first policy, or paused).
     pending: BTreeMap<AlertId, MitigationPlan>,
     /// Plans that were executed, for withdrawal on offboard.
@@ -212,6 +228,8 @@ pub struct Pipeline {
     events_delivered: u64,
     /// Execution parameters (worker count, fan-out threshold).
     pconfig: PipelineConfig,
+    /// Resolved fan-out threshold (explicit override or calibrated).
+    effective_threshold: usize,
     /// The persistent classification pool (`None` when `workers = 1`).
     pool: Option<WorkerPool>,
     /// Batch-aligned classification cache filled by the pool.
@@ -235,7 +253,7 @@ impl Pipeline {
             vantage_points,
             config,
             mitigated: BTreeSet::new(),
-            resolved: BTreeSet::new(),
+            retired: BTreeMap::new(),
             pending: BTreeMap::new(),
             executed_plans: BTreeMap::new(),
             paused: false,
@@ -244,6 +262,7 @@ impl Pipeline {
             actions: Vec::new(),
             events_delivered: 0,
             pconfig: PipelineConfig::default(),
+            effective_threshold: FALLBACK_THRESHOLD,
             pool: None,
             prepared: Vec::new(),
             parallel_batches: 0,
@@ -267,14 +286,34 @@ impl Pipeline {
     }
 
     /// Set the execution parameters (builder style). `workers ≥ 2`
-    /// spawns the persistent classification pool immediately; a later
-    /// call can also shrink back to the sequential pipeline (the pool
-    /// is dropped and joined). Outputs are byte-identical across
-    /// worker counts — see the [`PipelineConfig::workers`] docs.
+    /// spawns the persistent classification pool immediately (and,
+    /// when the threshold is [`PipelineConfig::ADAPTIVE`], calibrates
+    /// the fan-out break-even against it); a later call can also
+    /// shrink back to the sequential pipeline (the pool is dropped and
+    /// joined). The same worker count also parallelizes feed-event
+    /// synthesis in the hub ([`FeedHub::set_ingest_workers`]). Outputs
+    /// are byte-identical across worker counts — see the
+    /// [`PipelineConfig::workers`] docs.
     pub fn with_pipeline_config(mut self, pconfig: PipelineConfig) -> Self {
         self.pool = (pconfig.workers > 1).then(|| WorkerPool::new(pconfig.workers));
+        self.hub.set_ingest_workers(pconfig.workers.max(1));
+        self.effective_threshold = match (pconfig.parallel_threshold, self.pool.as_mut()) {
+            (PipelineConfig::ADAPTIVE, Some(pool)) => {
+                calibrate_threshold(pool, &self.detector, &self.config)
+            }
+            (PipelineConfig::ADAPTIVE, None) => FALLBACK_THRESHOLD,
+            (explicit, _) => explicit,
+        };
         self.pconfig = pconfig;
         self
+    }
+
+    /// The fan-out threshold actually in force: the explicit
+    /// [`PipelineConfig::parallel_threshold`] override, or the
+    /// calibrated break-even when the config asked for
+    /// [`PipelineConfig::ADAPTIVE`].
+    pub fn effective_parallel_threshold(&self) -> usize {
+        self.effective_threshold
     }
 
     /// Shorthand for [`Pipeline::with_pipeline_config`] with the
@@ -328,14 +367,32 @@ impl Pipeline {
         &self.config
     }
 
-    /// The monitor attached to an alert, if any.
+    /// The live monitor attached to an *active* alert, if any. Once
+    /// the incident is over the monitor retires — see
+    /// [`Pipeline::retired_monitor`].
     pub fn monitor_for(&self, alert: AlertId) -> Option<&MonitorService> {
         self.monitors.get(&alert)
     }
 
-    /// Every `(alert, monitor)` pair, in alert-raise order.
+    /// Every active `(alert, monitor)` pair, in alert-raise order.
     pub fn monitors(&self) -> impl Iterator<Item = (AlertId, &MonitorService)> {
         self.monitors.iter().map(|(id, m)| (*id, m))
+    }
+
+    /// The compact retirement record of an alert whose incident is
+    /// over (resolved, or closed by offboarding), if any.
+    pub fn retired_monitor(&self, alert: AlertId) -> Option<&RetiredMonitor> {
+        self.retired.get(&alert)
+    }
+
+    /// Every retired `(alert, record)` pair, in alert-raise order.
+    pub fn retired_monitors(&self) -> impl Iterator<Item = (AlertId, &RetiredMonitor)> {
+        self.retired.iter().map(|(id, m)| (*id, m))
+    }
+
+    /// Number of retired (over) incidents (capacity gauge).
+    pub fn retired_count(&self) -> usize {
+        self.retired.len()
     }
 
     /// Wall-clock per-stage batch latency of the delivery path
@@ -431,7 +488,9 @@ impl Pipeline {
                 continue;
             }
             self.detector.alerts_mut().mark_resolved(*id, now);
-            self.resolved.insert(*id);
+            if let Some(monitor) = self.monitors.remove(id) {
+                self.retired.insert(*id, monitor.retire(now));
+            }
             closed_alerts.push(*id);
         }
         self.log.push(IncidentEvent::PrefixOffboarded {
@@ -476,7 +535,7 @@ impl Pipeline {
         policy: MitigationPolicy,
         now: SimTime,
     ) -> bool {
-        if !self.config.owned.iter().any(|o| o.prefix == prefix) {
+        if self.detector.owned_rules(prefix).is_none() {
             return false;
         }
         self.mitigator.set_policy(prefix, policy);
@@ -662,16 +721,18 @@ impl Pipeline {
 
             // 2. Spin up a monitor scoped to the attacked prefix. Each
             // alert gets its own, so concurrent incidents on different
-            // prefixes track independent recovery timelines.
-            let owned = self
-                .config
-                .owned
-                .iter()
-                .find(|o| o.prefix == owned_prefix)
-                .expect("alert references configured prefix");
+            // prefixes track independent recovery timelines. The rules
+            // come from the detector's routing structure — a keyed
+            // lookup, not a scan over the whole owned portfolio.
+            let legitimate_origins = self
+                .detector
+                .owned_rules(owned_prefix)
+                .expect("alert references configured prefix")
+                .legitimate_origins
+                .clone();
             let monitor = MonitorService::new(
                 owned_prefix,
-                owned.legitimate_origins.clone(),
+                legitimate_origins,
                 self.vantage_points.clone(),
             );
             self.monitors.insert(id, monitor);
@@ -708,19 +769,17 @@ impl Pipeline {
             }
         }
 
-        // 4. Monitoring: every event updates every *active* monitor
-        // (resolved incidents' monitors are frozen for reporting); on
-        // full recovery, resolve that monitor's alert.
+        // 4. Monitoring: every event updates every *active* monitor;
+        // on full recovery, resolve that monitor's alert and retire
+        // the monitor into its compact record, so both per-event cost
+        // and memory track active incidents only.
+        let mut newly_resolved: Vec<AlertId> = Vec::new();
         for (id, monitor) in &mut self.monitors {
-            if self.resolved.contains(id) {
-                continue;
-            }
             monitor.ingest(event);
             if self.mitigated.contains(id) && monitor.all_legitimate() {
                 self.detector
                     .alerts_mut()
                     .mark_resolved(*id, event.emitted_at);
-                self.resolved.insert(*id);
                 self.log.push(IncidentEvent::Resolved {
                     alert: *id,
                     at: event.emitted_at,
@@ -729,7 +788,12 @@ impl Pipeline {
                     alert: *id,
                     at: event.emitted_at,
                 });
+                newly_resolved.push(*id);
             }
+        }
+        for id in newly_resolved {
+            let monitor = self.monitors.remove(&id).expect("just resolved");
+            self.retired.insert(id, monitor.retire(event.emitted_at));
         }
     }
 
@@ -748,7 +812,7 @@ impl Pipeline {
         let parallel = self
             .pool
             .as_ref()
-            .is_some_and(|_| n >= self.pconfig.parallel_threshold);
+            .is_some_and(|_| n >= self.effective_threshold);
         if !parallel {
             self.sequential_batches += 1;
             return false;
@@ -1029,6 +1093,91 @@ impl Pipeline {
     }
 }
 
+/// Effective threshold when no calibration is possible: the adaptive
+/// sentinel without a pool (sequential pipelines never fan out anyway).
+const FALLBACK_THRESHOLD: usize = 128;
+/// Synthetic batch size the calibration times (large enough that the
+/// per-event quotient is stable, small enough to finish in ~a ms).
+const CALIBRATION_BATCH: usize = 256;
+/// Timing rounds; the minimum over rounds rejects scheduler noise.
+const CALIBRATION_ROUNDS: usize = 5;
+/// Calibration clamp: never fan out below this batch size…
+const THRESHOLD_MIN: usize = 16;
+/// …and never demand more than this before fanning out.
+const THRESHOLD_MAX: usize = 4096;
+
+/// Measure, on this machine, the batch size where pool fan-out starts
+/// beating inline classification.
+///
+/// Model: inline cost is `per_event · n`; pooled cost is
+/// `overhead + per_event · n / workers` (one dispatch round-trip plus
+/// the divided classify work). Break-even:
+/// `n* = overhead · workers / (per_event · (workers − 1))`. Both sides
+/// are timed against a representative synthetic event — an
+/// announcement for the first owned prefix from a non-legitimate
+/// origin, so the longest-prefix match *and* the shard rules actually
+/// run. The calibration result only selects which of two
+/// byte-identical execution arms handles a given batch, so run-to-run
+/// timing variance never changes outputs.
+fn calibrate_threshold(
+    pool: &mut WorkerPool,
+    detector: &Detector,
+    config: &ArtemisConfig,
+) -> usize {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let vantage = Asn(64_496);
+    let rogue = Asn(64_511);
+    let prefix = config
+        .owned
+        .first()
+        .map(|o| o.prefix)
+        .unwrap_or_else(|| "192.0.2.0/24".parse().expect("literal parses"));
+    let template = FeedEvent {
+        emitted_at: SimTime::ZERO,
+        observed_at: SimTime::ZERO,
+        source: artemis_feeds::FeedKind::RisLive,
+        collector: "calibration".to_string(),
+        vantage,
+        prefix,
+        as_path: Some(artemis_bgp::AsPath::from_sequence([vantage, rogue])),
+        origin_as: Some(rogue),
+        raw: None,
+    };
+    let events: Vec<FeedEvent> = std::iter::repeat_with(|| template.clone())
+        .take(CALIBRATION_BATCH)
+        .collect();
+    let ctx = detector.classify_context();
+
+    let mut inline_ns = u64::MAX;
+    for _ in 0..CALIBRATION_ROUNDS {
+        let start = Instant::now();
+        for event in &events {
+            black_box(ctx.prepare(black_box(event)));
+        }
+        inline_ns = inline_ns.min(start.elapsed().as_nanos() as u64);
+    }
+    let per_event = (inline_ns / CALIBRATION_BATCH as u64).max(1);
+
+    let events = Arc::new(events);
+    let mut prepared = vec![PreparedEvent::BENIGN; CALIBRATION_BATCH];
+    let mut pooled_ns = u64::MAX;
+    for _ in 0..CALIBRATION_ROUNDS {
+        let start = Instant::now();
+        pool.classify(&events, &ctx, &mut prepared);
+        pooled_ns = pooled_ns.min(start.elapsed().as_nanos() as u64);
+    }
+    // Calibration traffic is not real occupancy; keep the per-worker
+    // counters meaning "events classified exactly once per batch".
+    pool.reset_worker_events();
+
+    let workers = pool.workers() as u64;
+    let overhead = pooled_ns.saturating_sub(inline_ns / workers);
+    let threshold = overhead * workers / (per_event * workers.saturating_sub(1).max(1));
+    (threshold as usize).clamp(THRESHOLD_MIN, THRESHOLD_MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,13 +1282,19 @@ mod tests {
             .any(|a| matches!(a, AppAction::Resolved { alert, at }
                 if *alert == a1 && *at == SimTime::from_secs(120))));
 
-        // Independent timelines on independent monitors.
-        let t1 = p.monitor_for(a1).unwrap();
-        let t2 = p.monitor_for(a2).unwrap();
+        // Independent timelines on independent monitors. Both
+        // incidents are over, so their monitors retired into compact
+        // records; live monitors are gone.
+        assert!(p.monitor_for(a1).is_none());
+        assert!(p.monitor_for(a2).is_none());
+        let t1 = p.retired_monitor(a1).unwrap();
+        let t2 = p.retired_monitor(a2).unwrap();
         assert_eq!(t1.target(), pfx("10.0.0.0/23"));
         assert_eq!(t2.target(), pfx("172.16.0.0/23"));
         assert!(!t1.timeline().is_empty());
         assert!(!t2.timeline().is_empty());
+        assert_eq!(t1.final_point().hijacked, 0);
+        assert_eq!(p.retired_count(), 2);
     }
 
     #[test]
@@ -1412,8 +1567,10 @@ mod tests {
             &mut [],
         );
         assert!(acts.is_empty());
-        // The frozen monitor ignored the new event.
-        let monitor = p.monitor_for(id).expect("kept for reporting");
+        // The retired record froze at close time and ignored the new
+        // event.
+        assert!(p.monitor_for(id).is_none());
+        let monitor = p.retired_monitor(id).expect("kept for reporting");
         let last = monitor.timeline().last().map(|t| t.time);
         assert!(last.is_none_or(|t| t < SimTime::from_secs(70)));
     }
@@ -1572,6 +1729,29 @@ mod tests {
                 "every event classified exactly once"
             );
         }
+    }
+
+    #[test]
+    fn adaptive_threshold_calibrates_explicit_override_wins() {
+        // Explicit override: used verbatim.
+        let (p, _) = hub_pipeline(4);
+        assert_eq!(p.effective_parallel_threshold(), 16);
+        assert_eq!(p.pipeline_config().parallel_threshold, 16);
+
+        // Adaptive with a pool: calibrated within the clamp, and the
+        // calibration traffic never shows up as worker occupancy.
+        let (p, _) = hub_pipeline(4);
+        let p = p.with_workers(4);
+        let t = p.effective_parallel_threshold();
+        assert!((16..=4096).contains(&t), "calibrated threshold {t}");
+        assert_eq!(p.pipeline_config().parallel_threshold, 0);
+        assert_eq!(p.worker_status().per_worker_events, vec![0; 4]);
+
+        // Adaptive without a pool: inert fallback (never consulted —
+        // the sequential pipeline has nothing to fan out to).
+        let (p, _) = hub_pipeline(4);
+        let p = p.with_workers(1);
+        assert_eq!(p.effective_parallel_threshold(), FALLBACK_THRESHOLD);
     }
 
     #[test]

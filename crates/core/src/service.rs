@@ -530,14 +530,30 @@ impl ArtemisService {
                 } else {
                     MitigationPhase::None
                 };
-                let monitor = self.pipeline.monitor_for(a.id).map(|m| {
-                    let snap = m.snapshot(now);
-                    MonitorSummary {
-                        legitimate: snap.legitimate,
-                        hijacked: snap.hijacked,
-                        unknown: snap.unknown,
-                    }
-                });
+                // Active incidents snapshot their live monitor; over
+                // incidents read the counts frozen at retirement
+                // (identical, since a frozen monitor never changes).
+                let monitor = self
+                    .pipeline
+                    .monitor_for(a.id)
+                    .map(|m| {
+                        let snap = m.snapshot(now);
+                        MonitorSummary {
+                            legitimate: snap.legitimate,
+                            hijacked: snap.hijacked,
+                            unknown: snap.unknown,
+                        }
+                    })
+                    .or_else(|| {
+                        self.pipeline.retired_monitor(a.id).map(|r| {
+                            let last = r.final_point();
+                            MonitorSummary {
+                                legitimate: last.legitimate,
+                                hijacked: last.hijacked,
+                                unknown: last.unknown,
+                            }
+                        })
+                    });
                 IncidentStatus {
                     alert: a.id,
                     owned_prefix: a.owned_prefix,

@@ -88,9 +88,29 @@ impl PartialOrd for QueuedKey {
 /// Feeds are identified by the stable [`FeedHandle`] returned from
 /// [`FeedHub::add`]; [`FeedHub::remove`] detaches a feed at runtime and
 /// **drops** its queued, undelivered events (see `remove` docs).
+///
+/// # Per-feed RNG streams and parallel ingest
+///
+/// Every feed draws its export-delay samples from its **own** RNG
+/// stream, forked deterministically from the hub's master stream at
+/// attach time (`fork_indexed("feed", handle)`). A feed's draw
+/// sequence therefore depends only on the hub seed, its handle and its
+/// own event history — never on how work is interleaved across feeds.
+/// That property is what lets [`FeedHub::ingest_route_changes`] fan
+/// the synthesis out across threads (see
+/// [`FeedHub::set_ingest_workers`]) and still enqueue a stream
+/// byte-identical to the serial path: each feed synthesizes its events
+/// independently, and a deterministic change-major, feed-minor merge
+/// reassigns the exact ingestion sequence numbers the serial nested
+/// loop would have produced.
 pub struct FeedHub {
-    feeds: Vec<(FeedHandle, Box<dyn FeedSource>)>,
+    /// Attached feeds with their stable handle and private RNG stream.
+    feeds: Vec<(FeedHandle, SimRng, Box<dyn FeedSource>)>,
+    /// Master stream: only forked at attach time, never drawn from on
+    /// the event path.
     rng: SimRng,
+    /// Threads the batched ingest path may fan out over (1 = serial).
+    ingest_workers: usize,
     /// Merge queue of pending event keys across all feeds.
     queue: BinaryHeap<Reverse<QueuedKey>>,
     /// Event payloads with their source-feed attribution, indexed by
@@ -115,6 +135,7 @@ impl FeedHub {
         FeedHub {
             feeds: Vec::new(),
             rng,
+            ingest_workers: 1,
             queue: BinaryHeap::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -126,13 +147,30 @@ impl FeedHub {
     }
 
     /// Add a feed, returning its stable [`FeedHandle`]. Handles are
-    /// never reused, even after [`FeedHub::remove`].
+    /// never reused, even after [`FeedHub::remove`]. The feed gets its
+    /// own RNG stream, forked from the hub's master stream by handle —
+    /// so its delay draws are a pure function of (hub seed, handle,
+    /// its own event history), independent of other feeds.
     pub fn add(&mut self, feed: Box<dyn FeedSource>) -> FeedHandle {
         let handle = FeedHandle(self.next_handle);
         self.next_handle += 1;
-        self.feeds.push((handle, feed));
+        let feed_rng = self.rng.fork_indexed("feed", handle.0);
+        self.feeds.push((handle, feed_rng, feed));
         self.lag.insert(handle.0, FeedLag::default());
         handle
+    }
+
+    /// Let the batched ingest path ([`FeedHub::ingest_route_changes`])
+    /// fan feed-event synthesis out over up to `workers` threads.
+    /// Output is byte-identical to the serial path (the default,
+    /// `workers = 1`) — see the type-level docs.
+    pub fn set_ingest_workers(&mut self, workers: usize) {
+        self.ingest_workers = workers.max(1);
+    }
+
+    /// Threads the batched ingest path may use (1 = serial).
+    pub fn ingest_workers(&self) -> usize {
+        self.ingest_workers
     }
 
     /// Detach a feed at runtime, returning the feed and the number of
@@ -148,8 +186,8 @@ impl FeedHub {
     /// via [`FeedHub::requeue`] carry [`FeedHandle::REQUEUED`] and are
     /// never dropped by a detach (they were already due for delivery).
     pub fn remove(&mut self, handle: FeedHandle) -> Option<(Box<dyn FeedSource>, usize)> {
-        let pos = self.feeds.iter().position(|(h, _)| *h == handle)?;
-        let (_, feed) = self.feeds.remove(pos);
+        let pos = self.feeds.iter().position(|(h, _, _)| *h == handle)?;
+        let (_, _, feed) = self.feeds.remove(pos);
         // Rebuild the merge queue without the detached feed's events so
         // `next_emission` / `pending_events` stay exact.
         let mut dropped = 0usize;
@@ -212,8 +250,8 @@ impl FeedHub {
     pub fn ingest_route_change(&mut self, change: &RouteChange) {
         for i in 0..self.feeds.len() {
             let handle = {
-                let (h, feed) = &mut self.feeds[i];
-                feed.on_route_change_into(change, &mut self.rng, &mut self.scratch);
+                let (h, rng, feed) = &mut self.feeds[i];
+                feed.on_route_change_into(change, rng, &mut self.scratch);
                 *h
             };
             self.queue_scratch(handle);
@@ -222,9 +260,83 @@ impl FeedHub {
 
     /// Fan a batch of routing changes out to all push feeds, in order,
     /// queueing every resulting event.
+    ///
+    /// With [`FeedHub::set_ingest_workers`] `> 1` and a batch worth the
+    /// thread fan-out, each feed synthesizes its event stream on a
+    /// worker thread (its private RNG stream makes the draws
+    /// interleaving-independent) and a deterministic change-major,
+    /// feed-minor merge assigns exactly the ingestion sequence numbers
+    /// the serial nested loop would have — the queued stream is
+    /// byte-identical either way.
     pub fn ingest_route_changes(&mut self, changes: &[RouteChange]) {
-        for change in changes {
-            self.ingest_route_change(change);
+        if self.ingest_workers > 1
+            && self.feeds.len() > 1
+            && changes.len() >= PARALLEL_INGEST_MIN_CHANGES
+        {
+            self.ingest_route_changes_parallel(changes);
+        } else {
+            for change in changes {
+                self.ingest_route_change(change);
+            }
+        }
+    }
+
+    /// The parallel arm of [`FeedHub::ingest_route_changes`].
+    fn ingest_route_changes_parallel(&mut self, changes: &[RouteChange]) {
+        /// One feed's synthesis over the whole change batch: its
+        /// events in emission order plus how many each change produced
+        /// (the merge key).
+        struct FeedRun {
+            events: Vec<FeedEvent>,
+            per_change: Vec<u32>,
+        }
+        let threads = self.ingest_workers.min(self.feeds.len());
+        let feeds_per_thread = self.feeds.len().div_ceil(threads);
+        // Feed chunks spawn in order and feeds stay ordered within a
+        // chunk, so `runs` lines up with `self.feeds` by index.
+        let runs: Vec<FeedRun> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .feeds
+                .chunks_mut(feeds_per_thread)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        chunk
+                            .iter_mut()
+                            .map(|(_, rng, feed)| {
+                                let mut events = Vec::new();
+                                let mut per_change = Vec::with_capacity(changes.len());
+                                for change in changes {
+                                    let before = events.len();
+                                    feed.on_route_change_into(change, rng, &mut events);
+                                    per_change.push((events.len() - before) as u32);
+                                }
+                                FeedRun { events, per_change }
+                            })
+                            .collect::<Vec<FeedRun>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("ingest worker panicked"))
+                .collect()
+        });
+        // Deterministic merge: replay the serial loop's order (change
+        // major, feed minor) while assigning sequence numbers.
+        let mut cursors: Vec<(std::vec::IntoIter<FeedEvent>, Vec<u32>)> = runs
+            .into_iter()
+            .map(|r| (r.events.into_iter(), r.per_change))
+            .collect();
+        for change_idx in 0..changes.len() {
+            for (feed_idx, (events, per_change)) in cursors.iter_mut().enumerate() {
+                let n = per_change[change_idx] as usize;
+                if n == 0 {
+                    continue;
+                }
+                let handle = self.feeds[feed_idx].0;
+                self.scratch.extend(events.take(n));
+                self.queue_scratch(handle);
+            }
         }
     }
 
@@ -232,9 +344,9 @@ impl FeedHub {
     pub fn poll_and_queue(&mut self, at: SimTime, view: &dyn RibView) {
         for i in 0..self.feeds.len() {
             let handle = {
-                let (h, feed) = &mut self.feeds[i];
+                let (h, rng, feed) = &mut self.feeds[i];
                 if feed.next_poll(at).is_some_and(|t| t <= at) {
-                    self.scratch.extend(feed.poll(at, view, &mut self.rng));
+                    self.scratch.extend(feed.poll(at, view, rng));
                 }
                 *h
             };
@@ -292,8 +404,8 @@ impl FeedHub {
     /// resulting events to `out` (not queueing them; ordering is left
     /// to the caller). The zero-extra-allocation per-event surface.
     pub fn on_route_change_into(&mut self, change: &RouteChange, out: &mut Vec<FeedEvent>) {
-        for (_, feed) in &mut self.feeds {
-            feed.on_route_change_into(change, &mut self.rng, out);
+        for (_, rng, feed) in &mut self.feeds {
+            feed.on_route_change_into(change, rng, out);
         }
     }
 
@@ -301,16 +413,16 @@ impl FeedHub {
     pub fn next_poll(&self, now: SimTime) -> Option<SimTime> {
         self.feeds
             .iter()
-            .filter_map(|(_, f)| f.next_poll(now))
+            .filter_map(|(_, _, f)| f.next_poll(now))
             .min()
     }
 
     /// Run every feed whose poll is due at `at`, appending the events
     /// to `out` (not queueing them).
     pub fn poll_into(&mut self, at: SimTime, view: &dyn RibView, out: &mut Vec<FeedEvent>) {
-        for (_, feed) in &mut self.feeds {
+        for (_, rng, feed) in &mut self.feeds {
             if feed.next_poll(at).is_some_and(|t| t <= at) {
-                out.extend(feed.poll(at, view, &mut self.rng));
+                out.extend(feed.poll(at, view, rng));
             }
         }
     }
@@ -319,13 +431,13 @@ impl FeedHub {
     pub fn emission_stats(&self) -> BTreeMap<(FeedKind, String), u64> {
         self.feeds
             .iter()
-            .map(|(_, f)| ((f.kind(), f.name().to_string()), f.events_emitted()))
+            .map(|(_, _, f)| ((f.kind(), f.name().to_string()), f.events_emitted()))
             .collect()
     }
 
     /// Every attached feed with its stable handle, in insertion order.
     pub fn handles(&self) -> impl Iterator<Item = (FeedHandle, &dyn FeedSource)> {
-        self.feeds.iter().map(|(h, f)| (*h, f.as_ref()))
+        self.feeds.iter().map(|(h, _, f)| (*h, f.as_ref()))
     }
 
     /// Access a feed by its stable handle (for feed-specific accessors
@@ -333,13 +445,13 @@ impl FeedHub {
     pub fn feed_by_handle(&self, handle: FeedHandle) -> Option<&dyn FeedSource> {
         self.feeds
             .iter()
-            .find(|(h, _)| *h == handle)
-            .map(|(_, f)| f.as_ref())
+            .find(|(h, _, _)| *h == handle)
+            .map(|(_, _, f)| f.as_ref())
     }
 
     /// The handle of the feed at `index` (current insertion order).
     pub fn handle_at(&self, index: usize) -> Option<FeedHandle> {
-        self.feeds.get(index).map(|(h, _)| *h)
+        self.feeds.get(index).map(|(h, _, _)| *h)
     }
 
     /// Hub-observed lag of an attached feed (see [`FeedLag`]).
@@ -350,9 +462,15 @@ impl FeedHub {
 
     /// Total pull queries issued across feeds (LG overhead).
     pub fn polls_executed(&self) -> u64 {
-        self.feeds.iter().map(|(_, f)| f.polls_executed()).sum()
+        self.feeds.iter().map(|(_, _, f)| f.polls_executed()).sum()
     }
 }
+
+/// Below this many route changes the batched ingest path stays serial
+/// even when workers are configured: scoped-thread spawn overhead
+/// would dominate tiny batches. Purely a performance gate — both arms
+/// produce byte-identical queues.
+const PARALLEL_INGEST_MIN_CHANGES: usize = 32;
 
 /// Split a drained batch of `len` events into at most `chunks`
 /// near-equal contiguous index ranges, preserving `(emitted_at,

@@ -1,0 +1,145 @@
+//! Parallel-ingest identity: `FeedHub::ingest_route_changes` with
+//! `ingest_workers ≥ 2` must produce a drained event stream
+//! **byte-identical** to the serial hub — same events, same order, same
+//! stochastic delays — because every feed synthesizes from its own
+//! forked RNG stream and the merge reassigns the exact serial
+//! ingestion sequence. This mirrors the pipeline-level contract in
+//! `crates/core/tests/parallel_identity.rs` one layer down, at the hub.
+
+use artemis_bgp::{AsPath, Asn, Prefix};
+use artemis_bgpsim::{BestRoute, RouteChange};
+use artemis_feeds::vantage::group_into_collectors;
+use artemis_feeds::{FeedEvent, FeedHub, StreamFeed};
+use artemis_simnet::{LatencyModel, SimDuration, SimRng, SimTime};
+use artemis_topology::RelKind;
+use proptest::prelude::*;
+use std::str::FromStr;
+
+fn pfx(s: &str) -> Prefix {
+    Prefix::from_str(s).unwrap()
+}
+
+/// A hub with four push feeds across the delay-model spectrum —
+/// deterministic constants, bounded uniform and heavy-tailed
+/// log-normal — so the identity property covers feeds that never
+/// draw from their RNG and feeds that draw per event.
+fn mixed_hub(seed: u64, workers: usize) -> FeedHub {
+    let vps = vec![Asn(174), Asn(3356), Asn(2914), Asn(1299)];
+    let mut hub = FeedHub::new(SimRng::new(seed));
+    hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc", &vps, 2))
+            .with_export_delay(LatencyModel::uniform_secs(2, 11)),
+    ));
+    hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon", &vps, 2)).with_export_delay(
+            LatencyModel::LogNormal {
+                median: SimDuration::from_secs(20),
+                sigma: 0.8,
+            },
+        ),
+    ));
+    hub.add(Box::new(
+        StreamFeed::ris_live(group_into_collectors("rrc2", &vps, 1))
+            .with_export_delay(LatencyModel::const_secs(5)),
+    ));
+    hub.add(Box::new(
+        StreamFeed::bgpmon(group_into_collectors("bmon2", &vps, 1))
+            .with_export_delay(LatencyModel::uniform_millis(500, 90_000)),
+    ));
+    hub.set_ingest_workers(workers);
+    hub
+}
+
+fn change(vp: u32, t_micros: u64, prefix: Prefix, origin: u32, withdraw: bool) -> RouteChange {
+    RouteChange {
+        time: SimTime::from_micros(t_micros),
+        asn: Asn(vp),
+        prefix,
+        old: None,
+        new: (!withdraw).then(|| BestRoute {
+            origin_as: Asn(origin),
+            as_path: AsPath::from_sequence([vp, 3356, origin]),
+            neighbor: Some(Asn(3356)),
+            learned_from: Some(RelKind::Provider),
+            local_pref: 100,
+        }),
+    }
+}
+
+fn drain_all(hub: &mut FeedHub) -> Vec<FeedEvent> {
+    let mut out = Vec::new();
+    hub.drain_batch(SimTime::from_micros(u64::MAX), &mut out);
+    out
+}
+
+/// Run the same change batch through a serial and a parallel hub and
+/// demand byte-identical drained streams.
+fn assert_ingest_identical(seed: u64, workers: usize, changes: &[RouteChange]) {
+    let mut serial = mixed_hub(seed, 1);
+    let mut parallel = mixed_hub(seed, workers);
+    serial.ingest_route_changes(changes);
+    parallel.ingest_route_changes(changes);
+    let serial_events = drain_all(&mut serial);
+    let parallel_events = drain_all(&mut parallel);
+    assert_eq!(
+        serial_events.len(),
+        parallel_events.len(),
+        "seed {seed}, workers {workers}: event counts"
+    );
+    assert_eq!(
+        serial_events, parallel_events,
+        "seed {seed}, workers {workers}: drained streams must be identical"
+    );
+    // Byte-level too: the serialized wire form is the cross-process
+    // contract.
+    let serial_json = serde_json::to_string(&serial_events).expect("serializes");
+    let parallel_json = serde_json::to_string(&parallel_events).expect("serializes");
+    assert_eq!(serial_json, parallel_json);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary change batches (mixed vantages, prefixes, announce /
+    /// withdraw, clustered timestamps), every worker count: identical.
+    #[test]
+    fn parallel_ingest_matches_serial(
+        seed in 1u64..10_000,
+        workers_idx in 0usize..3,
+        raw in prop::collection::vec(
+            (0usize..4, 0u64..600_000_000, 0usize..3, 0u32..5, any::<bool>()),
+            // Above and below the parallel gate (32): both arms and
+            // the gate boundary itself get exercised.
+            32..96,
+        ),
+    ) {
+        let vps = [174u32, 3356, 2914, 1299];
+        let prefixes = [
+            pfx("10.0.0.0/23"),
+            pfx("10.0.2.0/23"),
+            pfx("172.16.0.0/20"),
+        ];
+        let mut changes: Vec<RouteChange> = raw
+            .into_iter()
+            .map(|(vp, t, p, origin, wd)| {
+                change(vps[vp], t, prefixes[p], 64_500 + origin, wd)
+            })
+            .collect();
+        // The engine hands changes over time-sorted; keep that shape.
+        changes.sort_by_key(|c| c.time);
+        assert_ingest_identical(seed, [2usize, 4, 8][workers_idx], &changes);
+    }
+
+    /// Small batches stay under the parallel gate but must still be
+    /// identical (they take the serial arm verbatim).
+    #[test]
+    fn tiny_batches_are_identical_too(
+        seed in 1u64..10_000,
+        n in 1usize..8,
+    ) {
+        let changes: Vec<RouteChange> = (0..n)
+            .map(|i| change(174, i as u64 * 1_000, pfx("10.0.0.0/23"), 64_500, false))
+            .collect();
+        assert_ingest_identical(seed, 4, &changes);
+    }
+}

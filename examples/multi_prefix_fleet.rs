@@ -169,15 +169,19 @@ fn main() {
             incident.state,
             incident.phase
         );
-        let monitor = service
-            .pipeline()
+        // Active incidents have a live monitor; resolved ones retired
+        // theirs into a compact record that keeps the timeline.
+        let pipeline = service.pipeline();
+        let (target, points) = pipeline
             .monitor_for(incident.alert)
-            .expect("monitor per alert");
-        println!(
-            "  monitor on {} recorded {} timeline points",
-            monitor.target(),
-            monitor.timeline().len()
-        );
+            .map(|m| (m.target(), m.timeline().len()))
+            .or_else(|| {
+                pipeline
+                    .retired_monitor(incident.alert)
+                    .map(|r| (r.target(), r.timeline().len()))
+            })
+            .expect("monitor record per alert");
+        println!("  monitor on {target} recorded {points} timeline points");
     }
     for row in &status.owned {
         println!("shard {}: {} events routed", row.prefix, row.shard_events);

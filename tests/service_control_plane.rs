@@ -244,12 +244,12 @@ fn one_service_run_reconfigures_mid_stream() {
     assert!(report.closed_alerts.contains(&alert_p1));
     assert_eq!(report.withdrawn_plans, 1, "executed plan withdrawn");
 
-    // Monitors froze: the p1 monitor ignores everything after the
-    // offboard instant.
+    // Monitors retired: the p1 monitor's record ignores everything
+    // after the offboard instant.
     let frozen_len = service
         .pipeline()
-        .monitor_for(alert_p1)
-        .expect("monitor kept for reporting")
+        .retired_monitor(alert_p1)
+        .expect("record kept for reporting")
         .timeline()
         .len();
     run_until(
@@ -263,12 +263,12 @@ fn one_service_run_reconfigures_mid_stream() {
     assert_eq!(
         service
             .pipeline()
-            .monitor_for(alert_p1)
+            .retired_monitor(alert_p1)
             .unwrap()
             .timeline()
             .len(),
         frozen_len,
-        "frozen monitor records nothing after offboard"
+        "retired record changes nothing after offboard"
     );
 
     // No orphaned mitigation intents: every announce inside p1's space
