@@ -102,6 +102,13 @@ pub fn render(
     stage_lines(&mut out, "drain", &stages.drain);
     stage_lines(&mut out, "classify", &stages.classify);
     stage_lines(&mut out, "commit", &stages.commit);
+    // Commit sub-stages (they overlap "commit", never add to it);
+    // recorded by the batched deliver_due path only.
+    stage_lines(&mut out, "commit_detect", &stages.detect);
+    stage_lines(&mut out, "commit_monitor_route", &stages.monitor_route);
+    stage_lines(&mut out, "commit_monitor_ingest", &stages.monitor_ingest);
+    stage_lines(&mut out, "commit_resolve", &stages.resolve);
+    stage_lines(&mut out, "commit_mitigate", &stages.mitigate);
 
     // -- worker occupancy ---------------------------------------------
     out.push_str("# HELP artemis_workers Detection worker threads configured.\n");
@@ -284,6 +291,20 @@ mod tests {
         assert!(text.contains("artemis_audit_records_total 5"));
         assert!(text.contains("artemis_mitigation_paused 0"));
         assert!(text.contains("artemis_stage_p99_batch_nanos{stage=\"classify\"} 0"));
+        for sub in [
+            "commit_detect",
+            "commit_monitor_route",
+            "commit_monitor_ingest",
+            "commit_resolve",
+            "commit_mitigate",
+        ] {
+            assert!(
+                text.contains(&format!(
+                    "artemis_stage_p99_batch_nanos{{stage=\"{sub}\"}} 0"
+                )),
+                "missing sub-stage {sub}"
+            );
+        }
         assert!(text.contains("artemis_routing_nodes 42"));
         assert!(text.contains("artemis_routing_bytes 1024"));
         assert!(text.contains("artemis_retired_incidents 2"));

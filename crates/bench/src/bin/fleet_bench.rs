@@ -12,7 +12,15 @@
 //! cargo run --release -p artemis_bench --bin fleet_bench            # full: 100k prefixes
 //! cargo run --release -p artemis_bench --bin fleet_bench -- --smoke # CI: 5k prefixes
 //! cargo run --release -p artemis_bench --bin fleet_bench -- --out BENCH_fleet.json
+//! cargo run --release -p artemis_bench --bin fleet_bench -- --churn 1m # ~1M-route churn
 //! ```
+//!
+//! `--churn N[k|m]` overrides the churn volume (e.g. `--churn 1m` =
+//! one million route changes) and switches the hijack mix to
+//! **deaggregation attacks**: every other rogue announcement targets a
+//! /25 sub-prefix of the victim /24 instead of the exact prefix, so
+//! sub-prefix classification and covering-set monitor routing both
+//! stay hot for the whole run.
 //!
 //! Churn is delivered in waves (ingest a chunk, drain it, repeat) the
 //! way a live deployment sees the firehose, which both bounds queue
@@ -82,7 +90,7 @@ fn hub() -> FeedHub {
 /// trickle of legitimate owned-space updates, and hijack announcements
 /// against [`HIJACKED_PREFIXES`] distinct owned prefixes spread across
 /// the run so the incidents overlap.
-fn churn(n: usize, owned: &[Prefix]) -> Vec<RouteChange> {
+fn churn(n: usize, owned: &[Prefix], deagg: bool) -> Vec<RouteChange> {
     let hijack_every = (n / (HIJACKED_PREFIXES * 2)).max(1);
     let hijack_stride = owned.len() / HIJACKED_PREFIXES.min(owned.len()).max(1);
     (0..n as u64)
@@ -90,10 +98,21 @@ fn churn(n: usize, owned: &[Prefix]) -> Vec<RouteChange> {
             let (prefix, origin) = if i % (hijack_every as u64) == 7 {
                 // Hijack: rogue origin announces an owned /24. Repeat
                 // announcements against the same target prefix land in
-                // the same incident, keeping ~48 concurrent alerts.
+                // the same incident, keeping ~48 concurrent alerts. In
+                // deaggregation mode every other strike announces a
+                // /25 *inside* the victim /24 — the sub-prefix attack
+                // of paper §2 — exercising sub-prefix classification
+                // and covering-set monitor routing.
                 let victim =
                     ((i / hijack_every as u64) as usize % HIJACKED_PREFIXES) * hijack_stride.max(1);
-                (owned[victim % owned.len()], ROGUE)
+                let target = owned[victim % owned.len()];
+                let announced = if deagg && (i / hijack_every as u64) % 2 == 1 {
+                    Prefix::v4(Ipv4Addr::from((target.bits() >> 96) as u32), 25)
+                        .expect("victim /25 is valid")
+                } else {
+                    target
+                };
+                (announced, ROGUE)
             } else if i % 4 == 0 {
                 // Legitimate owned-space update.
                 (owned[(i as usize * 7919) % owned.len()], OPERATOR)
@@ -130,7 +149,20 @@ struct ChurnResult {
     routing_bytes: usize,
     p99: [u64; 3],
     mean: [u64; 3],
+    /// Commit sub-stage p99/mean batch nanos, in `SUBSTAGES` order.
+    sub_p99: [u64; 5],
+    sub_mean: [u64; 5],
 }
+
+/// Commit sub-stage names, matching the daemon's `/metrics` labels
+/// (`artemis_stage_*{stage="commit_<name>"}`).
+const SUBSTAGES: [&str; 5] = [
+    "detect",
+    "monitor_route",
+    "monitor_ingest",
+    "resolve",
+    "mitigate",
+];
 
 /// Wave-delivered churn through a fleet-sized pipeline; the timed
 /// region is the full hot path — parallel feed ingest, merge-queue
@@ -156,6 +188,13 @@ fn run_churn(owned: &[Prefix], route_changes: &[RouteChange], workers: usize) ->
     let secs = start.elapsed().as_secs_f64();
 
     let stages = pipeline.stage_metrics();
+    let subs = [
+        &stages.detect,
+        &stages.monitor_route,
+        &stages.monitor_ingest,
+        &stages.resolve,
+        &stages.mitigate,
+    ];
     ChurnResult {
         events,
         secs,
@@ -172,6 +211,8 @@ fn run_churn(owned: &[Prefix], route_changes: &[RouteChange], workers: usize) ->
             stages.classify.mean_batch_nanos(),
             stages.commit.mean_batch_nanos(),
         ],
+        sub_p99: subs.map(|s| s.p99_batch_nanos()),
+        sub_mean: subs.map(|s| s.mean_batch_nanos()),
     }
 }
 
@@ -256,6 +297,18 @@ fn lpm_bench(owned: &[Prefix], n_queries: usize) -> LpmResult {
     }
 }
 
+/// Parse `--churn`'s count argument: a plain integer with an optional
+/// `k` (thousand) or `m` (million) suffix, e.g. `250k` or `1m`.
+fn parse_count(s: &str) -> Option<usize> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm']) {
+        Some(d) if lower.ends_with('k') => (d, 1_000),
+        Some(d) => (d, 1_000_000),
+        None => (lower.as_str(), 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -264,25 +317,34 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let churn_override = args.iter().position(|a| a == "--churn").map(|i| {
+        let arg = args.get(i + 1).expect("--churn needs a count, e.g. 1m");
+        parse_count(arg).unwrap_or_else(|| panic!("bad --churn count {arg:?} (try 250k, 1m)"))
+    });
 
-    let (n_owned, n_changes, n_queries) = if smoke {
+    let (n_owned, mut n_changes, n_queries) = if smoke {
         (SMOKE_OWNED, SMOKE_CHANGES, SMOKE_LPM_QUERIES)
     } else {
         (FULL_OWNED, FULL_CHANGES, FULL_LPM_QUERIES)
     };
+    let deagg = churn_override.is_some();
+    if let Some(n) = churn_override {
+        n_changes = n;
+    }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let workers = cores.clamp(1, 8);
 
     println!(
-        "fleet_bench: {n_owned} owned prefixes, {n_changes} route changes, {} mode, \
+        "fleet_bench: {n_owned} owned prefixes, {n_changes} route changes{}, {} mode, \
          {cores} core(s), workers={workers}",
+        if deagg { " (deaggregation mix)" } else { "" },
         if smoke { "smoke" } else { "full" }
     );
 
     let owned = owned_fleet(n_owned);
-    let route_changes = churn(n_changes, &owned);
+    let route_changes = churn(n_changes, &owned, deagg);
 
     let lpm = lpm_bench(&owned, n_queries);
     println!(
@@ -308,15 +370,27 @@ fn main() {
         "  p99 batch nanos: drain {}, classify {}, commit {}",
         run.p99[0], run.p99[1], run.p99[2]
     );
+    let sub_json = |vals: &[u64; 5]| {
+        SUBSTAGES
+            .iter()
+            .zip(vals)
+            .map(|(name, v)| format!("\"{name}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("  commit sub-stage p99 nanos: {}", sub_json(&run.sub_p99));
 
     let json = format!(
         "{{\n  \"bench\": \"fleet_scale/churn_and_lpm\",\n  \"mode\": \"{mode}\",\n  \
          \"owned_prefixes\": {n_owned},\n  \"churn_changes\": {n_changes},\n  \
+         \"deagg_mix\": {deagg},\n  \
          \"events_delivered\": {events},\n  \"events_per_sec\": {eps:.0},\n  \
          \"alerts_raised\": {alerts},\n  \"workers\": {workers},\n  \"host_cores\": {cores},\n  \
-         \"timed_region\": \"ingest (parallel feed synthesis) + drain + classify + in-order commit, in {wave}-change waves\",\n  \
+         \"timed_region\": \"ingest (parallel feed synthesis) + drain + classify + staged in-order commit, in {wave}-change waves\",\n  \
          \"stage_p99_batch_nanos\": {{ \"drain\": {p0}, \"classify\": {p1}, \"commit\": {p2} }},\n  \
          \"stage_mean_batch_nanos\": {{ \"drain\": {m0}, \"classify\": {m1}, \"commit\": {m2} }},\n  \
+         \"commit_substages_p99_batch_nanos\": {{ {sp} }},\n  \
+         \"commit_substages_mean_batch_nanos\": {{ {sm} }},\n  \
          \"routing\": {{ \"nodes\": {nodes}, \"bytes\": {bytes}, \"bytes_per_owned_prefix\": {bpo:.1} }},\n  \
          \"lpm_microbench\": {{ \"queries\": {queries}, \"hits\": {hits}, \"boxed_ns_per_lookup\": {bns:.1}, \"flat_ns_per_lookup\": {fns:.1}, \"flat_speedup_vs_boxed\": {spd:.2} }},\n  \
          \"note\": \"LPM microbench is single-threaded; churn throughput uses the worker pool and scales with cores\"\n}}\n",
@@ -331,6 +405,8 @@ fn main() {
         m0 = run.mean[0],
         m1 = run.mean[1],
         m2 = run.mean[2],
+        sp = sub_json(&run.sub_p99),
+        sm = sub_json(&run.sub_mean),
         nodes = run.routing_nodes,
         bytes = run.routing_bytes,
         bpo = bytes_per_owned,

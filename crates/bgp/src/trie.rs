@@ -245,6 +245,68 @@ impl<T> PrefixTrie<T> {
         out
     }
 
+    /// Visit every stored prefix *relevant* to `prefix` under the
+    /// containment relation — every stored prefix that covers it,
+    /// equals it, or is covered by it — without allocating.
+    ///
+    /// This is [`PrefixTrie::covering`] ∪ [`PrefixTrie::covered`] in a
+    /// single walk: the callback sees the strict less-specifics on the
+    /// path shortest-first, then the subtree at `prefix` (the exact
+    /// prefix first, then more-specifics in address order). Each
+    /// relevant prefix is visited exactly once. Hot paths that run one
+    /// containment query per feed event (the monitor-routing index)
+    /// use this instead of the allocating pair of queries.
+    pub fn visit_relevant<'a, F>(&'a self, prefix: Prefix, mut f: F)
+    where
+        F: FnMut(Prefix, &'a T),
+    {
+        let mut node = self.root(prefix.afi());
+        // Strict less-specifics along the path (depths 0..len).
+        if let Some(v) = node.value.as_ref() {
+            if prefix.len() > 0 {
+                let p = Prefix::from_bits(prefix.afi(), prefix.bits(), 0).expect("valid /0");
+                f(p, v);
+            }
+        }
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if i + 1 < prefix.len() {
+                        if let Some(v) = node.value.as_ref() {
+                            let p = Prefix::from_bits(prefix.afi(), prefix.bits(), i + 1)
+                                .expect("valid depth");
+                            f(p, v);
+                        }
+                    }
+                }
+                None => return,
+            }
+        }
+        // The subtree at `prefix`: exact match plus more-specifics.
+        fn dfs<'a, T, F>(node: &'a Node<T>, afi: Afi, bits: u128, depth: u8, f: &mut F)
+        where
+            F: FnMut(Prefix, &'a T),
+        {
+            if let Some(v) = node.value.as_ref() {
+                let p = Prefix::from_bits(afi, bits, depth).expect("valid depth");
+                f(p, v);
+            }
+            if depth >= afi.max_len() {
+                return;
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                dfs(child, afi, bits, depth + 1, f);
+            }
+            if let Some(child) = node.children[1].as_deref() {
+                let set = bits | (1u128 << (127 - depth as u32));
+                dfs(child, afi, set, depth + 1, f);
+            }
+        }
+        dfs(node, prefix.afi(), prefix.bits(), prefix.len(), &mut f);
+    }
+
     /// Lazy iterator over all `(prefix, value)` pairs, v4 first then
     /// v6, in address order (the same order [`PrefixTrie::covered`]
     /// uses). Walks the trie with an explicit stack — no intermediate
@@ -344,6 +406,50 @@ mod tests {
         assert_eq!(t.remove(p("10.0.0.0/23")), Some("b"));
         assert!(t.is_empty());
         assert_eq!(t.remove(p("10.0.0.0/23")), None);
+    }
+
+    #[test]
+    fn visit_relevant_is_covering_union_covered() {
+        let mut t = PrefixTrie::new();
+        for (s, v) in [
+            ("0.0.0.0/0", 0),
+            ("10.0.0.0/8", 8),
+            ("10.0.0.0/23", 23),
+            ("10.0.0.0/24", 24),
+            ("10.0.1.0/24", 124),
+            ("10.0.0.0/25", 25),
+            ("10.0.2.0/24", 224),
+            ("172.16.0.0/12", 12),
+        ] {
+            t.insert(p(s), v);
+        }
+        for query in [
+            "10.0.0.0/24",
+            "10.0.0.0/23",
+            "10.0.0.0/8",
+            "10.0.0.128/25",
+            "10.0.3.0/24",
+            "192.0.2.0/24",
+            "0.0.0.0/0",
+        ] {
+            let q = p(query);
+            let mut expected: Vec<(Prefix, i32)> = t
+                .covering(q)
+                .into_iter()
+                .chain(t.covered(q))
+                .map(|(pfx, v)| (pfx, *v))
+                .collect();
+            // `covering` and `covered` both report an exact match.
+            expected.dedup();
+            let mut got = Vec::new();
+            t.visit_relevant(q, |pfx, v| got.push((pfx, *v)));
+            assert_eq!(got, expected, "query {query}");
+            // Exactly once per relevant prefix, even the exact match.
+            let mut sorted = got.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), got.len(), "no double visit for {query}");
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use experiment::{Experiment, ExperimentBuilder, ExperimentOutcome, PhaseTimi
 pub use hijack_stats::HijackDurationModel;
 pub use metrics::{StageMetrics, StageStat};
 pub use mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
-pub use monitor::{MonitorService, RetiredMonitor};
+pub use monitor::{MonitorIndex, MonitorService, RetiredMonitor};
 pub use parallel::WorkerPool;
 pub use pipeline::{
     OffboardReport, Pipeline, PipelineConfig, PipelineEvent, RunEnd, RunReport, WorkerStatus,

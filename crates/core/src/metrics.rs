@@ -2,9 +2,11 @@
 //!
 //! These counters time the three stages of a feed batch — drain from
 //! the hub's merge queue, classification (inline or across the worker
-//! pool), and the ordered commit through monitoring/mitigation — with
-//! `std::time::Instant`. They exist for operators: the daemon's
-//! `/metrics` endpoint renders them as Prometheus counters.
+//! pool), and the ordered commit through monitoring/mitigation — plus
+//! the commit stage's five named sub-stages (detect, monitor-route,
+//! monitor-ingest, resolve, mitigate), with `std::time::Instant`.
+//! They exist for operators: the daemon's `/metrics` endpoint renders
+//! them as Prometheus counters.
 //!
 //! Wall-clock readings are inherently nondeterministic, so they are
 //! deliberately **not** part of [`ServiceStatus`](crate::ServiceStatus)
@@ -90,6 +92,19 @@ impl StageStat {
 }
 
 /// Per-stage batch latency of the pipeline's delivery path.
+///
+/// `drain`, `classify` and `commit` are the three top-level stages of
+/// a delivered batch. The remaining fields break the commit stage
+/// into its named sub-stages (they overlap `commit`, never add to
+/// it): `detect` (ordered detection walk, including in-batch monitor
+/// creation), `monitor_route` (prefix-routing every event to its
+/// covering set of active monitors), `monitor_ingest` (ingesting the
+/// routed events, inline or across the worker pool), `resolve`
+/// (applying resolution decisions: alert state, log, monitor
+/// retirement) and `mitigate` (planning/executing/holding mitigation
+/// for newly raised alerts). Sub-stages are recorded by the batched
+/// [`Pipeline::deliver_due`](crate::Pipeline::deliver_due) path; the
+/// per-event delivery paths record the top-level stages only.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageMetrics {
     /// Draining due events out of the hub's merge queue.
@@ -97,8 +112,21 @@ pub struct StageMetrics {
     /// Classifying the drained batch (inline or worker pool).
     pub classify: StageStat,
     /// Committing the batch in order through detection, monitoring
-    /// and mitigation.
+    /// and mitigation (the umbrella over the five sub-stages below).
     pub commit: StageStat,
+    /// Commit sub-stage: the ordered detection walk.
+    pub detect: StageStat,
+    /// Commit sub-stage: routing events to relevant monitors via the
+    /// prefix index.
+    pub monitor_route: StageStat,
+    /// Commit sub-stage: ingesting routed events into the covering-set
+    /// monitor shards (inline or across the worker pool).
+    pub monitor_ingest: StageStat,
+    /// Commit sub-stage: applying resolution decisions in order.
+    pub resolve: StageStat,
+    /// Commit sub-stage: planning/executing/holding mitigation for
+    /// alerts raised in the batch.
+    pub mitigate: StageStat,
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! that state and declares the incident resolved when every vantage
 //! point routes to a legitimate origin again.
 
-use artemis_bgp::{Asn, Prefix};
+use crate::alert::AlertId;
+use artemis_bgp::{Asn, Prefix, PrefixTrie};
 use artemis_feeds::FeedEvent;
 use artemis_simnet::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
@@ -38,6 +39,7 @@ pub struct TimelinePoint {
 
 /// Tracks, per vantage point, the origin selected for a monitored
 /// prefix (longest-prefix-match over everything that VP reported).
+#[derive(Debug)]
 pub struct MonitorService {
     /// The monitored (owned) prefix.
     target: Prefix,
@@ -72,8 +74,24 @@ impl MonitorService {
         self.target
     }
 
+    /// True when `prefix` concerns the monitored space: the target
+    /// contains it (mitigation de-aggregates, hijacker sub-prefixes)
+    /// or it contains the target (covering announcements). This is the
+    /// relevance relation the pipeline's [`MonitorIndex`] evaluates
+    /// once per event over *all* active monitors instead of once per
+    /// `(event, monitor)` pair.
+    pub fn is_relevant(&self, prefix: Prefix) -> bool {
+        self.target.contains(prefix) || prefix.contains(self.target)
+    }
+
     /// Ingest a monitoring event; records a timeline point when the
     /// reporting vantage point's selection changed.
+    ///
+    /// This is the *checked* entry point for direct callers: events
+    /// outside the monitored space (see [`MonitorService::is_relevant`])
+    /// are silently ignored. The pipeline's hot path routes events
+    /// through the [`MonitorIndex`] instead, which guarantees relevance
+    /// up front and calls the crate-private `ingest_routed` directly.
     ///
     /// The change test is **per-VP**, not aggregate: it compares the
     /// reporting VP's `(state, selected origin)` before and after the
@@ -86,9 +104,25 @@ impl MonitorService {
     /// vanished from the timeline entirely.
     pub fn ingest(&mut self, event: &FeedEvent) {
         // Only events about the monitored space matter.
-        if !(self.target.contains(event.prefix) || event.prefix.contains(self.target)) {
+        if !self.is_relevant(event.prefix) {
             return;
         }
+        self.ingest_routed(event);
+    }
+
+    /// [`MonitorService::ingest`] minus the relevance check: the
+    /// caller asserts the event concerns the monitored space (it was
+    /// routed here by the [`MonitorIndex`]). Relevance is re-verified
+    /// only in debug builds — a routing-layer bug trips the assert in
+    /// tests instead of silently corrupting observations in
+    /// production.
+    pub(crate) fn ingest_routed(&mut self, event: &FeedEvent) {
+        debug_assert!(
+            self.is_relevant(event.prefix),
+            "event {} routed to monitor {} without relevance",
+            event.prefix,
+            self.target
+        );
         if !self.vantage_points.contains(&event.vantage) {
             return;
         }
@@ -234,6 +268,200 @@ impl RetiredMonitor {
     /// The recorded timeline (identical to what the live monitor had).
     pub fn timeline(&self) -> &[TimelinePoint] {
         &self.timeline
+    }
+}
+
+/// Prefix-routed index over the active monitors.
+///
+/// Maps each monitor's target prefix to the alerts monitoring it, so
+/// the pipeline can answer "which monitors care about this event?" in
+/// one trie walk ([`PrefixTrie::visit_relevant`]: an LPM-style
+/// ancestor walk plus the subtree at the event prefix) instead of
+/// scanning every active monitor per event. Kept in sync by the
+/// pipeline on monitor create, retire (resolution) and offboard.
+///
+/// Several alerts can monitor the same target (e.g. an exact-prefix
+/// and a sub-prefix hijack against one owned prefix), so each trie
+/// node holds a sorted list of alert ids.
+#[derive(Debug, Default)]
+pub struct MonitorIndex {
+    targets: PrefixTrie<Vec<AlertId>>,
+    len: usize,
+}
+
+impl MonitorIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        MonitorIndex::default()
+    }
+
+    /// Number of indexed `(target, alert)` pairs (= active monitors).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no monitor is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index `alert`'s monitor under its target prefix.
+    pub fn insert(&mut self, target: Prefix, alert: AlertId) {
+        let ids = match self.targets.get_mut(target) {
+            Some(ids) => ids,
+            None => {
+                self.targets.insert(target, Vec::new());
+                self.targets.get_mut(target).expect("just inserted")
+            }
+        };
+        match ids.binary_search(&alert) {
+            Ok(_) => return, // already indexed
+            Err(pos) => ids.insert(pos, alert),
+        }
+        self.len += 1;
+    }
+
+    /// Drop `alert` from the index. Returns `false` when it was not
+    /// indexed under `target`.
+    pub fn remove(&mut self, target: Prefix, alert: AlertId) -> bool {
+        let Some(ids) = self.targets.get_mut(target) else {
+            return false;
+        };
+        let Ok(pos) = ids.binary_search(&alert) else {
+            return false;
+        };
+        ids.remove(pos);
+        if ids.is_empty() {
+            self.targets.remove(target);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// The alerts whose monitors are relevant to an event on `prefix`
+    /// (target contains the prefix, or the prefix contains the
+    /// target), appended to `out` in ascending alert order — the same
+    /// order the pre-index pipeline visited monitors in its
+    /// all-monitors `BTreeMap` scan. `out` is cleared first; reuse one
+    /// buffer across events to keep the hot path allocation-free.
+    pub fn route(&self, prefix: Prefix, out: &mut Vec<AlertId>) {
+        out.clear();
+        self.targets.visit_relevant(prefix, |_, ids| {
+            out.extend_from_slice(ids);
+        });
+        // Distinct targets hold distinct sorted runs; a merged view
+        // must be globally sorted (and each id appears under exactly
+        // one target, so no dedup is needed).
+        out.sort_unstable();
+    }
+
+    /// Partition the active monitors into covering-set shards: targets
+    /// that can share events (one contains the other) land in the same
+    /// shard, keyed by the outermost indexed target above each. Two
+    /// prefixes either nest or are disjoint, so nested targets form
+    /// exact components. Monitors are per-alert state, so shards run
+    /// on different workers without coordination (a short covering
+    /// announcement may still be routed to several shards — each
+    /// ingests it into its own monitors independently).
+    ///
+    /// Shards are returned in address order of their outermost target,
+    /// ids ascending within a shard — deterministic, so the pipeline's
+    /// shard→worker assignment is too.
+    pub fn covering_shards(&self) -> Vec<Vec<AlertId>> {
+        let mut shards: Vec<Vec<AlertId>> = Vec::new();
+        let mut current_root: Option<Prefix> = None;
+        for (target, ids) in self.targets.iter() {
+            let nested = current_root.is_some_and(|root| root.contains(target));
+            if !nested {
+                // Address-order iteration visits a covering prefix
+                // before everything under it, so a target outside the
+                // current root starts a new component.
+                current_root = Some(target);
+                shards.push(Vec::new());
+            }
+            let shard = shards.last_mut().expect("component started");
+            shard.extend_from_slice(ids);
+        }
+        shards
+    }
+}
+
+/// One monitor checked out of the pipeline for a batch-ingest pass
+/// (inline, or on a worker). Everything a worker needs travels with
+/// the task; nothing borrows the pipeline.
+#[derive(Debug)]
+pub(crate) struct MonitorTask {
+    /// The alert this monitor belongs to.
+    pub alert: AlertId,
+    /// The monitor itself, moved out of the registry for the batch.
+    pub monitor: MonitorService,
+    /// Whether the alert's mitigation has executed. Constant for the
+    /// whole batch: pre-existing alerts only flip this through
+    /// operator commands (confirm/resume), which never run mid-batch.
+    pub mitigated: bool,
+    /// First batch index to consider (nonzero only when the pipeline's
+    /// recheck pre-pass already consumed earlier events).
+    pub start: usize,
+}
+
+/// What a batch-ingest pass decided for one monitor.
+#[derive(Debug)]
+pub(crate) struct MonitorOutcome {
+    /// The alert the monitor belongs to.
+    pub alert: AlertId,
+    /// The monitor, with the batch's relevant events ingested up to
+    /// (and including) the resolving event when one exists.
+    pub monitor: MonitorService,
+    /// Batch index of the event whose ingest completed the recovery
+    /// (`mitigated` and every reporting vantage point legitimate), or
+    /// `None` when the batch does not resolve this alert.
+    pub resolved_at: Option<usize>,
+}
+
+/// Ingest one covering-set shard's slice of a batch into its monitor
+/// tasks, sequentially and in batch order — the shared kernel of the
+/// inline and worker-pool monitor-ingest paths, so both are identical
+/// by construction.
+///
+/// `indices` lists the batch positions routed to this shard (ascending;
+/// a superset of each individual monitor's relevant events, since a
+/// shard unions nested targets). Each task ingests its relevant events
+/// in order and stops at the first event after which the alert
+/// resolves — the pipeline applies the recorded resolution point
+/// during the ordered commit walk, so log/action ordering is
+/// independent of which worker ran the shard.
+pub(crate) fn run_monitor_tasks(
+    events: &[FeedEvent],
+    indices: &[u32],
+    tasks: Vec<MonitorTask>,
+    out: &mut Vec<MonitorOutcome>,
+) {
+    for mut task in tasks {
+        let mut resolved_at = None;
+        for &i in indices {
+            let i = i as usize;
+            if i < task.start {
+                continue;
+            }
+            let event = &events[i];
+            if !task.monitor.is_relevant(event.prefix) {
+                continue;
+            }
+            task.monitor.ingest_routed(event);
+            // `all_legitimate` only changes when an ingested
+            // observation changes, so checking after each relevant
+            // ingest visits every state-change point the old
+            // per-event scan checked.
+            if task.mitigated && task.monitor.all_legitimate() {
+                resolved_at = Some(i);
+                break;
+            }
+        }
+        out.push(MonitorOutcome {
+            alert: task.alert,
+            monitor: task.monitor,
+            resolved_at,
+        });
     }
 }
 
@@ -409,6 +637,132 @@ mod tests {
             "net aggregate change is zero — exactly why the aggregate \
              comparison lost these"
         );
+    }
+
+    fn id(n: u64) -> AlertId {
+        AlertId(n)
+    }
+
+    #[test]
+    fn index_routes_by_containment_in_alert_order() {
+        let mut idx = MonitorIndex::new();
+        idx.insert(pfx("10.0.0.0/23"), id(3));
+        idx.insert(pfx("10.0.0.0/24"), id(1));
+        idx.insert(pfx("10.0.0.0/23"), id(2)); // second alert, same target
+        idx.insert(pfx("172.16.0.0/23"), id(4));
+        assert_eq!(idx.len(), 4);
+
+        let mut out = Vec::new();
+        // Sub-prefix event: both covering targets, not the sibling.
+        idx.route(pfx("10.0.0.0/25"), &mut out);
+        assert_eq!(out, vec![id(1), id(2), id(3)]);
+        // Covering event: everything under it.
+        idx.route(pfx("10.0.0.0/8"), &mut out);
+        assert_eq!(out, vec![id(1), id(2), id(3)]);
+        // Exact target match is routed once.
+        idx.route(pfx("172.16.0.0/23"), &mut out);
+        assert_eq!(out, vec![id(4)]);
+        // Disjoint space routes nowhere.
+        idx.route(pfx("192.0.2.0/24"), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn index_remove_unindexes_exactly_one_alert() {
+        let mut idx = MonitorIndex::new();
+        idx.insert(pfx("10.0.0.0/23"), id(1));
+        idx.insert(pfx("10.0.0.0/23"), id(2));
+        assert!(idx.remove(pfx("10.0.0.0/23"), id(1)));
+        assert!(!idx.remove(pfx("10.0.0.0/23"), id(1)), "already gone");
+        assert!(!idx.remove(pfx("10.0.0.0/24"), id(2)), "wrong target");
+        let mut out = Vec::new();
+        idx.route(pfx("10.0.0.0/23"), &mut out);
+        assert_eq!(out, vec![id(2)]);
+        assert!(idx.remove(pfx("10.0.0.0/23"), id(2)));
+        assert!(idx.is_empty());
+        idx.route(pfx("10.0.0.0/23"), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn covering_shards_group_nested_targets() {
+        let mut idx = MonitorIndex::new();
+        idx.insert(pfx("10.0.0.0/8"), id(1));
+        idx.insert(pfx("10.0.0.0/24"), id(2));
+        idx.insert(pfx("10.1.0.0/24"), id(3));
+        idx.insert(pfx("172.16.0.0/23"), id(4));
+        idx.insert(pfx("172.16.0.0/24"), id(5));
+        idx.insert(pfx("192.0.2.0/24"), id(6));
+        let shards = idx.covering_shards();
+        assert_eq!(
+            shards,
+            vec![vec![id(1), id(2), id(3)], vec![id(4), id(5)], vec![id(6)]]
+        );
+        // Disjoint-only fleets shard one monitor each — commit cost
+        // stays flat as incident count grows.
+        let mut flat = MonitorIndex::new();
+        for i in 0..8u64 {
+            flat.insert(pfx(&format!("10.{i}.0.0/24")), id(i));
+        }
+        assert_eq!(flat.covering_shards().len(), 8);
+    }
+
+    #[test]
+    fn checked_ingest_still_filters_irrelevant_events() {
+        // The public wrapper keeps direct callers safe after the
+        // relevance check moved into the routing layer.
+        let mut m = service();
+        m.ingest(&event(174, "8.8.8.0/24", Some(666), 10));
+        assert!(m.timeline().is_empty());
+        assert!(!m.is_relevant(pfx("8.8.8.0/24")));
+        assert!(m.is_relevant(pfx("10.0.0.0/24")));
+        assert!(m.is_relevant(pfx("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn run_monitor_tasks_matches_per_event_ingest() {
+        let events: Vec<FeedEvent> = vec![
+            event(174, "10.0.0.0/23", Some(666), 10),
+            event(3356, "8.8.8.0/24", Some(15169), 11), // irrelevant
+            event(3356, "10.0.0.0/23", Some(65001), 12),
+            event(174, "10.0.0.0/24", Some(65001), 13), // resolves
+            event(174, "10.0.0.0/23", Some(666), 14),   // after resolution
+        ];
+        let mut reference = service();
+        for ev in &events[..4] {
+            reference.ingest(ev);
+        }
+        let indices: Vec<u32> = vec![0, 2, 3, 4];
+        let mut out = Vec::new();
+        run_monitor_tasks(
+            &events,
+            &indices,
+            vec![MonitorTask {
+                alert: id(1),
+                monitor: service(),
+                mitigated: true,
+                start: 0,
+            }],
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].resolved_at, Some(3), "stops at the resolving event");
+        assert_eq!(out[0].monitor.timeline(), reference.timeline());
+
+        // Unmitigated: the same recovery never resolves.
+        out.clear();
+        run_monitor_tasks(
+            &events,
+            &indices,
+            vec![MonitorTask {
+                alert: id(1),
+                monitor: service(),
+                mitigated: false,
+                start: 0,
+            }],
+            &mut out,
+        );
+        assert_eq!(out[0].resolved_at, None);
     }
 
     #[test]

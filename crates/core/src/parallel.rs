@@ -22,25 +22,44 @@
 //! only carry owned (`Arc`ed) data.
 
 use crate::detector::{ClassifyContext, PreparedEvent};
+use crate::monitor::{run_monitor_tasks, MonitorOutcome, MonitorTask};
 use artemis_feeds::{batch_chunks, FeedEvent};
 use std::ops::Range;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One classification job: prepare `events[range]` against `ctx`.
-struct Job {
-    events: Arc<Vec<FeedEvent>>,
-    range: Range<usize>,
-    ctx: ClassifyContext,
-    /// Recycled output buffer (cleared by the worker).
-    out: Vec<PreparedEvent>,
+/// Work shipped to a pool worker. Classification chunks and
+/// covering-set monitor shards ride the same channels and threads —
+/// the commit stage's monitor ingest reuses the pool instead of
+/// spawning a second one.
+enum Job {
+    /// Prepare `events[range]` against `ctx`.
+    Classify {
+        events: Arc<Vec<FeedEvent>>,
+        range: Range<usize>,
+        ctx: ClassifyContext,
+        /// Recycled output buffer (cleared by the worker).
+        out: Vec<PreparedEvent>,
+    },
+    /// Ingest the batch positions in `indices` into one covering-set
+    /// shard of monitor tasks (see [`run_monitor_tasks`]).
+    Monitors {
+        events: Arc<Vec<FeedEvent>>,
+        indices: Vec<u32>,
+        tasks: Vec<MonitorTask>,
+    },
 }
 
-/// A finished job: the classifications for `range`, in batch order.
-struct JobResult {
-    range: Range<usize>,
-    out: Vec<PreparedEvent>,
+/// A finished job.
+enum JobResult {
+    /// The classifications for `range`, in batch order.
+    Classify {
+        range: Range<usize>,
+        out: Vec<PreparedEvent>,
+    },
+    /// One shard's monitors with their resolution decisions.
+    Monitors { out: Vec<MonitorOutcome> },
 }
 
 /// A persistent pool of classification workers.
@@ -119,7 +138,7 @@ impl WorkerPool {
         let mut dispatched = 0usize;
         for (i, range) in batch_chunks(events.len(), self.job_txs.len()).enumerate() {
             self.worker_events[i] += range.len() as u64;
-            let job = Job {
+            let job = Job::Classify {
                 events: Arc::clone(events),
                 range,
                 ctx: ctx.clone(),
@@ -131,13 +150,63 @@ impl WorkerPool {
             dispatched += 1;
         }
         for _ in 0..dispatched {
-            let JobResult { range, out } = self
+            match self
                 .result_rx
                 .recv()
-                .expect("detection worker pool lost a worker");
-            prepared[range].copy_from_slice(&out);
-            self.spare.push(out);
+                .expect("detection worker pool lost a worker")
+            {
+                JobResult::Classify { range, out } => {
+                    prepared[range].copy_from_slice(&out);
+                    self.spare.push(out);
+                }
+                JobResult::Monitors { .. } => {
+                    unreachable!("no monitor job in flight during classify")
+                }
+            }
         }
+    }
+
+    /// Fan one batch's monitor ingest out across the pool, one job per
+    /// covering-set shard (shard *j* goes to worker `j % workers` —
+    /// deterministic assignment, like classification chunks). Blocks
+    /// until every shard returned, appends all outcomes to `out` and
+    /// sorts them into ascending alert order — so the merged result is
+    /// a function of the batch alone, never of thread scheduling.
+    pub(crate) fn ingest_monitors(
+        &mut self,
+        events: &Arc<Vec<FeedEvent>>,
+        shards: Vec<(Vec<u32>, Vec<MonitorTask>)>,
+        out: &mut Vec<MonitorOutcome>,
+    ) {
+        let workers = self.job_txs.len();
+        let mut dispatched = 0usize;
+        for (j, (indices, tasks)) in shards.into_iter().enumerate() {
+            if tasks.is_empty() {
+                continue;
+            }
+            let job = Job::Monitors {
+                events: Arc::clone(events),
+                indices,
+                tasks,
+            };
+            self.job_txs[j % workers]
+                .send(job)
+                .expect("monitor worker is alive");
+            dispatched += 1;
+        }
+        for _ in 0..dispatched {
+            match self
+                .result_rx
+                .recv()
+                .expect("monitor worker pool lost a worker")
+            {
+                JobResult::Monitors { out: chunk } => out.extend(chunk),
+                JobResult::Classify { .. } => {
+                    unreachable!("no classify job in flight during monitor ingest")
+                }
+            }
+        }
+        out.sort_unstable_by_key(|o| o.alert);
     }
 }
 
@@ -153,21 +222,35 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(jobs: Receiver<Job>, results: Sender<JobResult>) {
-    while let Ok(Job {
-        events,
-        range,
-        ctx,
-        mut out,
-    }) = jobs.recv()
-    {
-        out.clear();
-        out.extend(events[range.clone()].iter().map(|ev| ctx.prepare(ev)));
-        // Release the batch before signalling completion: once the
-        // dispatcher has received every result, it is guaranteed to be
-        // the sole owner of the `Arc` again.
-        drop(events);
-        drop(ctx);
-        if results.send(JobResult { range, out }).is_err() {
+    while let Ok(job) = jobs.recv() {
+        let result = match job {
+            Job::Classify {
+                events,
+                range,
+                ctx,
+                mut out,
+            } => {
+                out.clear();
+                out.extend(events[range.clone()].iter().map(|ev| ctx.prepare(ev)));
+                // Release the batch before signalling completion: once
+                // the dispatcher has received every result, it is
+                // guaranteed to be the sole owner of the `Arc` again.
+                drop(events);
+                drop(ctx);
+                JobResult::Classify { range, out }
+            }
+            Job::Monitors {
+                events,
+                indices,
+                tasks,
+            } => {
+                let mut out = Vec::with_capacity(tasks.len());
+                run_monitor_tasks(&events, &indices, tasks, &mut out);
+                drop(events);
+                JobResult::Monitors { out }
+            }
+        };
+        if results.send(result).is_err() {
             break; // pool dropped mid-flight
         }
     }
@@ -258,6 +341,83 @@ mod tests {
         let mut prepared = Vec::new();
         pool.classify(&batch, &d.classify_context(), &mut prepared);
         assert_eq!(pool.worker_events(), &[0, 0]);
+    }
+
+    #[test]
+    fn pooled_monitor_ingest_matches_inline() {
+        use crate::alert::AlertId;
+        use crate::monitor::MonitorService;
+        use std::collections::BTreeSet;
+
+        let batch = events(300);
+        // Three monitors over two covering-set shards; every third
+        // event touches 10.0.0.0/23, every third 172.16.0.0/23.
+        let make = |target: &str| {
+            MonitorService::new(
+                pfx(target),
+                [Asn(65001)].into_iter().collect::<BTreeSet<_>>(),
+                [Asn(174)].into_iter().collect::<BTreeSet<_>>(),
+            )
+        };
+        type ShardSpec = (Vec<u32>, Vec<(AlertId, &'static str, bool)>);
+        let shard_specs: Vec<ShardSpec> = vec![
+            (
+                (0..300u32).filter(|i| i % 3 == 0).collect(),
+                vec![
+                    (AlertId(1), "10.0.0.0/23", true),
+                    (AlertId(3), "10.0.0.0/24", false),
+                ],
+            ),
+            (
+                (0..300u32).filter(|i| i % 3 == 1).collect(),
+                vec![(AlertId(2), "172.16.0.0/23", true)],
+            ),
+        ];
+        let build = |specs: &[ShardSpec]| {
+            specs
+                .iter()
+                .map(|(idx, tasks)| {
+                    (
+                        idx.clone(),
+                        tasks
+                            .iter()
+                            .map(|(alert, target, mitigated)| MonitorTask {
+                                alert: *alert,
+                                monitor: make(target),
+                                mitigated: *mitigated,
+                                start: 0,
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut inline = Vec::new();
+        for (indices, tasks) in build(&shard_specs) {
+            run_monitor_tasks(&batch, &indices, tasks, &mut inline);
+        }
+        inline.sort_unstable_by_key(|o| o.alert);
+
+        for workers in [1usize, 2, 4] {
+            let mut pool = WorkerPool::new(workers);
+            let mut pooled = Vec::new();
+            pool.ingest_monitors(&batch, build(&shard_specs), &mut pooled);
+            assert_eq!(pooled.len(), inline.len(), "workers={workers}");
+            for (a, b) in pooled.iter().zip(&inline) {
+                assert_eq!(a.alert, b.alert, "workers={workers}");
+                assert_eq!(a.resolved_at, b.resolved_at, "workers={workers}");
+                assert_eq!(
+                    a.monitor.timeline(),
+                    b.monitor.timeline(),
+                    "workers={workers} alert={:?}",
+                    a.alert
+                );
+            }
+            // The batch Arc comes back exclusive, like classify.
+            let mut prepared = vec![PreparedEvent::BENIGN; batch.len()];
+            pool.classify(&batch, &detector().classify_context(), &mut prepared);
+        }
     }
 
     #[test]

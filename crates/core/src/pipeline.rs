@@ -50,7 +50,9 @@ use crate::detector::{Detection, Detector, PreparedEvent};
 use crate::event_log::{EventCursor, EventLog, IncidentEvent, PollBatch};
 use crate::metrics::StageMetrics;
 use crate::mitigation::{MitigationPlan, MitigationPolicy, Mitigator};
-use crate::monitor::{MonitorService, RetiredMonitor};
+use crate::monitor::{
+    run_monitor_tasks, MonitorIndex, MonitorOutcome, MonitorService, MonitorTask, RetiredMonitor,
+};
 use crate::parallel::WorkerPool;
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::Engine;
@@ -204,6 +206,20 @@ pub struct Pipeline {
     mitigator: Mitigator,
     /// One monitor per alert, created when the alert is raised.
     monitors: BTreeMap<AlertId, MonitorService>,
+    /// Prefix index over the active monitors' targets: routes an event
+    /// to its covering set of relevant monitors instead of scanning the
+    /// whole registry. Kept in lockstep with `monitors` (insert on
+    /// alert raise, remove on retire/offboard).
+    monitor_index: MonitorIndex,
+    /// Alerts whose mitigation executed *outside* event delivery
+    /// (operator confirm, or resume after a pause). Their monitors may
+    /// already be all-legitimate, so the resolution condition must be
+    /// re-evaluated at the next delivered event even when that event is
+    /// irrelevant to them — exactly what the historical full-registry
+    /// scan did implicitly.
+    recheck: BTreeSet<AlertId>,
+    /// Reusable routing buffer for [`MonitorIndex::route`].
+    route_buf: Vec<AlertId>,
     /// Vantage population handed to new monitors.
     vantage_points: BTreeSet<Asn>,
     config: ArtemisConfig,
@@ -250,6 +266,9 @@ impl Pipeline {
             detector: Detector::new(config.clone()),
             mitigator: Mitigator::new(config.clone()),
             monitors: BTreeMap::new(),
+            monitor_index: MonitorIndex::new(),
+            recheck: BTreeSet::new(),
+            route_buf: Vec::new(),
             vantage_points,
             config,
             mitigated: BTreeSet::new(),
@@ -469,6 +488,7 @@ impl Pipeline {
         let mut withdrawn_plans = 0usize;
         for id in &removed.alerts {
             self.pending.remove(id);
+            self.recheck.remove(id);
             // Withdraw every plan ever executed on this shard — a
             // naturally resolved incident keeps its de-aggregated
             // announcements installed by design, so resolved alerts
@@ -489,6 +509,7 @@ impl Pipeline {
             }
             self.detector.alerts_mut().mark_resolved(*id, now);
             if let Some(monitor) = self.monitors.remove(id) {
+                self.monitor_index.remove(monitor.target(), *id);
                 self.retired.insert(*id, monitor.retire(now));
             }
             closed_alerts.push(*id);
@@ -589,6 +610,13 @@ impl Pipeline {
         for id in &to_run {
             let plan = self.pending.remove(id).expect("listed as pending");
             self.execute_held_plan(*id, plan, now, controller, helper_controllers);
+            // The monitor may already be all-legitimate (the hijack
+            // could have withered while the plan was held), so the
+            // resolution condition must be evaluated at the next
+            // delivered event even if that event is irrelevant.
+            if self.monitors.contains_key(id) {
+                self.recheck.insert(*id);
+            }
         }
         self.log.push(IncidentEvent::MitigationResumed {
             executed_alerts: to_run.clone(),
@@ -614,6 +642,12 @@ impl Pipeline {
     ) -> Option<MitigationPlan> {
         let plan = self.pending.remove(&alert)?;
         self.execute_held_plan(alert, plan.clone(), now, controller, helper_controllers);
+        // Same rationale as in `resume_mitigation`: the mitigated flag
+        // flipped outside delivery, so the next delivered event must
+        // re-evaluate this alert's resolution condition.
+        if self.monitors.contains_key(&alert) {
+            self.recheck.insert(alert);
+        }
         Some(plan)
     }
 
@@ -678,6 +712,118 @@ impl Pipeline {
         self.deliver_impl(event, None, controller, helper_controllers, actions);
     }
 
+    /// Steps 1–3 of delivering one event: commit detection (using the
+    /// precomputed classification when one exists), and — on a new
+    /// alert — record it, spin up and index its monitor, and run the
+    /// policy-gated mitigation. Returns the newly raised alert (if
+    /// any) plus the wall-clock nanoseconds the mitigation sub-stage
+    /// took (0 on the overwhelmingly common no-alert path, which never
+    /// reads the clock).
+    fn detect_and_arm(
+        &mut self,
+        event: &FeedEvent,
+        prepared: Option<PreparedEvent>,
+        controller: &mut Controller,
+        helper_controllers: &mut [Controller],
+        actions: &mut Vec<AppAction>,
+    ) -> (Option<AlertId>, u64) {
+        // 1. Detection: route the event to the responsible shard. A
+        // prepared classification (from the worker pool) is committed
+        // via the detector's two-phase path, which re-classifies
+        // against live state whenever the owning shard's rules changed
+        // mid-batch — so both arms produce identical outcomes.
+        let detection = match prepared {
+            Some(prep) => self.detector.process_prepared(event, prep),
+            None => self.detector.process(event),
+        };
+
+        let Detection::NewAlert(id) = detection else {
+            return (None, 0);
+        };
+        actions.push(AppAction::AlertRaised(id));
+
+        let alert = self.detector.alerts().get(id).expect("just created");
+        let hijack_type = alert.hijack_type;
+        let owned_prefix = alert.owned_prefix;
+        let observed_prefix = alert.observed_prefix;
+        let at = event.emitted_at;
+        self.log.push(IncidentEvent::AlertRaised {
+            alert: id,
+            owned_prefix,
+            observed_prefix,
+            hijack_type,
+            at,
+        });
+
+        // 2. Spin up a monitor scoped to the attacked prefix. Each
+        // alert gets its own, so concurrent incidents on different
+        // prefixes track independent recovery timelines. The rules
+        // come from the detector's routing structure — a keyed
+        // lookup, not a scan over the whole owned portfolio.
+        let legitimate_origins = self
+            .detector
+            .owned_rules(owned_prefix)
+            .expect("alert references configured prefix")
+            .legitimate_origins
+            .clone();
+        let monitor = MonitorService::new(
+            owned_prefix,
+            legitimate_origins,
+            self.vantage_points.clone(),
+        );
+        self.monitors.insert(id, monitor);
+        self.monitor_index.insert(owned_prefix, id);
+
+        // 3. Mitigation, governed by the prefix's policy.
+        let policy = self.mitigator.policy_for(owned_prefix);
+        let mut mitigate_ns = 0u64;
+        if policy != MitigationPolicy::DetectOnly && !self.mitigated.contains(&id) {
+            let clock = std::time::Instant::now();
+            if policy == MitigationPolicy::Auto && !self.paused {
+                let alert = self.detector.alerts().get(id).expect("just created");
+                let plan = self.mitigator.plan(alert);
+                self.execute_held_plan(id, plan.clone(), at, controller, helper_controllers);
+                actions.push(AppAction::MitigationTriggered {
+                    alert: id,
+                    plan,
+                    at,
+                });
+            } else {
+                // Confirm-first policy, or Auto while paused: the
+                // plan is computed and held for the operator.
+                let alert = self.detector.alerts().get(id).expect("just created");
+                let plan = self.mitigator.plan(alert);
+                self.pending.insert(id, plan.clone());
+                self.log.push(IncidentEvent::MitigationPending {
+                    alert: id,
+                    plan: plan.clone(),
+                    at,
+                });
+                actions.push(AppAction::MitigationPending {
+                    alert: id,
+                    plan,
+                    at,
+                });
+            }
+            mitigate_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+        (Some(id), mitigate_ns)
+    }
+
+    /// Resolve one alert's incident: retire its monitor into the
+    /// compact record and drop it from the prefix index. A missing
+    /// monitor would mean the routing layer and the registry disagree
+    /// — debug builds assert; release builds skip gracefully instead
+    /// of aborting the daemon mid-incident.
+    fn retire_monitor(&mut self, id: AlertId, at: SimTime) {
+        if let Some(monitor) = self.monitors.remove(&id) {
+            self.monitor_index.remove(monitor.target(), id);
+            self.retired.insert(id, monitor.retire(at));
+        } else {
+            debug_assert!(false, "resolved alert {id:?} has no live monitor");
+        }
+    }
+
     /// Shared tail of the sequential and parallel delivery paths:
     /// commit detection (using the precomputed classification when one
     /// exists), then monitoring and mitigation — always on the calling
@@ -693,89 +839,39 @@ impl Pipeline {
         actions.clear();
         self.events_delivered += 1;
 
-        // 1. Detection: route the event to the responsible shard. A
-        // prepared classification (from the worker pool) is committed
-        // via the detector's two-phase path, which re-classifies
-        // against live state whenever the owning shard's rules changed
-        // mid-batch — so both arms produce identical outcomes.
-        let detection = match prepared {
-            Some(prep) => self.detector.process_prepared(event, prep),
-            None => self.detector.process(event),
-        };
+        self.detect_and_arm(event, prepared, controller, helper_controllers, actions);
 
-        if let Detection::NewAlert(id) = detection {
-            actions.push(AppAction::AlertRaised(id));
-
-            let alert = self.detector.alerts().get(id).expect("just created");
-            let hijack_type = alert.hijack_type;
-            let owned_prefix = alert.owned_prefix;
-            let observed_prefix = alert.observed_prefix;
-            let at = event.emitted_at;
-            self.log.push(IncidentEvent::AlertRaised {
-                alert: id,
-                owned_prefix,
-                observed_prefix,
-                hijack_type,
-                at,
-            });
-
-            // 2. Spin up a monitor scoped to the attacked prefix. Each
-            // alert gets its own, so concurrent incidents on different
-            // prefixes track independent recovery timelines. The rules
-            // come from the detector's routing structure — a keyed
-            // lookup, not a scan over the whole owned portfolio.
-            let legitimate_origins = self
-                .detector
-                .owned_rules(owned_prefix)
-                .expect("alert references configured prefix")
-                .legitimate_origins
-                .clone();
-            let monitor = MonitorService::new(
-                owned_prefix,
-                legitimate_origins,
-                self.vantage_points.clone(),
-            );
-            self.monitors.insert(id, monitor);
-
-            // 3. Mitigation, governed by the prefix's policy.
-            let policy = self.mitigator.policy_for(owned_prefix);
-            if policy != MitigationPolicy::DetectOnly && !self.mitigated.contains(&id) {
-                if policy == MitigationPolicy::Auto && !self.paused {
-                    let alert = self.detector.alerts().get(id).expect("just created");
-                    let plan = self.mitigator.plan(alert);
-                    self.execute_held_plan(id, plan.clone(), at, controller, helper_controllers);
-                    actions.push(AppAction::MitigationTriggered {
-                        alert: id,
-                        plan,
-                        at,
-                    });
-                } else {
-                    // Confirm-first policy, or Auto while paused: the
-                    // plan is computed and held for the operator.
-                    let alert = self.detector.alerts().get(id).expect("just created");
-                    let plan = self.mitigator.plan(alert);
-                    self.pending.insert(id, plan.clone());
-                    self.log.push(IncidentEvent::MitigationPending {
-                        alert: id,
-                        plan: plan.clone(),
-                        at,
-                    });
-                    actions.push(AppAction::MitigationPending {
-                        alert: id,
-                        plan,
-                        at,
-                    });
+        // 4. Monitoring: the prefix index routes the event to its
+        // covering set of relevant monitors (a freshly armed monitor is
+        // already indexed, so it sees its triggering event — identical
+        // to the historical full-registry scan). On full recovery,
+        // resolve that monitor's alert and retire the monitor into its
+        // compact record, so both per-event cost and memory track
+        // active incidents only.
+        let mut route = std::mem::take(&mut self.route_buf);
+        self.monitor_index.route(event.prefix, &mut route);
+        if !self.recheck.is_empty() {
+            // Externally mitigated alerts re-evaluate their resolution
+            // condition at this event even when it is irrelevant to
+            // them (see the `recheck` field docs).
+            let recheck = std::mem::take(&mut self.recheck);
+            for id in recheck {
+                if route.binary_search(&id).is_err() {
+                    route.push(id);
                 }
             }
+            route.sort_unstable();
         }
-
-        // 4. Monitoring: every event updates every *active* monitor;
-        // on full recovery, resolve that monitor's alert and retire
-        // the monitor into its compact record, so both per-event cost
-        // and memory track active incidents only.
         let mut newly_resolved: Vec<AlertId> = Vec::new();
-        for (id, monitor) in &mut self.monitors {
-            monitor.ingest(event);
+        for id in &route {
+            // A recheck entry can outlive its incident (offboarded
+            // mid-wait); skip gracefully.
+            let Some(monitor) = self.monitors.get_mut(id) else {
+                continue;
+            };
+            if monitor.is_relevant(event.prefix) {
+                monitor.ingest_routed(event);
+            }
             if self.mitigated.contains(id) && monitor.all_legitimate() {
                 self.detector
                     .alerts_mut()
@@ -791,9 +887,10 @@ impl Pipeline {
                 newly_resolved.push(*id);
             }
         }
+        route.clear();
+        self.route_buf = route;
         for id in newly_resolved {
-            let monitor = self.monitors.remove(&id).expect("just resolved");
-            self.retired.insert(id, monitor.retire(event.emitted_at));
+            self.retire_monitor(id, event.emitted_at);
         }
     }
 
@@ -845,31 +942,254 @@ impl Pipeline {
     /// whole backlog becomes a single batch — exactly the
     /// `drain_batch` contract — maximizing fan-out while preserving
     /// the global `(emitted_at, ingestion order)` delivery order.
+    ///
+    /// The commit stage here is **staged**: monitors that pre-exist
+    /// the batch consume their routed events up front (in covering-set
+    /// shards, fanned across the worker pool when the routed volume
+    /// clears the fan-out threshold), and the ordered walk then only
+    /// runs detection, in-batch-born monitors, and the pre-computed
+    /// resolution points. This is byte-identical to delivering the
+    /// batch one event at a time — a pre-existing monitor's state
+    /// evolution depends only on the event sequence, never on in-batch
+    /// detection, and its `mitigated` flag cannot change mid-batch
+    /// (confirm/resume happen between deliveries) — which the identity
+    /// and property tests lock in. Each sub-stage records its own
+    /// [`crate::StageStat`] (see [`StageMetrics`]).
     pub fn deliver_due(
         &mut self,
         upto: SimTime,
         controller: &mut Controller,
         helper_controllers: &mut [Controller],
     ) -> u64 {
-        let t0 = std::time::Instant::now();
+        use std::time::Instant;
+
+        let t0 = Instant::now();
         self.hub.drain_batch(upto, &mut self.batch);
         let delivered = self.batch.len() as u64;
-        let t1 = std::time::Instant::now();
-        let prepared = self.prepare_batch();
-        let t2 = std::time::Instant::now();
+        let t1 = Instant::now();
+        let mut prepared = self.prepare_batch();
+        if !prepared && !self.batch.is_empty() {
+            // No pool (or below the fan-out threshold): classify in
+            // one tight sequential pass anyway. The flat trie and the
+            // shard rules stay hot in cache across the whole batch —
+            // measurably cheaper than re-entering the fused
+            // classify-and-commit path per event — and the dirty-shard
+            // recompute in `process_prepared` keeps the outcome
+            // byte-identical to the fused path by construction.
+            self.prepared.clear();
+            self.prepared.reserve(self.batch.len());
+            for event in &self.batch {
+                self.prepared.push(self.detector.prepare(event));
+            }
+            prepared = true;
+        }
+        let t2 = Instant::now();
+        if delivered == 0 {
+            return 0;
+        }
+
+        // --- monitor-route: partition the active monitors into
+        // covering-set shards and route every event once through the
+        // prefix index, building each shard's (deduplicated, ordered)
+        // relevant-event index list.
+        let shards = self.monitor_index.covering_shards();
+        let mut group_of: BTreeMap<AlertId, u32> = BTreeMap::new();
+        for (g, ids) in shards.iter().enumerate() {
+            for id in ids {
+                group_of.insert(*id, g as u32);
+            }
+        }
+        let mut shard_events: Vec<Vec<u32>> = vec![Vec::new(); shards.len()];
+        let mut routed_pairs = 0usize;
+        {
+            let mut route = std::mem::take(&mut self.route_buf);
+            for (i, event) in self.batch.iter().enumerate() {
+                self.monitor_index.route(event.prefix, &mut route);
+                routed_pairs += route.len();
+                for id in &route {
+                    let list = &mut shard_events[group_of[id] as usize];
+                    if list.last() != Some(&(i as u32)) {
+                        list.push(i as u32);
+                    }
+                }
+            }
+            route.clear();
+            self.route_buf = route;
+        }
+        let t3 = Instant::now();
+
+        // --- monitor-ingest. Recheck pre-pass first: externally
+        // mitigated alerts evaluate their resolution condition at the
+        // batch's first event regardless of relevance (mirroring the
+        // per-event path); survivors rejoin the shard scan from event
+        // 1 so the first event is not ingested twice.
+        let mut resolutions: BTreeMap<usize, Vec<(AlertId, MonitorService)>> = BTreeMap::new();
+        let mut starts: BTreeMap<AlertId, usize> = BTreeMap::new();
+        if !self.recheck.is_empty() {
+            let recheck = std::mem::take(&mut self.recheck);
+            let first = &self.batch[0];
+            for id in recheck {
+                let Some(mut monitor) = self.monitors.remove(&id) else {
+                    continue;
+                };
+                if monitor.is_relevant(first.prefix) {
+                    monitor.ingest_routed(first);
+                }
+                if self.mitigated.contains(&id) && monitor.all_legitimate() {
+                    resolutions.entry(0).or_default().push((id, monitor));
+                } else {
+                    self.monitors.insert(id, monitor);
+                    starts.insert(id, 1);
+                }
+            }
+        }
+
+        // Check the pre-existing monitors out of the registry into
+        // per-shard task lists (shards with no routed events stay put).
+        let mut work: Vec<(Vec<u32>, Vec<MonitorTask>)> = Vec::new();
+        for (g, ids) in shards.iter().enumerate() {
+            let indices = std::mem::take(&mut shard_events[g]);
+            if indices.is_empty() {
+                continue;
+            }
+            let mut tasks = Vec::with_capacity(ids.len());
+            for id in ids {
+                let Some(monitor) = self.monitors.remove(id) else {
+                    continue; // resolved by the recheck pre-pass
+                };
+                tasks.push(MonitorTask {
+                    alert: *id,
+                    monitor,
+                    mitigated: self.mitigated.contains(id),
+                    start: starts.get(id).copied().unwrap_or(0),
+                });
+            }
+            if !tasks.is_empty() {
+                work.push((indices, tasks));
+            }
+        }
+
+        // Fan the shards across the worker pool when the routed volume
+        // clears the threshold; either arm is byte-identical (the
+        // merge sorts outcomes back into alert order).
+        let mut outcomes: Vec<MonitorOutcome> = Vec::new();
+        if !work.is_empty() {
+            let pooled = self.pool.is_some() && routed_pairs >= self.effective_threshold;
+            if pooled {
+                let events = Arc::new(std::mem::take(&mut self.batch));
+                self.pool
+                    .as_mut()
+                    .expect("pooled implies pool")
+                    .ingest_monitors(&events, work, &mut outcomes);
+                self.batch = Arc::try_unwrap(events).expect("workers released the batch");
+            } else {
+                for (indices, tasks) in work {
+                    run_monitor_tasks(&self.batch, &indices, tasks, &mut outcomes);
+                }
+                outcomes.sort_unstable_by_key(|o| o.alert);
+            }
+        }
+        for outcome in outcomes {
+            match outcome.resolved_at {
+                Some(i) => resolutions
+                    .entry(i)
+                    .or_default()
+                    .push((outcome.alert, outcome.monitor)),
+                None => {
+                    self.monitors.insert(outcome.alert, outcome.monitor);
+                }
+            }
+        }
+        // A recheck resolution and a shard resolution can share event
+        // 0; resolutions at one event must apply in ascending alert
+        // order like the per-event path.
+        for entry in resolutions.values_mut() {
+            entry.sort_unstable_by_key(|(id, _)| *id);
+        }
+        let t4 = Instant::now();
+
+        // --- commit walk: detection in delivery order, events into
+        // monitors born earlier in this batch, and the pre-computed
+        // resolutions applied at their exact event indices (before the
+        // next event's detection, so dedup against resolved alerts —
+        // a re-hijack is a NEW alert — behaves identically).
         let batch = std::mem::take(&mut self.batch);
         let prep = std::mem::take(&mut self.prepared);
         let mut actions = std::mem::take(&mut self.actions);
+        let mut live_new: Vec<AlertId> = Vec::new();
+        let mut mitigate_ns = 0u64;
+        let mut resolve_ns = 0u64;
         for (i, event) in batch.iter().enumerate() {
+            actions.clear();
+            self.events_delivered += 1;
             let p = prepared.then(|| prep[i]);
-            self.deliver_impl(event, p, controller, helper_controllers, &mut actions);
+            let (new_alert, mit_ns) =
+                self.detect_and_arm(event, p, controller, helper_controllers, &mut actions);
+            mitigate_ns += mit_ns;
+            if let Some(id) = new_alert {
+                live_new.push(id);
+            }
+
+            // Monitors born earlier in this batch could not be
+            // pre-staged; they ingest inline (their count is bounded
+            // by in-batch alerts, not registry size).
+            let mut resolved_new: Vec<AlertId> = Vec::new();
+            for id in &live_new {
+                let Some(monitor) = self.monitors.get_mut(id) else {
+                    continue;
+                };
+                if !monitor.is_relevant(event.prefix) {
+                    continue;
+                }
+                monitor.ingest_routed(event);
+                if self.mitigated.contains(id) && monitor.all_legitimate() {
+                    resolved_new.push(*id);
+                }
+            }
+
+            let scheduled = resolutions.remove(&i);
+            if scheduled.is_some() || !resolved_new.is_empty() {
+                let clock = Instant::now();
+                let at = event.emitted_at;
+                // Pre-existing alerts carry smaller ids than any alert
+                // born in this batch, so scheduled-then-new preserves
+                // the ascending order of the per-event path.
+                if let Some(entries) = scheduled {
+                    for (id, monitor) in entries {
+                        self.detector.alerts_mut().mark_resolved(id, at);
+                        self.log.push(IncidentEvent::Resolved { alert: id, at });
+                        actions.push(AppAction::Resolved { alert: id, at });
+                        self.monitor_index.remove(monitor.target(), id);
+                        self.retired.insert(id, monitor.retire(at));
+                    }
+                }
+                for id in resolved_new {
+                    self.detector.alerts_mut().mark_resolved(id, at);
+                    self.log.push(IncidentEvent::Resolved { alert: id, at });
+                    actions.push(AppAction::Resolved { alert: id, at });
+                    self.retire_monitor(id, at);
+                    live_new.retain(|x| *x != id);
+                }
+                resolve_ns += u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
         }
-        if delivered > 0 {
-            let t3 = std::time::Instant::now();
-            self.stage_metrics.drain.record(delivered, t1 - t0);
-            self.stage_metrics.classify.record(delivered, t2 - t1);
-            self.stage_metrics.commit.record(delivered, t3 - t2);
-        }
+        let t5 = Instant::now();
+
+        let m = &mut self.stage_metrics;
+        m.drain.record(delivered, t1 - t0);
+        m.classify.record(delivered, t2 - t1);
+        m.commit.record(delivered, t5 - t2);
+        m.monitor_route.record(delivered, t3 - t2);
+        m.monitor_ingest.record(delivered, t4 - t3);
+        let walk_ns = u64::try_from((t5 - t4).as_nanos()).unwrap_or(u64::MAX);
+        let detect_ns = walk_ns.saturating_sub(mitigate_ns + resolve_ns);
+        m.detect
+            .record(delivered, std::time::Duration::from_nanos(detect_ns));
+        m.resolve
+            .record(delivered, std::time::Duration::from_nanos(resolve_ns));
+        m.mitigate
+            .record(delivered, std::time::Duration::from_nanos(mitigate_ns));
+
         actions.clear();
         self.actions = actions;
         self.batch = batch;

@@ -39,6 +39,10 @@ fn pipeline(
         Asn(65001),
         vec![
             OwnedPrefix::new("10.0.0.0/23".parse().unwrap(), Asn(65001)),
+            // Nested inside 10.0.0.0/23: concurrent incidents on the
+            // pair produce nested monitor targets, so the staged
+            // commit's covering-set shards actually share events.
+            OwnedPrefix::new("10.0.1.0/24".parse().unwrap(), Asn(65001)),
             OwnedPrefix::new("172.16.0.0/22".parse().unwrap(), Asn(65001)),
             OwnedPrefix::new("192.0.2.0/24".parse().unwrap(), Asn(65001)),
             OwnedPrefix::new("203.0.113.0/24".parse().unwrap(), Asn(65001)).dormant(),
@@ -64,7 +68,7 @@ fn pipeline(
 /// Decode one randomized `(kind, slot, t)` triple into a route change.
 fn change(kind: u8, slot: u8, t: u64) -> RouteChange {
     let vantage = [Asn(174), Asn(3356), Asn(2914)][(slot % 3) as usize];
-    let (prefix, origin): (&str, u32) = match kind % 8 {
+    let (prefix, origin): (&str, u32) = match kind % 10 {
         0 => ("10.0.0.0/23", 65001),     // benign exact
         1 => ("10.0.0.0/23", 666),       // exact-origin hijack
         2 => ("10.0.0.0/24", 666),       // sub-prefix hijack
@@ -72,6 +76,8 @@ fn change(kind: u8, slot: u8, t: u64) -> RouteChange {
         4 => ("192.0.2.0/24", 667),      // /24 hijack (infeasible deagg)
         5 => ("203.0.113.0/24", 31337),  // squat on the dormant prefix
         6 => ("8.8.8.0/24", 15169),      // unrelated noise
+        7 => ("10.0.1.0/24", 666),       // hijack on the nested owned /24
+        8 => ("10.0.1.0/24", 65001),     // benign on the nested owned /24
         _ => ("198.51.100.0/24", 65001), // unrelated, "our" origin
     };
     let withdrawal = kind >= 240; // rare withdrawals
@@ -110,7 +116,7 @@ fn run(
     workers: usize,
     threshold: usize,
     spec: &[(u8, u8, u64)],
-) -> (String, String, u64) {
+) -> (String, String, String, u64) {
     let (mut p, mut ctrl) = pipeline(seed, workers, threshold);
     let mut changes: Vec<RouteChange> = spec.iter().map(|(k, s, t)| change(*k, *s, *t)).collect();
     changes.sort_by_key(|c| c.time);
@@ -118,7 +124,16 @@ fn run(
     let delivered = p.deliver_due(SimTime::from_secs(1 << 40), &mut ctrl, &mut []);
     let history = serde_json::to_string(&p.poll_events(EventCursor::START).events).unwrap();
     let alerts = format!("{:?}", p.detector().alerts().all());
-    (history, alerts, delivered)
+    // Active monitor state and retired timelines: the staged commit
+    // checks monitors out of the registry, ingests them (possibly on
+    // worker threads) and merges them back — their per-vantage state
+    // and retirement records must come back byte-identical.
+    let monitors = format!(
+        "{:?} | {:?}",
+        p.monitors().collect::<Vec<_>>(),
+        p.retired_monitors().collect::<Vec<_>>()
+    );
+    (history, alerts, monitors, delivered)
 }
 
 proptest! {
@@ -136,6 +151,7 @@ proptest! {
         let parallel = run(seed, workers, threshold, &spec);
         prop_assert_eq!(&sequential.0, &parallel.0, "event-log history differs");
         prop_assert_eq!(&sequential.1, &parallel.1, "alert store differs");
-        prop_assert_eq!(sequential.2, parallel.2, "delivered count differs");
+        prop_assert_eq!(&sequential.2, &parallel.2, "monitor/retired state differs");
+        prop_assert_eq!(sequential.3, parallel.3, "delivered count differs");
     }
 }
