@@ -30,6 +30,8 @@ SUBCOMMANDS:
     onboard PREFIX:ASN [--policy auto|confirm|detect] [--at SECS]
     offboard PREFIX [--at SECS]
     attach-feed ris-live|bgpmon COLLECTOR VANTAGE_ASN[,ASN...] [--at SECS]
+    attach-feed bmp-live NAME HOST:PORT [--at SECS]
+                                    dial a live RFC 7854 BMP collector
     detach-feed HANDLE [--at SECS]
     policy PREFIX auto|confirm|detect [--at SECS]
     confirm ALERT_ID [--at SECS]
@@ -145,18 +147,34 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         }
         "attach-feed" => {
             let at = take_at(&mut args)?;
-            let kind = expect_arg(&mut args, "ris-live|bgpmon")?;
-            let collector = expect_arg(&mut args, "COLLECTOR")?;
-            let vps = expect_arg(&mut args, "VANTAGE_ASN[,ASN...]")?;
-            let vantage: Vec<Asn> = vps
-                .split(',')
-                .map(|v| v.trim().parse::<u32>().map(Asn))
-                .collect::<Result<_, _>>()
-                .map_err(|e| format!("vantage ASNs: {e}"))?;
-            let feed = match kind.as_str() {
-                "ris-live" => FeedSpec::ris_live(&collector, vantage),
-                "bgpmon" => FeedSpec::bgpmon(&collector, vantage),
-                other => return Err(format!("unknown feed kind {other} (ris-live|bgpmon)")),
+            let kind = expect_arg(&mut args, "ris-live|bgpmon|bmp-live")?;
+            let feed = if kind == "bmp-live" {
+                // bmp-live NAME HOST:PORT — dials a real BMP collector.
+                let name = expect_arg(&mut args, "NAME")?;
+                let addr = expect_arg(&mut args, "HOST:PORT")?;
+                FeedSpec::BmpLive {
+                    name,
+                    addr,
+                    ring_capacity: None,
+                    filter: None,
+                }
+            } else {
+                let collector = expect_arg(&mut args, "COLLECTOR")?;
+                let vps = expect_arg(&mut args, "VANTAGE_ASN[,ASN...]")?;
+                let vantage: Vec<Asn> = vps
+                    .split(',')
+                    .map(|v| v.trim().parse::<u32>().map(Asn))
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("vantage ASNs: {e}"))?;
+                match kind.as_str() {
+                    "ris-live" => FeedSpec::ris_live(&collector, vantage),
+                    "bgpmon" => FeedSpec::bgpmon(&collector, vantage),
+                    other => {
+                        return Err(format!(
+                            "unknown feed kind {other} (ris-live|bgpmon|bmp-live)"
+                        ))
+                    }
+                }
             };
             apply_and_print(&client, ServiceCommand::AttachFeed { feed }, at)
         }

@@ -10,6 +10,7 @@
 use artemis_bgp::Asn;
 use artemis_controller::Controller;
 use artemis_core::{ArtemisConfig, ArtemisService, OwnedPrefix, Pipeline};
+use artemis_feeds::FeedSpec;
 use artemis_simnet::{LatencyModel, SimRng};
 use artemisd::{Daemon, DaemonConfig};
 use std::collections::BTreeSet;
@@ -33,6 +34,10 @@ FLAGS:
     --event-capacity N     incident event-log ring capacity (default 1024)
     --audit-log PATH       also append audit records to this JSONL file
     --webhook URL          register a webhook alert sink (repeatable)
+    --bmp-feed NAME@HOST:PORT
+                           dial a live RFC 7854 BMP collector at startup
+                           (repeatable); the reader retries until the
+                           collector accepts
     --help                 print this text
 ";
 
@@ -45,6 +50,7 @@ struct Flags {
     event_capacity: usize,
     audit_log: Option<PathBuf>,
     webhooks: Vec<String>,
+    bmp_feeds: Vec<(String, String)>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -57,6 +63,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         event_capacity: 1024,
         audit_log: None,
         webhooks: Vec::new(),
+        bmp_feeds: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -96,6 +103,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--audit-log" => flags.audit_log = Some(PathBuf::from(value("--audit-log")?)),
             "--webhook" => flags.webhooks.push(value("--webhook")?),
+            "--bmp-feed" => {
+                let spec = value("--bmp-feed")?;
+                let (name, addr) = spec
+                    .split_once('@')
+                    .ok_or_else(|| format!("--bmp-feed wants NAME@HOST:PORT, got {spec}"))?;
+                flags.bmp_feeds.push((name.to_string(), addr.to_string()));
+            }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -122,7 +136,19 @@ fn run(flags: Flags) -> Result<(), String> {
         .with_event_capacity(flags.event_capacity.max(1))
         .with_workers(flags.workers.max(1));
     let controller = Controller::new(asn, LatencyModel::const_secs(15), SimRng::new(1));
-    let service = ArtemisService::new(pipeline, controller);
+    let mut service = ArtemisService::new(pipeline, controller);
+    for (name, addr) in &flags.bmp_feeds {
+        let spec = FeedSpec::BmpLive {
+            name: name.clone(),
+            addr: addr.clone(),
+            ring_capacity: None,
+            filter: None,
+        };
+        let handle = service
+            .pipeline_mut()
+            .attach_feed(spec.build(), artemis_simnet::SimTime::ZERO);
+        println!("artemisd dialing BMP collector {addr} as {name} ({handle})");
+    }
 
     let daemon_config = DaemonConfig {
         audit_path: flags.audit_log,

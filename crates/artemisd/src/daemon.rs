@@ -82,6 +82,11 @@ pub struct DaemonConfig {
     pub alert_min_interval: Duration,
     /// How often the background thread retries queued alerts.
     pub pump_interval: Duration,
+    /// How often the feed pump drains live wire feeds (BMP rings)
+    /// through the detector. Much faster than `pump_interval`: this
+    /// cadence bounds live detection latency, and an idle tick costs
+    /// one readiness check per feed.
+    pub feed_pump_interval: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -93,6 +98,7 @@ impl Default for DaemonConfig {
             alert_attempts: 3,
             alert_min_interval: Duration::from_millis(50),
             pump_interval: Duration::from_millis(200),
+            feed_pump_interval: Duration::from_millis(10),
         }
     }
 }
@@ -350,6 +356,7 @@ pub struct DaemonHandle {
     switch: ShutdownSwitch,
     server: Option<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
+    feed_pump: Option<JoinHandle<()>>,
 }
 
 impl DaemonHandle {
@@ -381,6 +388,9 @@ impl DaemonHandle {
         }
         if let Some(pump) = self.pump.take() {
             let _ = pump.join();
+        }
+        if let Some(feed_pump) = self.feed_pump.take() {
+            let _ = feed_pump.join();
         }
     }
 }
@@ -449,11 +459,30 @@ impl Daemon {
             }
         });
 
+        // Feed pump: drain live wire feeds (BMP backpressure rings)
+        // through detection on a tight cadence, and page any alerts
+        // the delivered events raised without waiting for the slower
+        // alert retry tick.
+        let feed_shared = Arc::clone(&shared);
+        let feed_switch = switch.clone();
+        let feed_interval = config.feed_pump_interval;
+        let feed_thread = std::thread::spawn(move || {
+            while !feed_switch.is_triggered() {
+                std::thread::sleep(feed_interval);
+                let now = feed_shared.now();
+                let mut inner = feed_shared.inner.lock().expect("daemon state");
+                if inner.service.pump_feeds(now) > 0 {
+                    pump_alerts(&mut inner);
+                }
+            }
+        });
+
         Ok(DaemonHandle {
             addr: bound,
             switch,
             server: Some(server_thread),
             pump: Some(pump_thread),
+            feed_pump: Some(feed_thread),
         })
     }
 }

@@ -149,6 +149,15 @@ pub fn render(
          newest queued event per feed.\n",
     );
     out.push_str("# TYPE artemis_feed_last_event_seconds gauge\n");
+    out.push_str(
+        "# HELP artemis_feed_dropped_total Events discarded before the merge queue per feed \
+         (filter rejections, backpressure sheds, outage windows).\n",
+    );
+    out.push_str("# TYPE artemis_feed_dropped_total counter\n");
+    out.push_str(
+        "# HELP artemis_feed_shed_total Backpressure-shed subset of dropped events per feed.\n",
+    );
+    out.push_str("# TYPE artemis_feed_shed_total counter\n");
     for feed in &status.feeds {
         let handle = feed.handle;
         let _ = writeln!(
@@ -169,6 +178,16 @@ pub fn render(
                 at.as_micros() as f64 / 1_000_000.0
             );
         }
+        let _ = writeln!(
+            out,
+            "artemis_feed_dropped_total{{feed=\"{handle}\",name=\"{}\"}} {}",
+            feed.name, feed.dropped_events
+        );
+        let _ = writeln!(
+            out,
+            "artemis_feed_shed_total{{feed=\"{handle}\",name=\"{}\"}} {}",
+            feed.name, feed.shed_events
+        );
     }
 
     // -- incidents by mitigation phase --------------------------------
@@ -308,5 +327,36 @@ mod tests {
         assert!(text.contains("artemis_routing_nodes 42"));
         assert!(text.contains("artemis_routing_bytes 1024"));
         assert!(text.contains("artemis_retired_incidents 2"));
+    }
+
+    #[test]
+    fn feed_rows_render_drop_and_shed_counters() {
+        use artemis_core::service::FeedStatus;
+        use artemis_feeds::{FeedHandle, FeedKind};
+        let mut status = empty_status();
+        status.feeds.push(FeedStatus {
+            handle: FeedHandle::REQUEUED,
+            kind: FeedKind::BmpLive,
+            name: "bmp0".into(),
+            events_emitted: 10,
+            polls_executed: 4,
+            queued_events: 1,
+            last_event_at: Some(SimTime::from_secs(9)),
+            dropped_events: 7,
+            shed_events: 3,
+        });
+        let text = render(
+            &status,
+            &StageMetrics::default(),
+            &StructureGauges::default(),
+            &DispatchStats::default(),
+            0,
+            0,
+        );
+        assert!(text.contains("artemis_feed_dropped_total{feed=\"feed#0\",name=\"bmp0\"} 7"));
+        assert!(text.contains("artemis_feed_shed_total{feed=\"feed#0\",name=\"bmp0\"} 3"));
+        assert!(
+            text.contains("artemis_feed_events_emitted_total{feed=\"feed#0\",name=\"bmp0\"} 10")
+        );
     }
 }

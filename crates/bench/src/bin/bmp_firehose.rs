@@ -1,0 +1,319 @@
+//! **BMP firehose** — throughput trajectory of the live ingestion
+//! subsystem, in three phases, emitting `BENCH_bmp.json`:
+//!
+//! 1. **scan** — zero-copy [`BmpScanner`] decode over an in-memory
+//!    RFC 7854 byte stream (common header walk + full BGP UPDATE
+//!    parse per message). This is the wire-format ceiling.
+//! 2. **e2e** — loopback-TCP ingest through the real path: a
+//!    collector thread streams framed messages over a socket, the
+//!    [`BmpLiveFeed`] reader decodes into its backpressure ring, and
+//!    the consumer pumps ring → [`FeedHub`] merge heap → drained
+//!    batches. Wall clock covers socket to drained event.
+//! 3. **backpressure** — the same firehose against a deliberately
+//!    stalled consumer and a small ring: memory must stay bounded at
+//!    the ring capacity while the shed counter grows monotonically.
+//!
+//! ```sh
+//! cargo run --release -p artemis_bench --bin bmp_firehose            # full
+//! cargo run --release -p artemis_bench --bin bmp_firehose -- --smoke # CI
+//! cargo run --release -p artemis_bench --bin bmp_firehose -- --out BENCH_bmp.json
+//! ```
+
+use artemis_bgp::{AsPath, Asn, BgpMessage, PathAttributes, Prefix, UpdateMessage};
+use artemis_bmp::{BmpMessage, BmpScanner, BmpWriter, PeerHeader};
+use artemis_feeds::{BmpLiveFeed, EmptyRibView, FeedHub, LiveFeedConfig};
+use artemis_simnet::{SimRng, SimTime};
+use std::io::Write;
+use std::net::{IpAddr, Ipv4Addr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// Messages in the reusable template buffer.
+const TEMPLATE_MSGS: usize = 10_000;
+/// NLRI prefixes per UPDATE — real collectors batch several prefixes
+/// into one message, so events = messages × this.
+const NLRI_PER_MSG: usize = 4;
+/// Events per pass over the template buffer.
+const TEMPLATE_EVENTS: usize = TEMPLATE_MSGS * NLRI_PER_MSG;
+
+const FULL_SCAN_EVENTS: usize = 4_000_000;
+const SMOKE_SCAN_EVENTS: usize = 400_000;
+const FULL_E2E_EVENTS: usize = 2_000_000;
+const SMOKE_E2E_EVENTS: usize = 200_000;
+const FULL_BP_EVENTS: usize = 400_000;
+const SMOKE_BP_EVENTS: usize = 50_000;
+/// Ring capacity for the e2e phase: large enough that a keeping-up
+/// consumer sheds nothing.
+const E2E_RING: usize = 1 << 16;
+/// Ring capacity for the backpressure phase: small on purpose.
+const BP_RING: usize = 4_096;
+
+/// Build a template stream of `n` route-monitoring messages with
+/// realistic variety: each UPDATE announces [`NLRI_PER_MSG`] distinct
+/// /30s walking 100.64.0.0/10, and the vantage peer alternates.
+fn template(n: usize) -> Vec<u8> {
+    let mut w = BmpWriter::new();
+    for i in 0..n as u32 {
+        let vantage = if i % 2 == 0 { 174 } else { 3356 };
+        let peer = PeerHeader::global(
+            IpAddr::V4(Ipv4Addr::new(192, 0, 2, (vantage % 250) as u8)),
+            Asn(vantage),
+            Ipv4Addr::new(10, 0, 0, 1),
+            u64::from(i) * 100,
+        );
+        let nlri: Vec<Prefix> = (0..NLRI_PER_MSG as u32)
+            .map(|j| {
+                let idx = i * NLRI_PER_MSG as u32 + j;
+                Prefix::v4(
+                    Ipv4Addr::new(
+                        100,
+                        64 + (idx >> 16) as u8,
+                        (idx >> 8) as u8,
+                        (idx & 0xFC) as u8,
+                    ),
+                    30,
+                )
+                .expect("valid template /30")
+            })
+            .collect();
+        let update = BgpMessage::Update(UpdateMessage::announce(
+            PathAttributes::with_path(
+                AsPath::from_sequence([vantage, 2914, 64_496 + (i % 128)]),
+                "192.0.2.1".parse().unwrap(),
+            ),
+            nlri,
+        ));
+        w.write(&BmpMessage::RouteMonitoring { peer, update })
+            .expect("template message encodes");
+    }
+    w.into_bytes()
+}
+
+struct ScanResult {
+    events: u64,
+    secs: f64,
+    bytes: u64,
+}
+
+/// Phase 1: repeated zero-copy scans over the template buffer.
+fn run_scan(template: &[u8], target_events: usize) -> ScanResult {
+    let rounds = target_events.div_ceil(TEMPLATE_EVENTS);
+    let mut events = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for item in BmpScanner::new(template) {
+            let raw = item.expect("template stream is well-formed");
+            if let BmpMessage::RouteMonitoring {
+                update: BgpMessage::Update(u),
+                ..
+            } = raw.decode().expect("template messages decode")
+            {
+                events += (u.nlri.len() + u.withdrawn.len()) as u64;
+            }
+        }
+    }
+    ScanResult {
+        events,
+        secs: start.elapsed().as_secs_f64(),
+        bytes: (template.len() * rounds) as u64,
+    }
+}
+
+struct E2eResult {
+    drained: u64,
+    shed: u64,
+    secs: f64,
+}
+
+/// Phase 2: loopback socket → reader decode → ring → hub poll/drain.
+fn run_e2e(template: Vec<u8>, target_events: usize) -> E2eResult {
+    let rounds = target_events.div_ceil(TEMPLATE_EVENTS);
+    let expected = (rounds * TEMPLATE_EVENTS) as u64;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let collector = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        for _ in 0..rounds {
+            sock.write_all(&template).expect("stream template");
+        }
+    });
+
+    let feed = BmpLiveFeed::connect(
+        "firehose",
+        addr.to_string(),
+        LiveFeedConfig {
+            ring_capacity: E2E_RING,
+            ..LiveFeedConfig::default()
+        },
+    );
+    let mut hub = FeedHub::new(SimRng::new(1));
+    let handle = hub.add(Box::new(feed));
+
+    let mut out = Vec::new();
+    let mut drained = 0u64;
+    let start = Instant::now();
+    loop {
+        let now = SimTime::from_micros(start.elapsed().as_micros() as u64);
+        hub.poll_and_queue(now, &EmptyRibView);
+        drained += hub.drain_batch(now, &mut out) as u64;
+        let lag = hub.feed_lag(handle).expect("feed attached");
+        if drained + lag.shed_events >= expected {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    collector.join().expect("collector thread");
+    let shed = hub.feed_lag(handle).expect("feed attached").shed_events;
+    E2eResult {
+        drained,
+        shed,
+        secs,
+    }
+}
+
+struct BackpressureResult {
+    decoded: u64,
+    pending_at_stall: usize,
+    shed: u64,
+    monotone: bool,
+}
+
+/// Phase 3: firehose against a stalled consumer. The ring must stay at
+/// its capacity (bounded memory) while sheds grow monotonically.
+fn run_backpressure(template: Vec<u8>, target_events: usize) -> BackpressureResult {
+    let rounds = target_events.div_ceil(TEMPLATE_EVENTS);
+    let expected = (rounds * TEMPLATE_EVENTS) as u64;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let collector = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        for _ in 0..rounds {
+            sock.write_all(&template).expect("stream template");
+        }
+    });
+
+    // Stalled consumer: the feed is never polled while the collector
+    // floods the socket.
+    let feed = BmpLiveFeed::connect(
+        "stalled",
+        addr.to_string(),
+        LiveFeedConfig {
+            ring_capacity: BP_RING,
+            ..LiveFeedConfig::default()
+        },
+    );
+    let mut monotone = true;
+    let mut last_shed = 0u64;
+    loop {
+        let stats = feed.stats();
+        if stats.shed < last_shed {
+            monotone = false;
+        }
+        last_shed = stats.shed;
+        assert!(
+            stats.pending <= BP_RING,
+            "ring exceeded its capacity: {} > {BP_RING}",
+            stats.pending
+        );
+        if stats.decoded >= expected {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    collector.join().expect("collector thread");
+    let stats = feed.stats();
+    BackpressureResult {
+        decoded: stats.decoded,
+        pending_at_stall: stats.pending,
+        shed: stats.shed,
+        monotone,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (scan_events, e2e_events, bp_events) = if smoke {
+        (SMOKE_SCAN_EVENTS, SMOKE_E2E_EVENTS, SMOKE_BP_EVENTS)
+    } else {
+        (FULL_SCAN_EVENTS, FULL_E2E_EVENTS, FULL_BP_EVENTS)
+    };
+    println!(
+        "bmp_firehose: {} mode — scan {scan_events}, e2e {e2e_events}, backpressure {bp_events}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let tmpl = template(TEMPLATE_MSGS);
+    let msg_bytes = tmpl.len() / TEMPLATE_MSGS;
+    println!(
+        "  template: {TEMPLATE_MSGS} messages x {NLRI_PER_MSG} NLRI = {TEMPLATE_EVENTS} events, \
+         {msg_bytes} B/message"
+    );
+
+    let scan = run_scan(&tmpl, scan_events);
+    let scan_eps = scan.events as f64 / scan.secs;
+    let scan_mbps = scan.bytes as f64 / scan.secs / 1e6;
+    println!(
+        "  scan: {} events in {:.3} s = {:.2} M events/s ({:.0} MB/s)",
+        scan.events,
+        scan.secs,
+        scan_eps / 1e6,
+        scan_mbps
+    );
+
+    let e2e = run_e2e(tmpl.clone(), e2e_events);
+    let e2e_eps = e2e.drained as f64 / e2e.secs;
+    println!(
+        "  e2e: {} drained (+{} shed) in {:.3} s = {:.2} M events/s",
+        e2e.drained,
+        e2e.shed,
+        e2e.secs,
+        e2e_eps / 1e6
+    );
+
+    let bp = run_backpressure(tmpl, bp_events);
+    println!(
+        "  backpressure: {} decoded into a {}-slot ring while stalled — {} pending, {} shed, monotone={}",
+        bp.decoded, BP_RING, bp.pending_at_stall, bp.shed, bp.monotone
+    );
+    assert!(bp.monotone, "shed counter must grow monotonically");
+    assert!(
+        bp.shed >= bp.decoded - BP_RING as u64,
+        "a stalled ring sheds everything beyond its capacity"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bmp_live/firehose\",\n  \"mode\": \"{mode}\",\n  \
+         \"message_bytes\": {msg_bytes},\n  \
+         \"scan\": {{ \"events\": {se}, \"events_per_sec\": {seps:.0}, \"mbytes_per_sec\": {smbps:.0} }},\n  \
+         \"e2e\": {{ \"events_drained\": {ed}, \"events_shed\": {esh}, \"events_per_sec\": {eeps:.0}, \"ring_capacity\": {ering} }},\n  \
+         \"backpressure\": {{ \"events_decoded\": {bd}, \"ring_capacity\": {bring}, \"pending_at_stall\": {bp_pend}, \"events_shed\": {bsh}, \"shed_monotone\": {bmono}, \"memory_bounded\": true }},\n  \
+         \"timed_region\": \"scan: in-memory decode; e2e: loopback socket -> frame -> decode -> ring -> hub poll -> drained batch\"\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        se = scan.events,
+        seps = scan_eps,
+        smbps = scan_mbps,
+        ed = e2e.drained,
+        esh = e2e.shed,
+        eeps = e2e_eps,
+        ering = E2E_RING,
+        bd = bp.decoded,
+        bring = BP_RING,
+        bp_pend = bp.pending_at_stall,
+        bsh = bp.shed,
+        bmono = bp.monotone,
+    );
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -1,0 +1,183 @@
+//! The bounded backpressure ring between a live-feed reader thread
+//! and the detection pipeline.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-capacity drop-oldest ring shared between one producer (the
+/// socket reader thread) and one consumer (the pipeline's poll path).
+///
+/// The contract that matters operationally: **memory is bounded and
+/// the producer never blocks**. When the consumer falls behind, a push
+/// onto a full ring sheds the *oldest* queued item — the detector
+/// would rather lose a stale observation than a fresh one, and a
+/// hijacked prefix keeps being re-announced, so fresher data always
+/// supersedes what was shed. Every shed is counted; the counters are
+/// monotone and readable without taking the lock.
+pub struct BackpressureRing<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+    pushed: AtomicU64,
+    shed: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl<T> BackpressureRing<T> {
+    /// A ring holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BackpressureRing {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            pushed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Queue `item`, shedding the oldest queued item if full. Returns
+    /// `true` when nothing was shed.
+    pub fn push(&self, item: T) -> bool {
+        let mut q = self.inner.lock().expect("ring lock poisoned");
+        let mut clean = true;
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            clean = false;
+        }
+        q.push_back(item);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        clean
+    }
+
+    /// Queue a batch under one lock acquisition, shedding oldest items
+    /// as needed. Returns how many items were shed.
+    pub fn push_batch(&self, items: impl IntoIterator<Item = T>) -> u64 {
+        let mut q = self.inner.lock().expect("ring lock poisoned");
+        let mut shed = 0u64;
+        let mut pushed = 0u64;
+        for item in items {
+            if q.len() == self.capacity {
+                q.pop_front();
+                shed += 1;
+            }
+            q.push_back(item);
+            pushed += 1;
+        }
+        self.pushed.fetch_add(pushed, Ordering::Relaxed);
+        self.shed.fetch_add(shed, Ordering::Relaxed);
+        shed
+    }
+
+    /// Move up to `max` items (oldest first) into `out` (appended, not
+    /// cleared). Returns how many were moved.
+    pub fn drain_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut q = self.inner.lock().expect("ring lock poisoned");
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        self.drained.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring lock poisoned").len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total items ever pushed (monotone).
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Total items shed to make room (monotone).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Total items drained by the consumer (monotone).
+    pub fn drained_total(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_oldest_and_keeps_newest() {
+        let ring = BackpressureRing::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.shed_total(), 2);
+        assert_eq!(ring.pushed_total(), 5);
+        let mut out = Vec::new();
+        assert_eq!(ring.drain_into(&mut out, 100), 3);
+        assert_eq!(out, vec![2, 3, 4], "oldest were shed, newest kept");
+        assert_eq!(ring.drained_total(), 3);
+    }
+
+    #[test]
+    fn batch_push_counts_sheds() {
+        let ring = BackpressureRing::new(4);
+        assert_eq!(ring.push_batch(0..10), 6);
+        assert_eq!(ring.shed_total(), 6);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out, 2);
+        assert_eq!(out, vec![6, 7]);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn stalled_consumer_bounds_memory_under_a_firehose() {
+        // The acceptance property: a producer hammering a ring whose
+        // consumer never drains must neither block nor grow memory —
+        // the queue stays at capacity while sheds grow monotonically.
+        let ring = Arc::new(BackpressureRing::new(64));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..100_000u64 {
+                    ring.push(i);
+                }
+            })
+        };
+        let mut last_shed = 0;
+        for _ in 0..50 {
+            assert!(ring.len() <= 64, "ring never exceeds capacity");
+            let shed = ring.shed_total();
+            assert!(shed >= last_shed, "shed counter is monotone");
+            last_shed = shed;
+        }
+        producer.join().unwrap();
+        assert_eq!(ring.len(), 64);
+        assert_eq!(ring.shed_total(), 100_000 - 64);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out, usize::MAX);
+        assert_eq!(out.last(), Some(&99_999), "newest survives the stall");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = BackpressureRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.shed_total(), 1);
+    }
+}

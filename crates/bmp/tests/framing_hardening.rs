@@ -1,0 +1,167 @@
+//! Fuzz-shaped hardening for BMP framing, mirroring the MRT scanner
+//! rules: truncated common headers, mid-stream garbage, and impossible
+//! length fields must **resync or fuse** — never panic, never loop.
+
+use artemis_bgp::{AsPath, Asn, BgpMessage, PathAttributes, Prefix, UpdateMessage};
+use artemis_bmp::{
+    BmpMessage, BmpScanner, BmpWriter, FrameAssembler, InfoTlv, PeerHeader, MAX_BMP_MESSAGE_LEN,
+};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+use std::str::FromStr;
+
+fn valid_stream(n: usize) -> Vec<u8> {
+    let peer = PeerHeader::global(
+        IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10)),
+        Asn(174),
+        Ipv4Addr::new(10, 0, 0, 1),
+        1_000_000,
+    );
+    let mut w = BmpWriter::new();
+    w.write(&BmpMessage::Initiation {
+        info: vec![InfoTlv::string(2, "rrc00")],
+    })
+    .unwrap();
+    for i in 0..n {
+        w.write(&BmpMessage::RouteMonitoring {
+            peer,
+            update: BgpMessage::Update(UpdateMessage::announce(
+                PathAttributes::with_path(
+                    AsPath::from_sequence([174u32, 3356, 65000 + i as u32 % 100]),
+                    "192.0.2.10".parse().unwrap(),
+                ),
+                vec![Prefix::from_str("10.0.0.0/24").unwrap()],
+            )),
+        })
+        .unwrap();
+    }
+    w.into_bytes()
+}
+
+/// Drive a scanner to exhaustion with an iteration budget; panics if
+/// the budget is exceeded (i.e. the scanner loops).
+fn scan_to_end(data: &[u8]) -> (usize, usize) {
+    let mut scanner = BmpScanner::new(data);
+    let (mut ok, mut errs) = (0usize, 0usize);
+    for _ in 0..(data.len() + 8) {
+        match scanner.next_raw() {
+            Ok(Some(raw)) => {
+                // Decoding arbitrary bodies must never panic either.
+                let _ = raw.decode();
+                ok += 1;
+            }
+            Ok(None) => return (ok, errs),
+            Err(_) => errs += 1,
+        }
+    }
+    panic!("scanner failed to terminate within the iteration budget");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes: the scanner terminates without panicking, and
+    /// header-level corruption fuses (at most one error).
+    #[test]
+    fn scanner_survives_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let (_, errs) = scan_to_end(&data);
+        prop_assert!(errs <= 1, "header corruption must fuse, got {errs} errors");
+    }
+
+    /// A valid stream with garbage appended: every valid message is
+    /// recovered, then the scanner errors at most once and stops.
+    #[test]
+    fn garbage_tail_never_costs_valid_messages(
+        n in 1usize..6,
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut bytes = valid_stream(n);
+        bytes.extend_from_slice(&garbage);
+        let (ok, errs) = scan_to_end(&bytes);
+        prop_assert!(ok > n, "lost valid messages: {ok} < {}", n + 1);
+        prop_assert!(errs <= 1);
+    }
+
+    /// Truncation at every possible point: the intact prefix of
+    /// messages is recovered; the cut frame is one error, then EOF.
+    #[test]
+    fn truncation_yields_the_intact_prefix(n in 1usize..5, frac in 0.0f64..1.0) {
+        let bytes = valid_stream(n);
+        let cut = (bytes.len() as f64 * frac) as usize;
+        let (ok, errs) = scan_to_end(&bytes[..cut]);
+        prop_assert!(ok <= n + 1);
+        prop_assert!(errs <= 1);
+        // Whole-message boundaries are exact: no error at a boundary.
+        let full = scan_to_end(&bytes);
+        prop_assert_eq!(full, (n + 1, 0));
+    }
+
+    /// An impossible length field mid-stream (too small to advance or
+    /// beyond the message cap) fuses rather than looping.
+    #[test]
+    fn impossible_length_fields_fuse(
+        n in 0usize..4,
+        len in prop_oneof![0u32..6, (MAX_BMP_MESSAGE_LEN as u32 + 1)..u32::MAX],
+    ) {
+        let mut bytes = valid_stream(n);
+        bytes.push(3); // correct version, hostile length
+        bytes.extend_from_slice(&len.to_be_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&valid_stream(1)); // unreachable tail
+        let (ok, errs) = scan_to_end(&bytes);
+        prop_assert_eq!(ok, n + 1);
+        prop_assert_eq!(errs, 1, "bad length is unrecoverable");
+    }
+
+    /// The frame assembler reproduces the scanner's output under any
+    /// chunking of the byte stream.
+    #[test]
+    fn assembler_matches_scanner_under_any_chunking(
+        n in 1usize..6,
+        chunk in 1usize..128,
+    ) {
+        let bytes = valid_stream(n);
+        let expect: Vec<_> = BmpScanner::new(&bytes)
+            .map(|r| r.unwrap().decode().unwrap())
+            .collect();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for part in bytes.chunks(chunk) {
+            asm.push(part);
+            while let Some(raw) = asm.next_message().unwrap() {
+                got.push(raw.decode().unwrap());
+            }
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(asm.buffered(), 0);
+    }
+
+    /// Feeding the assembler arbitrary garbage keeps memory bounded:
+    /// once fused it buffers nothing, and before fusing it holds at
+    /// most one incomplete frame.
+    #[test]
+    fn assembler_memory_stays_bounded_on_garbage(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..64), 1..32),
+    ) {
+        let mut asm = FrameAssembler::new();
+        for chunk in &chunks {
+            asm.push(chunk);
+            // Drain completable frames; tolerate (sticky) errors.
+            for _ in 0..(chunk.len() + 8) {
+                match asm.next_message() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            prop_assert!(
+                asm.buffered() <= MAX_BMP_MESSAGE_LEN + 64,
+                "assembler buffered {} bytes",
+                asm.buffered()
+            );
+            if asm.is_fused() {
+                prop_assert_eq!(asm.buffered(), 0);
+            }
+        }
+    }
+}

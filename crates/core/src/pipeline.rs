@@ -57,7 +57,7 @@ use crate::parallel::WorkerPool;
 use artemis_bgp::{Asn, Prefix};
 use artemis_bgpsim::Engine;
 use artemis_controller::{Controller, IntentKind};
-use artemis_feeds::{EngineView, FeedEvent, FeedHandle, FeedHub, FeedSource};
+use artemis_feeds::{EmptyRibView, EngineView, FeedEvent, FeedHandle, FeedHub, FeedSource};
 use artemis_simnet::{SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -546,6 +546,20 @@ impl Pipeline {
             at: now,
         });
         Some(dropped_events)
+    }
+
+    /// Run every pull feed that is ready at `now`, queueing whatever
+    /// they return into the hub's merge heap. Live wire feeds
+    /// ([`artemis_feeds::BmpLiveFeed`]) report readiness exactly when
+    /// their socket ring holds events, so a daemon pump loop can call
+    /// this every tick at negligible idle cost. Uses an
+    /// [`EmptyRibView`]: wire feeds never inspect simulated routing
+    /// state (RIB-inspecting pull feeds belong to simulation drivers,
+    /// which poll through [`Pipeline::run`] with a real engine view).
+    pub fn poll_feeds(&mut self, now: SimTime) {
+        if self.hub.next_poll(now).is_some() {
+            self.hub.poll_and_queue(now, &EmptyRibView);
+        }
     }
 
     /// Swap the mitigation policy of an owned prefix. Returns `false`

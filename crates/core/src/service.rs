@@ -331,6 +331,13 @@ pub struct FeedStatus {
     /// hub's [`artemis_feeds::FeedLag`] bookkeeping, the same source
     /// `/metrics` scrapes, so query and metrics always agree.
     pub last_event_at: Option<SimTime>,
+    /// Events discarded before reaching the hub's merge queue:
+    /// pre-heap filter rejections plus feed-local sheds, filters, and
+    /// outage windows. Monotone.
+    pub dropped_events: u64,
+    /// The backpressure subset of `dropped_events`: events shed from a
+    /// bounded ring because the detector fell behind. Monotone.
+    pub shed_events: u64,
 }
 
 /// The runtime-reconfigurable ARTEMIS service: a [`Pipeline`] plus
@@ -461,6 +468,18 @@ impl ArtemisService {
         }
     }
 
+    /// Drive the live side of the service one tick: run every ready
+    /// pull feed (live BMP rings report readiness exactly when they
+    /// hold events), then deliver everything due by `now` through
+    /// detection, monitoring and policy-gated mitigation. Returns the
+    /// number of events delivered. This is the daemon's pump loop
+    /// body; idle ticks cost one readiness check per feed.
+    pub fn pump_feeds(&mut self, now: SimTime) -> u64 {
+        self.pipeline.poll_feeds(now);
+        self.pipeline
+            .deliver_due(now, &mut self.controller, &mut self.helpers)
+    }
+
     // ---- Queries ----------------------------------------------------
 
     /// Answer one typed query as an owned snapshot taken at `now`.
@@ -583,6 +602,8 @@ impl ArtemisService {
                     polls_executed: feed.polls_executed(),
                     queued_events: lag.queued_events,
                     last_event_at: lag.last_event_at,
+                    dropped_events: lag.dropped_events,
+                    shed_events: lag.shed_events,
                 }
             })
             .collect()

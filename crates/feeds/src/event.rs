@@ -20,6 +20,8 @@ pub enum FeedKind {
     ArchiveRib,
     /// Replay of raw MRT archive bytes (forensics / baseline replay).
     MrtReplay,
+    /// Live BMP (RFC 7854) session off a real TCP socket.
+    BmpLive,
 }
 
 impl fmt::Display for FeedKind {
@@ -31,6 +33,7 @@ impl fmt::Display for FeedKind {
             FeedKind::ArchiveUpdates => write!(f, "archive-updates"),
             FeedKind::ArchiveRib => write!(f, "archive-rib"),
             FeedKind::MrtReplay => write!(f, "mrt-replay"),
+            FeedKind::BmpLive => write!(f, "bmp-live"),
         }
     }
 }

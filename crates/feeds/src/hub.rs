@@ -2,6 +2,7 @@
 //! and time-ordered aggregation of their events.
 
 use crate::event::{FeedEvent, FeedKind};
+use crate::filter::FeedFilter;
 use crate::source::{FeedSource, RibView};
 use artemis_bgpsim::RouteChange;
 use artemis_simnet::{SimRng, SimTime};
@@ -49,6 +50,15 @@ pub struct FeedLag {
     pub queued_events: usize,
     /// Emission instant of the newest event this feed queued, if any.
     pub last_event_at: Option<SimTime>,
+    /// Events discarded before they could reach the merge heap:
+    /// pre-heap [`crate::FeedFilter`] rejections at the hub boundary
+    /// plus everything the feed itself reports dropping (backpressure
+    /// sheds, feed-local filters, outage windows). Monotone;
+    /// `shed_events` is a subset.
+    pub dropped_events: u64,
+    /// The backpressure subset of `dropped_events`: events shed from a
+    /// bounded ring because the consumer fell behind. Monotone.
+    pub shed_events: u64,
 }
 
 /// A queued event's ordering key: `(emitted_at, ingestion sequence)` —
@@ -127,6 +137,9 @@ pub struct FeedHub {
     /// Per-feed lag bookkeeping, keyed by handle id. Entries live
     /// exactly as long as the feed is attached.
     lag: BTreeMap<u64, FeedLag>,
+    /// Per-feed pre-heap filters, keyed by handle id. Only non-trivial
+    /// filters are stored (the wildcard costs nothing by absence).
+    filters: BTreeMap<u64, FeedFilter>,
 }
 
 impl FeedHub {
@@ -143,6 +156,7 @@ impl FeedHub {
             next_handle: 1,
             scratch: Vec::new(),
             lag: BTreeMap::new(),
+            filters: BTreeMap::new(),
         }
     }
 
@@ -158,6 +172,41 @@ impl FeedHub {
         self.feeds.push((handle, feed_rng, feed));
         self.lag.insert(handle.0, FeedLag::default());
         handle
+    }
+
+    /// Add a feed with a pre-heap [`FeedFilter`]: events failing the
+    /// predicate are discarded at the enqueue boundary — before they
+    /// cost a slab slot or a heap key — and counted in
+    /// [`FeedLag::dropped_events`].
+    pub fn add_filtered(&mut self, feed: Box<dyn FeedSource>, filter: FeedFilter) -> FeedHandle {
+        let handle = self.add(feed);
+        self.set_feed_filter(handle, Some(filter));
+        handle
+    }
+
+    /// Install, replace, or clear (`None`) a feed's pre-heap filter at
+    /// runtime. Returns `false` when the handle is not attached.
+    /// Wildcard filters are normalized away so the hot path pays
+    /// nothing for unfiltered feeds.
+    pub fn set_feed_filter(&mut self, handle: FeedHandle, filter: Option<FeedFilter>) -> bool {
+        if !self.lag.contains_key(&handle.0) {
+            return false;
+        }
+        match filter {
+            Some(f) if !f.matches_everything() => {
+                self.filters.insert(handle.0, f);
+            }
+            _ => {
+                self.filters.remove(&handle.0);
+            }
+        }
+        true
+    }
+
+    /// The pre-heap filter currently installed for a feed, if any
+    /// non-trivial one is.
+    pub fn feed_filter(&self, handle: FeedHandle) -> Option<&FeedFilter> {
+        self.filters.get(&handle.0)
     }
 
     /// Let the batched ingest path ([`FeedHub::ingest_route_changes`])
@@ -205,6 +254,7 @@ impl FeedHub {
         }
         self.queue = BinaryHeap::from(kept);
         self.lag.remove(&handle.0);
+        self.filters.remove(&handle.0);
         Some((feed, dropped))
     }
 
@@ -219,9 +269,20 @@ impl FeedHub {
     }
 
     /// Move everything in the scratch buffer into the merge queue,
-    /// attributed to `handle`.
+    /// attributed to `handle`. This is the pre-heap boundary: events
+    /// rejected by the feed's [`FeedFilter`] are dropped *here*,
+    /// before any slab slot or heap key is allocated for them.
     fn queue_scratch(&mut self, handle: FeedHandle) {
+        let filter = self.filters.get(&handle.0);
         for ev in self.scratch.drain(..) {
+            if let Some(f) = filter {
+                if !f.matches(&ev) {
+                    if let Some(lag) = self.lag.get_mut(&handle.0) {
+                        lag.dropped_events += 1;
+                    }
+                    continue;
+                }
+            }
             let emitted_at = ev.emitted_at;
             if let Some(lag) = self.lag.get_mut(&handle.0) {
                 lag.queued_events += 1;
@@ -456,8 +517,20 @@ impl FeedHub {
 
     /// Hub-observed lag of an attached feed (see [`FeedLag`]).
     /// `None` once the feed is detached.
+    ///
+    /// Drop accounting is composed at read time: the hub's own
+    /// pre-heap filter rejections (tracked here) plus whatever the
+    /// feed reports discarding on its side of the boundary
+    /// ([`FeedSource::dropped_events`] / [`FeedSource::shed_events`] —
+    /// backpressure sheds, outage windows). Both inputs are monotone,
+    /// so the composed counters are too.
     pub fn feed_lag(&self, handle: FeedHandle) -> Option<FeedLag> {
-        self.lag.get(&handle.0).copied()
+        let mut lag = *self.lag.get(&handle.0)?;
+        if let Some(feed) = self.feed_by_handle(handle) {
+            lag.dropped_events += feed.dropped_events();
+            lag.shed_events += feed.shed_events();
+        }
+        Some(lag)
     }
 
     /// Total pull queries issued across feeds (LG overhead).
@@ -782,5 +855,73 @@ mod tests {
         hub.on_route_change_into(&change(174, 20), &mut sink);
         let stats = hub.emission_stats();
         assert_eq!(stats[&(FeedKind::RisLive, "ris-live".to_string())], 2);
+    }
+
+    #[test]
+    fn pre_heap_filter_rejects_before_the_slab() {
+        use crate::filter::FeedFilter;
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        // Watch a disjoint prefix: every ingested change must be
+        // rejected at the enqueue boundary.
+        let h = hub.add_filtered(
+            Box::new(StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))),
+            FeedFilter::any().prefix(artemis_bgp::Prefix::from_str("192.0.2.0/24").unwrap()),
+        );
+        hub.ingest_route_change(&change(174, 10));
+        hub.ingest_route_change(&change(174, 20));
+        assert_eq!(hub.pending_events(), 0, "rejected events cost no slab slot");
+        let lag = hub.feed_lag(h).unwrap();
+        assert_eq!(lag.dropped_events, 2);
+        assert_eq!(lag.queued_events, 0);
+        // Feed-side emission counting still ran (the feed *did* emit).
+        assert_eq!(hub.feed_by_handle(h).unwrap().events_emitted(), 2);
+    }
+
+    #[test]
+    fn matching_filter_passes_events_through() {
+        use crate::filter::FeedFilter;
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        let h = hub.add_filtered(
+            Box::new(StreamFeed::ris_live(group_into_collectors("rrc", &vps, 1))),
+            FeedFilter::any()
+                .prefix(artemis_bgp::Prefix::from_str("10.0.0.0/24").unwrap())
+                .origin(Asn(65001)),
+        );
+        // 10.0.0.0/23 overlaps the watched /24 and origin matches.
+        hub.ingest_route_change(&change(174, 10));
+        assert_eq!(hub.pending_events(), 1);
+        assert_eq!(hub.feed_lag(h).unwrap().dropped_events, 0);
+    }
+
+    #[test]
+    fn set_feed_filter_swaps_at_runtime() {
+        use crate::filter::FeedFilter;
+        let mut hub = FeedHub::new(SimRng::new(1));
+        let vps = vec![Asn(174)];
+        let h = hub.add(Box::new(StreamFeed::ris_live(group_into_collectors(
+            "rrc", &vps, 1,
+        ))));
+        assert_eq!(hub.feed_filter(h), None, "plain add has no filter");
+        hub.ingest_route_change(&change(174, 10));
+        assert_eq!(hub.pending_events(), 1);
+
+        let deny = FeedFilter::any().vantage(Asn(9999));
+        assert!(hub.set_feed_filter(h, Some(deny.clone())));
+        assert_eq!(hub.feed_filter(h), Some(&deny));
+        hub.ingest_route_change(&change(174, 20));
+        assert_eq!(hub.pending_events(), 1, "new filter rejects");
+        assert_eq!(hub.feed_lag(h).unwrap().dropped_events, 1);
+
+        // Clearing (or installing a wildcard) restores pass-through.
+        assert!(hub.set_feed_filter(h, Some(FeedFilter::any())));
+        assert_eq!(hub.feed_filter(h), None, "wildcard is normalized away");
+        hub.ingest_route_change(&change(174, 30));
+        assert_eq!(hub.pending_events(), 2);
+
+        // Detached handles refuse the swap.
+        hub.remove(h);
+        assert!(!hub.set_feed_filter(h, Some(FeedFilter::any())));
     }
 }

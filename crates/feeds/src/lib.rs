@@ -13,6 +13,7 @@
 //! |------|------|-------------------|
 //! | [`StreamFeed`] (RIS-live flavour) | push | seconds (lognormal export pipeline) |
 //! | [`StreamFeed`] (BGPmon flavour)   | push | seconds–tens of seconds |
+//! | [`BmpLiveFeed`] (RFC 7854 wire)   | pull off a real TCP socket | sub-second (bounded by pump cadence) |
 //! | [`PeriscopeFeed`] | pull (rate-limited polls) | poll phase + response latency |
 //! | [`ArchiveUpdatesFeed`] | batch | visible at the next batch boundary |
 //! | [`ArchiveRibFeed`] | snapshot | visible at the next dump |
@@ -30,7 +31,9 @@
 
 pub mod archive;
 pub mod event;
+pub mod filter;
 pub mod hub;
+pub mod live;
 pub mod periscope;
 pub mod replay;
 pub mod source;
@@ -40,10 +43,12 @@ pub mod vantage;
 
 pub use archive::{ArchiveRibFeed, ArchiveUpdatesFeed};
 pub use event::{FeedEvent, FeedKind};
+pub use filter::FeedFilter;
 pub use hub::{batch_chunks, FeedHandle, FeedHub, FeedLag};
+pub use live::{BmpLiveFeed, LiveFeedConfig, LiveFeedStats};
 pub use periscope::{LookingGlass, PeriscopeFeed};
 pub use replay::{MrtReplayFeed, MrtRibSnapshot};
-pub use source::{EngineView, FeedSource, RibView};
+pub use source::{EmptyRibView, EngineView, FeedSource, RibView};
 pub use spec::FeedSpec;
 pub use stream::StreamFeed;
 pub use vantage::VantageStrategy;

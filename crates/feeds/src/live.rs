@@ -1,0 +1,549 @@
+//! The live BMP wire feed: a real TCP session into the pipeline.
+//!
+//! [`BmpLiveFeed`] owns a reader thread that speaks RFC 7854 framing
+//! off a [`std::net::TcpStream`], decodes `route_monitoring` messages
+//! into [`FeedEvent`]s, applies an optional pre-ring [`FeedFilter`],
+//! and parks the survivors in a fixed-capacity
+//! [`artemis_bmp::BackpressureRing`]. The pipeline side is an ordinary
+//! pull-based [`FeedSource`]: `next_poll` reports "now" whenever the
+//! ring holds events, and `poll` drains them. When the detector falls
+//! behind, the ring sheds oldest-first and counts every shed — memory
+//! stays bounded by construction, and the loss is visible in
+//! [`crate::FeedLag`] instead of silent.
+
+#![deny(missing_docs)]
+
+use crate::event::{FeedEvent, FeedKind};
+use crate::filter::FeedFilter;
+use crate::source::{FeedSource, RibView};
+use artemis_bgp::BgpMessage;
+use artemis_bgpsim::RouteChange;
+use artemis_bmp::{BackpressureRing, BmpMessage, FrameAssembler, PeerHeader};
+use artemis_simnet::{SimRng, SimTime};
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for a [`BmpLiveFeed`].
+#[derive(Debug, Clone)]
+pub struct LiveFeedConfig {
+    /// Backpressure ring capacity in events (clamped to ≥ 1).
+    pub ring_capacity: usize,
+    /// Pre-ring filter: events failing it are counted and discarded on
+    /// the reader thread, before they cost a ring slot.
+    pub filter: Option<FeedFilter>,
+    /// Socket read-buffer size in bytes.
+    pub read_chunk: usize,
+}
+
+impl Default for LiveFeedConfig {
+    fn default() -> Self {
+        LiveFeedConfig {
+            ring_capacity: 8192,
+            filter: None,
+            read_chunk: 64 * 1024,
+        }
+    }
+}
+
+/// Shared reader-thread counters, readable lock-free from the feed.
+#[derive(Default)]
+struct LiveCounters {
+    /// Route-monitoring events decoded off the wire.
+    decoded: AtomicU64,
+    /// Events rejected by the pre-ring filter.
+    filtered: AtomicU64,
+    /// Messages skipped on per-message decode defects.
+    diagnostics: AtomicU64,
+    /// Session reached an established TCP connection.
+    connected: AtomicBool,
+    /// Reader thread has exited (EOF, error, or corrupt framing).
+    disconnected: AtomicBool,
+}
+
+/// A point-in-time snapshot of a live feed's wire-side health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveFeedStats {
+    /// Route-monitoring events decoded off the wire so far.
+    pub decoded: u64,
+    /// Events discarded by the pre-ring filter.
+    pub filtered: u64,
+    /// Events shed from the full ring (detector fell behind).
+    pub shed: u64,
+    /// Events currently parked in the ring.
+    pub pending: usize,
+    /// Messages skipped because their body failed to decode.
+    pub diagnostics: u64,
+    /// The TCP session was established at some point.
+    pub connected: bool,
+    /// The reader thread has exited.
+    pub disconnected: bool,
+}
+
+/// A live RFC 7854 BMP session as a [`FeedSource`]. See the module
+/// docs for the architecture.
+pub struct BmpLiveFeed {
+    name: String,
+    ring: Arc<BackpressureRing<FeedEvent>>,
+    counters: Arc<LiveCounters>,
+    shutdown: Arc<AtomicBool>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    /// Events handed to the hub via `poll`.
+    emitted: u64,
+    /// Poll invocations that drained at least one event.
+    polls: u64,
+}
+
+impl BmpLiveFeed {
+    /// Wrap an already-connected stream (loopback tests, benches).
+    pub fn from_stream(name: impl Into<String>, stream: TcpStream, config: LiveFeedConfig) -> Self {
+        Self::start(name.into(), ConnectMode::Stream(stream), config)
+    }
+
+    /// Connect to `addr` from a background thread, retrying until the
+    /// collector accepts or the feed is dropped. Never blocks and
+    /// never fails: connection state is observable via
+    /// [`BmpLiveFeed::stats`] rather than a constructor error, which
+    /// is what lets a serializable [`crate::FeedSpec`] build this feed
+    /// infallibly.
+    pub fn connect(
+        name: impl Into<String>,
+        addr: impl Into<String>,
+        config: LiveFeedConfig,
+    ) -> Self {
+        Self::start(name.into(), ConnectMode::Addr(addr.into()), config)
+    }
+
+    fn start(name: String, mode: ConnectMode, config: LiveFeedConfig) -> Self {
+        let ring = Arc::new(BackpressureRing::new(config.ring_capacity));
+        let counters = Arc::new(LiveCounters::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let ring = Arc::clone(&ring);
+            let counters = Arc::clone(&counters);
+            let shutdown = Arc::clone(&shutdown);
+            let collector = name.clone();
+            std::thread::Builder::new()
+                .name(format!("bmp-live-{name}"))
+                .spawn(move || reader_main(mode, config, collector, ring, counters, shutdown))
+                .expect("spawn bmp reader thread")
+        };
+        BmpLiveFeed {
+            name,
+            ring,
+            counters,
+            shutdown,
+            reader: Some(reader),
+            emitted: 0,
+            polls: 0,
+        }
+    }
+
+    /// Wire-side health counters (see [`LiveFeedStats`]).
+    pub fn stats(&self) -> LiveFeedStats {
+        LiveFeedStats {
+            decoded: self.counters.decoded.load(Ordering::Relaxed),
+            filtered: self.counters.filtered.load(Ordering::Relaxed),
+            shed: self.ring.shed_total(),
+            pending: self.ring.len(),
+            diagnostics: self.counters.diagnostics.load(Ordering::Relaxed),
+            connected: self.counters.connected.load(Ordering::Relaxed),
+            disconnected: self.counters.disconnected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True while the reader thread is alive (connecting or streaming).
+    pub fn is_live(&self) -> bool {
+        !self.counters.disconnected.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for BmpLiveFeed {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.reader.take() {
+            // The reader polls the flag between (timeout-bounded)
+            // reads, so this join is bounded too.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl FeedSource for BmpLiveFeed {
+    fn kind(&self) -> FeedKind {
+        FeedKind::BmpLive
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_route_change_into(
+        &mut self,
+        _change: &RouteChange,
+        _rng: &mut SimRng,
+        _out: &mut Vec<FeedEvent>,
+    ) {
+        // A wire feed observes a real socket, not the simulator.
+    }
+
+    fn next_poll(&self, now: SimTime) -> Option<SimTime> {
+        // Ready exactly when the ring holds events: the driver polls
+        // immediately, and an empty ring schedules nothing (the next
+        // pump tick re-asks).
+        if self.ring.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn poll(&mut self, at: SimTime, _view: &dyn RibView, _rng: &mut SimRng) -> Vec<FeedEvent> {
+        let mut out = Vec::new();
+        let n = self.ring.drain_into(&mut out, usize::MAX);
+        for ev in &mut out {
+            // Emission is the instant the pipeline could first react;
+            // observation keeps the collector's wire timestamp (capped
+            // so a fast collector clock cannot place it after
+            // emission).
+            ev.emitted_at = at;
+            ev.observed_at = ev.observed_at.min(at);
+        }
+        if n > 0 {
+            self.emitted += n as u64;
+            self.polls += 1;
+        }
+        out
+    }
+
+    fn events_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn polls_executed(&self) -> u64 {
+        self.polls
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.counters.filtered.load(Ordering::Relaxed) + self.ring.shed_total()
+    }
+
+    fn shed_events(&self) -> u64 {
+        self.ring.shed_total()
+    }
+}
+
+enum ConnectMode {
+    Stream(TcpStream),
+    Addr(String),
+}
+
+/// How often a blocked reader re-checks the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+/// Backoff between connection attempts in [`ConnectMode::Addr`].
+const CONNECT_RETRY: Duration = Duration::from_millis(50);
+
+fn reader_main(
+    mode: ConnectMode,
+    config: LiveFeedConfig,
+    collector: String,
+    ring: Arc<BackpressureRing<FeedEvent>>,
+    counters: Arc<LiveCounters>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let stream = match mode {
+        ConnectMode::Stream(s) => Some(s),
+        ConnectMode::Addr(addr) => loop {
+            if shutdown.load(Ordering::Relaxed) {
+                break None;
+            }
+            match TcpStream::connect(&addr) {
+                Ok(s) => break Some(s),
+                Err(_) => std::thread::sleep(CONNECT_RETRY),
+            }
+        },
+    };
+    if let Some(stream) = stream {
+        counters.connected.store(true, Ordering::Relaxed);
+        stream_session(stream, &config, &collector, &ring, &counters, &shutdown);
+    }
+    counters.disconnected.store(true, Ordering::Relaxed);
+}
+
+fn stream_session(
+    mut stream: TcpStream,
+    config: &LiveFeedConfig,
+    collector: &str,
+    ring: &BackpressureRing<FeedEvent>,
+    counters: &LiveCounters,
+    shutdown: &AtomicBool,
+) {
+    // A bounded read timeout keeps the thread responsive to shutdown
+    // without a second control channel.
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut asm = FrameAssembler::new();
+    let mut buf = vec![0u8; config.read_chunk.max(512)];
+    let mut batch: Vec<FeedEvent> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return, // collector closed the session
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        asm.push(&buf[..n]);
+        loop {
+            match asm.next_message() {
+                Ok(Some(raw)) => match raw.decode() {
+                    Ok(BmpMessage::RouteMonitoring { peer, update }) => {
+                        events_from_update(collector, &peer, &update, config, counters, &mut batch);
+                    }
+                    // Session bookkeeping (peer up/down, stats,
+                    // initiation/termination) carries no reachability.
+                    Ok(_) => {}
+                    Err(_) => {
+                        counters.diagnostics.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Ok(None) => break,
+                // Fused framing: the stream boundary is lost for good.
+                Err(_) => {
+                    counters.diagnostics.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            ring.push_batch(batch.drain(..));
+        }
+    }
+}
+
+/// Expand one route-monitoring UPDATE into per-prefix feed events,
+/// filter them, and append survivors to `batch`.
+fn events_from_update(
+    collector: &str,
+    peer: &PeerHeader,
+    update: &BgpMessage,
+    config: &LiveFeedConfig,
+    counters: &LiveCounters,
+    batch: &mut Vec<FeedEvent>,
+) {
+    let BgpMessage::Update(u) = update else {
+        return; // decode() already guarantees this
+    };
+    let observed = SimTime::from_micros(peer.timestamp_micros());
+    let path = u.attrs.as_ref().map(|a| a.as_path.clone());
+    let origin = u.attrs.as_ref().and_then(|a| a.origin_as());
+    let mut push = |prefix, as_path, origin_as| {
+        counters.decoded.fetch_add(1, Ordering::Relaxed);
+        let ev = FeedEvent {
+            // Placeholder until `poll` stamps the true emission
+            // instant; observation is the collector's wire timestamp.
+            emitted_at: observed,
+            observed_at: observed,
+            source: FeedKind::BmpLive,
+            collector: collector.to_string(),
+            vantage: peer.peer_as,
+            prefix,
+            as_path,
+            origin_as,
+            raw: None,
+        };
+        match &config.filter {
+            Some(f) if !f.matches(&ev) => {
+                counters.filtered.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => batch.push(ev),
+        }
+    };
+    for prefix in &u.withdrawn {
+        push(*prefix, None, None);
+    }
+    for prefix in &u.nlri {
+        push(*prefix, path.clone(), origin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::EmptyRibView;
+    use artemis_bgp::{AsPath, Asn, PathAttributes, Prefix, UpdateMessage};
+    use artemis_bmp::BmpWriter;
+    use std::io::Write;
+    use std::net::{Ipv4Addr, TcpListener};
+    use std::str::FromStr;
+
+    fn route_monitoring(prefix: &str, path: &[u32], ts_micros: u64) -> artemis_bmp::BmpMessage {
+        let peer = PeerHeader::global(
+            std::net::IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10)),
+            Asn(path[0]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            ts_micros,
+        );
+        artemis_bmp::BmpMessage::RouteMonitoring {
+            peer,
+            update: BgpMessage::Update(UpdateMessage::announce(
+                PathAttributes::with_path(
+                    AsPath::from_sequence(path.iter().copied()),
+                    "192.0.2.10".parse().unwrap(),
+                ),
+                vec![Prefix::from_str(prefix).unwrap()],
+            )),
+        }
+    }
+
+    fn wait_until(pred: impl Fn() -> bool) {
+        for _ in 0..400 {
+            if pred() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("condition not reached within 2s");
+    }
+
+    #[test]
+    fn streams_route_monitoring_into_poll_events() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut w = BmpWriter::new();
+            w.write(&route_monitoring("10.0.0.0/24", &[174, 666], 5_000_000))
+                .unwrap();
+            w.write(&route_monitoring(
+                "203.0.113.0/24",
+                &[174, 65001],
+                6_000_000,
+            ))
+            .unwrap();
+            sock.write_all(w.as_bytes()).unwrap();
+        });
+        let mut feed = BmpLiveFeed::connect("bmp0", addr.to_string(), LiveFeedConfig::default());
+        writer.join().unwrap();
+        wait_until(|| feed.stats().pending == 2);
+
+        let now = SimTime::from_secs(100);
+        assert_eq!(feed.next_poll(now), Some(now));
+        let evs = feed.poll(now, &EmptyRibView, &mut SimRng::new(1));
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].prefix, Prefix::from_str("10.0.0.0/24").unwrap());
+        assert_eq!(evs[0].vantage, Asn(174));
+        assert_eq!(evs[0].origin_as, Some(Asn(666)));
+        assert_eq!(evs[0].emitted_at, now);
+        assert_eq!(evs[0].observed_at, SimTime::from_secs(5));
+        assert_eq!(evs[0].source, FeedKind::BmpLive);
+        assert_eq!(feed.next_poll(now), None, "drained ring schedules nothing");
+        assert_eq!(feed.events_emitted(), 2);
+        assert_eq!(feed.polls_executed(), 1);
+    }
+
+    #[test]
+    fn pre_ring_filter_counts_rejections_as_drops() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut w = BmpWriter::new();
+            for i in 0..10u32 {
+                // Half inside the watched prefix, half elsewhere.
+                let p = if i % 2 == 0 {
+                    "10.0.0.0/24"
+                } else {
+                    "198.51.100.0/24"
+                };
+                w.write(&route_monitoring(p, &[174, 666], i as u64))
+                    .unwrap();
+            }
+            sock.write_all(w.as_bytes()).unwrap();
+        });
+        let config = LiveFeedConfig {
+            filter: Some(FeedFilter::any().prefix(Prefix::from_str("10.0.0.0/23").unwrap())),
+            ..LiveFeedConfig::default()
+        };
+        let feed = BmpLiveFeed::connect("bmp0", addr.to_string(), config);
+        writer.join().unwrap();
+        wait_until(|| feed.stats().decoded == 10);
+        let stats = feed.stats();
+        assert_eq!(stats.filtered, 5);
+        assert_eq!(stats.pending, 5, "rejected events never reach the ring");
+        assert_eq!(feed.dropped_events(), 5);
+        assert_eq!(feed.shed_events(), 0);
+    }
+
+    #[test]
+    fn stalled_consumer_sheds_oldest_bounded() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut w = BmpWriter::new();
+            for i in 0..200u64 {
+                w.write(&route_monitoring("10.0.0.0/24", &[174, 666], i))
+                    .unwrap();
+            }
+            sock.write_all(w.as_bytes()).unwrap();
+        });
+        let config = LiveFeedConfig {
+            ring_capacity: 16,
+            ..LiveFeedConfig::default()
+        };
+        let mut feed = BmpLiveFeed::connect("bmp0", addr.to_string(), config);
+        writer.join().unwrap();
+        wait_until(|| feed.stats().decoded == 200);
+        let stats = feed.stats();
+        assert_eq!(stats.pending, 16, "ring memory is bounded at capacity");
+        assert_eq!(stats.shed, 184, "everything beyond capacity was shed");
+        assert_eq!(feed.dropped_events(), 184);
+        // The newest observation survived the stall.
+        let evs = feed.poll(SimTime::from_secs(1), &EmptyRibView, &mut SimRng::new(1));
+        assert_eq!(evs.last().unwrap().observed_at, SimTime::from_micros(199));
+    }
+
+    #[test]
+    fn corrupt_framing_disconnects_cleanly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut w = BmpWriter::new();
+            w.write(&route_monitoring("10.0.0.0/24", &[174, 666], 1))
+                .unwrap();
+            let mut bytes = w.into_bytes();
+            bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0]);
+            sock.write_all(&bytes).unwrap();
+            // Keep the socket open: the feed must bail on the corrupt
+            // framing itself, not on EOF.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let feed = BmpLiveFeed::connect("bmp0", addr.to_string(), LiveFeedConfig::default());
+        wait_until(|| feed.stats().disconnected);
+        let stats = feed.stats();
+        assert_eq!(stats.decoded, 1, "events before the corruption were kept");
+        assert!(stats.diagnostics >= 1);
+        assert!(!feed.is_live());
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn drop_while_connecting_does_not_hang() {
+        // No listener: the feed sits in the connect-retry loop. Drop
+        // must terminate the thread promptly.
+        let feed = BmpLiveFeed::connect("bmp0", "127.0.0.1:1", LiveFeedConfig::default());
+        std::thread::sleep(Duration::from_millis(30));
+        drop(feed); // must not hang
+    }
+}

@@ -14,6 +14,23 @@ pub trait RibView {
     fn loc_rib(&self, asn: Asn) -> Vec<(Prefix, BestRoute)>;
 }
 
+/// A [`RibView`] with no routing state at all.
+///
+/// Live wire feeds ([`crate::BmpLiveFeed`]) do not inspect simulated
+/// routing state — their poll path drains a socket-fed ring. Drivers
+/// that pump only such feeds (the operator daemon) pass this view so
+/// they need no engine.
+pub struct EmptyRibView;
+
+impl RibView for EmptyRibView {
+    fn best_route(&self, _asn: Asn, _prefix: Prefix) -> Option<BestRoute> {
+        None
+    }
+    fn loc_rib(&self, _asn: Asn) -> Vec<(Prefix, BestRoute)> {
+        Vec::new()
+    }
+}
+
 /// The live engine as a [`RibView`].
 pub struct EngineView<'a>(pub &'a Engine);
 
@@ -73,6 +90,19 @@ pub trait FeedSource: Send {
     /// Pull queries actually issued (0 for push feeds) — the
     /// monitoring-overhead axis of the LG trade-off.
     fn polls_executed(&self) -> u64 {
+        0
+    }
+    /// Events this feed discarded *before* they could reach the hub's
+    /// merge queue: backpressure sheds plus feed-local filtering and
+    /// outage windows. Monotone. The hub adds its own pre-heap filter
+    /// rejections on top when reporting [`crate::FeedLag`].
+    fn dropped_events(&self) -> u64 {
+        0
+    }
+    /// The backpressure-shed subset of [`FeedSource::dropped_events`]:
+    /// events discarded because the consumer fell behind a bounded
+    /// ring (0 for feeds without one). Monotone.
+    fn shed_events(&self) -> u64 {
         0
     }
     /// Raw MRT bytes this feed has accumulated, for feeds that write

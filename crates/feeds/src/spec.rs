@@ -9,12 +9,14 @@
 //! feeds through the same spec, so the two paths construct identical
 //! feeds by construction.
 //!
-//! Only stream feeds (RIS-live / BGPmon style) are attachable at
-//! runtime through a spec: archive, periscope, and MRT-replay feeds
-//! need engine views or raw archive bytes that do not travel over a
-//! control-plane API — drivers attach those at assembly time via
-//! `Pipeline::attach_feed`.
+//! Stream feeds (RIS-live / BGPmon style) and live BMP wire sessions
+//! are attachable at runtime through a spec: archive, periscope, and
+//! MRT-replay feeds need engine views or raw archive bytes that do not
+//! travel over a control-plane API — drivers attach those at assembly
+//! time via `Pipeline::attach_feed`.
 
+use crate::filter::FeedFilter;
+use crate::live::{BmpLiveFeed, LiveFeedConfig};
 use crate::stream::StreamFeed;
 use crate::vantage::group_into_collectors;
 use crate::FeedSource;
@@ -47,6 +49,20 @@ pub enum FeedSpec {
         collectors: usize,
         /// Constant export delay in seconds; `None` keeps the default.
         export_delay_secs: Option<u64>,
+    },
+    /// A live RFC 7854 BMP session off a real TCP socket.
+    BmpLive {
+        /// Feed instance name (also the reported collector name).
+        name: String,
+        /// Collector address (`host:port`) the feed dials; the reader
+        /// thread retries until the collector accepts.
+        addr: String,
+        /// Backpressure ring capacity in events; `None` keeps the
+        /// [`LiveFeedConfig`] default.
+        ring_capacity: Option<usize>,
+        /// Pre-ring filter evaluated on the reader thread; `None`
+        /// keeps everything.
+        filter: Option<FeedFilter>,
     },
 }
 
@@ -110,6 +126,21 @@ impl FeedSpec {
                 }
                 Box::new(feed)
             }
+            FeedSpec::BmpLive {
+                name,
+                addr,
+                ring_capacity,
+                filter,
+            } => {
+                let mut config = LiveFeedConfig {
+                    filter: filter.clone(),
+                    ..LiveFeedConfig::default()
+                };
+                if let Some(cap) = ring_capacity {
+                    config.ring_capacity = *cap;
+                }
+                Box::new(BmpLiveFeed::connect(name.clone(), addr.clone(), config))
+            }
         }
     }
 }
@@ -131,6 +162,26 @@ mod tests {
             export_delay_secs: Some(5),
         };
         assert_eq!(spec.build().kind(), FeedKind::BgpMon);
+    }
+
+    #[test]
+    fn bmp_live_spec_builds_a_connecting_feed() {
+        let spec = FeedSpec::BmpLive {
+            name: "bmp0".into(),
+            addr: "127.0.0.1:1".into(), // nothing listens: stays in retry
+            ring_capacity: Some(64),
+            filter: Some(FeedFilter::any().origin(Asn(65001))),
+        };
+        let feed = spec.build();
+        assert_eq!(feed.kind(), FeedKind::BmpLive);
+        assert_eq!(feed.name(), "bmp0");
+        assert_eq!(feed.dropped_events(), 0);
+        // Dropping the boxed feed terminates the connect-retry thread.
+        drop(feed);
+
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FeedSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

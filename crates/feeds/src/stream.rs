@@ -22,6 +22,9 @@ pub struct StreamFeed {
     /// Events dropped by an (optional) outage window.
     outage: Option<(SimTime, SimTime)>,
     emitted: u64,
+    /// Observations swallowed by the outage window (one per vantage
+    /// session that would have produced an event).
+    dropped: u64,
 }
 
 impl StreamFeed {
@@ -40,6 +43,7 @@ impl StreamFeed {
             },
             outage: None,
             emitted: 0,
+            dropped: 0,
         }
     }
 
@@ -56,6 +60,7 @@ impl StreamFeed {
             },
             outage: None,
             emitted: 0,
+            dropped: 0,
         }
     }
 
@@ -132,6 +137,13 @@ impl FeedSource for StreamFeed {
     ) {
         if let Some((from, to)) = self.outage {
             if change.time >= from && change.time < to {
+                // Count what the outage swallowed: one observation per
+                // vantage session that would have produced an event.
+                self.dropped += self
+                    .collectors
+                    .values()
+                    .filter(|peers| peers.contains(&change.asn))
+                    .count() as u64;
                 return;
             }
         }
@@ -171,6 +183,10 @@ impl FeedSource for StreamFeed {
 
     fn events_emitted(&self) -> u64 {
         self.emitted
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -272,6 +288,61 @@ mod tests {
         let mut rng = SimRng::new(1);
         assert!(feed.on_route_change(&change(174, 10), &mut rng).is_empty());
         assert!(!feed.on_route_change(&change(174, 20), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn outage_boundaries_are_exact() {
+        // Window is [from, to): the first instant is dark, the end
+        // instant is already live again.
+        let from = SimTime::from_secs(5);
+        let to = SimTime::from_secs(15);
+        let mut feed = StreamFeed::ris_live(collectors()).with_outage(from, to);
+        let mut rng = SimRng::new(1);
+        assert!(
+            !feed.on_route_change(&change(174, 4), &mut rng).is_empty(),
+            "instant before the window is delivered"
+        );
+        assert!(
+            feed.on_route_change(&change(174, 5), &mut rng).is_empty(),
+            "window start is inclusive: dropped"
+        );
+        assert!(
+            feed.on_route_change(&change(174, 14), &mut rng).is_empty(),
+            "interior instant is dropped"
+        );
+        assert!(
+            !feed.on_route_change(&change(174, 15), &mut rng).is_empty(),
+            "window end is exclusive: delivered"
+        );
+    }
+
+    #[test]
+    fn outage_accounting_matches_delivered_events() {
+        let mut feed = StreamFeed::ris_live(collectors())
+            .with_outage(SimTime::from_secs(10), SimTime::from_secs(20));
+        let mut rng = SimRng::new(1);
+        // AS174 peers with both collectors (2 events per change), AS3356
+        // with one. Outside: t=5 (2) and t=25 (1). Inside: t=12 (2) and
+        // t=15 (1).
+        let mut delivered = 0;
+        for (asn, t) in [(174, 5), (174, 12), (3356, 15), (3356, 25)] {
+            delivered += feed.on_route_change(&change(asn, t), &mut rng).len();
+        }
+        assert_eq!(delivered, 3);
+        assert_eq!(
+            feed.events_emitted(),
+            3,
+            "emitted counts only delivered events"
+        );
+        assert_eq!(
+            feed.dropped_events(),
+            3,
+            "dropped counts per swallowed vantage session"
+        );
+        // A non-vantage change during the outage is not an outage drop —
+        // no session would have produced an event.
+        assert!(feed.on_route_change(&change(9999, 12), &mut rng).is_empty());
+        assert_eq!(feed.dropped_events(), 3);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! The interesting code lives in the member crates:
 //!
 //! * [`artemis_bgp`] — BGP types, RFC 4271 wire codec, prefix trie.
+//! * [`artemis_bmp`] — RFC 7854 BMP wire format + backpressure ring.
 //! * [`artemis_mrt`] — RFC 6396 MRT archive format.
 //! * [`artemis_simnet`] — deterministic discrete-event engine.
 //! * [`artemis_topology`] — AS-level Internet topology + policies.
@@ -19,6 +20,7 @@
 pub use artemis_bgp as bgp;
 pub use artemis_bgpd as bgpd;
 pub use artemis_bgpsim as bgpsim;
+pub use artemis_bmp as bmp;
 pub use artemis_controller as controller;
 pub use artemis_core as core;
 pub use artemis_feeds as feeds;
