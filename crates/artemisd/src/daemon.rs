@@ -294,12 +294,19 @@ fn handle_metrics(shared: &Shared) -> Response {
     let structure = crate::metrics::StructureGauges {
         routing_nodes: pipeline.detector().routing_nodes(),
         routing_bytes: pipeline.detector().routing_bytes(),
+        routing_epoch: pipeline.detector().routing_epoch().epoch(),
         retired_incidents: pipeline.retired_count(),
     };
+    let wire: Vec<(String, artemis_feeds::WireHealth)> = pipeline
+        .hub()
+        .handles()
+        .filter_map(|(_, feed)| feed.wire_health().map(|h| (feed.name().to_string(), h)))
+        .collect();
     let text = crate::metrics::render(
         &status,
         inner.service.stage_metrics(),
         &structure,
+        &wire,
         &inner.dispatcher.stats(),
         inner.dispatcher.queued(),
         inner.audit.len(),

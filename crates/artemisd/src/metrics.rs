@@ -31,6 +31,11 @@ pub struct StructureGauges {
     pub routing_nodes: usize,
     /// Approximate heap bytes held by the routing structure.
     pub routing_bytes: usize,
+    /// The detector's routing epoch: bumped on every incremental
+    /// onboard/offboard patch of the flattened routing structure. A
+    /// gauge that climbs with churn but never jumps — there are no
+    /// wholesale rebuilds to observe anymore.
+    pub routing_epoch: u64,
     /// Resolved incidents retired to compact monitor summaries.
     pub retired_incidents: usize,
 }
@@ -63,11 +68,15 @@ fn stage_lines(out: &mut String, name: &str, stat: &StageStat) {
     );
 }
 
-/// Render one scrape in the Prometheus text exposition format.
+/// Render one scrape in the Prometheus text exposition format. `wire`
+/// carries the `(name, health)` of every socket-backed feed — see
+/// [`artemis_feeds::WireHealth`] — rendered as reconnect counters and
+/// per-peer session gauges.
 pub fn render(
     status: &ServiceStatus,
     stages: &StageMetrics,
     structure: &StructureGauges,
+    wire: &[(String, artemis_feeds::WireHealth)],
     dispatch: &DispatchStats,
     alert_queue_depth: usize,
     audit_records: u64,
@@ -102,8 +111,12 @@ pub fn render(
     stage_lines(&mut out, "drain", &stages.drain);
     stage_lines(&mut out, "classify", &stages.classify);
     stage_lines(&mut out, "commit", &stages.commit);
-    // Commit sub-stages (they overlap "commit", never add to it);
+    // Sub-stages (each overlaps its parent stage, never adds to it);
     // recorded by the batched deliver_due path only.
+    stage_lines(&mut out, "drain_seal", &stages.drain_seal);
+    stage_lines(&mut out, "drain_merge", &stages.drain_merge);
+    stage_lines(&mut out, "classify_snapshot", &stages.classify_snapshot);
+    stage_lines(&mut out, "classify_prepare", &stages.classify_prepare);
     stage_lines(&mut out, "commit_detect", &stages.detect);
     stage_lines(&mut out, "commit_monitor_route", &stages.monitor_route);
     stage_lines(&mut out, "commit_monitor_ingest", &stages.monitor_ingest);
@@ -190,6 +203,50 @@ pub fn render(
         );
     }
 
+    // -- wire-feed session health -------------------------------------
+    if !wire.is_empty() {
+        out.push_str(
+            "# HELP artemis_feed_reconnects_total Re-established transport sessions per wire feed.\n",
+        );
+        out.push_str("# TYPE artemis_feed_reconnects_total counter\n");
+        for (name, health) in wire {
+            let _ = writeln!(
+                out,
+                "artemis_feed_reconnects_total{{name=\"{name}\"}} {}",
+                health.reconnects
+            );
+        }
+        out.push_str(
+            "# HELP artemis_bmp_peer_stat Per-peer BMP stats_report counters and gauges.\n",
+        );
+        out.push_str("# TYPE artemis_bmp_peer_stat gauge\n");
+        out.push_str("# HELP artemis_bmp_peer_downs_total peer_down messages seen per peer.\n");
+        out.push_str("# TYPE artemis_bmp_peer_downs_total counter\n");
+        for (name, health) in wire {
+            for (peer, h) in &health.peers {
+                let peer = peer.0;
+                for (stat, value) in [
+                    ("reports", h.reports),
+                    ("prefixes_rejected", h.prefixes_rejected),
+                    ("duplicate_updates", h.duplicate_updates),
+                    ("duplicate_withdraws", h.duplicate_withdraws),
+                    ("adj_rib_in", h.adj_rib_in),
+                    ("loc_rib", h.loc_rib),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "artemis_bmp_peer_stat{{name=\"{name}\",peer=\"{peer}\",stat=\"{stat}\"}} {value}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "artemis_bmp_peer_downs_total{{name=\"{name}\",peer=\"{peer}\"}} {}",
+                    h.peer_downs
+                );
+            }
+        }
+    }
+
     // -- incidents by mitigation phase --------------------------------
     out.push_str("# HELP artemis_incidents Incidents by mitigation lifecycle phase.\n");
     out.push_str("# TYPE artemis_incidents gauge\n");
@@ -224,6 +281,11 @@ pub fn render(
     out.push_str("# HELP artemis_routing_bytes Approximate heap bytes of the routing structure.\n");
     out.push_str("# TYPE artemis_routing_bytes gauge\n");
     let _ = writeln!(out, "artemis_routing_bytes {}", structure.routing_bytes);
+    out.push_str(
+        "# HELP artemis_routing_epoch Incremental patches applied to the routing structure.\n",
+    );
+    out.push_str("# TYPE artemis_routing_epoch gauge\n");
+    let _ = writeln!(out, "artemis_routing_epoch {}", structure.routing_epoch);
     out.push_str(
         "# HELP artemis_retired_incidents Resolved incidents retired to compact summaries.\n",
     );
@@ -292,8 +354,10 @@ mod tests {
             &StructureGauges {
                 routing_nodes: 42,
                 routing_bytes: 1024,
+                routing_epoch: 17,
                 retired_incidents: 2,
             },
+            &[],
             &DispatchStats::default(),
             0,
             5,
@@ -311,6 +375,10 @@ mod tests {
         assert!(text.contains("artemis_mitigation_paused 0"));
         assert!(text.contains("artemis_stage_p99_batch_nanos{stage=\"classify\"} 0"));
         for sub in [
+            "drain_seal",
+            "drain_merge",
+            "classify_snapshot",
+            "classify_prepare",
             "commit_detect",
             "commit_monitor_route",
             "commit_monitor_ingest",
@@ -326,6 +394,7 @@ mod tests {
         }
         assert!(text.contains("artemis_routing_nodes 42"));
         assert!(text.contains("artemis_routing_bytes 1024"));
+        assert!(text.contains("artemis_routing_epoch 17"));
         assert!(text.contains("artemis_retired_incidents 2"));
     }
 
@@ -349,6 +418,7 @@ mod tests {
             &status,
             &StageMetrics::default(),
             &StructureGauges::default(),
+            &[],
             &DispatchStats::default(),
             0,
             0,
@@ -358,5 +428,46 @@ mod tests {
         assert!(
             text.contains("artemis_feed_events_emitted_total{feed=\"feed#0\",name=\"bmp0\"} 10")
         );
+    }
+
+    #[test]
+    fn wire_health_renders_reconnects_and_peer_gauges() {
+        use artemis_bgp::Asn;
+        use artemis_feeds::{PeerHealth, WireHealth};
+        let wire = vec![(
+            "bmp0".to_string(),
+            WireHealth {
+                reconnects: 3,
+                peers: vec![(
+                    Asn(174),
+                    PeerHealth {
+                        reports: 2,
+                        prefixes_rejected: 11,
+                        duplicate_updates: 5,
+                        duplicate_withdraws: 1,
+                        adj_rib_in: 900_000,
+                        loc_rib: 870_000,
+                        peer_downs: 1,
+                    },
+                )],
+            },
+        )];
+        let text = render(
+            &empty_status(),
+            &StageMetrics::default(),
+            &StructureGauges::default(),
+            &wire,
+            &DispatchStats::default(),
+            0,
+            0,
+        );
+        assert!(text.contains("artemis_feed_reconnects_total{name=\"bmp0\"} 3"));
+        assert!(text.contains(
+            "artemis_bmp_peer_stat{name=\"bmp0\",peer=\"174\",stat=\"adj_rib_in\"} 900000"
+        ));
+        assert!(
+            text.contains("artemis_bmp_peer_stat{name=\"bmp0\",peer=\"174\",stat=\"reports\"} 2")
+        );
+        assert!(text.contains("artemis_bmp_peer_downs_total{name=\"bmp0\",peer=\"174\"} 1"));
     }
 }

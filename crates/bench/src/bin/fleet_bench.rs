@@ -13,6 +13,7 @@
 //! cargo run --release -p artemis_bench --bin fleet_bench -- --smoke # CI: 5k prefixes
 //! cargo run --release -p artemis_bench --bin fleet_bench -- --out BENCH_fleet.json
 //! cargo run --release -p artemis_bench --bin fleet_bench -- --churn 1m # ~1M-route churn
+//! cargo run --release -p artemis_bench --bin fleet_bench -- --fleet-churn 5k # onboard/offboard axis
 //! ```
 //!
 //! `--churn N[k|m]` overrides the churn volume (e.g. `--churn 1m` =
@@ -21,6 +22,13 @@
 //! /25 sub-prefix of the victim /24 instead of the exact prefix, so
 //! sub-prefix classification and covering-set monitor routing both
 //! stay hot for the whole run.
+//!
+//! The **fleet-churn axis** (always on; `--fleet-churn N[k|m]`
+//! overrides the cycle count) offboards and re-onboards prefixes
+//! spread across the fleet and reports the per-direction cost. Each
+//! cycle is exactly two incremental patches of the flattened routing
+//! structure — the routing epoch advances by 2 per cycle and the node
+//! count is steady, proving there are no wholesale rebuilds.
 //!
 //! Churn is delivered in waves (ingest a chunk, drain it, repeat) the
 //! way a live deployment sees the firehose, which both bounds queue
@@ -44,6 +52,9 @@ const FULL_CHANGES: usize = 200_000;
 const SMOKE_CHANGES: usize = 20_000;
 const FULL_LPM_QUERIES: usize = 1_000_000;
 const SMOKE_LPM_QUERIES: usize = 100_000;
+/// Offboard+re-onboard cycles for the `--fleet-churn` axis.
+const FULL_FLEET_CHURN: usize = 2_000;
+const SMOKE_FLEET_CHURN: usize = 500;
 /// Route changes per delivery wave (≈ 2× events per wave).
 const WAVE_CHANGES: usize = 2_000;
 /// Distinct owned prefixes attacked mid-churn ("dozens of concurrent
@@ -152,6 +163,10 @@ struct ChurnResult {
     /// Commit sub-stage p99/mean batch nanos, in `SUBSTAGES` order.
     sub_p99: [u64; 5],
     sub_mean: [u64; 5],
+    /// Drain/classify sub-stage p99/mean batch nanos, in
+    /// `FRONT_SUBSTAGES` order.
+    front_p99: [u64; 4],
+    front_mean: [u64; 4],
 }
 
 /// Commit sub-stage names, matching the daemon's `/metrics` labels
@@ -162,6 +177,15 @@ const SUBSTAGES: [&str; 5] = [
     "monitor_ingest",
     "resolve",
     "mitigate",
+];
+
+/// Front-half (drain/classify) sub-stage names, matching the daemon's
+/// `/metrics` labels (`artemis_stage_*{stage="<name>"}`).
+const FRONT_SUBSTAGES: [&str; 4] = [
+    "drain_seal",
+    "drain_merge",
+    "classify_snapshot",
+    "classify_prepare",
 ];
 
 /// Wave-delivered churn through a fleet-sized pipeline; the timed
@@ -195,6 +219,12 @@ fn run_churn(owned: &[Prefix], route_changes: &[RouteChange], workers: usize) ->
         &stages.resolve,
         &stages.mitigate,
     ];
+    let fronts = [
+        &stages.drain_seal,
+        &stages.drain_merge,
+        &stages.classify_snapshot,
+        &stages.classify_prepare,
+    ];
     ChurnResult {
         events,
         secs,
@@ -213,6 +243,63 @@ fn run_churn(owned: &[Prefix], route_changes: &[RouteChange], workers: usize) ->
         ],
         sub_p99: subs.map(|s| s.p99_batch_nanos()),
         sub_mean: subs.map(|s| s.mean_batch_nanos()),
+        front_p99: fronts.map(|s| s.p99_batch_nanos()),
+        front_mean: fronts.map(|s| s.mean_batch_nanos()),
+    }
+}
+
+struct FleetChurnResult {
+    cycles: usize,
+    offboard_ns: f64,
+    onboard_ns: f64,
+    epoch_before: u64,
+    epoch_after: u64,
+    nodes_before: usize,
+    nodes_after: usize,
+}
+
+/// The `--fleet-churn` axis: onboard/offboard cost at fleet scale.
+///
+/// Offboards and immediately re-onboards prefixes spread across the
+/// whole fleet, timing each direction. With the incremental routing
+/// epoch every cycle is two in-place patches of the flattened routing
+/// structure — cost stays flat in fleet size (no wholesale rebuild),
+/// which the epoch counter proves: it advances exactly twice per
+/// cycle, and the node count returns to its starting value.
+fn fleet_churn_bench(owned: &[Prefix], cycles: usize) -> FleetChurnResult {
+    let mut pipeline = Pipeline::new(
+        hub(),
+        config(owned),
+        [Asn(174), Asn(3356)].into_iter().collect(),
+    );
+    let mut ctrl = Controller::new(Asn(OPERATOR), LatencyModel::const_secs(15), SimRng::new(1));
+    let epoch_before = pipeline.detector().routing_epoch().epoch();
+    let nodes_before = pipeline.detector().routing_nodes();
+
+    let stride = (owned.len() / cycles.max(1)).max(1);
+    let now = SimTime::from_secs(1);
+    let mut offboard = std::time::Duration::ZERO;
+    let mut onboard = std::time::Duration::ZERO;
+    for c in 0..cycles {
+        let prefix = owned[(c * stride) % owned.len()];
+        let t = Instant::now();
+        pipeline
+            .remove_owned_prefix(prefix, now, &mut ctrl, &mut [])
+            .expect("fleet prefix is onboarded");
+        offboard += t.elapsed();
+        let t = Instant::now();
+        assert!(pipeline.add_owned_prefix(OwnedPrefix::new(prefix, Asn(OPERATOR)), None, now));
+        onboard += t.elapsed();
+    }
+
+    FleetChurnResult {
+        cycles,
+        offboard_ns: offboard.as_secs_f64() * 1e9 / cycles.max(1) as f64,
+        onboard_ns: onboard.as_secs_f64() * 1e9 / cycles.max(1) as f64,
+        epoch_before,
+        epoch_after: pipeline.detector().routing_epoch().epoch(),
+        nodes_before,
+        nodes_after: pipeline.detector().routing_nodes(),
     }
 }
 
@@ -321,12 +408,23 @@ fn main() {
         let arg = args.get(i + 1).expect("--churn needs a count, e.g. 1m");
         parse_count(arg).unwrap_or_else(|| panic!("bad --churn count {arg:?} (try 250k, 1m)"))
     });
+    let fleet_churn_override = args.iter().position(|a| a == "--fleet-churn").map(|i| {
+        let arg = args
+            .get(i + 1)
+            .expect("--fleet-churn needs a cycle count, e.g. 5k");
+        parse_count(arg).unwrap_or_else(|| panic!("bad --fleet-churn count {arg:?} (try 5k)"))
+    });
 
     let (n_owned, mut n_changes, n_queries) = if smoke {
         (SMOKE_OWNED, SMOKE_CHANGES, SMOKE_LPM_QUERIES)
     } else {
         (FULL_OWNED, FULL_CHANGES, FULL_LPM_QUERIES)
     };
+    let n_fleet_churn = fleet_churn_override.unwrap_or(if smoke {
+        SMOKE_FLEET_CHURN
+    } else {
+        FULL_FLEET_CHURN
+    });
     let deagg = churn_override.is_some();
     if let Some(n) = churn_override {
         n_changes = n;
@@ -378,7 +476,35 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     };
+    let front_json = |vals: &[u64; 4]| {
+        FRONT_SUBSTAGES
+            .iter()
+            .zip(vals)
+            .map(|(name, v)| format!("\"{name}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     println!("  commit sub-stage p99 nanos: {}", sub_json(&run.sub_p99));
+    println!(
+        "  front sub-stage p99 nanos: {}",
+        front_json(&run.front_p99)
+    );
+
+    let fc = fleet_churn_bench(&owned, n_fleet_churn);
+    assert_eq!(
+        fc.epoch_after - fc.epoch_before,
+        2 * fc.cycles as u64,
+        "every cycle must be exactly two incremental patches (no rebuilds)"
+    );
+    assert_eq!(
+        fc.nodes_before, fc.nodes_after,
+        "offboard+re-onboard must return the routing structure to its starting shape"
+    );
+    println!(
+        "  fleet-churn: {} cycles, offboard {:.0} ns/op, onboard {:.0} ns/op, \
+         epoch {} -> {} (2 patches/cycle, {} nodes steady)",
+        fc.cycles, fc.offboard_ns, fc.onboard_ns, fc.epoch_before, fc.epoch_after, fc.nodes_after
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"fleet_scale/churn_and_lpm\",\n  \"mode\": \"{mode}\",\n  \
@@ -391,6 +517,9 @@ fn main() {
          \"stage_mean_batch_nanos\": {{ \"drain\": {m0}, \"classify\": {m1}, \"commit\": {m2} }},\n  \
          \"commit_substages_p99_batch_nanos\": {{ {sp} }},\n  \
          \"commit_substages_mean_batch_nanos\": {{ {sm} }},\n  \
+         \"front_substages_p99_batch_nanos\": {{ {fp} }},\n  \
+         \"front_substages_mean_batch_nanos\": {{ {fm} }},\n  \
+         \"fleet_churn\": {{ \"cycles\": {fcc}, \"offboard_ns_per_op\": {fco:.0}, \"onboard_ns_per_op\": {fcn:.0}, \"routing_epoch_advance\": {fce}, \"patches_per_cycle\": 2, \"routing_nodes_steady\": {fcs} }},\n  \
          \"routing\": {{ \"nodes\": {nodes}, \"bytes\": {bytes}, \"bytes_per_owned_prefix\": {bpo:.1} }},\n  \
          \"lpm_microbench\": {{ \"queries\": {queries}, \"hits\": {hits}, \"boxed_ns_per_lookup\": {bns:.1}, \"flat_ns_per_lookup\": {fns:.1}, \"flat_speedup_vs_boxed\": {spd:.2} }},\n  \
          \"note\": \"LPM microbench is single-threaded; churn throughput uses the worker pool and scales with cores\"\n}}\n",
@@ -407,6 +536,13 @@ fn main() {
         m2 = run.mean[2],
         sp = sub_json(&run.sub_p99),
         sm = sub_json(&run.sub_mean),
+        fp = front_json(&run.front_p99),
+        fm = front_json(&run.front_mean),
+        fcc = fc.cycles,
+        fco = fc.offboard_ns,
+        fcn = fc.onboard_ns,
+        fce = fc.epoch_after - fc.epoch_before,
+        fcs = fc.nodes_after == fc.nodes_before,
         nodes = run.routing_nodes,
         bytes = run.routing_bytes,
         bpo = bytes_per_owned,

@@ -1,25 +1,28 @@
 //! Flattened, array-backed companion to [`PrefixTrie`].
 //!
 //! [`FlatTrie`] stores the same prefix → value mapping as a
-//! [`PrefixTrie`], but in two contiguous arrays — a node pool linked by
+//! [`PrefixTrie`], but in contiguous arrays — a node pool linked by
 //! `u32` indices instead of `[Option<Box<Node>>; 2]` pointers, and a
-//! value table ordered exactly like [`PrefixTrie::iter`]. Longest-prefix
-//! match becomes a cache-friendly walk over a dense array, and for IPv4
-//! lookups a precomputed stride-16 root table skips the first sixteen
-//! branches in one indexed load.
+//! value slab indexed from the nodes. Longest-prefix match becomes a
+//! cache-friendly walk over a dense array, and for IPv4 lookups a
+//! precomputed stride-16 root table skips the first sixteen branches in
+//! one indexed load.
 //!
-//! The structure is immutable: it is built from a [`PrefixTrie`]
-//! snapshot with [`FlatTrie::from_trie`] and rebuilt wholesale whenever
-//! the source trie changes. That trade is deliberate — the ARTEMIS
-//! detector mutates its routing table only when a prefix is onboarded
-//! or offboarded, while every incoming feed event performs a lookup, so
-//! the read path gets the flat layout and the rare write path pays the
-//! rebuild.
+//! Unlike its first incarnation the structure is **incrementally
+//! mutable**: [`FlatTrie::insert`] and [`FlatTrie::remove`] patch the
+//! node pool and the stride table in place, touching only the affected
+//! subtree and the `2^(16-len)` stride slots a changed IPv4 prefix can
+//! influence. Onboarding or offboarding a prefix therefore costs
+//! O(affected subtree) instead of a wholesale rebuild, which is what
+//! lets the ARTEMIS detector keep a single epoch-stamped flat routing
+//! structure across configuration churn.
 //!
 //! Lookup results are bit-for-bit identical to the boxed trie:
 //! [`FlatTrie::longest_match`], [`FlatTrie::get`] and
 //! [`FlatTrie::iter`] agree with their [`PrefixTrie`] counterparts on
-//! every input (property-locked in `tests/flat_properties.rs`).
+//! every input, and a trie mutated incrementally is indistinguishable
+//! from one rebuilt from scratch (property-locked in
+//! `tests/flat_properties.rs`).
 
 use crate::prefix::{Afi, Prefix};
 use crate::trie::PrefixTrie;
@@ -34,11 +37,12 @@ const V6_ROOT: u32 = 1;
 const TABLE_BITS: u8 = 16;
 /// Minimum number of IPv4 entries before the 65536-slot stride table
 /// is materialized. Below this the plain walk is already cheap and the
-/// 512 KiB table would dominate the structure's footprint.
+/// 512 KiB table would dominate the structure's footprint. Once built
+/// the table is kept (and patched) even if the count later drops.
 const TABLE_MIN_V4: usize = 32;
 
 /// One node of the flattened trie: two child links and an optional
-/// index into the value table.
+/// index into the value slab.
 #[derive(Debug, Clone, Copy)]
 struct FlatNode {
     children: [u32; 2],
@@ -61,90 +65,43 @@ struct RootSlot {
     best: u32,
 }
 
-/// A level-compressed, array-backed snapshot of a [`PrefixTrie`].
+/// A level-compressed, array-backed prefix trie supporting in-place
+/// incremental updates.
 ///
 /// See the [module docs](self) for the design rationale. `FlatTrie` is
-/// cheap to share (`Arc<FlatTrie<T>>`) and cheap to query; it cannot be
-/// mutated in place — rebuild it from the source trie instead.
+/// cheap to share (`Arc<FlatTrie<T>>`) and cheap to query; mutation
+/// patches the node pool and IPv4 stride table in place so callers
+/// holding an `Arc` can use copy-on-write (`Arc::make_mut`) for epoch
+/// snapshots.
 #[derive(Debug, Clone)]
 pub struct FlatTrie<T> {
     nodes: Vec<FlatNode>,
-    /// `(prefix, value)` pairs in [`PrefixTrie::iter`] order (IPv4
-    /// before IPv6, address order within each family).
-    values: Vec<(Prefix, T)>,
-    /// Stride-16 IPv4 root table (empty when below [`TABLE_MIN_V4`]).
+    /// Recycled node-pool indices available for reuse.
+    free_nodes: Vec<u32>,
+    /// `(prefix, value)` slab; `None` entries are free slots.
+    values: Vec<Option<(Prefix, T)>>,
+    /// Recycled value-slab indices available for reuse.
+    free_values: Vec<u32>,
+    /// Stride-16 IPv4 root table (empty until [`TABLE_MIN_V4`] IPv4
+    /// prefixes have been inserted).
     v4_table: Vec<RootSlot>,
+    /// Live IPv4 prefix count (drives stride-table materialization).
+    v4_len: usize,
 }
 
 impl<T: Clone> FlatTrie<T> {
     /// Build a flat snapshot of `trie`. Lookups on the result are
     /// identical to lookups on `trie` at the time of the call.
     pub fn from_trie(trie: &PrefixTrie<T>) -> Self {
-        let mut flat = FlatTrie {
-            nodes: vec![FlatNode::EMPTY, FlatNode::EMPTY],
-            values: Vec::with_capacity(trie.len()),
-            v4_table: Vec::new(),
-        };
-        let mut v4_values = 0usize;
+        let mut flat = FlatTrie::new();
+        flat.values.reserve(trie.len());
         for (prefix, value) in trie.iter() {
-            if prefix.afi() == Afi::Ipv4 {
-                v4_values += 1;
-            }
-            flat.insert(prefix, value.clone());
+            flat.insert_inner(prefix, value.clone(), false);
         }
-        if v4_values >= TABLE_MIN_V4 {
+        if flat.v4_len >= TABLE_MIN_V4 {
             flat.build_v4_table();
         }
         flat
-    }
-
-    fn insert(&mut self, prefix: Prefix, value: T) {
-        let mut cur = match prefix.afi() {
-            Afi::Ipv4 => V4_ROOT,
-            Afi::Ipv6 => V6_ROOT,
-        };
-        for i in 0..prefix.len() {
-            let b = usize::from(prefix.bit(i));
-            let next = self.nodes[cur as usize].children[b];
-            cur = if next == NONE {
-                let idx = u32::try_from(self.nodes.len()).expect("node pool fits in u32");
-                self.nodes.push(FlatNode::EMPTY);
-                self.nodes[cur as usize].children[b] = idx;
-                idx
-            } else {
-                next
-            };
-        }
-        let vidx = u32::try_from(self.values.len()).expect("value table fits in u32");
-        self.nodes[cur as usize].value = vidx;
-        self.values.push((prefix, value));
-    }
-
-    fn build_v4_table(&mut self) {
-        let slots = 1usize << TABLE_BITS;
-        let mut table = Vec::with_capacity(slots);
-        for head in 0..slots {
-            let mut cur = V4_ROOT;
-            let mut best = self.nodes[cur as usize].value;
-            let mut reached = Some(cur);
-            for i in 0..TABLE_BITS {
-                let b = (head >> (TABLE_BITS - 1 - i)) & 1;
-                let next = self.nodes[cur as usize].children[b];
-                if next == NONE {
-                    reached = None;
-                    break;
-                }
-                cur = next;
-                if self.nodes[cur as usize].value != NONE {
-                    best = self.nodes[cur as usize].value;
-                }
-            }
-            table.push(RootSlot {
-                node: reached.map_or(NONE, |_| cur),
-                best,
-            });
-        }
-        self.v4_table = table;
     }
 }
 
@@ -153,9 +110,190 @@ impl<T> FlatTrie<T> {
     pub fn new() -> Self {
         FlatTrie {
             nodes: vec![FlatNode::EMPTY, FlatNode::EMPTY],
+            free_nodes: Vec::new(),
             values: Vec::new(),
+            free_values: Vec::new(),
             v4_table: Vec::new(),
+            v4_len: 0,
         }
+    }
+
+    /// Insert `value` for `prefix`, returning the previous value if the
+    /// prefix was already present. Patches the node pool and (for IPv4)
+    /// the stride-16 root table in place: only the path to `prefix` and
+    /// the stride slots covered by `prefix` are touched.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        self.insert_inner(prefix, value, true)
+    }
+
+    fn insert_inner(&mut self, prefix: Prefix, value: T, patch: bool) -> Option<T> {
+        let mut cur = root_of(prefix.afi());
+        for i in 0..prefix.len() {
+            let b = usize::from(prefix.bit(i));
+            let next = self.nodes[cur as usize].children[b];
+            cur = if next == NONE {
+                let idx = self.alloc_node();
+                self.nodes[cur as usize].children[b] = idx;
+                idx
+            } else {
+                next
+            };
+        }
+        let node = &mut self.nodes[cur as usize];
+        if node.value != NONE {
+            // Replace in place: the value index is unchanged, so every
+            // stride slot referencing it stays valid — no patch needed.
+            let vidx = node.value as usize;
+            let (_, old) = self.values[vidx]
+                .replace((prefix, value))
+                .expect("occupied value slot");
+            return Some(old);
+        }
+        let vidx = self.alloc_value(prefix, value);
+        self.nodes[cur as usize].value = vidx;
+        if prefix.afi() == Afi::Ipv4 {
+            self.v4_len += 1;
+            if patch {
+                if self.v4_table.is_empty() {
+                    if self.v4_len >= TABLE_MIN_V4 {
+                        self.build_v4_table();
+                    }
+                } else {
+                    self.patch_v4_table(prefix);
+                }
+            }
+        }
+        None
+    }
+
+    /// Remove `prefix`, returning its value if it was present. Prunes
+    /// now-empty chain nodes back toward the root and patches the
+    /// affected IPv4 stride slots in place.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        let root = root_of(prefix.afi());
+        let mut cur = root;
+        let mut path = Vec::with_capacity(usize::from(prefix.len()));
+        for i in 0..prefix.len() {
+            let b = usize::from(prefix.bit(i));
+            let next = self.nodes[cur as usize].children[b];
+            if next == NONE {
+                return None;
+            }
+            path.push((cur, b));
+            cur = next;
+        }
+        let vidx = self.nodes[cur as usize].value;
+        if vidx == NONE {
+            return None;
+        }
+        self.nodes[cur as usize].value = NONE;
+        let (_, value) = self.values[vidx as usize]
+            .take()
+            .expect("occupied value slot");
+        self.free_values.push(vidx);
+        // Prune valueless leaf chains back toward the root.
+        let mut child = cur;
+        while child != root {
+            let n = self.nodes[child as usize];
+            if n.value != NONE || n.children[0] != NONE || n.children[1] != NONE {
+                break;
+            }
+            let (parent, b) = path.pop().expect("path covers all non-root nodes");
+            self.nodes[parent as usize].children[b] = NONE;
+            self.nodes[child as usize] = FlatNode::EMPTY;
+            self.free_nodes.push(child);
+            child = parent;
+        }
+        if prefix.afi() == Afi::Ipv4 {
+            self.v4_len -= 1;
+            self.patch_v4_table(prefix);
+        }
+        Some(value)
+    }
+
+    /// Mutable access to the value stored for exactly `prefix`.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut T> {
+        let mut cur = root_of(prefix.afi());
+        for i in 0..prefix.len() {
+            let next = self.nodes[cur as usize].children[usize::from(prefix.bit(i))];
+            if next == NONE {
+                return None;
+            }
+            cur = next;
+        }
+        let vidx = self.nodes[cur as usize].value;
+        if vidx == NONE {
+            return None;
+        }
+        self.values[vidx as usize].as_mut().map(|(_, v)| v)
+    }
+
+    fn alloc_node(&mut self) -> u32 {
+        if let Some(idx) = self.free_nodes.pop() {
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("node pool fits in u32");
+            self.nodes.push(FlatNode::EMPTY);
+            idx
+        }
+    }
+
+    fn alloc_value(&mut self, prefix: Prefix, value: T) -> u32 {
+        if let Some(idx) = self.free_values.pop() {
+            self.values[idx as usize] = Some((prefix, value));
+            idx
+        } else {
+            let idx = u32::try_from(self.values.len()).expect("value slab fits in u32");
+            self.values.push(Some((prefix, value)));
+            idx
+        }
+    }
+
+    /// Recompute the stride slots whose 16-bit head is covered by
+    /// `prefix` (all of them when `len < 16`, exactly one otherwise).
+    /// Heads outside that range cannot observe the change: the
+    /// inserted/pruned chain nodes off `prefix`'s path are valueless
+    /// and single-child, so their walks terminate with the same
+    /// `(node, best)` as before.
+    fn patch_v4_table(&mut self, prefix: Prefix) {
+        if self.v4_table.is_empty() {
+            return;
+        }
+        let head = (prefix.bits() >> (128 - u32::from(TABLE_BITS))) as usize;
+        let span = if prefix.len() >= TABLE_BITS {
+            1
+        } else {
+            1usize << (TABLE_BITS - prefix.len())
+        };
+        for h in head..head + span {
+            self.v4_table[h] = self.compute_slot(h);
+        }
+    }
+
+    fn compute_slot(&self, head: usize) -> RootSlot {
+        let mut cur = V4_ROOT;
+        let mut best = self.nodes[cur as usize].value;
+        for i in 0..TABLE_BITS {
+            let b = (head >> (TABLE_BITS - 1 - i)) & 1;
+            let next = self.nodes[cur as usize].children[b];
+            if next == NONE {
+                return RootSlot { node: NONE, best };
+            }
+            cur = next;
+            if self.nodes[cur as usize].value != NONE {
+                best = self.nodes[cur as usize].value;
+            }
+        }
+        RootSlot { node: cur, best }
+    }
+
+    fn build_v4_table(&mut self) {
+        let slots = 1usize << TABLE_BITS;
+        let mut table = Vec::with_capacity(slots);
+        for head in 0..slots {
+            table.push(self.compute_slot(head));
+        }
+        self.v4_table = table;
     }
 
     /// Longest stored prefix covering `prefix`, with its value.
@@ -191,10 +329,7 @@ impl<T> FlatTrie<T> {
     /// Value stored for exactly `prefix`, if any. Agrees with
     /// [`PrefixTrie::get`].
     pub fn get(&self, prefix: Prefix) -> Option<&T> {
-        let mut cur = match prefix.afi() {
-            Afi::Ipv4 => V4_ROOT,
-            Afi::Ipv6 => V6_ROOT,
-        };
+        let mut cur = root_of(prefix.afi());
         for i in 0..prefix.len() {
             let next = self.nodes[cur as usize].children[usize::from(prefix.bit(i))];
             if next == NONE {
@@ -210,42 +345,88 @@ impl<T> FlatTrie<T> {
         if idx == NONE {
             None
         } else {
-            let (p, v) = &self.values[idx as usize];
+            let (p, v) = self.values[idx as usize]
+                .as_ref()
+                .expect("live value index");
             Some((*p, v))
         }
     }
 
-    /// All `(prefix, value)` pairs in [`PrefixTrie::iter`] order.
-    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
-        self.values.iter().map(|(p, v)| (*p, v))
+    /// All `(prefix, value)` pairs in [`PrefixTrie::iter`] order (IPv4
+    /// before IPv6, pre-order address order within each family).
+    pub fn iter(&self) -> FlatIter<'_, T> {
+        FlatIter {
+            trie: self,
+            stack: vec![V6_ROOT, V4_ROOT],
+        }
     }
 
     /// Number of stored prefixes.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values.len() - self.free_values.len()
     }
 
     /// True when no prefixes are stored.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len() == 0
     }
 
-    /// Number of nodes in the flat pool (including the two roots).
+    /// Number of live nodes in the flat pool (including the two roots).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free_nodes.len()
     }
 
-    /// Approximate heap footprint in bytes: node pool, value table and
-    /// the IPv4 stride table. Per-value payload is counted by
+    /// Approximate heap footprint in bytes: node pool, value slab, free
+    /// lists and the IPv4 stride table. Per-value payload is counted by
     /// `size_of::<T>()`; heap owned by `T` itself is not followed.
     pub fn approx_bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<FlatNode>()
-            + self.values.capacity() * std::mem::size_of::<(Prefix, T)>()
+            + self.values.capacity() * std::mem::size_of::<Option<(Prefix, T)>>()
             + self.v4_table.capacity() * std::mem::size_of::<RootSlot>()
+            + (self.free_nodes.capacity() + self.free_values.capacity())
+                * std::mem::size_of::<u32>()
     }
 }
 
-impl<T: Clone> Default for FlatTrie<T> {
+fn root_of(afi: Afi) -> u32 {
+    match afi {
+        Afi::Ipv4 => V4_ROOT,
+        Afi::Ipv6 => V6_ROOT,
+    }
+}
+
+/// Pre-order iterator over a [`FlatTrie`], yielding pairs in exactly
+/// [`PrefixTrie::iter`] order.
+#[derive(Debug)]
+pub struct FlatIter<'a, T> {
+    trie: &'a FlatTrie<T>,
+    stack: Vec<u32>,
+}
+
+impl<'a, T> Iterator for FlatIter<'a, T> {
+    type Item = (Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(idx) = self.stack.pop() {
+            let node = self.trie.nodes[idx as usize];
+            if node.children[1] != NONE {
+                self.stack.push(node.children[1]);
+            }
+            if node.children[0] != NONE {
+                self.stack.push(node.children[0]);
+            }
+            if node.value != NONE {
+                let (p, v) = self.trie.values[node.value as usize]
+                    .as_ref()
+                    .expect("live value index");
+                return Some((*p, v));
+            }
+        }
+        None
+    }
+}
+
+impl<T> Default for FlatTrie<T> {
     fn default() -> Self {
         FlatTrie::new()
     }
@@ -343,5 +524,94 @@ mod tests {
         assert_eq!(flat.len(), 1);
         assert_eq!(flat.node_count(), 2 + 24);
         assert!(flat.approx_bytes() >= flat.node_count() * std::mem::size_of::<FlatNode>());
+    }
+
+    #[test]
+    fn incremental_insert_remove_matches_rebuild() {
+        let mut trie = PrefixTrie::new();
+        let mut flat: FlatTrie<u32> = FlatTrie::new();
+        let prefixes: Vec<Prefix> = (0..48u32)
+            .map(|i| {
+                let octets = [10, (i >> 4) as u8, (i << 4) as u8, 0];
+                Prefix::v4(octets.into(), 24).expect("valid")
+            })
+            .chain([p("10.0.0.0/8"), p("0.0.0.0/0"), p("2001:db8::/32")])
+            .collect();
+        for (i, pr) in prefixes.iter().enumerate() {
+            trie.insert(*pr, i as u32);
+            assert_eq!(flat.insert(*pr, i as u32), None);
+        }
+        // Replacement returns the old value and keeps lookups intact.
+        assert_eq!(flat.insert(prefixes[0], 999), Some(0));
+        trie.insert(prefixes[0], 999);
+        // Remove roughly half, including table-covered and short ones.
+        for pr in prefixes.iter().step_by(2) {
+            assert_eq!(flat.remove(*pr), trie.remove(*pr));
+        }
+        assert_eq!(flat.remove(p("10.255.0.0/24")), None);
+        let rebuilt = FlatTrie::from_trie(&trie);
+        assert_eq!(flat.len(), rebuilt.len());
+        let inc: Vec<_> = flat.iter().map(|(pr, v)| (pr, *v)).collect();
+        let reb: Vec<_> = rebuilt.iter().map(|(pr, v)| (pr, *v)).collect();
+        assert_eq!(inc, reb);
+        for pr in &prefixes {
+            assert_eq!(flat.get(*pr), trie.get(*pr), "get({pr})");
+            assert_eq!(
+                flat.longest_match(*pr).map(|(m, v)| (m, *v)),
+                trie.longest_match(*pr).map(|(m, v)| (m, *v)),
+                "longest_match({pr})"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_prunes_chain_nodes_and_recycles_them() {
+        let mut flat: FlatTrie<u32> = FlatTrie::new();
+        flat.insert(p("192.0.2.0/24"), 1);
+        assert_eq!(flat.node_count(), 2 + 24);
+        assert_eq!(flat.remove(p("192.0.2.0/24")), Some(1));
+        assert_eq!(flat.node_count(), 2, "chain pruned back to the root");
+        assert!(flat.is_empty());
+        // Reinsertion reuses the freed pool slots.
+        flat.insert(p("198.51.100.0/24"), 2);
+        assert_eq!(flat.node_count(), 2 + 24);
+        assert_eq!(flat.nodes.len(), 2 + 24, "no pool growth on reuse");
+    }
+
+    #[test]
+    fn stride_table_stays_patched_under_churn() {
+        let mut flat: FlatTrie<u32> = FlatTrie::new();
+        let mut trie = PrefixTrie::new();
+        for i in 0..40u32 {
+            let octets = [10, i as u8, 0, 0];
+            let pr = Prefix::v4(octets.into(), 16).expect("valid");
+            flat.insert(pr, i);
+            trie.insert(pr, i);
+        }
+        assert!(!flat.v4_table.is_empty());
+        // Short prefix insert patches a wide slot range.
+        flat.insert(p("10.0.0.0/8"), 800);
+        trie.insert(p("10.0.0.0/8"), 800);
+        // Long prefix insert patches a single slot.
+        flat.insert(p("10.3.7.0/24"), 2437);
+        trie.insert(p("10.3.7.0/24"), 2437);
+        // Removal under the table, including a pruning one.
+        flat.remove(p("10.5.0.0/16"));
+        trie.remove(p("10.5.0.0/16"));
+        for i in 0..40u32 {
+            for host in [[10, i as u8, 0, 1], [10, i as u8, 255, 255]] {
+                let q = Prefix::v4(host.into(), 32).expect("valid");
+                assert_eq!(
+                    flat.longest_match(q).map(|(pr, v)| (pr, *v)),
+                    trie.longest_match(q).map(|(pr, v)| (pr, *v)),
+                    "query {q}"
+                );
+            }
+        }
+        let q = p("10.5.1.2/32");
+        assert_eq!(
+            flat.longest_match(q).map(|(pr, v)| (pr, *v)),
+            trie.longest_match(q).map(|(pr, v)| (pr, *v)),
+        );
     }
 }

@@ -1,10 +1,11 @@
 //! Cross-structure property tests: [`FlatTrie`] must be an exact,
 //! query-for-query stand-in for the boxed [`PrefixTrie`] it is built
 //! from — longest-prefix match, exact lookup and iteration order all
-//! identical — including across offboard-then-readd churn (the detector
-//! rebuilds the flattened structure wholesale after every shard
-//! change), nested/adjacent prefix sets, and on either side of the
-//! stride-16 root-table threshold.
+//! identical — including across offboard-then-readd churn,
+//! nested/adjacent prefix sets, and on either side of the stride-16
+//! root-table threshold. Incremental in-place patching (the detector's
+//! epoch path) must additionally be indistinguishable from a wholesale
+//! `from_trie` rebuild after every single operation.
 
 use artemis_bgp::{FlatTrie, Prefix, PrefixTrie};
 use proptest::prelude::*;
@@ -151,6 +152,72 @@ proptest! {
         }
         let flat = FlatTrie::from_trie(&trie);
         assert_identical(&trie, &flat, &queries);
+    }
+
+    /// Incremental patching must be indistinguishable from a wholesale
+    /// rebuild: apply a randomized insert/remove churn sequence to one
+    /// `FlatTrie` in place, and after every operation compare it to a
+    /// fresh `from_trie` rebuild of the boxed model — return values,
+    /// lengths, iteration order and every derived probe must agree.
+    /// This is the contract the incremental detector epochs stand on.
+    #[test]
+    fn incremental_patching_matches_wholesale_rebuild(
+        pool in arb_prefix_set(48),
+        ops in prop::collection::vec(
+            (any::<bool>(), any::<usize>(), any::<u32>()),
+            1..160),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut flat: FlatTrie<u32> = FlatTrie::new();
+        for (step, (is_insert, which, value)) in ops.iter().enumerate() {
+            let p = pool[which % pool.len()];
+            if *is_insert {
+                let was = trie.insert(p, *value);
+                prop_assert_eq!(
+                    flat.insert(p, *value), was,
+                    "insert({}) return at step {}", p, step
+                );
+            } else {
+                let was = trie.remove(p);
+                prop_assert_eq!(
+                    flat.remove(p), was,
+                    "remove({}) return at step {}", p, step
+                );
+            }
+            let rebuilt = FlatTrie::from_trie(&trie);
+            prop_assert_eq!(flat.len(), rebuilt.len());
+            let queries = related_queries(p);
+            assert_identical(&trie, &flat, &queries);
+            assert_identical(&trie, &rebuilt, &queries);
+        }
+        // Full sweep at the end: the patched structure answers every
+        // probe derivable from the whole pool, not just the last op.
+        let queries: Vec<Prefix> =
+            pool.iter().flat_map(|p| related_queries(*p)).collect();
+        assert_identical(&trie, &flat, &queries);
+    }
+
+    /// Draining the churned structure back to empty via incremental
+    /// removes leaves no residue: it answers like a brand-new trie.
+    #[test]
+    fn incremental_drain_to_empty_leaves_no_residue(
+        pool in arb_prefix_set(40),
+        probes in prop::collection::vec(
+            prop_oneof![clustered_v4(), clustered_v6()], 0..24),
+    ) {
+        let mut flat: FlatTrie<u32> = FlatTrie::new();
+        for (i, p) in pool.iter().enumerate() {
+            flat.insert(*p, i as u32);
+        }
+        for p in &pool {
+            flat.remove(*p);
+        }
+        prop_assert!(flat.is_empty());
+        prop_assert_eq!(flat.iter().count(), 0);
+        for &q in pool.iter().chain(probes.iter()) {
+            prop_assert!(flat.longest_match(q).is_none(), "longest_match({})", q);
+            prop_assert!(flat.get(q).is_none(), "get({})", q);
+        }
     }
 
     /// The stride-16 root table must be behaviorally invisible: a set

@@ -33,7 +33,7 @@
 use crate::alert::{AlertId, AlertStore};
 use crate::classify::HijackType;
 use crate::config::{ArtemisConfig, OwnedPrefix};
-use artemis_bgp::{AsPath, Asn, FlatTrie, Prefix, PrefixTrie};
+use artemis_bgp::{AsPath, Asn, FlatTrie, Prefix};
 use artemis_feeds::FeedEvent;
 use artemis_simnet::SimTime;
 use std::collections::BTreeSet;
@@ -195,35 +195,52 @@ impl Default for PreparedEvent {
     }
 }
 
-/// The shard-routing structure a [`ClassifyContext`] snapshot walks.
+/// An epoch-stamped handle to the detector's routing structure: the
+/// incremental [`FlatTrie`] that maps an observed prefix to the
+/// responsible shard, plus a generation counter bumped on every
+/// onboard/offboard mutation.
 ///
-/// The hot path is [`RoutingSnapshot::Flat`]: an immutable, array-backed
-/// [`FlatTrie`] rebuilt only when a prefix is onboarded or offboarded.
-/// [`RoutingSnapshot::Boxed`] is the fallback when the flat snapshot is
-/// stale (a shard was added/removed and no batch boundary has refreshed
-/// it yet); both return identical longest-match results.
+/// This is the *only* routing structure the detector keeps. Mutations
+/// go through `Arc::make_mut` — copy-on-write against any live
+/// [`ClassifyContext`] worker snapshot (which only lives within one
+/// batch, so steady-state mutation patches in place without copying) —
+/// and each one advances the epoch, so any holder can tell at a glance
+/// whether its snapshot is current.
 #[derive(Clone)]
-enum RoutingSnapshot {
-    Flat(Arc<FlatTrie<usize>>),
-    Boxed(Arc<PrefixTrie<usize>>),
+pub struct RoutingEpoch {
+    flat: Arc<FlatTrie<usize>>,
+    epoch: u64,
 }
 
-impl RoutingSnapshot {
+impl RoutingEpoch {
     /// Shard index of the most-specific owned prefix covering `p`.
-    fn route(&self, p: Prefix) -> Option<usize> {
-        match self {
-            RoutingSnapshot::Flat(f) => f.longest_match(p).map(|(_, idx)| *idx),
-            RoutingSnapshot::Boxed(t) => t.longest_match(p).map(|(_, idx)| *idx),
-        }
+    pub fn route(&self, p: Prefix) -> Option<usize> {
+        self.flat.longest_match(p).map(|(_, idx)| *idx)
+    }
+
+    /// Generation counter: bumped once per onboard/offboard mutation.
+    /// Two handles with equal epochs observe identical routing.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of routed (owned) prefixes.
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// True when no prefixes are routed.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
     }
 }
 
-/// An owned, thread-safe snapshot of the detector's routing structure
-/// and classification rules, for fanning [`ClassifyContext::prepare`]
-/// out to worker threads. Cheap to clone (two `Arc` bumps).
+/// An owned, thread-safe snapshot of the detector's routing epoch and
+/// classification rules, for fanning [`ClassifyContext::prepare`] out
+/// to worker threads. Cheap to clone (two `Arc` bumps).
 #[derive(Clone)]
 pub struct ClassifyContext {
-    routing: RoutingSnapshot,
+    routing: RoutingEpoch,
     rules: Arc<Vec<Arc<ShardRules>>>,
 }
 
@@ -233,6 +250,11 @@ impl ClassifyContext {
     /// legitimacy rules. Pure; safe to call from any thread.
     pub fn prepare(&self, event: &FeedEvent) -> PreparedEvent {
         prepare_with(|p| self.routing.route(p), &self.rules, event)
+    }
+
+    /// The routing epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.routing.epoch()
     }
 }
 
@@ -270,15 +292,11 @@ pub struct Detector {
     /// worker-thread [`ClassifyContext`]s.
     rules: Arc<Vec<Arc<ShardRules>>>,
     /// Routes an observed prefix to the responsible shard (index into
-    /// `shards`/`rules`) by longest-prefix match. Source of truth for
-    /// mutations (onboard/offboard).
-    routing: Arc<PrefixTrie<usize>>,
-    /// Flattened snapshot of `routing` for the per-event hot path: a
-    /// cache-friendly array walk instead of pointer chasing. Rebuilt
-    /// lazily (at batch boundaries) after onboard/offboard.
-    flat: Arc<FlatTrie<usize>>,
-    /// True when `routing` changed since `flat` was last rebuilt.
-    flat_stale: bool,
+    /// `shards`/`rules`) by longest-prefix match. The single source of
+    /// truth: onboard/offboard patch it incrementally (O(affected
+    /// subtree)) and bump its epoch — there is no boxed fallback and
+    /// no stale window.
+    routing: RoutingEpoch,
     store: AlertStore,
     /// Expectations outside every owned prefix (never consulted by
     /// classification; kept so expect/unexpect round-trips hold).
@@ -298,7 +316,7 @@ impl Detector {
     /// to be announced.
     pub fn new(config: ArtemisConfig) -> Self {
         let operator_as = config.operator_as;
-        let mut routing = PrefixTrie::new();
+        let mut flat = FlatTrie::new();
         let mut shards = Vec::with_capacity(config.owned.len());
         let mut rules = Vec::with_capacity(config.owned.len());
         for o in config.owned {
@@ -306,7 +324,7 @@ impl Detector {
             if !o.dormant {
                 expected.insert(o.prefix);
             }
-            routing.insert(o.prefix, shards.len());
+            flat.insert(o.prefix, shards.len());
             rules.push(Arc::new(ShardRules { owned: o, expected }));
             shards.push(DetectorShard {
                 alerts: Vec::new(),
@@ -314,14 +332,14 @@ impl Detector {
             });
         }
         let dirty = vec![false; shards.len()];
-        let flat = Arc::new(FlatTrie::from_trie(&routing));
         Detector {
             operator_as,
             shards,
             rules: Arc::new(rules),
-            routing: Arc::new(routing),
-            flat,
-            flat_stale: false,
+            routing: RoutingEpoch {
+                flat: Arc::new(flat),
+                epoch: 0,
+            },
             store: AlertStore::new(),
             stray_expected: BTreeSet::new(),
             roa: None,
@@ -340,15 +358,15 @@ impl Detector {
     /// any construction-time shard. Returns `false` (and changes
     /// nothing) when a shard for exactly this prefix already exists.
     pub fn add_shard(&mut self, owned: OwnedPrefix) -> bool {
-        if self.routing.get(owned.prefix).is_some() {
+        if self.routing.flat.get(owned.prefix).is_some() {
             return false;
         }
         let mut expected = BTreeSet::new();
         if !owned.dormant {
             expected.insert(owned.prefix);
         }
-        Arc::make_mut(&mut self.routing).insert(owned.prefix, self.shards.len());
-        self.flat_stale = true;
+        Arc::make_mut(&mut self.routing.flat).insert(owned.prefix, self.shards.len());
+        self.routing.epoch += 1;
         // Expectations that strayed because no shard covered them yet
         // (e.g. registered before onboarding) stay stray: they were
         // never consulted and re-registering is the caller's call.
@@ -366,8 +384,8 @@ impl Detector {
     /// in-flight incidents). Events for the removed address space
     /// classify as "not our prefix" (benign) from now on.
     pub fn remove_shard(&mut self, owned: Prefix) -> Option<RemovedShard> {
-        let idx = Arc::make_mut(&mut self.routing).remove(owned)?;
-        self.flat_stale = true;
+        let idx = Arc::make_mut(&mut self.routing.flat).remove(owned)?;
+        self.routing.epoch += 1;
         let shard = self.shards.swap_remove(idx);
         let rules = Arc::make_mut(&mut self.rules).swap_remove(idx);
         self.dirty.swap_remove(idx);
@@ -375,7 +393,7 @@ impl Detector {
         // routing entry must follow it.
         if idx < self.shards.len() {
             let moved_prefix = self.rules[idx].owned.prefix;
-            *Arc::make_mut(&mut self.routing)
+            *Arc::make_mut(&mut self.routing.flat)
                 .get_mut(moved_prefix)
                 .expect("moved shard stays routed") = idx;
             self.dirty[idx] = true;
@@ -391,7 +409,7 @@ impl Detector {
 
     /// Events routed to the shard owning exactly `owned`, if any.
     pub fn shard_events(&self, owned: Prefix) -> Option<u64> {
-        self.routing.get(owned).map(|i| self.shards[*i].events)
+        self.routing.flat.get(owned).map(|i| self.shards[*i].events)
     }
 
     /// Load an RPKI ROA table; subsequent alerts carry a validity
@@ -412,9 +430,8 @@ impl Detector {
     /// expectation is routed to the shard owning the covering prefix —
     /// the same shard the echoed announcements will be routed to.
     pub fn expect_announcement(&mut self, prefix: Prefix) {
-        match self.routing.longest_match(prefix) {
-            Some((_, idx)) => {
-                let idx = *idx;
+        match self.routing.route(prefix) {
+            Some(idx) => {
                 self.rules_mut(idx).expected.insert(prefix);
             }
             None => {
@@ -429,7 +446,7 @@ impl Detector {
     /// so subsequent events classify under the normal (non-squatting)
     /// rules instead of flagging our own announcement.
     pub fn activate_prefix(&mut self, owned: Prefix) {
-        if let Some(idx) = self.routing.get(owned) {
+        if let Some(idx) = self.routing.flat.get(owned) {
             let idx = *idx;
             let rules = self.rules_mut(idx);
             rules.owned.dormant = false;
@@ -439,9 +456,8 @@ impl Detector {
 
     /// Remove an expectation (after mitigation withdrawal).
     pub fn unexpect_announcement(&mut self, prefix: Prefix) {
-        match self.routing.longest_match(prefix) {
-            Some((_, idx)) => {
-                let idx = *idx;
+        match self.routing.route(prefix) {
+            Some(idx) => {
                 self.rules_mut(idx).expected.remove(&prefix);
             }
             None => {
@@ -467,49 +483,39 @@ impl Detector {
 
     // ---- Two-phase (parallel) processing ----------------------------
 
-    /// Rebuild the flattened routing snapshot if onboard/offboard made
-    /// it stale. Called at batch boundaries so the per-event hot path
-    /// always walks the flat structure.
-    fn refresh_routing(&mut self) {
-        if self.flat_stale {
-            self.flat = Arc::new(FlatTrie::from_trie(&self.routing));
-            self.flat_stale = false;
-        }
-    }
-
-    /// The snapshot lookups route through: the flat structure when
-    /// fresh, the boxed trie as a stale-window fallback. Identical
-    /// results either way.
-    fn routing_snapshot(&self) -> RoutingSnapshot {
-        if self.flat_stale {
-            RoutingSnapshot::Boxed(Arc::clone(&self.routing))
-        } else {
-            RoutingSnapshot::Flat(Arc::clone(&self.flat))
-        }
+    /// The current routing epoch handle: the incremental flat routing
+    /// structure plus its generation stamp. Cheap to clone (one `Arc`
+    /// bump); shared with [`ClassifyContext`] worker snapshots and the
+    /// pipeline's monitor index.
+    pub fn routing_epoch(&self) -> RoutingEpoch {
+        self.routing.clone()
     }
 
     /// Nodes in the flattened routing structure (capacity gauge).
     pub fn routing_nodes(&self) -> usize {
-        self.flat.node_count()
+        self.routing.flat.node_count()
     }
 
     /// Approximate heap bytes held by the flattened routing structure
     /// (capacity gauge).
     pub fn routing_bytes(&self) -> usize {
-        self.flat.approx_bytes()
+        self.routing.flat.approx_bytes()
     }
 
     /// The legitimacy rules of the shard owning exactly `owned`, if
     /// any — a keyed trie lookup, not a scan over the configuration.
     pub fn owned_rules(&self, owned: Prefix) -> Option<&OwnedPrefix> {
-        self.routing.get(owned).map(|idx| &self.rules[*idx].owned)
+        self.routing
+            .flat
+            .get(owned)
+            .map(|idx| &self.rules[*idx].owned)
     }
 
-    /// An owned snapshot of the routing structure and per-shard rules
-    /// for worker threads (two `Arc` bumps; no copying).
+    /// An owned snapshot of the routing epoch and per-shard rules for
+    /// worker threads (two `Arc` bumps; no copying).
     pub fn classify_context(&self) -> ClassifyContext {
         ClassifyContext {
-            routing: self.routing_snapshot(),
+            routing: self.routing.clone(),
             rules: Arc::clone(&self.rules),
         }
     }
@@ -517,28 +523,18 @@ impl Detector {
     /// Classify one event against live state without committing it —
     /// the single-threaded equivalent of [`ClassifyContext::prepare`].
     pub fn prepare(&self, event: &FeedEvent) -> PreparedEvent {
-        if self.flat_stale {
-            prepare_with(
-                |p| self.routing.longest_match(p).map(|(_, idx)| *idx),
-                &self.rules,
-                event,
-            )
-        } else {
-            prepare_with(
-                |p| self.flat.longest_match(p).map(|(_, idx)| *idx),
-                &self.rules,
-                event,
-            )
-        }
+        prepare_with(|p| self.routing.route(p), &self.rules, event)
     }
 
     /// Start a new commit batch: forget which shards were dirtied by
-    /// earlier batches, and fold any pending onboard/offboard into the
-    /// flattened routing snapshot. Call once per batch, *before*
-    /// preparing events against the current rules snapshot.
-    pub fn begin_batch(&mut self) {
-        self.refresh_routing();
+    /// earlier batches. Returns the routing epoch the batch classifies
+    /// under — onboard/offboard between batches already patched the
+    /// flat structure in place, so there is nothing to rebuild. Call
+    /// once per batch, *before* preparing events against the current
+    /// rules snapshot.
+    pub fn begin_batch(&mut self) -> u64 {
         self.dirty.iter_mut().for_each(|d| *d = false);
+        self.routing.epoch
     }
 
     /// Commit one prepared event in batch order.
@@ -576,7 +572,6 @@ impl Detector {
     /// [`Detector::begin_batch`], so a stale dirty bit must not force
     /// a redundant second classification on every call.
     pub fn process(&mut self, event: &FeedEvent) -> Detection {
-        self.refresh_routing();
         self.events_processed += 1;
         let prep = self.prepare(event);
         let Some(idx) = prep.shard else {
@@ -626,7 +621,7 @@ impl Detector {
     /// detection timestamp for an experiment). Answered from the
     /// owning shard's alert list.
     pub fn first_detection(&self, owned: Prefix) -> Option<SimTime> {
-        let idx = self.routing.get(owned)?;
+        let idx = self.routing.flat.get(owned)?;
         self.shards[*idx]
             .alerts
             .iter()
@@ -1065,7 +1060,8 @@ mod tests {
     }
 
     #[test]
-    fn flat_routing_agrees_with_boxed_across_onboard_offboard_churn() {
+    fn incremental_routing_stays_consistent_across_onboard_offboard_churn() {
+        use artemis_bgp::PrefixTrie;
         let mut d = Detector::new(config());
         let probes = [
             event("10.0.0.0/23", &[2914, 174, 666], 45),
@@ -1075,37 +1071,55 @@ mod tests {
             event("8.8.8.0/24", &[2914, 15169], 45),
         ];
         let check = |d: &Detector| {
+            // The routing structure must mirror the shard table exactly…
+            assert_eq!(d.routing.len(), d.shards.len());
+            let mut boxed = PrefixTrie::new();
+            for (i, r) in d.rules.iter().enumerate() {
+                assert_eq!(d.routing.flat.get(r.owned.prefix), Some(&i));
+                boxed.insert(r.owned.prefix, i);
+            }
+            // …and classify identically to a boxed reference trie.
             for ev in &probes {
-                let boxed = prepare_with(
-                    |p| d.routing.longest_match(p).map(|(_, idx)| *idx),
+                let reference = prepare_with(
+                    |p| boxed.longest_match(p).map(|(_, idx)| *idx),
                     &d.rules,
                     ev,
                 );
-                assert_eq!(d.prepare(ev), boxed, "probe {}", ev.prefix);
-                assert_eq!(d.classify_context().prepare(ev), boxed);
+                assert_eq!(d.prepare(ev), reference, "probe {}", ev.prefix);
+                assert_eq!(d.classify_context().prepare(ev), reference);
             }
         };
-        // Fresh from construction: flat path, identical to boxed.
-        assert!(!d.flat_stale);
+        let e0 = d.routing_epoch().epoch();
         check(&d);
-        // Onboard: stale window uses the boxed fallback…
+        // Onboarding patches the flat structure immediately — the new
+        // shard routes with no stale window and the epoch advances.
         assert!(d.add_shard(OwnedPrefix::new(pfx("172.16.0.0/23"), Asn(65001))));
-        assert!(d.flat_stale);
+        let e1 = d.routing_epoch().epoch();
+        assert!(e1 > e0);
         check(&d);
-        // …and the batch boundary folds it into the flat snapshot.
         d.begin_batch();
-        assert!(!d.flat_stale);
+        assert_eq!(
+            d.routing_epoch().epoch(),
+            e1,
+            "batches do not mutate routing"
+        );
         check(&d);
         assert!(d.routing_nodes() > 2);
         assert!(d.routing_bytes() > 0);
-        // Offboard-then-readd churn keeps the two structures agreeing.
+        // Offboard-then-readd churn (exercising swap_remove index
+        // moves) keeps routing and shard table agreeing.
         d.remove_shard(pfx("10.0.0.0/23")).expect("shard exists");
+        assert!(d.routing_epoch().epoch() > e1);
         check(&d);
         d.begin_batch();
         check(&d);
         assert!(d.add_shard(OwnedPrefix::new(pfx("10.0.0.0/23"), Asn(65001))));
         d.begin_batch();
         check(&d);
+        // A held snapshot keeps its epoch while the detector moves on.
+        let ctx = d.classify_context();
+        assert!(d.add_shard(OwnedPrefix::new(pfx("198.51.100.0/24"), Asn(65001))));
+        assert!(d.routing_epoch().epoch() > ctx.epoch());
         // Keyed owned-prefix lookup sees exactly the onboarded shards.
         assert!(d.owned_rules(pfx("10.0.0.0/23")).is_some());
         assert!(d.owned_rules(pfx("10.0.0.0/24")).is_none());

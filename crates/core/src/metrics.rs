@@ -94,23 +94,40 @@ impl StageStat {
 /// Per-stage batch latency of the pipeline's delivery path.
 ///
 /// `drain`, `classify` and `commit` are the three top-level stages of
-/// a delivered batch. The remaining fields break the commit stage
-/// into its named sub-stages (they overlap `commit`, never add to
-/// it): `detect` (ordered detection walk, including in-batch monitor
-/// creation), `monitor_route` (prefix-routing every event to its
-/// covering set of active monitors), `monitor_ingest` (ingesting the
-/// routed events, inline or across the worker pool), `resolve`
-/// (applying resolution decisions: alert state, log, monitor
-/// retirement) and `mitigate` (planning/executing/holding mitigation
-/// for newly raised alerts). Sub-stages are recorded by the batched
+/// a delivered batch. The remaining fields break each top-level stage
+/// into its named sub-stages (they overlap their parent, never add to
+/// it). The drain stage splits into `drain_seal` (sealing each feed's
+/// sorted run — lazy sort of lanes an append disordered) and
+/// `drain_merge` (the k-way merge of due events out of the lanes).
+/// The classify stage splits into `classify_snapshot` (starting the
+/// batch: resetting dirty tracking and snapshotting the routing epoch
+/// and rules) and `classify_prepare` (classifying every event, inline
+/// or across the worker pool). The commit stage splits into `detect`
+/// (ordered detection walk, including in-batch monitor creation),
+/// `monitor_route` (prefix-routing every event to its covering set of
+/// active monitors), `monitor_ingest` (ingesting the routed events,
+/// inline or across the worker pool), `resolve` (applying resolution
+/// decisions: alert state, log, monitor retirement) and `mitigate`
+/// (planning/executing/holding mitigation for newly raised alerts).
+/// Sub-stages are recorded by the batched
 /// [`Pipeline::deliver_due`](crate::Pipeline::deliver_due) path; the
 /// per-event delivery paths record the top-level stages only.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageMetrics {
     /// Draining due events out of the hub's merge queue.
     pub drain: StageStat,
+    /// Drain sub-stage: sealing the per-feed sorted runs.
+    pub drain_seal: StageStat,
+    /// Drain sub-stage: k-way merging due events out of the lanes.
+    pub drain_merge: StageStat,
     /// Classifying the drained batch (inline or worker pool).
     pub classify: StageStat,
+    /// Classify sub-stage: batch start — dirty-tracking reset plus the
+    /// routing-epoch/rules snapshot taken for classification.
+    pub classify_snapshot: StageStat,
+    /// Classify sub-stage: classifying every event against the
+    /// snapshot (inline sequential or fanned across the worker pool).
+    pub classify_prepare: StageStat,
     /// Committing the batch in order through detection, monitoring
     /// and mitigation (the umbrella over the five sub-stages below).
     pub commit: StageStat,

@@ -12,6 +12,7 @@ use artemis_bgp::{Asn, Prefix, PrefixTrie};
 use artemis_feeds::FeedEvent;
 use artemis_simnet::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// What a vantage point currently selects for the monitored space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +173,29 @@ impl MonitorService {
         self.vp_observation(vp).0
     }
 
+    /// Drop everything `vp` ever reported about the monitored space:
+    /// its BGP session to the collector went down (BMP `peer_down`),
+    /// so its routes are no longer current. The vantage point returns
+    /// to [`VpState::Unknown`] until it reports again; a timeline
+    /// point is recorded when the purge changed its state. Returns
+    /// `true` when the VP actually had observations to drop.
+    ///
+    /// Purging never *resolves* an incident by itself — resolution is
+    /// evaluated on the next ingested event, exactly like any other
+    /// state change — so a flapping session cannot silently close an
+    /// alert.
+    pub fn purge_vantage(&mut self, vp: Asn, at: SimTime) -> bool {
+        let before = self.vp_observation(vp);
+        if self.observations.remove(&vp).is_none() {
+            return false;
+        }
+        let after = self.vp_observation(vp);
+        if before != after {
+            self.timeline.push(self.snapshot(at));
+        }
+        true
+    }
+
     /// Aggregate counts now.
     pub fn snapshot(&self, time: SimTime) -> TimelinePoint {
         let mut legitimate = 0;
@@ -287,6 +311,15 @@ impl RetiredMonitor {
 pub struct MonitorIndex {
     targets: PrefixTrie<Vec<AlertId>>,
     len: usize,
+    /// Bumped on every successful `insert`/`remove`; versions the
+    /// cached covering-set partition below.
+    epoch: u64,
+    /// Memoized [`MonitorIndex::covering_shards`] result, valid while
+    /// the stored epoch matches. Steady-state delivery (no monitor
+    /// births/retirements between batches) reuses it for free; the
+    /// `Arc` lets the pipeline hold the partition across a batch while
+    /// the index itself is mutably borrowed.
+    shards_cache: Option<(u64, Arc<Vec<Vec<AlertId>>>)>,
 }
 
 impl MonitorIndex {
@@ -305,6 +338,12 @@ impl MonitorIndex {
         self.len == 0
     }
 
+    /// Mutation counter: bumped whenever the indexed monitor set
+    /// actually changes. No-op inserts/removes leave it untouched.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Index `alert`'s monitor under its target prefix.
     pub fn insert(&mut self, target: Prefix, alert: AlertId) {
         let ids = match self.targets.get_mut(target) {
@@ -319,6 +358,7 @@ impl MonitorIndex {
             Err(pos) => ids.insert(pos, alert),
         }
         self.len += 1;
+        self.epoch += 1;
     }
 
     /// Drop `alert` from the index. Returns `false` when it was not
@@ -335,6 +375,7 @@ impl MonitorIndex {
             self.targets.remove(target);
         }
         self.len -= 1;
+        self.epoch += 1;
         true
     }
 
@@ -382,6 +423,20 @@ impl MonitorIndex {
             let shard = shards.last_mut().expect("component started");
             shard.extend_from_slice(ids);
         }
+        shards
+    }
+
+    /// [`MonitorIndex::covering_shards`], memoized against the index's
+    /// epoch: recomputed only after a monitor was indexed or dropped
+    /// since the last call.
+    pub fn covering_shards_cached(&mut self) -> Arc<Vec<Vec<AlertId>>> {
+        if let Some((at, shards)) = &self.shards_cache {
+            if *at == self.epoch {
+                return Arc::clone(shards);
+            }
+        }
+        let shards = Arc::new(self.covering_shards());
+        self.shards_cache = Some((self.epoch, Arc::clone(&shards)));
         shards
     }
 }
@@ -546,6 +601,36 @@ mod tests {
             m.all_legitimate(),
             "unknown VPs do not block resolution; hijacked ones do"
         );
+    }
+
+    #[test]
+    fn peer_down_purge_resets_vp_to_unknown() {
+        let mut m = service();
+        m.ingest(&event(174, "10.0.0.0/23", Some(666), 10));
+        m.ingest(&event(3356, "10.0.0.0/23", Some(65001), 11));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Hijacked);
+        let points_before = m.timeline().len();
+
+        // The hijacked VP's session to the collector drops: its stale
+        // routes are purged, the VP returns to Unknown, and the state
+        // change lands on the timeline.
+        assert!(m.purge_vantage(Asn(174), SimTime::from_secs(20)));
+        assert_eq!(m.vp_state(Asn(174)), VpState::Unknown);
+        assert_eq!(m.timeline().len(), points_before + 1);
+        let last = m.timeline().last().unwrap();
+        assert_eq!(last.time, SimTime::from_secs(20));
+        assert_eq!((last.legitimate, last.hijacked, last.unknown), (1, 0, 2));
+
+        // A VP with nothing recorded purges to nothing — no timeline
+        // noise from flapping sessions that never reported.
+        assert!(!m.purge_vantage(Asn(174), SimTime::from_secs(21)));
+        assert!(!m.purge_vantage(Asn(2914), SimTime::from_secs(22)));
+        assert_eq!(m.timeline().len(), points_before + 1);
+
+        // Purging alone never resolves: the legitimate VP still has
+        // data, but `all_legitimate` is only *acted on* at the next
+        // ingest (here it merely reads true, as any snapshot would).
+        assert!(m.all_legitimate());
     }
 
     #[test]

@@ -198,6 +198,22 @@ pub struct OffboardReport {
     pub shard_events: u64,
 }
 
+/// Sub-stage wall-clock split of one classify stage (see
+/// [`StageMetrics`]): batch start + snapshot vs. the classification
+/// pass itself.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassifySplit {
+    /// Dirty-tracking reset plus the routing-epoch/rules snapshot.
+    snapshot_ns: u64,
+    /// Classifying every event (inline sequential or pooled).
+    prepare_ns: u64,
+}
+
+/// Saturating elapsed nanoseconds since `t0`.
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The assembled ARTEMIS pipeline: feeds → sharded detection →
 /// per-alert monitoring → automatic mitigation.
 pub struct Pipeline {
@@ -689,6 +705,28 @@ impl Pipeline {
         self.hub.ingest_route_changes(changes);
     }
 
+    /// Drain pending BMP `peer_down` signals from the hub's wire feeds
+    /// and purge each downed peer from every active monitor's per-VP
+    /// view: a vantage point whose session to the collector is gone no
+    /// longer has current routes, so it returns to `Unknown` until it
+    /// reports again. Called automatically at each delivery boundary
+    /// ([`Pipeline::deliver_due`] and [`Pipeline::run`]); exposed for
+    /// drivers that pump wire feeds without delivering. Returns the
+    /// number of `(peer, monitor)` purges applied.
+    pub fn apply_peer_downs(&mut self, at: SimTime) -> usize {
+        let downs = self.hub.take_peer_downs();
+        if downs.is_empty() {
+            return 0;
+        }
+        let mut purged = 0;
+        for vp in &downs {
+            for monitor in self.monitors.values_mut() {
+                purged += usize::from(monitor.purge_vantage(*vp, at));
+            }
+        }
+        purged
+    }
+
     /// Emission instant of the earliest queued feed event.
     pub fn next_feed_time(&self) -> Option<SimTime> {
         self.hub.next_emission()
@@ -914,11 +952,19 @@ impl Pipeline {
     /// and should be consumed; `false` selects the inline sequential
     /// path. Either way the detector's per-batch dirty tracking is
     /// reset so mid-batch rule changes invalidate stale preparations.
-    fn prepare_batch(&mut self) -> bool {
-        self.detector.begin_batch();
+    ///
+    /// The second return value is the classify stage's sub-stage
+    /// timing: snapshot (batch start + routing-epoch/rules snapshot)
+    /// and prepare (the classification itself; the caller adds its own
+    /// inline fallback pass when this method returns `false`).
+    fn prepare_batch(&mut self) -> (bool, ClassifySplit) {
+        let t0 = std::time::Instant::now();
+        let epoch = self.detector.begin_batch();
+        let mut split = ClassifySplit::default();
         let n = self.batch.len();
         if n == 0 {
-            return false;
+            split.snapshot_ns = elapsed_ns(t0);
+            return (false, split);
         }
         let parallel = self
             .pool
@@ -926,10 +972,18 @@ impl Pipeline {
             .is_some_and(|_| n >= self.effective_threshold);
         if !parallel {
             self.sequential_batches += 1;
-            return false;
+            split.snapshot_ns = elapsed_ns(t0);
+            return (false, split);
         }
         self.parallel_batches += 1;
         let ctx = self.detector.classify_context();
+        debug_assert_eq!(
+            ctx.epoch(),
+            epoch,
+            "worker snapshot classifies under the batch's routing epoch"
+        );
+        split.snapshot_ns = elapsed_ns(t0);
+        let t1 = std::time::Instant::now();
         // The batch rides to the workers in an `Arc` (no copying) and
         // comes back untouched once every chunk has returned.
         let events = Arc::new(std::mem::take(&mut self.batch));
@@ -942,7 +996,8 @@ impl Pipeline {
         );
         drop(ctx);
         self.batch = Arc::try_unwrap(events).expect("workers released the batch");
-        true
+        split.prepare_ns = elapsed_ns(t1);
+        (true, split)
     }
 
     /// Drain every queued feed event due by `upto` and deliver it as
@@ -977,11 +1032,12 @@ impl Pipeline {
     ) -> u64 {
         use std::time::Instant;
 
+        self.apply_peer_downs(upto);
         let t0 = Instant::now();
-        self.hub.drain_batch(upto, &mut self.batch);
+        let (_, drain_split) = self.hub.drain_batch_timed(upto, &mut self.batch);
         let delivered = self.batch.len() as u64;
         let t1 = Instant::now();
-        let mut prepared = self.prepare_batch();
+        let (mut prepared, mut split) = self.prepare_batch();
         if !prepared && !self.batch.is_empty() {
             // No pool (or below the fan-out threshold): classify in
             // one tight sequential pass anyway. The flat trie and the
@@ -990,12 +1046,14 @@ impl Pipeline {
             // classify-and-commit path per event — and the dirty-shard
             // recompute in `process_prepared` keeps the outcome
             // byte-identical to the fused path by construction.
+            let inline_t = Instant::now();
             self.prepared.clear();
             self.prepared.reserve(self.batch.len());
             for event in &self.batch {
                 self.prepared.push(self.detector.prepare(event));
             }
             prepared = true;
+            split.prepare_ns += elapsed_ns(inline_t);
         }
         let t2 = Instant::now();
         if delivered == 0 {
@@ -1005,8 +1063,10 @@ impl Pipeline {
         // --- monitor-route: partition the active monitors into
         // covering-set shards and route every event once through the
         // prefix index, building each shard's (deduplicated, ordered)
-        // relevant-event index list.
-        let shards = self.monitor_index.covering_shards();
+        // relevant-event index list. The partition is cached inside
+        // the index and invalidated by its epoch, so steady-state
+        // batches (no onboard/offboard in between) skip the recompute.
+        let shards = self.monitor_index.covering_shards_cached();
         let mut group_of: BTreeMap<AlertId, u32> = BTreeMap::new();
         for (g, ids) in shards.iter().enumerate() {
             for id in ids {
@@ -1191,7 +1251,21 @@ impl Pipeline {
 
         let m = &mut self.stage_metrics;
         m.drain.record(delivered, t1 - t0);
+        m.drain_seal.record(
+            delivered,
+            std::time::Duration::from_nanos(drain_split.seal_nanos),
+        );
+        m.drain_merge.record(
+            delivered,
+            std::time::Duration::from_nanos(drain_split.merge_nanos),
+        );
         m.classify.record(delivered, t2 - t1);
+        m.classify_snapshot.record(
+            delivered,
+            std::time::Duration::from_nanos(split.snapshot_ns),
+        );
+        m.classify_prepare
+            .record(delivered, std::time::Duration::from_nanos(split.prepare_ns));
         m.commit.record(delivered, t5 - t2);
         m.monitor_route.record(delivered, t3 - t2);
         m.monitor_ingest.record(delivered, t4 - t3);
@@ -1379,11 +1453,12 @@ impl Pipeline {
             // Otherwise: deliver the batch of feed events due now —
             // classified across the worker pool when configured, then
             // committed one by one in `(emitted_at, ingestion order)`.
+            self.apply_peer_downs(next);
             let t0 = std::time::Instant::now();
             self.hub.drain_batch(next, &mut self.batch);
             let drained = self.batch.len() as u64;
             let t1 = std::time::Instant::now();
-            let prepared = self.prepare_batch();
+            let (prepared, _) = self.prepare_batch();
             let t2 = std::time::Instant::now();
             let mut batch = std::mem::take(&mut self.batch);
             let prep = std::mem::take(&mut self.prepared);
@@ -1556,6 +1631,80 @@ mod tests {
 
     fn controller() -> Controller {
         Controller::new(Asn(65001), LatencyModel::const_secs(15), SimRng::new(1))
+    }
+
+    /// Minimal wire-feed stand-in: contributes no events, only queued
+    /// `peer_down` signals.
+    struct PeerDownFeed {
+        downs: Vec<Asn>,
+    }
+
+    impl artemis_feeds::FeedSource for PeerDownFeed {
+        fn kind(&self) -> FeedKind {
+            FeedKind::BmpLive
+        }
+        fn name(&self) -> &str {
+            "stub-bmp"
+        }
+        fn on_route_change_into(
+            &mut self,
+            _change: &artemis_bgpsim::RouteChange,
+            _rng: &mut SimRng,
+            _out: &mut Vec<FeedEvent>,
+        ) {
+        }
+        fn next_poll(&self, _now: SimTime) -> Option<SimTime> {
+            None
+        }
+        fn poll(
+            &mut self,
+            _at: SimTime,
+            _view: &dyn artemis_feeds::RibView,
+            _rng: &mut SimRng,
+        ) -> Vec<FeedEvent> {
+            Vec::new()
+        }
+        fn events_emitted(&self) -> u64 {
+            0
+        }
+        fn take_peer_downs(&mut self) -> Vec<Asn> {
+            std::mem::take(&mut self.downs)
+        }
+    }
+
+    #[test]
+    fn peer_down_purges_vantage_from_live_monitors() {
+        use crate::monitor::VpState;
+        let mut p = two_prefix_pipeline();
+        let mut ctrl = controller();
+        let acts = p.deliver(
+            &event(174, "10.0.0.0/23", &[174, 666], 45),
+            &mut ctrl,
+            &mut [],
+        );
+        let AppAction::AlertRaised(alert) = acts[0] else {
+            panic!("hijack must alert");
+        };
+        assert_eq!(
+            p.monitor_for(alert).unwrap().vp_state(Asn(174)),
+            VpState::Hijacked
+        );
+
+        p.hub_mut().add(Box::new(PeerDownFeed {
+            downs: vec![Asn(174)],
+        }));
+        let purged = p.apply_peer_downs(SimTime::from_secs(50));
+        assert_eq!(purged, 1, "one (peer, monitor) purge");
+        assert_eq!(
+            p.monitor_for(alert).unwrap().vp_state(Asn(174)),
+            VpState::Unknown,
+            "the downed peer's routes are gone from the per-VP view"
+        );
+        assert_eq!(
+            p.apply_peer_downs(SimTime::from_secs(51)),
+            0,
+            "the signal drains on first application"
+        );
     }
 
     #[test]

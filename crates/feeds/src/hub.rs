@@ -7,8 +7,7 @@ use crate::source::{FeedSource, RibView};
 use artemis_bgpsim::RouteChange;
 use artemis_simnet::{SimRng, SimTime};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 /// Stable identity of a feed inside a [`FeedHub`].
 ///
@@ -64,9 +63,10 @@ pub struct FeedLag {
 /// A queued event's ordering key: `(emitted_at, ingestion sequence)` —
 /// the sequence number makes simultaneous emissions deterministic —
 /// plus the slab slot holding the event payload. Keeping the payload
-/// out of the heap makes every sift a 24-byte move instead of a full
-/// `FeedEvent` (collector name, AS path, raw JSON) move.
-#[derive(PartialEq, Eq)]
+/// out of the ordering structures makes every key move a 24-byte copy
+/// instead of a full `FeedEvent` (collector name, AS path, raw JSON)
+/// move.
+#[derive(Clone, Copy, PartialEq, Eq)]
 struct QueuedKey(SimTime, u64, u32);
 
 impl Ord for QueuedKey {
@@ -78,6 +78,80 @@ impl PartialOrd for QueuedKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// One feed's pending keys, kept as a *sorted run* with a reusable
+/// buffer: appends land at the tail in ingestion order (per-feed
+/// streams are near-sorted already — a constant export delay makes
+/// them exactly sorted), a cheap flag records whether an append ever
+/// broke `(time, seq)` order, and [`Lane::seal`] sorts the run lazily
+/// at drain time only when it has to. Draining consumes from the front
+/// through a cursor so the allocation is reused wave after wave.
+#[derive(Default)]
+struct Lane {
+    /// Pending keys; `keys[head..]` is the live run.
+    keys: Vec<QueuedKey>,
+    /// Consumption cursor into `keys` (compacted at seal time).
+    head: usize,
+    /// True when an append broke `(time, seq)` order since the last
+    /// seal; the run must be sorted before merging.
+    unsorted: bool,
+    /// Earliest emission instant among pending keys (exact even while
+    /// the run is unsorted), `None` when the lane is empty.
+    min_time: Option<SimTime>,
+}
+
+impl Lane {
+    /// Append a key in ingestion order.
+    fn push(&mut self, key: QueuedKey) {
+        if let Some(last) = self.keys.last() {
+            if key < *last {
+                self.unsorted = true;
+            }
+        }
+        self.min_time = Some(self.min_time.map_or(key.0, |t| t.min(key.0)));
+        self.keys.push(key);
+    }
+
+    /// Make the live run contiguous-from-zero and sorted by
+    /// `(time, seq)`. Cheap when nothing is out of order (the common
+    /// case): a drain of the consumed prefix and no sort.
+    fn seal(&mut self) {
+        if self.head > 0 {
+            self.keys.drain(..self.head);
+            self.head = 0;
+        }
+        if self.unsorted {
+            self.keys.sort_unstable();
+            self.unsorted = false;
+        }
+    }
+
+    /// The earliest pending key. Only meaningful after [`Lane::seal`].
+    fn front(&self) -> Option<QueuedKey> {
+        self.keys.get(self.head).copied()
+    }
+
+    /// Consume the front key (lane must be sealed).
+    fn pop_front(&mut self) -> QueuedKey {
+        let key = self.keys[self.head];
+        self.head += 1;
+        self.min_time = self.keys.get(self.head).map(|k| k.0);
+        key
+    }
+}
+
+/// Wall-clock timing breakdown of one [`FeedHub::drain_batch_timed`]
+/// call, split into the drain's two sub-stages: sealing the per-feed
+/// sorted runs (lazy sort of any lane an append disordered) and the
+/// k-way merge that moves due events out in global `(time, seq)`
+/// order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainBreakdown {
+    /// Nanoseconds spent sealing (compacting + lazily sorting) lanes.
+    pub seal_nanos: u64,
+    /// Nanoseconds spent merging due events into the output buffer.
+    pub merge_nanos: u64,
 }
 
 /// Aggregates any number of [`FeedSource`]s behind one interface.
@@ -121,8 +195,15 @@ pub struct FeedHub {
     rng: SimRng,
     /// Threads the batched ingest path may fan out over (1 = serial).
     ingest_workers: usize,
-    /// Merge queue of pending event keys across all feeds.
-    queue: BinaryHeap<Reverse<QueuedKey>>,
+    /// Per-feed sorted runs of pending event keys, keyed by handle id
+    /// (including [`FeedHandle::REQUEUED`]'s own lane at id 0). The
+    /// global drain order is recovered by a k-way merge over the lane
+    /// fronts — per-feed streams are already (near-)time-ordered, so
+    /// the merge pays O(feeds) per event where a global heap paid
+    /// O(log total-events) sifts.
+    lanes: BTreeMap<u64, Lane>,
+    /// Total pending (undrained) events across all lanes.
+    pending: usize,
     /// Event payloads with their source-feed attribution, indexed by
     /// the slot in each queued key.
     slots: Vec<Option<(FeedHandle, FeedEvent)>>,
@@ -149,7 +230,8 @@ impl FeedHub {
             feeds: Vec::new(),
             rng,
             ingest_workers: 1,
-            queue: BinaryHeap::new(),
+            lanes: BTreeMap::new(),
+            pending: 0,
             slots: Vec::new(),
             free: Vec::new(),
             seq: 0,
@@ -237,22 +319,19 @@ impl FeedHub {
     pub fn remove(&mut self, handle: FeedHandle) -> Option<(Box<dyn FeedSource>, usize)> {
         let pos = self.feeds.iter().position(|(h, _, _)| *h == handle)?;
         let (_, _, feed) = self.feeds.remove(pos);
-        // Rebuild the merge queue without the detached feed's events so
-        // `next_emission` / `pending_events` stay exact.
+        // The detached feed's pending events all live in its own lane:
+        // dropping them is freeing that lane's slots — other feeds'
+        // lanes (and the requeued lane) are untouched, so their exact
+        // relative order is preserved by construction.
         let mut dropped = 0usize;
-        let keys = std::mem::take(&mut self.queue).into_vec();
-        let mut kept = Vec::with_capacity(keys.len());
-        for Reverse(QueuedKey(t, seq, slot)) in keys {
-            let owner = self.slots[slot as usize].as_ref().map(|(h, _)| *h);
-            if owner == Some(handle) {
-                self.slots[slot as usize] = None;
-                self.free.push(slot);
+        if let Some(lane) = self.lanes.remove(&handle.0) {
+            for QueuedKey(_, _, slot) in &lane.keys[lane.head..] {
+                self.slots[*slot as usize] = None;
+                self.free.push(*slot);
                 dropped += 1;
-            } else {
-                kept.push(Reverse(QueuedKey(t, seq, slot)));
             }
+            self.pending -= dropped;
         }
-        self.queue = BinaryHeap::from(kept);
         self.lag.remove(&handle.0);
         self.filters.remove(&handle.0);
         Some((feed, dropped))
@@ -273,7 +352,11 @@ impl FeedHub {
     /// rejected by the feed's [`FeedFilter`] are dropped *here*,
     /// before any slab slot or heap key is allocated for them.
     fn queue_scratch(&mut self, handle: FeedHandle) {
+        if self.scratch.is_empty() {
+            return;
+        }
         let filter = self.filters.get(&handle.0);
+        let lane = self.lanes.entry(handle.0).or_default();
         for ev in self.scratch.drain(..) {
             if let Some(f) = filter {
                 if !f.matches(&ev) {
@@ -300,8 +383,8 @@ impl FeedHub {
                     s
                 }
             };
-            self.queue
-                .push(Reverse(QueuedKey(emitted_at, self.seq, slot)));
+            lane.push(QueuedKey(emitted_at, self.seq, slot));
+            self.pending += 1;
             self.seq += 1;
         }
     }
@@ -430,12 +513,12 @@ impl FeedHub {
 
     /// Emission instant of the earliest queued event, if any.
     pub fn next_emission(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(q)| q.0)
+        self.lanes.values().filter_map(|l| l.min_time).min()
     }
 
     /// Number of queued (not yet drained) events.
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.pending
     }
 
     /// Drain every queued event with `emitted_at <= upto` into `out`
@@ -443,12 +526,73 @@ impl FeedHub {
     /// ingestion order)` across push and pull feeds. Returns the number
     /// of drained events. `out` is caller-owned so one buffer can be
     /// reused across the whole run.
+    ///
+    /// Internally this seals each feed's sorted run (a lazy sort, paid
+    /// only by lanes an append actually disordered) and then k-way
+    /// merges the lane fronts by `(emitted_at, ingestion sequence)` —
+    /// sequence numbers are globally unique, so the merged order is
+    /// byte-identical to what a single global ordered queue would
+    /// produce.
     pub fn drain_batch(&mut self, upto: SimTime, out: &mut Vec<FeedEvent>) -> usize {
         out.clear();
-        while self.queue.peek().is_some_and(|Reverse(q)| q.0 <= upto) {
-            let Some(Reverse(QueuedKey(_, _, slot))) = self.queue.pop() else {
+        self.seal_lanes();
+        self.merge_due(upto, out)
+    }
+
+    /// [`FeedHub::drain_batch`] with a wall-clock sub-stage breakdown
+    /// (seal vs merge), for pipelines exporting drain-stage latency
+    /// histograms.
+    pub fn drain_batch_timed(
+        &mut self,
+        upto: SimTime,
+        out: &mut Vec<FeedEvent>,
+    ) -> (usize, DrainBreakdown) {
+        out.clear();
+        let t0 = std::time::Instant::now();
+        self.seal_lanes();
+        let t1 = std::time::Instant::now();
+        let n = self.merge_due(upto, out);
+        let t2 = std::time::Instant::now();
+        (
+            n,
+            DrainBreakdown {
+                seal_nanos: (t1 - t0).as_nanos() as u64,
+                merge_nanos: (t2 - t1).as_nanos() as u64,
+            },
+        )
+    }
+
+    /// Seal every lane's sorted run ahead of a merge.
+    fn seal_lanes(&mut self) {
+        for lane in self.lanes.values_mut() {
+            lane.seal();
+        }
+    }
+
+    /// K-way merge of due events (lanes must be sealed): repeatedly
+    /// take the lane whose front key is globally smallest. With a
+    /// handful of feeds the linear scan over lane fronts beats both a
+    /// loser tree and the old global heap's O(log pending) sifts per
+    /// event.
+    fn merge_due(&mut self, upto: SimTime, out: &mut Vec<FeedEvent>) -> usize {
+        loop {
+            let mut best: Option<(QueuedKey, u64)> = None;
+            for (&id, lane) in &self.lanes {
+                if let Some(key) = lane.front() {
+                    if key.0 <= upto && best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, id));
+                    }
+                }
+            }
+            let Some((_, id)) = best else {
                 break;
             };
+            let QueuedKey(_, _, slot) = self
+                .lanes
+                .get_mut(&id)
+                .expect("winning lane exists")
+                .pop_front();
+            self.pending -= 1;
             let (owner, ev) = self.slots[slot as usize]
                 .take()
                 .expect("queued slot filled");
@@ -499,6 +643,22 @@ impl FeedHub {
     /// Every attached feed with its stable handle, in insertion order.
     pub fn handles(&self) -> impl Iterator<Item = (FeedHandle, &dyn FeedSource)> {
         self.feeds.iter().map(|(h, _, f)| (*h, f.as_ref()))
+    }
+
+    /// Drain the peers whose BGP sessions went down (BMP `peer_down`)
+    /// across every attached wire feed since the last call, deduped in
+    /// first-seen order. The pipeline purges each returned vantage
+    /// point from its monitors' per-VP views.
+    pub fn take_peer_downs(&mut self) -> Vec<artemis_bgp::Asn> {
+        let mut downs: Vec<artemis_bgp::Asn> = Vec::new();
+        for (_, _, feed) in &mut self.feeds {
+            for asn in feed.take_peer_downs() {
+                if !downs.contains(&asn) {
+                    downs.push(asn);
+                }
+            }
+        }
+        downs
     }
 
     /// Access a feed by its stable handle (for feed-specific accessors

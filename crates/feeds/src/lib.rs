@@ -44,8 +44,8 @@ pub mod vantage;
 pub use archive::{ArchiveRibFeed, ArchiveUpdatesFeed};
 pub use event::{FeedEvent, FeedKind};
 pub use filter::FeedFilter;
-pub use hub::{batch_chunks, FeedHandle, FeedHub, FeedLag};
-pub use live::{BmpLiveFeed, LiveFeedConfig, LiveFeedStats};
+pub use hub::{batch_chunks, DrainBreakdown, FeedHandle, FeedHub, FeedLag};
+pub use live::{BmpLiveFeed, LiveFeedConfig, LiveFeedStats, PeerHealth, WireHealth};
 pub use periscope::{LookingGlass, PeriscopeFeed};
 pub use replay::{MrtReplayFeed, MrtRibSnapshot};
 pub use source::{EmptyRibView, EngineView, FeedSource, RibView};

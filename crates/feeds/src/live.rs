@@ -16,14 +16,15 @@
 use crate::event::{FeedEvent, FeedKind};
 use crate::filter::FeedFilter;
 use crate::source::{FeedSource, RibView};
-use artemis_bgp::BgpMessage;
+use artemis_bgp::{Asn, BgpMessage};
 use artemis_bgpsim::RouteChange;
 use artemis_bmp::{BackpressureRing, BmpMessage, FrameAssembler, PeerHeader};
 use artemis_simnet::{SimRng, SimTime};
+use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Tuning knobs for a [`BmpLiveFeed`].
@@ -48,7 +49,9 @@ impl Default for LiveFeedConfig {
     }
 }
 
-/// Shared reader-thread counters, readable lock-free from the feed.
+/// Shared reader-thread counters, readable lock-free from the feed
+/// (the two maps behind mutexes are touched only on rare session
+/// events — stats reports and peer downs — never per route).
 #[derive(Default)]
 struct LiveCounters {
     /// Route-monitoring events decoded off the wire.
@@ -57,10 +60,51 @@ struct LiveCounters {
     filtered: AtomicU64,
     /// Messages skipped on per-message decode defects.
     diagnostics: AtomicU64,
+    /// Completed re-dials after an established session was lost.
+    reconnects: AtomicU64,
     /// Session reached an established TCP connection.
     connected: AtomicBool,
-    /// Reader thread has exited (EOF, error, or corrupt framing).
+    /// Reader thread has exited (shutdown, fatal framing, or a lost
+    /// transport with no address to re-dial).
     disconnected: AtomicBool,
+    /// Per-peer health accumulated from `stats_report` messages.
+    peer_health: Mutex<BTreeMap<Asn, PeerHealth>>,
+    /// Peers whose sessions went down since the pipeline last asked.
+    peer_downs: Mutex<Vec<Asn>>,
+}
+
+/// Per-peer session health accumulated from BMP `stats_report` and
+/// `peer_down` messages (RFC 7854 §4.8/§4.9). Counter-typed stats
+/// (types 0–2) are cumulative on the monitored router, so each report
+/// replaces the stored value; the RIB sizes (types 7–8) are gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerHealth {
+    /// `stats_report` messages seen for this peer.
+    pub reports: u64,
+    /// Stat type 0: prefixes rejected by inbound policy.
+    pub prefixes_rejected: u64,
+    /// Stat type 1: duplicate prefix advertisements.
+    pub duplicate_updates: u64,
+    /// Stat type 2: duplicate withdraws.
+    pub duplicate_withdraws: u64,
+    /// Stat type 7: routes in Adj-RIB-In (gauge).
+    pub adj_rib_in: u64,
+    /// Stat type 8: routes in Loc-RIB (gauge).
+    pub loc_rib: u64,
+    /// `peer_down` messages seen for this peer.
+    pub peer_downs: u64,
+}
+
+/// Wire-session health of a live feed: how often the transport had to
+/// be re-established, and what the collector's peers report about
+/// their own sessions. Returned by [`FeedSource::wire_health`] for
+/// wire-backed feeds (`None` for simulated ones).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireHealth {
+    /// Completed re-dials after an established session was lost.
+    pub reconnects: u64,
+    /// Per-peer health, ascending by peer ASN.
+    pub peers: Vec<(Asn, PeerHealth)>,
 }
 
 /// A point-in-time snapshot of a live feed's wire-side health.
@@ -76,6 +120,10 @@ pub struct LiveFeedStats {
     pub pending: usize,
     /// Messages skipped because their body failed to decode.
     pub diagnostics: u64,
+    /// Completed re-dials after an established session was lost.
+    pub reconnects: u64,
+    /// Peers with recorded health (see [`BmpLiveFeed::peer_health`]).
+    pub peers: usize,
     /// The TCP session was established at some point.
     pub connected: bool,
     /// The reader thread has exited.
@@ -149,9 +197,23 @@ impl BmpLiveFeed {
             shed: self.ring.shed_total(),
             pending: self.ring.len(),
             diagnostics: self.counters.diagnostics.load(Ordering::Relaxed),
+            reconnects: self.counters.reconnects.load(Ordering::Relaxed),
+            peers: self.counters.peer_health.lock().expect("peer health").len(),
             connected: self.counters.connected.load(Ordering::Relaxed),
             disconnected: self.counters.disconnected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-peer session health accumulated from `stats_report` and
+    /// `peer_down` messages, ascending by peer ASN.
+    pub fn peer_health(&self) -> Vec<(Asn, PeerHealth)> {
+        self.counters
+            .peer_health
+            .lock()
+            .expect("peer health")
+            .iter()
+            .map(|(asn, h)| (*asn, *h))
+            .collect()
     }
 
     /// True while the reader thread is alive (connecting or streaming).
@@ -233,6 +295,17 @@ impl FeedSource for BmpLiveFeed {
     fn shed_events(&self) -> u64 {
         self.ring.shed_total()
     }
+
+    fn wire_health(&self) -> Option<WireHealth> {
+        Some(WireHealth {
+            reconnects: self.counters.reconnects.load(Ordering::Relaxed),
+            peers: self.peer_health(),
+        })
+    }
+
+    fn take_peer_downs(&mut self) -> Vec<Asn> {
+        std::mem::take(&mut *self.counters.peer_downs.lock().expect("peer downs"))
+    }
 }
 
 enum ConnectMode {
@@ -240,10 +313,55 @@ enum ConnectMode {
     Addr(String),
 }
 
+/// Why one TCP session ended, deciding what the reader does next.
+enum SessionEnd {
+    /// The feed was dropped; stop for good.
+    Shutdown,
+    /// Corrupt framing fused the stream: the message boundary is lost
+    /// and re-dialing would replay the same defect. Stop for good.
+    Fatal,
+    /// EOF or a transport error — the collector may come back.
+    TransportLost,
+}
+
 /// How often a blocked reader re-checks the shutdown flag.
 const READ_TIMEOUT: Duration = Duration::from_millis(25);
-/// Backoff between connection attempts in [`ConnectMode::Addr`].
+/// Base backoff between connection attempts in [`ConnectMode::Addr`];
+/// doubles per consecutive failure up to [`CONNECT_RETRY_CAP`], with
+/// jitter so a fleet of feeds does not re-dial in lockstep.
 const CONNECT_RETRY: Duration = Duration::from_millis(50);
+/// Upper bound on the exponential connect backoff.
+const CONNECT_RETRY_CAP: Duration = Duration::from_secs(5);
+
+/// Jittered exponential backoff for re-dial `attempt` (1-based): a
+/// uniform draw from `[half, full]` of `CONNECT_RETRY × 2^(attempt-1)`,
+/// capped at [`CONNECT_RETRY_CAP`].
+fn backoff_delay(attempt: u32, jitter: &mut u64) -> Duration {
+    // xorshift64* — deterministic per seed, no external RNG on the
+    // reader thread.
+    *jitter ^= *jitter << 13;
+    *jitter ^= *jitter >> 7;
+    *jitter ^= *jitter << 17;
+    let full = CONNECT_RETRY
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+        .min(CONNECT_RETRY_CAP);
+    let half = full / 2;
+    half + Duration::from_nanos(*jitter % (full - half).as_nanos().max(1) as u64)
+}
+
+/// Sleep `total`, polling the shutdown flag every [`READ_TIMEOUT`] so
+/// dropping the feed mid-backoff never blocks the join.
+fn sleep_with_shutdown(total: Duration, shutdown: &AtomicBool) {
+    let mut left = total;
+    while !left.is_zero() {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let step = left.min(READ_TIMEOUT);
+        std::thread::sleep(step);
+        left -= step;
+    }
+}
 
 fn reader_main(
     mode: ConnectMode,
@@ -253,21 +371,44 @@ fn reader_main(
     counters: Arc<LiveCounters>,
     shutdown: Arc<AtomicBool>,
 ) {
-    let stream = match mode {
-        ConnectMode::Stream(s) => Some(s),
-        ConnectMode::Addr(addr) => loop {
-            if shutdown.load(Ordering::Relaxed) {
-                break None;
+    match mode {
+        // A pre-connected stream has no address to re-dial: one
+        // session, then done (loopback tests, benches).
+        ConnectMode::Stream(stream) => {
+            counters.connected.store(true, Ordering::Relaxed);
+            let _ = stream_session(stream, &config, &collector, &ring, &counters, &shutdown);
+        }
+        // Dial-by-address keeps the feed alive across collector
+        // restarts: a lost transport re-enters the dial loop with
+        // jittered exponential backoff, and only shutdown or fused
+        // framing ends the thread.
+        ConnectMode::Addr(addr) => {
+            let mut jitter = 0x9E37_79B9_7F4A_7C15u64
+                ^ collector
+                    .bytes()
+                    .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+            let mut attempt = 0u32;
+            let mut established_once = false;
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = TcpStream::connect(&addr) {
+                    counters.connected.store(true, Ordering::Relaxed);
+                    if established_once {
+                        counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    established_once = true;
+                    attempt = 0;
+                    match stream_session(stream, &config, &collector, &ring, &counters, &shutdown) {
+                        SessionEnd::Shutdown | SessionEnd::Fatal => break,
+                        SessionEnd::TransportLost => {}
+                    }
+                }
+                attempt += 1;
+                sleep_with_shutdown(backoff_delay(attempt, &mut jitter), &shutdown);
             }
-            match TcpStream::connect(&addr) {
-                Ok(s) => break Some(s),
-                Err(_) => std::thread::sleep(CONNECT_RETRY),
-            }
-        },
-    };
-    if let Some(stream) = stream {
-        counters.connected.store(true, Ordering::Relaxed);
-        stream_session(stream, &config, &collector, &ring, &counters, &shutdown);
+        }
     }
     counters.disconnected.store(true, Ordering::Relaxed);
 }
@@ -279,7 +420,7 @@ fn stream_session(
     ring: &BackpressureRing<FeedEvent>,
     counters: &LiveCounters,
     shutdown: &AtomicBool,
-) {
+) -> SessionEnd {
     // A bounded read timeout keeps the thread responsive to shutdown
     // without a second control channel.
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
@@ -288,10 +429,10 @@ fn stream_session(
     let mut batch: Vec<FeedEvent> = Vec::new();
     loop {
         if shutdown.load(Ordering::Relaxed) {
-            return;
+            return SessionEnd::Shutdown;
         }
         let n = match stream.read(&mut buf) {
-            Ok(0) => return, // collector closed the session
+            Ok(0) => return SessionEnd::TransportLost, // collector closed
             Ok(n) => n,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -300,7 +441,7 @@ fn stream_session(
             {
                 continue
             }
-            Err(_) => return,
+            Err(_) => return SessionEnd::TransportLost,
         };
         asm.push(&buf[..n]);
         loop {
@@ -309,7 +450,38 @@ fn stream_session(
                     Ok(BmpMessage::RouteMonitoring { peer, update }) => {
                         events_from_update(collector, &peer, &update, config, counters, &mut batch);
                     }
-                    // Session bookkeeping (peer up/down, stats,
+                    Ok(BmpMessage::StatsReport { peer, stats }) => {
+                        let mut health = counters.peer_health.lock().expect("peer health");
+                        let h = health.entry(peer.peer_as).or_default();
+                        h.reports += 1;
+                        for s in stats {
+                            // RFC 7854 §4.8 stat types the health view
+                            // tracks; unknown types pass through
+                            // silently (the spec requires tolerance).
+                            match s.stat_type {
+                                0 => h.prefixes_rejected = s.value,
+                                1 => h.duplicate_updates = s.value,
+                                2 => h.duplicate_withdraws = s.value,
+                                7 => h.adj_rib_in = s.value,
+                                8 => h.loc_rib = s.value,
+                                _ => {}
+                            }
+                        }
+                    }
+                    Ok(BmpMessage::PeerDown { peer, .. }) => {
+                        counters
+                            .peer_health
+                            .lock()
+                            .expect("peer health")
+                            .entry(peer.peer_as)
+                            .or_default()
+                            .peer_downs += 1;
+                        let mut downs = counters.peer_downs.lock().expect("peer downs");
+                        if !downs.contains(&peer.peer_as) {
+                            downs.push(peer.peer_as);
+                        }
+                    }
+                    // Remaining session bookkeeping (peer up,
                     // initiation/termination) carries no reachability.
                     Ok(_) => {}
                     Err(_) => {
@@ -320,7 +492,7 @@ fn stream_session(
                 // Fused framing: the stream boundary is lost for good.
                 Err(_) => {
                     counters.diagnostics.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    return SessionEnd::Fatal;
                 }
             }
         }
@@ -545,5 +717,138 @@ mod tests {
         let feed = BmpLiveFeed::connect("bmp0", "127.0.0.1:1", LiveFeedConfig::default());
         std::thread::sleep(Duration::from_millis(30));
         drop(feed); // must not hang
+    }
+
+    #[test]
+    fn transport_loss_reconnects_with_backoff() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            // First session: one event, then EOF (collector restart).
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut w = BmpWriter::new();
+            w.write(&route_monitoring("10.0.0.0/24", &[174, 666], 1))
+                .unwrap();
+            sock.write_all(w.as_bytes()).unwrap();
+            drop(sock);
+            // Second session once the feed re-dials.
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut w = BmpWriter::new();
+            w.write(&route_monitoring("10.0.1.0/24", &[174, 667], 2))
+                .unwrap();
+            sock.write_all(w.as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+        });
+        let feed = BmpLiveFeed::connect("bmp0", addr.to_string(), LiveFeedConfig::default());
+        wait_until(|| feed.stats().decoded == 2);
+        let stats = feed.stats();
+        assert_eq!(stats.reconnects, 1, "one re-established session");
+        assert!(
+            feed.is_live(),
+            "a lost transport keeps the feed alive (it re-dials)"
+        );
+        assert!(stats.connected);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn stats_report_populates_peer_health() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let peer = PeerHeader::global(
+                std::net::IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10)),
+                Asn(174),
+                Ipv4Addr::new(10, 0, 0, 1),
+                5_000_000,
+            );
+            let mut w = BmpWriter::new();
+            // Two reports: counters replace, the second wins.
+            for (rejected, adj_in) in [(3u64, 800_000u64), (5, 900_000)] {
+                w.write(&artemis_bmp::BmpMessage::StatsReport {
+                    peer,
+                    stats: vec![
+                        artemis_bmp::StatCounter {
+                            stat_type: 0,
+                            value: rejected,
+                        },
+                        artemis_bmp::StatCounter {
+                            stat_type: 1,
+                            value: 2,
+                        },
+                        artemis_bmp::StatCounter {
+                            stat_type: 7,
+                            value: adj_in,
+                        },
+                        artemis_bmp::StatCounter {
+                            stat_type: 8,
+                            value: adj_in - 1_000,
+                        },
+                        // An exotic stat type must pass through silently.
+                        artemis_bmp::StatCounter {
+                            stat_type: 13,
+                            value: 77,
+                        },
+                    ],
+                })
+                .unwrap();
+            }
+            sock.write_all(w.as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+        });
+        let feed = BmpLiveFeed::connect("bmp0", addr.to_string(), LiveFeedConfig::default());
+        wait_until(|| feed.stats().peers == 1);
+        wait_until(|| feed.peer_health()[0].1.reports == 2);
+        let (peer, health) = feed.peer_health()[0];
+        assert_eq!(peer, Asn(174));
+        assert_eq!(health.prefixes_rejected, 5, "second report replaces");
+        assert_eq!(health.duplicate_updates, 2);
+        assert_eq!(health.adj_rib_in, 900_000);
+        assert_eq!(health.loc_rib, 899_000);
+        assert_eq!(health.peer_downs, 0);
+        let wire = feed.wire_health().expect("wire feed reports health");
+        assert_eq!(wire.peers.len(), 1);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn peer_down_queues_purge_signal_once() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let peer = PeerHeader::global(
+                std::net::IpAddr::V4(Ipv4Addr::new(192, 0, 2, 10)),
+                Asn(174),
+                Ipv4Addr::new(10, 0, 0, 1),
+                5_000_000,
+            );
+            let mut w = BmpWriter::new();
+            // The same peer flaps twice before the pipeline drains the
+            // signals: one purge is enough (health still counts both).
+            for _ in 0..2 {
+                w.write(&artemis_bmp::BmpMessage::PeerDown {
+                    peer,
+                    reason: 1,
+                    data: Vec::new(),
+                })
+                .unwrap();
+            }
+            sock.write_all(w.as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+        });
+        let mut feed = BmpLiveFeed::connect("bmp0", addr.to_string(), LiveFeedConfig::default());
+        wait_until(|| {
+            feed.peer_health()
+                .first()
+                .is_some_and(|(_, h)| h.peer_downs == 2)
+        });
+        assert_eq!(feed.take_peer_downs(), vec![Asn(174)], "deduped signal");
+        assert!(
+            feed.take_peer_downs().is_empty(),
+            "draining is destructive — the purge applies once"
+        );
+        writer.join().unwrap();
     }
 }

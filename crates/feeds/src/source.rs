@@ -112,6 +112,19 @@ pub trait FeedSource: Send {
     fn archive_bytes(&self) -> Option<&[u8]> {
         None
     }
+    /// Wire-session health for socket-backed feeds
+    /// ([`crate::BmpLiveFeed`]): transport reconnects plus per-peer
+    /// `stats_report` health. `None` for simulated feeds.
+    fn wire_health(&self) -> Option<crate::live::WireHealth> {
+        None
+    }
+    /// Drain the peers whose BGP sessions this feed observed going
+    /// down (BMP `peer_down`) since the last call. The pipeline purges
+    /// each returned vantage point from its monitors' per-VP views.
+    /// Empty for feeds without session semantics.
+    fn take_peer_downs(&mut self) -> Vec<Asn> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
